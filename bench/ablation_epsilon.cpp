@@ -1,0 +1,66 @@
+// Ablation: accuracy/time trade-off of the FPTAS against the exact LP.
+//
+// DESIGN.md calls out the choice of solver (Garg-Konemann FPTAS with a
+// certified primal-dual gap instead of CPLEX). This bench quantifies it:
+// for epsilon in {0.2, 0.1, 0.05, 0.02}, measure the certified gap, the
+// TRUE gap against the exact simplex LP, and the runtime.
+#include <chrono>
+
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const bench::BenchConfig config =
+      bench::parse_bench_config(argc, argv, /*quick_runs=*/3, /*full_runs=*/10);
+
+  print_banner(std::cout,
+               "Ablation: FPTAS certified gap vs true gap vs runtime "
+               "(12-switch RRG, 8 commodities, exact LP reference)");
+  TablePrinter table({"epsilon", "lambda_fptas", "lambda_exact",
+                      "certified_gap", "true_gap", "phases", "ms"});
+
+  for (double epsilon : {0.2, 0.1, 0.05, 0.02}) {
+    std::vector<double> fptas_values;
+    std::vector<double> exact_values;
+    std::vector<double> certified;
+    std::vector<double> true_gaps;
+    std::vector<double> phases;
+    std::vector<double> times_ms;
+    for (int run = 0; run < config.runs; ++run) {
+      const std::uint64_t seed = Rng::derive_seed(config.seed, 100 + run);
+      const Graph g = random_regular_graph(12, 4, seed);
+      Rng rng(seed + 7);
+      std::vector<Commodity> commodities;
+      for (int i = 0; i < 8; ++i) {
+        const int src = rng.uniform_int(0, 11);
+        int dst = rng.uniform_int(0, 11);
+        if (dst == src) dst = (dst + 1) % 12;
+        commodities.push_back({src, dst, 1.0 + rng.uniform()});
+      }
+      const McfLpResult exact = solve_concurrent_flow_lp(g, commodities);
+
+      FlowOptions options;
+      options.epsilon = epsilon;
+      const auto start = std::chrono::steady_clock::now();
+      const ThroughputResult approx =
+          max_concurrent_flow(g, commodities, options);
+      const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start);
+
+      fptas_values.push_back(approx.lambda);
+      exact_values.push_back(exact.lambda);
+      certified.push_back(approx.gap);
+      true_gaps.push_back(1.0 - approx.lambda / exact.lambda);
+      phases.push_back(approx.phases);
+      times_ms.push_back(elapsed.count() / 1000.0);
+    }
+    table.add_row({epsilon, mean_of(fptas_values), mean_of(exact_values),
+                   mean_of(certified), mean_of(true_gaps), mean_of(phases),
+                   mean_of(times_ms)});
+  }
+  table.emit(std::cout, config.csv);
+  std::cout << "Expected: true_gap well below certified_gap; runtime grows "
+               "as epsilon shrinks. The default 0.08 certified target "
+               "keeps true error around ~1-3%.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: incremental expansion vs building from scratch.
+//
+// The Jellyfish premise the paper builds on (§2): random graphs grow by
+// splicing new switches into existing links. This bench grows an RRG in
+// steps and compares throughput and ASPL against a from-scratch random
+// graph of the same size — the two should match closely.
+#include "bench_common.h"
+
+#include "graph/algorithms.h"
+#include "topo/expansion.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const bench::BenchConfig config =
+      bench::parse_bench_config(argc, argv, /*quick_runs=*/3, /*full_runs=*/10);
+
+  const int start_switches = 20;
+  const int degree = 8;
+  const int servers = 4;
+
+  print_banner(std::cout,
+               "Ablation: incremental expansion vs from-scratch RRG "
+               "(start 20 switches, degree 8, 4 servers/switch)");
+  TablePrinter table({"switches", "lambda_grown", "lambda_fresh",
+                      "aspl_grown", "aspl_fresh"});
+  for (int grow_to : {20, 28, 36, 52}) {
+    std::vector<double> lambda_grown;
+    std::vector<double> lambda_fresh;
+    std::vector<double> aspl_grown;
+    std::vector<double> aspl_fresh;
+    for (int run = 0; run < config.runs; ++run) {
+      const std::uint64_t seed =
+          Rng::derive_seed(config.seed, grow_to * 100 + run);
+      BuiltTopology grown = random_regular_topology(
+          start_switches, degree + servers, degree, seed);
+      expand_topology(grown, grow_to - start_switches, degree, servers,
+                      seed + 1);
+      const BuiltTopology fresh = random_regular_topology(
+          grow_to, degree + servers, degree, seed + 2);
+
+      const EvalOptions options = bench::eval_options(config);
+      lambda_grown.push_back(
+          evaluate_throughput(grown, options, seed + 3).lambda);
+      lambda_fresh.push_back(
+          evaluate_throughput(fresh, options, seed + 3).lambda);
+      aspl_grown.push_back(average_shortest_path_length(grown.graph));
+      aspl_fresh.push_back(average_shortest_path_length(fresh.graph));
+    }
+    table.add_row({static_cast<long long>(grow_to), mean_of(lambda_grown),
+                   mean_of(lambda_fresh), mean_of(aspl_grown),
+                   mean_of(aspl_fresh)});
+  }
+  table.emit(std::cout, config.csv);
+  std::cout << "Expected: grown and fresh columns match within a few "
+               "percent at every size.\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: does forcing simple graphs (swap repair) change RRG quality?
+//
+// The RRG builder repairs the raw configuration model into a simple,
+// connected graph via degree-preserving swaps. This bench compares the
+// repaired graphs against raw multigraph realizations on ASPL and
+// throughput, and reports how often raw pairing needs repair at all.
+#include "bench_common.h"
+
+namespace topo {
+namespace {
+
+BuiltTopology with_servers(Graph graph, int servers_per_switch) {
+  BuiltTopology t;
+  const int n = graph.num_nodes();
+  t.graph = std::move(graph);
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), servers_per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+}  // namespace
+}  // namespace topo
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const bench::BenchConfig config =
+      bench::parse_bench_config(argc, argv, /*quick_runs=*/5, /*full_runs=*/20);
+
+  print_banner(std::cout,
+               "Ablation: simple-graph repair vs raw multigraph pairing "
+               "(N=40, 5 servers/switch, permutation traffic)");
+  TablePrinter table({"degree", "aspl_simple", "aspl_multi", "lambda_simple",
+                      "lambda_multi", "multi_parallel_edges"});
+
+  for (int r : {5, 10, 15}) {
+    std::vector<double> aspl_simple;
+    std::vector<double> aspl_multi;
+    std::vector<double> lambda_simple;
+    std::vector<double> lambda_multi;
+    double parallel_edges = 0.0;
+    for (int run = 0; run < config.runs; ++run) {
+      const std::uint64_t seed = Rng::derive_seed(config.seed, r * 100 + run);
+      const std::vector<int> degrees(40, r);
+
+      DegreeSequenceOptions simple_opts;  // default: simple + connected
+      const Graph simple =
+          random_graph_with_degrees(degrees, seed, simple_opts);
+      DegreeSequenceOptions multi_opts;
+      multi_opts.simple = false;
+      multi_opts.ensure_connected = true;
+      const Graph multi = random_graph_with_degrees(degrees, seed, multi_opts);
+
+      aspl_simple.push_back(average_shortest_path_length(simple));
+      aspl_multi.push_back(average_shortest_path_length(multi));
+      int duplicates = 0;
+      for (EdgeId e = 0; e < multi.num_edges(); ++e) {
+        if (multi.edge_multiplicity(multi.edge(e).u, multi.edge(e).v) > 1) {
+          ++duplicates;
+        }
+      }
+      parallel_edges += duplicates / 2.0;  // each pair counted twice-ish
+
+      const EvalOptions options = bench::eval_options(config);
+      lambda_simple.push_back(
+          evaluate_throughput(with_servers(simple, 5), options, seed + 1)
+              .lambda);
+      lambda_multi.push_back(
+          evaluate_throughput(with_servers(multi, 5), options, seed + 1)
+              .lambda);
+    }
+    table.add_row({static_cast<long long>(r), mean_of(aspl_simple),
+                   mean_of(aspl_multi), mean_of(lambda_simple),
+                   mean_of(lambda_multi), parallel_edges / config.runs});
+  }
+  table.emit(std::cout, config.csv);
+  std::cout << "Expected: simple repair never hurts (equal or slightly "
+               "better ASPL/throughput); raw pairing wastes a few ports on "
+               "parallel edges.\n";
+  return 0;
+}

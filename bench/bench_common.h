@@ -1,0 +1,55 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench accepts:
+//   --runs N   seeds per data point (default: quick value per bench)
+//   --eps X    FPTAS certified-gap target (default 0.08)
+//   --seed N   master seed (default 1)
+//   --csv      machine-readable output
+//   --full     paper-fidelity mode: more runs, finer sweeps
+//
+// Output convention: a banner naming the figure, then one aligned table
+// whose columns mirror the paper's series.
+#ifndef TOPODESIGN_BENCH_BENCH_COMMON_H
+#define TOPODESIGN_BENCH_BENCH_COMMON_H
+
+#include <iostream>
+
+#include "core/topobench.h"
+
+namespace topo::bench {
+
+/// Common bench configuration resolved from flags.
+struct BenchConfig {
+  int runs = 3;
+  double epsilon = 0.08;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool full = false;
+};
+
+inline BenchConfig parse_bench_config(int argc, const char* const* argv,
+                                      int quick_runs = 3,
+                                      int full_runs = 20) {
+  const Flags flags = bench_flags(argc, argv);
+  BenchConfig config;
+  config.full = flags.get_bool("full");
+  config.runs = flags.get_int("runs", config.full ? full_runs : quick_runs);
+  config.epsilon = flags.get_double("eps", 0.08);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  config.csv = flags.get_bool("csv");
+  return config;
+}
+
+inline EvalOptions eval_options(const BenchConfig& config,
+                                TrafficKind traffic = TrafficKind::kPermutation,
+                                double chunky_fraction = 1.0) {
+  EvalOptions options;
+  options.flow.epsilon = config.epsilon;
+  options.traffic = traffic;
+  options.chunky_fraction = chunky_fraction;
+  return options;
+}
+
+}  // namespace topo::bench
+
+#endif  // TOPODESIGN_BENCH_BENCH_COMMON_H

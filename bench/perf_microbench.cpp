@@ -1,0 +1,101 @@
+// Google-benchmark microbenchmarks for the library's hot paths:
+// topology generation, graph algorithms, both flow solvers, and the
+// packet simulator's event loop.
+#include <benchmark/benchmark.h>
+
+#include "core/topobench.h"
+
+namespace topo {
+namespace {
+
+void BM_RandomRegularGraph(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_regular_graph(n, 10, seed++));
+  }
+}
+BENCHMARK(BM_RandomRegularGraph)->Arg(40)->Arg(200)->Arg(1000);
+
+void BM_ClusteredRandomGraph(benchmark::State& state) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(20, 12);
+  spec.degrees_b.assign(static_cast<std::size_t>(state.range(0)), 6);
+  spec.cross_links = 60;
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clustered_random_graph(spec, seed++));
+  }
+}
+BENCHMARK(BM_ClusteredRandomGraph)->Arg(40)->Arg(160);
+
+void BM_AllPairsBfs(benchmark::State& state) {
+  const Graph g =
+      random_regular_graph(static_cast<int>(state.range(0)), 10, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(all_pairs_distances(g));
+  }
+}
+BENCHMARK(BM_AllPairsBfs)->Arg(40)->Arg(200)->Arg(1000);
+
+void BM_DinicMaxFlow(benchmark::State& state) {
+  const Graph g =
+      random_regular_graph(static_cast<int>(state.range(0)), 10, 9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_flow(g, 0, g.num_nodes() - 1));
+  }
+}
+BENCHMARK(BM_DinicMaxFlow)->Arg(40)->Arg(200);
+
+void BM_ConcurrentFlowFptas(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = random_regular_graph(n, 10, 3);
+  std::vector<Commodity> commodities;
+  for (int i = 0; i < n; ++i) commodities.push_back({i, (i + n / 2) % n, 5.0});
+  FlowOptions options;
+  options.epsilon = 0.08;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_concurrent_flow(g, commodities, options));
+  }
+}
+BENCHMARK(BM_ConcurrentFlowFptas)->Arg(40)->Arg(100)->Unit(benchmark::kMillisecond);
+
+void BM_ExactLpSmall(benchmark::State& state) {
+  const Graph g = random_regular_graph(10, 3, 3);
+  std::vector<Commodity> commodities;
+  for (int i = 0; i < 5; ++i) commodities.push_back({i, (i + 5) % 10, 1.0});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_concurrent_flow_lp(g, commodities));
+  }
+}
+BENCHMARK(BM_ExactLpSmall)->Unit(benchmark::kMillisecond);
+
+void BM_PacketSimulation(benchmark::State& state) {
+  const BuiltTopology t = random_regular_topology(12, 8, 5, 5);
+  for (auto _ : state) {
+    sim::SimParams params;
+    params.subflows = 4;
+    params.duration_ns = 4'000'000;
+    params.warmup_ns = 2'000'000;
+    sim::SimNetwork net(t, params, 3);
+    net.add_permutation_workload();
+    benchmark::DoNotOptimize(net.run());
+  }
+}
+BENCHMARK(BM_PacketSimulation)->Unit(benchmark::kMillisecond);
+
+void BM_TrafficAggregation(benchmark::State& state) {
+  ServerMap servers;
+  servers.per_switch.assign(200, 10);
+  Rng rng(4);
+  const TrafficMatrix tm = random_permutation_traffic(servers, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aggregate_to_commodities(tm, servers));
+  }
+}
+BENCHMARK(BM_TrafficAggregation);
+
+}  // namespace
+}  // namespace topo
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Incremental expansion demo: growing a data center one switch at a time.
+//
+//   $ ./expansion_demo [--start N] [--grow N]
+//
+// Starts from a random regular network and repeatedly splices new
+// switches into existing links (the Jellyfish expansion model the paper
+// builds on). After each growth step, prints throughput per server and
+// how it compares to tearing everything down and rebuilding from scratch.
+#include <iostream>
+
+#include "core/topobench.h"
+#include "topo/expansion.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const Flags flags(argc, argv, {"start", "grow"});
+  const int start = flags.get_int("start", 20);
+  const int grow = flags.get_int("grow", 16);
+  const int degree = 8;
+  const int servers = 4;
+
+  std::cout << "== Incremental expansion demo ==\n\n";
+  std::cout << "Start: RRG with " << start << " switches (degree " << degree
+            << ", " << servers << " servers each). Growing by " << grow
+            << " switches, four at a time.\n\n";
+
+  EvalOptions options;
+  options.flow.epsilon = 0.06;
+
+  BuiltTopology network = random_regular_topology(
+      start, degree + servers, degree, /*seed=*/42);
+
+  TablePrinter table({"switches", "servers", "lambda_grown", "lambda_scratch",
+                      "penalty_percent"});
+  for (int grown = 0; grown <= grow; grown += 4) {
+    if (grown > 0) {
+      expand_topology(network, 4, degree, servers,
+                      Rng::derive_seed(42, static_cast<std::uint64_t>(grown)));
+    }
+    const int size = start + grown;
+    const double lambda_grown =
+        evaluate_throughput(network, options, 7).lambda;
+    const BuiltTopology scratch =
+        random_regular_topology(size, degree + servers, degree, 43 + grown);
+    const double lambda_scratch =
+        evaluate_throughput(scratch, options, 7).lambda;
+    table.add_row({static_cast<long long>(size),
+                   static_cast<long long>(network.servers.total()),
+                   lambda_grown, lambda_scratch,
+                   100.0 * (1.0 - lambda_grown / lambda_scratch)});
+  }
+  table.print(std::cout);
+  std::cout << "\nExpansion keeps every existing switch's wiring intact "
+               "(only spliced links move) and loses almost nothing against "
+               "a from-scratch rebuild — the incremental-growth story that "
+               "motivates random topologies.\n";
+  return 0;
+}

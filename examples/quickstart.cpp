@@ -1,0 +1,64 @@
+// Quickstart: build a random regular topology, measure its throughput,
+// and compare against the paper's analytical bounds.
+//
+//   $ ./quickstart [--switches N] [--ports K] [--network-degree R]
+//
+// Walks through the core API: topology generation, workload creation,
+// the max-concurrent-flow solver, and the Theorem-1 / ASPL bounds.
+#include <iostream>
+
+#include "core/topobench.h"
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const Flags flags(argc, argv, {"switches", "ports", "network-degree"});
+  const int n = flags.get_int("switches", 40);
+  const int k = flags.get_int("ports", 20);
+  const int r = flags.get_int("network-degree", 12);
+
+  std::cout << "== topodesign quickstart ==\n\n";
+  std::cout << "Building RRG(" << n << " switches, " << k << " ports, " << r
+            << " network-facing) => " << (k - r)
+            << " servers per switch, " << n * (k - r) << " servers total.\n";
+
+  // 1. Build the topology (seeded: same seed, same network).
+  const BuiltTopology topology = random_regular_topology(n, k, r, /*seed=*/42);
+
+  // 2. Structural metrics vs the best any topology could do.
+  const double aspl = average_shortest_path_length(topology.graph);
+  const double aspl_bound = aspl_lower_bound(n, r);
+  std::cout << "Average shortest path length: " << aspl << " (lower bound "
+            << aspl_bound << ", ratio " << aspl / aspl_bound << ")\n";
+  std::cout << "Diameter: " << diameter(topology.graph) << "\n\n";
+
+  // 3. Throughput under random permutation traffic. lambda is the rate of
+  // the worst-off flow under optimal routing; 1.0 = every server at full
+  // line rate.
+  EvalOptions options;
+  options.flow.epsilon = 0.05;
+  const ThroughputResult result =
+      evaluate_throughput(topology, options, /*traffic_seed=*/7);
+  std::cout << "Permutation throughput (certified lower bound): "
+            << result.lambda << "\n";
+  std::cout << "Certified optimality gap: " << result.gap * 100 << "%\n";
+
+  // 4. Compare against the universal upper bound for ANY topology built
+  // from the same switches (Theorem 1 + the Cerf et al. ASPL bound).
+  const double f = static_cast<double>(result.total_demand);
+  const double universal = homogeneous_throughput_upper_bound(n, r, f);
+  std::cout << "Upper bound for any topology with these switches: "
+            << universal << "\n";
+  std::cout << "This random graph achieves " << 100 * result.lambda / universal
+            << "% of it.\n\n";
+
+  // 5. Where does the capacity go? (the paper's T = C*U/(<D>*AS*f)).
+  std::cout << "Decomposition: utilization U = " << result.utilization
+            << ", mean shortest distance <D> = " << result.demand_weighted_spl
+            << ", stretch AS = " << result.stretch << "\n";
+  std::cout << "Identity check C*U/(<D>*AS*f) = "
+            << topology.graph.total_directed_capacity() * result.utilization /
+                   (result.demand_weighted_spl * result.stretch *
+                    result.total_demand)
+            << " == lambda = " << result.lambda << "\n";
+  return 0;
+}

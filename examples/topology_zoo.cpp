@@ -1,0 +1,93 @@
+// Topology zoo: the homogeneous design space on one table.
+//
+//   $ ./topology_zoo [--servers-per-switch N]
+//
+// Builds the classic candidates with comparable equipment (64 switches,
+// network degree 6) and prints throughput, path-length, and expansion
+// metrics side by side — the "not all flat topologies are equal" point of
+// the paper, quantified.
+#include <iostream>
+
+#include "core/topobench.h"
+#include "graph/spectral.h"
+#include "topo/small_world.h"
+
+namespace topo {
+namespace {
+
+void report_row(TablePrinter& table, const std::string& name,
+                const BuiltTopology& t, double lambda) {
+  const SpectralResult spectrum = adjacency_spectrum(t.graph, 7, 500);
+  int max_degree = 0;
+  for (NodeId n = 0; n < t.graph.num_nodes(); ++n) {
+    max_degree = std::max(max_degree, t.graph.degree(n));
+  }
+  table.add_row({name, static_cast<long long>(t.graph.num_nodes()),
+                 static_cast<long long>(max_degree),
+                 static_cast<long long>(t.servers.total()), lambda,
+                 average_shortest_path_length(t.graph),
+                 static_cast<long long>(diameter(t.graph)), spectrum.gap});
+}
+
+}  // namespace
+}  // namespace topo
+
+int main(int argc, char** argv) {
+  using namespace topo;
+  const Flags flags(argc, argv, {"servers-per-switch"});
+  const int servers = flags.get_int("servers-per-switch", 3);
+
+  std::cout << "== Topology zoo: 64 switches, network degree 6, " << servers
+            << " servers per switch ==\n"
+            << "(fat-tree uses its own structure: k=8, 80 switches, 128 "
+               "servers at degree <= 8)\n\n";
+
+  EvalOptions options;
+  options.flow.epsilon = 0.06;
+  const std::uint64_t traffic_seed = 11;
+
+  TablePrinter table({"topology", "switches", "degree", "servers",
+                      "throughput", "aspl", "diameter", "spectral_gap"});
+
+  {
+    const BuiltTopology t = random_regular_topology(64, 6 + servers, 6, 42);
+    report_row(table, "random_regular", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  {
+    const BuiltTopology t = hypercube_topology(6, servers);
+    report_row(table, "hypercube_d6", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  {
+    const BuiltTopology t = generalized_hypercube_topology({4, 4, 4}, servers);
+    report_row(table, "gen_hypercube_4x4x4", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  {
+    const BuiltTopology t = small_world_topology(64, 2, 4, servers, 42);
+    report_row(table, "small_world_2+4", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  {
+    const BuiltTopology t = torus2d_topology(8, 8, servers);
+    report_row(table, "torus_8x8", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  {
+    const BuiltTopology t = fat_tree_topology(8);
+    report_row(table, "fat_tree_k8", t,
+               evaluate_throughput(t, options, traffic_seed).lambda);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide (watch the degree column — structured "
+               "designs spend different port budgets): at equal degree 6 "
+               "the random graph beats the hypercube and the small-world "
+               "design, pairing low ASPL with a large spectral gap — the "
+               "paper's homogeneous result. The generalized hypercube "
+               "buys its throughput with 9 ports per switch; the torus "
+               "(degree 4) shows the price of pure locality; bipartite "
+               "spectra (gap 0) flag the weaker expanders.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "bounds/bounds.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/algorithms.h"
+#include "graph/maxflow.h"
+#include "util/error.h"
+
+namespace topo {
+
+double aspl_lower_bound(int n, int r) {
+  require(n >= 2, "aspl_lower_bound requires n >= 2");
+  require(r >= 1, "aspl_lower_bound requires r >= 1");
+  if (r == 1) return 1.0;  // perfect matching: every node's peer is 1 hop
+
+  // Fill distance levels of the ideal degree-r tree: r*(r-1)^(j-1) nodes at
+  // distance j, until all n-1 other nodes are placed.
+  const double nodes_to_place = static_cast<double>(n - 1);
+  double placed = 0.0;
+  double weighted = 0.0;  // sum of j * (nodes at level j)
+  double level_size = static_cast<double>(r);
+  int level = 1;
+  while (placed + level_size < nodes_to_place) {
+    placed += level_size;
+    weighted += static_cast<double>(level) * level_size;
+    level_size *= static_cast<double>(r - 1);
+    ++level;
+    require(level < 1'000'000, "aspl_lower_bound failed to converge");
+  }
+  const double remainder = nodes_to_place - placed;  // R in the paper
+  weighted += static_cast<double>(level) * remainder;
+  return weighted / nodes_to_place;
+}
+
+long long moore_nodes_within(int r, int levels) {
+  require(r >= 2, "moore_nodes_within requires r >= 2");
+  require(levels >= 0, "levels must be non-negative");
+  long long total = 1;
+  double level_size = static_cast<double>(r);
+  for (int j = 1; j <= levels; ++j) {
+    total += static_cast<long long>(level_size);
+    level_size *= static_cast<double>(r - 1);
+    require(total >= 0, "moore_nodes_within overflow");
+  }
+  return total;
+}
+
+double homogeneous_throughput_upper_bound(int n, int r, double num_flows) {
+  require(num_flows > 0.0, "num_flows must be positive");
+  const double d_star = aspl_lower_bound(n, r);
+  return static_cast<double>(n) * static_cast<double>(r) /
+         (num_flows * d_star);
+}
+
+double throughput_upper_bound(const Graph& graph,
+                              const std::vector<Commodity>& commodities) {
+  require(!commodities.empty(), "throughput_upper_bound requires commodities");
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  std::vector<double> weights;
+  pairs.reserve(commodities.size());
+  weights.reserve(commodities.size());
+  double total_demand = 0.0;
+  for (const Commodity& c : commodities) {
+    pairs.emplace_back(c.src, c.dst);
+    weights.push_back(c.demand);
+    total_demand += c.demand;
+  }
+  const double mean_distance = mean_pair_distance(graph, pairs, &weights);
+  require(mean_distance > 0.0, "degenerate commodity set");
+  return graph.total_directed_capacity() / (mean_distance * total_demand);
+}
+
+TwoClusterBound two_cluster_throughput_bound(const Graph& graph,
+                                             const std::vector<char>& in_cluster_a,
+                                             double n1, double n2) {
+  require(n1 > 0.0 && n2 > 0.0, "both clusters need servers");
+  TwoClusterBound bound;
+  const double c_total = graph.total_directed_capacity();
+  const double c_bar = 2.0 * cut_capacity(graph, in_cluster_a);
+  const double aspl = average_shortest_path_length(graph);
+  bound.path_bound = c_total / (aspl * (n1 + n2));
+  bound.cut_bound = c_bar * (n1 + n2) / (2.0 * n1 * n2);
+  bound.combined = std::min(bound.path_bound, bound.cut_bound);
+  return bound;
+}
+
+double cross_capacity_threshold(double t_star, double n1, double n2) {
+  require(t_star >= 0.0, "t_star must be non-negative");
+  require(n1 > 0.0 && n2 > 0.0, "both clusters need servers");
+  return t_star * 2.0 * n1 * n2 / (n1 + n2);
+}
+
+}  // namespace topo

@@ -1,0 +1,67 @@
+// Analytical throughput and path-length bounds from the paper.
+//
+//  * Theorem 1:  TH(N,r,f) <= N*r / (<D> * f)  — total directed capacity
+//    over total shortest-path capacity demand.
+//  * Cerf-Cowan-Mullin-Stanton lower bound d* on the ASPL of any r-regular
+//    graph of N nodes (the "Moore tree" bound with curved steps, Fig 3).
+//  * Combined universal upper bound TH <= N*r / (f * d*).
+//  * The two-cluster Eqn-1 bound: min of the path-length bound and the
+//    cross-cluster cut bound (Fig 10), plus the C-bar-star threshold below
+//    which throughput provably drops (Fig 11).
+#ifndef TOPODESIGN_BOUNDS_BOUNDS_H
+#define TOPODESIGN_BOUNDS_BOUNDS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "traffic/traffic.h"
+
+namespace topo {
+
+/// Cerf et al. lower bound d* on the average shortest path length of any
+/// r-regular graph with n nodes. Requires n >= 2; r >= 2 for nontrivial
+/// networks (r = 1 gives d* = 1, a single matching edge per node).
+[[nodiscard]] double aspl_lower_bound(int n, int r);
+
+/// Number of nodes a degree-r "Moore tree" reaches within `levels` hops:
+/// 1 + r + r(r-1) + ... — the x-tic positions in Fig 3 where the bound
+/// starts a new distance level.
+[[nodiscard]] long long moore_nodes_within(int r, int levels);
+
+/// Theorem 1 specialized to homogeneous networks, with d* standing in for
+/// <D>: an upper bound on the throughput of ANY topology built from n
+/// switches of network-degree r carrying `num_flows` unit-demand flows.
+[[nodiscard]] double homogeneous_throughput_upper_bound(int n, int r,
+                                                        double num_flows);
+
+/// Theorem 1 applied to a concrete graph and commodity set: total directed
+/// capacity divided by the shortest-path capacity consumption
+/// sum_i demand_i * dist(src_i, dst_i). This is the tightest form of the
+/// path-length bound and holds for any routing.
+[[nodiscard]] double throughput_upper_bound(const Graph& graph,
+                                            const std::vector<Commodity>& commodities);
+
+/// The two components of Eqn 1 for a two-cluster network.
+struct TwoClusterBound {
+  double path_bound = 0.0;  ///< C / (<D> * (n1+n2)) with <D> = graph ASPL.
+  double cut_bound = 0.0;   ///< C-bar * (n1+n2) / (2*n1*n2).
+  double combined = 0.0;    ///< min of the two.
+};
+
+/// Evaluates Eqn 1. `in_cluster_a[n] != 0` marks cluster-A switches;
+/// n1/n2 are the server counts attached to each cluster. Capacities are
+/// counted directionally (C and C-bar both double the undirected sums), as
+/// in the paper.
+[[nodiscard]] TwoClusterBound two_cluster_throughput_bound(
+    const Graph& graph, const std::vector<char>& in_cluster_a, double n1,
+    double n2);
+
+/// The drop threshold: if the directed cross-cluster capacity C-bar falls
+/// below T* * 2*n1*n2/(n1+n2), throughput must fall below the peak value
+/// T* (Fig 11's marked points).
+[[nodiscard]] double cross_capacity_threshold(double t_star, double n1,
+                                              double n2);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_BOUNDS_BOUNDS_H

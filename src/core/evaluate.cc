@@ -1,0 +1,53 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+
+#include "traffic/traffic.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+
+ThroughputResult evaluate_throughput(const BuiltTopology& topology,
+                                     const EvalOptions& options,
+                                     std::uint64_t traffic_seed) {
+  require(topology.servers.num_switches() == topology.graph.num_nodes(),
+          "server map must cover every switch");
+  Rng rng(traffic_seed);
+  std::vector<Commodity> commodities;
+  switch (options.traffic) {
+    case TrafficKind::kPermutation: {
+      const TrafficMatrix tm = random_permutation_traffic(topology.servers, rng);
+      commodities = aggregate_to_commodities(tm, topology.servers);
+      break;
+    }
+    case TrafficKind::kAllToAll: {
+      commodities = all_to_all_commodities(topology.servers);
+      // Normalize so each server offers one unit of egress in total
+      // (1/(S-1) to each destination); lambda is then comparable with the
+      // permutation workload and lambda >= 1 again means full line rate.
+      const double scale =
+          1.0 / std::max(1, topology.servers.total() - 1);
+      for (Commodity& c : commodities) c.demand *= scale;
+      break;
+    }
+    case TrafficKind::kChunky: {
+      const TrafficMatrix tm =
+          chunky_traffic(topology.servers, options.chunky_fraction, rng);
+      commodities = aggregate_to_commodities(tm, topology.servers);
+      break;
+    }
+  }
+  if (commodities.empty()) {
+    // Every flow stayed on its own switch: trivially full throughput.
+    ThroughputResult result;
+    result.feasible = true;
+    result.lambda = 1.0;
+    result.dual_bound = 1.0;
+    result.gap = 0.0;
+    return result;
+  }
+  return max_concurrent_flow(topology.graph, commodities, options.flow);
+}
+
+}  // namespace topo

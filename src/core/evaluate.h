@@ -1,0 +1,43 @@
+// High-level throughput evaluation of built topologies.
+//
+// Ties the generators, traffic matrices, and the concurrent-flow solver
+// together: build a topology, pick a workload, get the paper's throughput
+// metric (max-min per-flow rate under optimal fluid routing) plus the §6.1
+// decomposition metrics.
+#ifndef TOPODESIGN_CORE_EVALUATE_H
+#define TOPODESIGN_CORE_EVALUATE_H
+
+#include <cstdint>
+
+#include "flow/concurrent_flow.h"
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Workload families from the paper's evaluation.
+enum class TrafficKind {
+  kPermutation,  ///< Server-level random permutation (the default workload).
+  kAllToAll,     ///< Every server pair (aggregated switch-level).
+  kChunky,       ///< x% chunky: ToR-level permutation over a subset.
+};
+
+/// Evaluation knobs.
+struct EvalOptions {
+  FlowOptions flow;
+  TrafficKind traffic = TrafficKind::kPermutation;
+  /// Fraction of ToRs engaged in the chunky pattern (TrafficKind::kChunky).
+  double chunky_fraction = 1.0;
+};
+
+/// Generates the requested workload over the topology's servers (seeded by
+/// `traffic_seed`) and computes its max concurrent flow. The returned
+/// lambda is the paper's throughput: the per-unit-demand rate of the worst
+/// flow under optimal routing; lambda >= 1 means full line-rate for every
+/// server in a permutation.
+[[nodiscard]] ThroughputResult evaluate_throughput(
+    const BuiltTopology& topology, const EvalOptions& options,
+    std::uint64_t traffic_seed);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_CORE_EVALUATE_H

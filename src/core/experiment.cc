@@ -1,0 +1,109 @@
+#include "core/experiment.h"
+
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+
+ExperimentStats run_experiment(const TopologyBuilder& builder,
+                               const EvalOptions& options, int runs,
+                               std::uint64_t master_seed) {
+  require(runs >= 1, "run_experiment requires runs >= 1");
+  std::vector<double> lambdas;
+  std::vector<double> utils;
+  std::vector<double> inv_spls;
+  std::vector<double> inv_stretches;
+  std::vector<double> duals;
+  int infeasible = 0;
+
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t topo_seed =
+        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i));
+    const std::uint64_t traffic_seed =
+        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i) + 1);
+    ThroughputResult result;
+    try {
+      const BuiltTopology topology = builder(topo_seed);
+      result = evaluate_throughput(topology, options, traffic_seed);
+    } catch (const ConstructionFailure&) {
+      result = ThroughputResult{};  // counts as an infeasible (zero) run
+    }
+    lambdas.push_back(result.lambda);
+    duals.push_back(result.dual_bound);
+    if (!result.feasible) {
+      ++infeasible;
+      utils.push_back(0.0);
+      inv_spls.push_back(0.0);
+      inv_stretches.push_back(0.0);
+      continue;
+    }
+    utils.push_back(result.utilization);
+    inv_spls.push_back(result.demand_weighted_spl > 0.0
+                           ? 1.0 / result.demand_weighted_spl
+                           : 0.0);
+    inv_stretches.push_back(result.stretch > 0.0 ? 1.0 / result.stretch : 0.0);
+  }
+
+  ExperimentStats stats;
+  stats.lambda = summarize(lambdas);
+  stats.utilization = summarize(utils);
+  stats.inverse_spl = summarize(inv_spls);
+  stats.inverse_stretch = summarize(inv_stretches);
+  stats.dual_bound = summarize(duals);
+  stats.infeasible_runs = infeasible;
+  return stats;
+}
+
+namespace {
+
+bool supports_full_throughput(const FullThroughputSearch& search, int tors,
+                              std::uint64_t master_seed) {
+  for (int i = 0; i < search.runs; ++i) {
+    const std::uint64_t topo_seed =
+        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i));
+    const std::uint64_t traffic_seed =
+        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i) + 1);
+    try {
+      const BuiltTopology topology = search.builder(tors, topo_seed);
+      const ThroughputResult result =
+          evaluate_throughput(topology, search.options, traffic_seed);
+      if (!result.feasible || result.lambda < search.threshold) return false;
+    } catch (const ConstructionFailure&) {
+      return false;
+    } catch (const InvalidArgument&) {
+      return false;  // ToR count beyond what the pool can host
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int max_tors_at_full_throughput(const FullThroughputSearch& search,
+                                std::uint64_t master_seed) {
+  require(static_cast<bool>(search.builder), "search requires a builder");
+  require(search.min_tors >= 1 && search.max_tors >= search.min_tors,
+          "invalid search range");
+  require(search.runs >= 1, "search requires runs >= 1");
+
+  if (!supports_full_throughput(search, search.min_tors, master_seed)) {
+    return search.min_tors - 1;
+  }
+  int lo = search.min_tors;  // known good
+  int hi = search.max_tors;  // candidate upper end
+  if (supports_full_throughput(search, hi, master_seed)) return hi;
+  // Invariant: lo good, hi bad.
+  while (hi - lo > 1) {
+    const int mid = lo + (hi - lo) / 2;
+    if (supports_full_throughput(search, mid, master_seed)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace topo

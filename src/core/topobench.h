@@ -1,0 +1,37 @@
+// Umbrella header: the library's public API in one include.
+//
+//   #include "core/topobench.h"
+//
+// brings in the graph substrate, every topology generator, the traffic
+// matrices, both throughput solvers (FPTAS and exact LP), the analytical
+// bounds, the packet-level simulator, and the experiment helpers.
+#ifndef TOPODESIGN_CORE_TOPOBENCH_H
+#define TOPODESIGN_CORE_TOPOBENCH_H
+
+#include "bounds/bounds.h"
+#include "core/evaluate.h"
+#include "core/experiment.h"
+#include "flow/bottleneck.h"
+#include "flow/concurrent_flow.h"
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "graph/maxflow.h"
+#include "lp/mcf_lp.h"
+#include "lp/simplex.h"
+#include "sim/network.h"
+#include "topo/clustered_random.h"
+#include "topo/degree_sequence.h"
+#include "topo/fat_tree.h"
+#include "topo/het_random.h"
+#include "topo/power_law.h"
+#include "topo/random_regular.h"
+#include "topo/structured.h"
+#include "topo/topology.h"
+#include "topo/vl2.h"
+#include "traffic/traffic.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+#endif  // TOPODESIGN_CORE_TOPOBENCH_H

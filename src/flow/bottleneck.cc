@@ -1,0 +1,69 @@
+#include "flow/bottleneck.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.h"
+
+namespace topo {
+
+std::vector<ClassPairUtilization> utilization_by_class(
+    const Graph& graph, const std::vector<int>& node_class,
+    const ThroughputResult& result) {
+  require(static_cast<int>(node_class.size()) == graph.num_nodes(),
+          "node_class must cover every node");
+  require(static_cast<int>(result.arc_flow.size()) == 2 * graph.num_edges(),
+          "arc flows must match the graph");
+
+  struct Accumulator {
+    int links = 0;
+    double utilization_sum = 0.0;
+    double utilization_max = 0.0;
+  };
+  std::map<std::pair<int, int>, Accumulator> acc;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    int a = node_class[static_cast<std::size_t>(edge.u)];
+    int b = node_class[static_cast<std::size_t>(edge.v)];
+    require(a >= 0 && b >= 0, "class indices must be non-negative");
+    if (a > b) std::swap(a, b);
+    const double fwd =
+        result.arc_flow[static_cast<std::size_t>(2 * e)] / edge.capacity;
+    const double rev =
+        result.arc_flow[static_cast<std::size_t>(2 * e + 1)] / edge.capacity;
+    auto& entry = acc[{a, b}];
+    ++entry.links;
+    entry.utilization_sum += (fwd + rev) / 2.0;
+    entry.utilization_max = std::max({entry.utilization_max, fwd, rev});
+  }
+
+  std::vector<ClassPairUtilization> out;
+  out.reserve(acc.size());
+  for (const auto& [key, entry] : acc) {
+    ClassPairUtilization row;
+    row.class_a = key.first;
+    row.class_b = key.second;
+    row.num_links = entry.links;
+    row.mean_utilization = entry.utilization_sum / entry.links;
+    row.max_utilization = entry.utilization_max;
+    out.push_back(row);
+  }
+  return out;
+}
+
+std::vector<ClassPairUtilization> utilization_by_class(
+    const BuiltTopology& topology, const ThroughputResult& result) {
+  return utilization_by_class(topology.graph, topology.node_class, result);
+}
+
+std::string class_pair_label(const ClassPairUtilization& pair,
+                             const std::vector<std::string>& class_names) {
+  const auto name = [&](int c) {
+    return c < static_cast<int>(class_names.size())
+               ? class_names[static_cast<std::size_t>(c)]
+               : "class" + std::to_string(c);
+  };
+  return name(pair.class_a) + "-" + name(pair.class_b);
+}
+
+}  // namespace topo

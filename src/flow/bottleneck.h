@@ -1,0 +1,45 @@
+// Link-class utilization breakdown (§6.1 of the paper).
+//
+// The paper explains its throughput results by averaging link utilization
+// per link type (large-large, large-small, small-small, ...) and watching
+// where the saturated bottlenecks sit. This module classifies each
+// undirected edge by the classes of its endpoints and aggregates the
+// scaled per-arc flows of a ThroughputResult.
+#ifndef TOPODESIGN_FLOW_BOTTLENECK_H
+#define TOPODESIGN_FLOW_BOTTLENECK_H
+
+#include <string>
+#include <vector>
+
+#include "flow/concurrent_flow.h"
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Mean utilization of the links joining two node classes.
+struct ClassPairUtilization {
+  int class_a = 0;  ///< Lower class index of the pair.
+  int class_b = 0;  ///< Higher class index.
+  int num_links = 0;
+  double mean_utilization = 0.0;  ///< Average over both directions.
+  double max_utilization = 0.0;
+};
+
+/// Aggregates the scaled arc flows by endpoint-class pair. `node_class`
+/// must cover every node; class indices must be non-negative.
+[[nodiscard]] std::vector<ClassPairUtilization> utilization_by_class(
+    const Graph& graph, const std::vector<int>& node_class,
+    const ThroughputResult& result);
+
+/// Convenience overload using a BuiltTopology's classes.
+[[nodiscard]] std::vector<ClassPairUtilization> utilization_by_class(
+    const BuiltTopology& topology, const ThroughputResult& result);
+
+/// Human-readable label like "large-small" for a class pair.
+[[nodiscard]] std::string class_pair_label(
+    const ClassPairUtilization& pair,
+    const std::vector<std::string>& class_names);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_FLOW_BOTTLENECK_H

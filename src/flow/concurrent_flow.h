@@ -1,0 +1,91 @@
+// Maximum concurrent multi-commodity flow (throughput) solver.
+//
+// The paper defines throughput as the optimum of the max concurrent flow
+// LP: the largest lambda such that lambda * d_i units can be routed
+// simultaneously for every commodity i (fluid, splittable, optimally
+// routed). The paper solves the LP with CPLEX; we use the
+// Garg-Konemann/Fleischer multiplicative-weights scheme with an explicit
+// primal-dual optimality certificate:
+//
+//  * primal: route every commodity's demand once per phase along
+//    approximately-shortest paths under exponential arc lengths; after P
+//    phases, scaling all flow by the worst congestion max_a x_a/c_a yields
+//    a feasible concurrent flow of value P / scale;
+//  * dual: for ANY arc lengths l, OPT <= sum_a c_a l_a / alpha(l) where
+//    alpha(l) = sum_i d_i * dist_l(src_i, dst_i). We track the minimum over
+//    phases, giving a certified upper bound.
+//
+// The solver iterates until primal >= (1 - epsilon) * dual (a certified
+// (1-epsilon)-approximation) or the phase budget is exhausted; the achieved
+// gap is reported either way. Commodities are grouped by source so each
+// Dijkstra serves many commodities, and shortest-path trees are reused
+// until their paths go stale — the two classic practical accelerations.
+#ifndef TOPODESIGN_FLOW_CONCURRENT_FLOW_H
+#define TOPODESIGN_FLOW_CONCURRENT_FLOW_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "traffic/traffic.h"
+
+namespace topo {
+
+/// Options for the concurrent-flow solver.
+struct FlowOptions {
+  /// Target certified relative gap between primal and dual.
+  double epsilon = 0.08;
+  /// Hard cap on phases (each phase routes every commodity once).
+  int max_phases = 3000;
+  /// Stop early if the certified gap has not improved for this many phases.
+  int stagnation_phases = 200;
+  /// Recompute the dual bound every this many phases (it is valid for any
+  /// lengths, so frequency affects only tightness/runtime).
+  int dual_every = 1;
+  /// Restrict every commodity to hop-shortest paths (the ECMP/K-shortest
+  /// routing model of §8): flow from source s may only use arcs (u,v) with
+  /// hop(s,v) == hop(s,u) + 1. The result (and its certificate) then refer
+  /// to the optimum over shortest-path routing, not unrestricted routing.
+  bool restrict_to_shortest_paths = false;
+};
+
+/// Result of a throughput computation. All capacity-consumption metrics
+/// (utilization, path lengths, stretch) refer to the scaled feasible flow.
+struct ThroughputResult {
+  /// Certified feasible throughput (the paper's T): every commodity ships
+  /// lambda * demand concurrently within capacities.
+  double lambda = 0.0;
+  /// Certified upper bound on the optimal lambda.
+  double dual_bound = 0.0;
+  /// Achieved relative gap: 1 - lambda / dual_bound.
+  double gap = 1.0;
+  /// False when some commodity's endpoints are disconnected (lambda = 0).
+  bool feasible = false;
+
+  int phases = 0;
+
+  /// U: fraction of total directed capacity carried by the scaled flow.
+  double utilization = 0.0;
+  /// Mean hops traversed per unit of delivered flow (flow-weighted).
+  double mean_routed_path_length = 0.0;
+  /// Demand-weighted mean shortest-path distance over commodities.
+  double demand_weighted_spl = 0.0;
+  /// Stretch AS = mean_routed_path_length / demand_weighted_spl (>= ~1).
+  double stretch = 1.0;
+  /// Total commodity demand (the f in the paper's T = C*U/(<D>*AS*f)).
+  double total_demand = 0.0;
+
+  /// Scaled feasible flow per directed arc: arc 2e is edge e's u->v
+  /// direction, arc 2e+1 the reverse.
+  std::vector<double> arc_flow;
+};
+
+/// Computes the maximum concurrent flow for the commodities on `graph`.
+/// Raises InvalidArgument for malformed commodities; disconnected
+/// commodities yield feasible=false, lambda=0 rather than an exception.
+[[nodiscard]] ThroughputResult max_concurrent_flow(
+    const Graph& graph, const std::vector<Commodity>& commodities,
+    const FlowOptions& options = {});
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_FLOW_CONCURRENT_FLOW_H

@@ -1,0 +1,133 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+namespace topo {
+
+std::vector<int> bfs_distances(const Graph& g, NodeId src) {
+  require(src >= 0 && src < g.num_nodes(), "bfs source out of range");
+  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::queue<NodeId> frontier;
+  dist[static_cast<std::size_t>(src)] = 0;
+  frontier.push(src);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const Adjacency& a : g.neighbors(u)) {
+      auto& d = dist[static_cast<std::size_t>(a.to)];
+      if (d < 0) {
+        d = dist[static_cast<std::size_t>(u)] + 1;
+        frontier.push(a.to);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<std::vector<int>> all_pairs_distances(const Graph& g) {
+  std::vector<std::vector<int>> dist;
+  dist.reserve(static_cast<std::size_t>(g.num_nodes()));
+  for (NodeId u = 0; u < g.num_nodes(); ++u) dist.push_back(bfs_distances(g, u));
+  return dist;
+}
+
+std::vector<int> component_labels(const Graph& g) {
+  std::vector<int> label(static_cast<std::size_t>(g.num_nodes()), -1);
+  int next = 0;
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (label[static_cast<std::size_t>(start)] >= 0) continue;
+    std::queue<NodeId> frontier;
+    label[static_cast<std::size_t>(start)] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const Adjacency& a : g.neighbors(u)) {
+        auto& l = label[static_cast<std::size_t>(a.to)];
+        if (l < 0) {
+          l = next;
+          frontier.push(a.to);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int num_components(const Graph& g) {
+  const auto labels = component_labels(g);
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_nodes() <= 1 || num_components(g) == 1;
+}
+
+double average_shortest_path_length(const Graph& g) {
+  require(g.num_nodes() >= 2, "ASPL requires at least two nodes");
+  long long total = 0;
+  const long long n = g.num_nodes();
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (v == u) continue;
+      require(dist[static_cast<std::size_t>(v)] >= 0,
+              "ASPL requires a connected graph");
+      total += dist[static_cast<std::size_t>(v)];
+    }
+  }
+  return static_cast<double>(total) / static_cast<double>(n * (n - 1));
+}
+
+int diameter(const Graph& g) {
+  require(g.num_nodes() >= 1, "diameter requires a non-empty graph");
+  int best = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const auto dist = bfs_distances(g, u);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      require(dist[static_cast<std::size_t>(v)] >= 0,
+              "diameter requires a connected graph");
+      best = std::max(best, dist[static_cast<std::size_t>(v)]);
+    }
+  }
+  return best;
+}
+
+double mean_pair_distance(const Graph& g,
+                          const std::vector<std::pair<NodeId, NodeId>>& pairs,
+                          const std::vector<double>* weights) {
+  require(!pairs.empty(), "mean_pair_distance requires at least one pair");
+  require(weights == nullptr || weights->size() == pairs.size(),
+          "weights must match pairs");
+  // Group by source so each BFS serves all pairs sharing that source.
+  std::map<NodeId, std::vector<std::size_t>> by_source;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    by_source[pairs[i].first].push_back(i);
+  }
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (const auto& [src, indices] : by_source) {
+    const auto dist = bfs_distances(g, src);
+    for (std::size_t i : indices) {
+      const NodeId dst = pairs[i].second;
+      const double w = weights ? (*weights)[i] : 1.0;
+      if (src == dst) {
+        weight_total += w;
+        continue;
+      }
+      const int d = dist[static_cast<std::size_t>(dst)];
+      require(d >= 0, "mean_pair_distance: unreachable pair");
+      weighted_sum += w * d;
+      weight_total += w;
+    }
+  }
+  require(weight_total > 0.0, "mean_pair_distance: zero total weight");
+  return weighted_sum / weight_total;
+}
+
+}  // namespace topo

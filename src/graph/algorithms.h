@@ -1,0 +1,46 @@
+// Unweighted shortest-path and connectivity algorithms.
+//
+// Hop-count distances are the right notion for the paper's analysis: each
+// hop of a flow consumes one edge traversal of capacity, regardless of the
+// edge's capacity, so ASPL and the Theorem-1 bound are hop-based.
+#ifndef TOPODESIGN_GRAPH_ALGORITHMS_H
+#define TOPODESIGN_GRAPH_ALGORITHMS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topo {
+
+/// BFS hop distances from `src`; unreachable nodes get -1.
+[[nodiscard]] std::vector<int> bfs_distances(const Graph& g, NodeId src);
+
+/// All-pairs hop distances via repeated BFS. dist[u][v] == -1 if unreachable.
+[[nodiscard]] std::vector<std::vector<int>> all_pairs_distances(const Graph& g);
+
+/// True if the graph is connected (vacuously true for <= 1 node).
+[[nodiscard]] bool is_connected(const Graph& g);
+
+/// Connected-component label per node, labels in [0, num_components).
+[[nodiscard]] std::vector<int> component_labels(const Graph& g);
+
+/// Number of connected components.
+[[nodiscard]] int num_components(const Graph& g);
+
+/// Average shortest path length over all ordered pairs of distinct nodes.
+/// Raises InvalidArgument when the graph is disconnected or has < 2 nodes.
+[[nodiscard]] double average_shortest_path_length(const Graph& g);
+
+/// Longest shortest path. Raises InvalidArgument when disconnected.
+[[nodiscard]] int diameter(const Graph& g);
+
+/// Mean hop distance over an explicit list of (src, dst) node pairs,
+/// optionally weighted. Pairs with identical endpoints contribute zero
+/// distance. Raises InvalidArgument if any pair is unreachable.
+[[nodiscard]] double mean_pair_distance(
+    const Graph& g, const std::vector<std::pair<NodeId, NodeId>>& pairs,
+    const std::vector<double>* weights = nullptr);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_GRAPH_ALGORITHMS_H

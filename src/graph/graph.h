@@ -1,0 +1,124 @@
+// Undirected capacitated multigraph.
+//
+// This is the substrate every topology generator produces and every solver
+// consumes. Nodes model switches; edges model cables with a capacity equal
+// to their line-speed (1.0 = one unit of line rate; a 10G link in a 1G
+// network has capacity 10). Parallel edges are allowed (small random
+// networks sometimes need them); self-loops are not, as a cable from a
+// switch to itself carries no traffic in the fluid model.
+#ifndef TOPODESIGN_GRAPH_GRAPH_H
+#define TOPODESIGN_GRAPH_GRAPH_H
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace topo {
+
+using NodeId = int;
+using EdgeId = int;
+
+/// One undirected edge with its capacity per direction.
+struct Edge {
+  NodeId u = 0;
+  NodeId v = 0;
+  double capacity = 1.0;
+};
+
+/// Incidence record stored in adjacency lists.
+struct Adjacency {
+  NodeId to = 0;    ///< The other endpoint.
+  EdgeId edge = 0;  ///< Index into Graph::edge().
+};
+
+/// Undirected capacitated multigraph with O(1) edge/adjacency access.
+///
+/// Invariants: every edge has distinct endpoints inside [0, num_nodes()),
+/// and strictly positive capacity.
+class Graph {
+ public:
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit Graph(int num_nodes) {
+    require(num_nodes >= 0, "Graph requires num_nodes >= 0");
+    adjacency_.resize(static_cast<std::size_t>(num_nodes));
+  }
+
+  /// Adds an undirected edge of the given capacity; returns its id.
+  /// Parallel edges are permitted; self-loops and non-positive capacities
+  /// raise InvalidArgument.
+  EdgeId add_edge(NodeId u, NodeId v, double capacity = 1.0) {
+    require(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes(),
+            "add_edge endpoint out of range");
+    require(u != v, "self-loops are not allowed");
+    require(capacity > 0.0, "edge capacity must be positive");
+    const EdgeId id = static_cast<EdgeId>(edges_.size());
+    edges_.push_back(Edge{u, v, capacity});
+    adjacency_[static_cast<std::size_t>(u)].push_back(Adjacency{v, id});
+    adjacency_[static_cast<std::size_t>(v)].push_back(Adjacency{u, id});
+    return id;
+  }
+
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(adjacency_.size());
+  }
+  [[nodiscard]] int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  [[nodiscard]] const Edge& edge(EdgeId id) const {
+    require(id >= 0 && id < num_edges(), "edge id out of range");
+    return edges_[static_cast<std::size_t>(id)];
+  }
+
+  [[nodiscard]] const std::vector<Adjacency>& neighbors(NodeId n) const {
+    require(n >= 0 && n < num_nodes(), "node id out of range");
+    return adjacency_[static_cast<std::size_t>(n)];
+  }
+
+  /// Number of incident edge endpoints (parallel edges each count once).
+  [[nodiscard]] int degree(NodeId n) const {
+    return static_cast<int>(neighbors(n).size());
+  }
+
+  /// Sum of edge capacities, each undirected edge counted once.
+  [[nodiscard]] double capacity_sum() const {
+    double total = 0.0;
+    for (const Edge& e : edges_) total += e.capacity;
+    return total;
+  }
+
+  /// The paper's C: total capacity counting each direction separately.
+  [[nodiscard]] double total_directed_capacity() const {
+    return 2.0 * capacity_sum();
+  }
+
+  /// True if at least one (u,v) edge exists.
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const {
+    if (degree(u) > degree(v)) std::swap(u, v);
+    for (const Adjacency& a : neighbors(u)) {
+      if (a.to == v) return true;
+    }
+    return false;
+  }
+
+  /// Number of parallel (u,v) edges.
+  [[nodiscard]] int edge_multiplicity(NodeId u, NodeId v) const {
+    if (degree(u) > degree(v)) std::swap(u, v);
+    int count = 0;
+    for (const Adjacency& a : neighbors(u)) {
+      if (a.to == v) ++count;
+    }
+    return count;
+  }
+
+  /// All edges, in insertion order.
+  [[nodiscard]] const std::vector<Edge>& edges() const { return edges_; }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+};
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_GRAPH_GRAPH_H

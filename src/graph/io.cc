@@ -1,0 +1,89 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "util/error.h"
+
+namespace topo {
+
+void write_edge_list(std::ostream& os, const BuiltTopology& topology) {
+  os << "# topodesign edge list: switches, then 'u v capacity' per edge\n";
+  os << topology.graph.num_nodes() << "\n";
+  for (const Edge& e : topology.graph.edges()) {
+    os << e.u << ' ' << e.v << ' ' << e.capacity << "\n";
+  }
+  if (topology.servers.num_switches() == topology.graph.num_nodes() &&
+      topology.servers.total() > 0) {
+    os << "servers";
+    for (int s : topology.servers.per_switch) os << ' ' << s;
+    os << "\n";
+  }
+}
+
+BuiltTopology read_edge_list(std::istream& is) {
+  BuiltTopology topology;
+  std::string line;
+  bool have_header = false;
+  int num_nodes = 0;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (!have_header) {
+      require(static_cast<bool>(ss >> num_nodes) && num_nodes >= 0,
+              "edge list: bad switch count");
+      topology.graph = Graph(num_nodes);
+      topology.servers.per_switch.assign(static_cast<std::size_t>(num_nodes),
+                                         0);
+      topology.node_class.assign(static_cast<std::size_t>(num_nodes), 0);
+      topology.class_names = {"switch"};
+      have_header = true;
+      continue;
+    }
+    std::string first;
+    ss >> first;
+    if (first == "servers") {
+      for (int i = 0; i < num_nodes; ++i) {
+        int count = 0;
+        require(static_cast<bool>(ss >> count) && count >= 0,
+                "edge list: bad server count");
+        topology.servers.per_switch[static_cast<std::size_t>(i)] = count;
+      }
+      continue;
+    }
+    int u = 0;
+    int v = 0;
+    double capacity = 1.0;
+    std::istringstream edge_ss(line);
+    require(static_cast<bool>(edge_ss >> u >> v >> capacity),
+            "edge list: bad edge line: " + line);
+    topology.graph.add_edge(u, v, capacity);
+  }
+  require(have_header, "edge list: missing switch count header");
+  return topology;
+}
+
+void write_dot(std::ostream& os, const BuiltTopology& topology,
+               const std::string& graph_name) {
+  os << "graph " << graph_name << " {\n";
+  for (NodeId n = 0; n < topology.graph.num_nodes(); ++n) {
+    os << "  n" << n << " [label=\"" << n;
+    if (topology.servers.num_switches() == topology.graph.num_nodes() &&
+        topology.servers.per_switch[static_cast<std::size_t>(n)] > 0) {
+      os << " ("
+         << topology.servers.per_switch[static_cast<std::size_t>(n)]
+         << " srv)";
+    }
+    os << "\"];\n";
+  }
+  for (const Edge& e : topology.graph.edges()) {
+    os << "  n" << e.u << " -- n" << e.v;
+    if (e.capacity != 1.0) os << " [label=\"" << e.capacity << "\"]";
+    os << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace topo

@@ -1,0 +1,32 @@
+// Topology serialization: edge-list and Graphviz DOT export/import.
+//
+// Edge-list format (round-trippable):
+//   line 1: "<num_switches>"
+//   per edge: "<u> <v> <capacity>"
+//   optional server line: "servers <s0> <s1> ... <s_{n-1}>"
+// Lines starting with '#' are comments.
+#ifndef TOPODESIGN_GRAPH_IO_H
+#define TOPODESIGN_GRAPH_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Writes the topology as a commented edge list.
+void write_edge_list(std::ostream& os, const BuiltTopology& topology);
+
+/// Parses an edge list written by write_edge_list (or by hand).
+/// Raises InvalidArgument on malformed input.
+[[nodiscard]] BuiltTopology read_edge_list(std::istream& is);
+
+/// Writes a Graphviz DOT rendering (undirected; capacities as labels,
+/// server counts as node labels) for quick visual inspection.
+void write_dot(std::ostream& os, const BuiltTopology& topology,
+               const std::string& graph_name = "topology");
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_GRAPH_IO_H

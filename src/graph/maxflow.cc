@@ -1,0 +1,229 @@
+#include "graph/maxflow.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+constexpr double kFlowEps = 1e-9;
+
+// Directed residual network for Dinic's algorithm.
+class ResidualNetwork {
+ public:
+  explicit ResidualNetwork(int num_nodes)
+      : head_(static_cast<std::size_t>(num_nodes), -1) {}
+
+  void add_arc(int from, int to, double capacity) {
+    arcs_.push_back(Arc{to, head_[static_cast<std::size_t>(from)], capacity});
+    head_[static_cast<std::size_t>(from)] = static_cast<int>(arcs_.size()) - 1;
+    arcs_.push_back(Arc{from, head_[static_cast<std::size_t>(to)], 0.0});
+    head_[static_cast<std::size_t>(to)] = static_cast<int>(arcs_.size()) - 1;
+  }
+
+  // Adds a full-duplex link: capacity in both directions.
+  void add_duplex(int a, int b, double capacity) {
+    add_arc(a, b, capacity);
+    add_arc(b, a, capacity);
+  }
+
+  double run(int s, int t) {
+    double total = 0.0;
+    while (build_levels(s, t)) {
+      iter_ = head_;
+      while (true) {
+        const double pushed =
+            augment(s, t, std::numeric_limits<double>::infinity());
+        if (pushed <= kFlowEps) break;
+        total += pushed;
+      }
+    }
+    return total;
+  }
+
+  // After run(), nodes reachable from s in the residual network.
+  [[nodiscard]] std::vector<char> reachable_from(int s) const {
+    std::vector<char> seen(head_.size(), 0);
+    std::queue<int> frontier;
+    seen[static_cast<std::size_t>(s)] = 1;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int a = head_[static_cast<std::size_t>(u)]; a >= 0;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.residual > kFlowEps && !seen[static_cast<std::size_t>(arc.to)]) {
+          seen[static_cast<std::size_t>(arc.to)] = 1;
+          frontier.push(arc.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  struct Arc {
+    int to = 0;
+    int next = -1;
+    double residual = 0.0;
+  };
+
+  bool build_levels(int s, int t) {
+    level_.assign(head_.size(), -1);
+    std::queue<int> frontier;
+    level_[static_cast<std::size_t>(s)] = 0;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int a = head_[static_cast<std::size_t>(u)]; a >= 0;
+           a = arcs_[static_cast<std::size_t>(a)].next) {
+        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+        if (arc.residual > kFlowEps &&
+            level_[static_cast<std::size_t>(arc.to)] < 0) {
+          level_[static_cast<std::size_t>(arc.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          frontier.push(arc.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double augment(int u, int t, double limit) {
+    if (u == t) return limit;
+    for (int& a = iter_[static_cast<std::size_t>(u)]; a >= 0;
+         a = arcs_[static_cast<std::size_t>(a)].next) {
+      Arc& arc = arcs_[static_cast<std::size_t>(a)];
+      if (arc.residual > kFlowEps &&
+          level_[static_cast<std::size_t>(arc.to)] ==
+              level_[static_cast<std::size_t>(u)] + 1) {
+        const double pushed =
+            augment(arc.to, t, std::min(limit, arc.residual));
+        if (pushed > kFlowEps) {
+          arc.residual -= pushed;
+          arcs_[static_cast<std::size_t>(a ^ 1)].residual += pushed;
+          return pushed;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<Arc> arcs_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+double partition_cut(const Graph& g, const std::vector<char>& side) {
+  double cut = 0.0;
+  for (const Edge& e : g.edges()) {
+    if (side[static_cast<std::size_t>(e.u)] != side[static_cast<std::size_t>(e.v)]) {
+      cut += e.capacity;
+    }
+  }
+  return cut;
+}
+
+}  // namespace
+
+MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t) {
+  return max_flow(g, std::vector<NodeId>{s}, std::vector<NodeId>{t});
+}
+
+MaxFlowResult max_flow(const Graph& g, const std::vector<NodeId>& sources,
+                       const std::vector<NodeId>& sinks) {
+  require(!sources.empty() && !sinks.empty(),
+          "max_flow requires non-empty source and sink sets");
+  std::vector<char> is_source(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (NodeId s : sources) {
+    require(s >= 0 && s < g.num_nodes(), "max_flow source out of range");
+    is_source[static_cast<std::size_t>(s)] = 1;
+  }
+  for (NodeId t : sinks) {
+    require(t >= 0 && t < g.num_nodes(), "max_flow sink out of range");
+    require(!is_source[static_cast<std::size_t>(t)],
+            "max_flow source and sink sets must be disjoint");
+  }
+
+  const int super_source = g.num_nodes();
+  const int super_sink = g.num_nodes() + 1;
+  ResidualNetwork net(g.num_nodes() + 2);
+  for (const Edge& e : g.edges()) net.add_duplex(e.u, e.v, e.capacity);
+
+  // Super-arcs with effectively infinite capacity.
+  double total_cap = g.total_directed_capacity() + 1.0;
+  for (NodeId s : sources) net.add_arc(super_source, s, total_cap);
+  for (NodeId t : sinks) net.add_arc(t, super_sink, total_cap);
+
+  MaxFlowResult result;
+  result.value = net.run(super_source, super_sink);
+  auto reach = net.reachable_from(super_source);
+  reach.resize(static_cast<std::size_t>(g.num_nodes()));
+  result.source_side = std::move(reach);
+  return result;
+}
+
+double cut_capacity(const Graph& g, const std::vector<char>& in_s) {
+  require(static_cast<int>(in_s.size()) == g.num_nodes(),
+          "cut_capacity side vector must cover all nodes");
+  return partition_cut(g, in_s);
+}
+
+double bisection_bandwidth_estimate(const Graph& g, std::uint64_t seed,
+                                    int restarts) {
+  require(g.num_nodes() >= 2, "bisection requires at least two nodes");
+  require(restarts >= 1, "bisection requires at least one restart");
+  const int n = g.num_nodes();
+  double best = std::numeric_limits<double>::infinity();
+  for (int attempt = 0; attempt < restarts; ++attempt) {
+    Rng rng(Rng::derive_seed(seed, static_cast<std::uint64_t>(attempt)));
+    // Random balanced start.
+    std::vector<NodeId> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+    rng.shuffle(order);
+    std::vector<char> side(static_cast<std::size_t>(n), 0);
+    for (int i = 0; i < n / 2; ++i) side[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+
+    // Greedy pair-swap local search: swap the pair that reduces the cut
+    // most; stop at a local minimum. O(n^2) per pass, fine at our scales.
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      double current = partition_cut(g, side);
+      NodeId best_a = -1;
+      NodeId best_b = -1;
+      double best_cut = current;
+      for (NodeId a = 0; a < n; ++a) {
+        if (!side[static_cast<std::size_t>(a)]) continue;
+        for (NodeId b = 0; b < n; ++b) {
+          if (side[static_cast<std::size_t>(b)]) continue;
+          side[static_cast<std::size_t>(a)] = 0;
+          side[static_cast<std::size_t>(b)] = 1;
+          const double cut = partition_cut(g, side);
+          side[static_cast<std::size_t>(a)] = 1;
+          side[static_cast<std::size_t>(b)] = 0;
+          if (cut + kFlowEps < best_cut) {
+            best_cut = cut;
+            best_a = a;
+            best_b = b;
+          }
+        }
+      }
+      if (best_a >= 0) {
+        side[static_cast<std::size_t>(best_a)] = 0;
+        side[static_cast<std::size_t>(best_b)] = 1;
+        improved = true;
+      }
+    }
+    best = std::min(best, partition_cut(g, side));
+  }
+  return best;
+}
+
+}  // namespace topo

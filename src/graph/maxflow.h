@@ -1,0 +1,48 @@
+// Single-commodity maximum flow (Dinic's algorithm) and minimum cuts.
+//
+// Used for cut-capacity validation, bisection-bandwidth estimation, and as
+// a building block in tests that cross-check the multicommodity solvers.
+// The undirected graph is expanded to a directed network where each cable
+// contributes capacity in both directions independently, matching the
+// paper's full-duplex link model.
+#ifndef TOPODESIGN_GRAPH_MAXFLOW_H
+#define TOPODESIGN_GRAPH_MAXFLOW_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topo {
+
+/// Result of a max-flow computation.
+struct MaxFlowResult {
+  double value = 0.0;
+  /// source_side[n] != 0 iff node n is on the source side of a min cut.
+  std::vector<char> source_side;
+};
+
+/// Maximum s-t flow on the full-duplex expansion of `g`.
+[[nodiscard]] MaxFlowResult max_flow(const Graph& g, NodeId s, NodeId t);
+
+/// Maximum flow from a set of sources to a set of sinks (via supernodes).
+/// Source and sink sets must be disjoint and non-empty.
+[[nodiscard]] MaxFlowResult max_flow(const Graph& g,
+                                     const std::vector<NodeId>& sources,
+                                     const std::vector<NodeId>& sinks);
+
+/// Capacity of the undirected cut defined by `in_s` (each crossing edge
+/// counted once). The paper's directed cut capacity is twice this.
+[[nodiscard]] double cut_capacity(const Graph& g, const std::vector<char>& in_s);
+
+/// Heuristic minimum-capacity bisection via Kernighan-Lin style local
+/// search over `restarts` random balanced partitions. Returns the best cut
+/// capacity found (undirected count). Exact bisection is NP-hard; this is
+/// good enough for the metric-comparison experiments where only relative
+/// values matter.
+[[nodiscard]] double bisection_bandwidth_estimate(const Graph& g,
+                                                  std::uint64_t seed,
+                                                  int restarts = 8);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_GRAPH_MAXFLOW_H

@@ -1,0 +1,132 @@
+#include "graph/spectral.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+using Vector = std::vector<double>;
+
+double dot(const Vector& a, const Vector& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+void normalize(Vector& a) {
+  const double n = norm(a);
+  if (n > 0.0) {
+    for (double& x : a) x /= n;
+  }
+}
+
+// y = (A + shift*I) x on the capacity-weighted adjacency matrix. The
+// positive shift makes the largest algebraic eigenvalue strictly dominant
+// in magnitude, so power iteration converges even on bipartite graphs
+// (whose raw spectrum is symmetric, +/- lambda1).
+Vector multiply_shifted(const Graph& g, const Vector& x, double shift) {
+  Vector y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = shift * x[i];
+  for (const Edge& e : g.edges()) {
+    y[static_cast<std::size_t>(e.u)] +=
+        e.capacity * x[static_cast<std::size_t>(e.v)];
+    y[static_cast<std::size_t>(e.v)] +=
+        e.capacity * x[static_cast<std::size_t>(e.u)];
+  }
+  return y;
+}
+
+Vector random_unit(std::size_t n, Rng& rng) {
+  Vector v(n);
+  for (double& x : v) x = rng.uniform() - 0.5;
+  normalize(v);
+  return v;
+}
+
+// Power iteration on (A + shift*I), deflating against `against`; returns
+// the Rayleigh quotient of A itself (shift removed).
+double power_iterate(const Graph& g, double shift, Vector& v,
+                     const std::vector<Vector>& against, int iterations) {
+  double rayleigh_shifted = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Vector next = multiply_shifted(g, v, shift);
+    for (const Vector& u : against) {
+      const double proj = dot(next, u);
+      for (std::size_t i = 0; i < next.size(); ++i) next[i] -= proj * u[i];
+    }
+    const double len = norm(next);
+    if (len < 1e-14) return -shift;  // orthogonal complement annihilated
+    for (double& x : next) x /= len;
+    rayleigh_shifted = dot(next, multiply_shifted(g, next, shift));
+    v = std::move(next);
+  }
+  return rayleigh_shifted - shift;
+}
+
+double max_weighted_degree(const Graph& g) {
+  std::vector<double> degree(static_cast<std::size_t>(g.num_nodes()), 0.0);
+  for (const Edge& e : g.edges()) {
+    degree[static_cast<std::size_t>(e.u)] += e.capacity;
+    degree[static_cast<std::size_t>(e.v)] += e.capacity;
+  }
+  double max_degree = 0.0;
+  for (double d : degree) max_degree = std::max(max_degree, d);
+  return max_degree;
+}
+
+}  // namespace
+
+SpectralResult adjacency_spectrum(const Graph& graph, std::uint64_t seed,
+                                  int iterations) {
+  require(graph.num_nodes() >= 2, "spectrum requires at least two nodes");
+  require(iterations >= 1, "iterations must be positive");
+  Rng rng(seed);
+  const std::size_t n = static_cast<std::size_t>(graph.num_nodes());
+  // |lambda| <= max weighted degree, so this shift makes A + shift*I PSD.
+  const double shift = max_weighted_degree(graph) + 1.0;
+
+  SpectralResult result;
+  Vector v1 = random_unit(n, rng);
+  result.lambda1 = power_iterate(graph, shift, v1, {}, iterations);
+
+  Vector v2 = random_unit(n, rng);
+  result.lambda2 = power_iterate(graph, shift, v2, {v1}, iterations);
+
+  // Smallest algebraic eigenvalue via power iteration on (shift*I - A):
+  // its dominant eigenvalue is shift - lambda_min.
+  Vector vmin = random_unit(n, rng);
+  double top = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    // y = shift*v - A v  ==  2*shift*v - (A + shift I)v.
+    Vector av = multiply_shifted(graph, vmin, 0.0);
+    Vector y(n);
+    for (std::size_t i = 0; i < n; ++i) y[i] = shift * vmin[i] - av[i];
+    const double len = norm(y);
+    if (len < 1e-14) break;
+    for (double& x : y) x /= len;
+    Vector ay = multiply_shifted(graph, y, 0.0);
+    top = 0.0;
+    for (std::size_t i = 0; i < n; ++i) top += y[i] * (shift * y[i] - ay[i]);
+    vmin = std::move(y);
+  }
+  result.lambda_min = shift - top;
+
+  result.gap = result.lambda1 -
+               std::max(std::fabs(result.lambda2), std::fabs(result.lambda_min));
+  return result;
+}
+
+double expected_edges_between(int n, int d, int set_a, int set_b) {
+  require(n >= 1, "n must be positive");
+  require(d >= 0 && set_a >= 0 && set_b >= 0, "arguments must be >= 0");
+  return static_cast<double>(d) * set_a * set_b / static_cast<double>(n);
+}
+
+}  // namespace topo

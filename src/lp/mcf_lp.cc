@@ -1,0 +1,94 @@
+#include "lp/mcf_lp.h"
+
+#include "util/error.h"
+
+namespace topo {
+
+McfLpResult solve_concurrent_flow_lp(const Graph& graph,
+                                     const std::vector<Commodity>& commodities,
+                                     long long max_iterations) {
+  require(!commodities.empty(), "concurrent flow requires commodities");
+  for (const Commodity& c : commodities) {
+    require(c.src >= 0 && c.src < graph.num_nodes() && c.dst >= 0 &&
+                c.dst < graph.num_nodes(),
+            "commodity endpoint out of range");
+    require(c.src != c.dst, "commodity endpoints must differ");
+    require(c.demand > 0.0, "commodity demand must be positive");
+  }
+
+  const int num_arcs = 2 * graph.num_edges();
+  const int k = static_cast<int>(commodities.size());
+  // Variable layout: f[i][a] at index i * num_arcs + a, lambda last.
+  const int lambda_var = k * num_arcs;
+  LpProblem problem;
+  problem.num_vars = lambda_var + 1;
+  problem.objective.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+  problem.objective[static_cast<std::size_t>(lambda_var)] = 1.0;
+
+  const auto arc_head = [&](int arc) {
+    const Edge& e = graph.edge(arc / 2);
+    return arc % 2 == 0 ? e.v : e.u;
+  };
+  const auto arc_tail = [&](int arc) {
+    const Edge& e = graph.edge(arc / 2);
+    return arc % 2 == 0 ? e.u : e.v;
+  };
+
+  // Flow conservation: for commodity i and node n != dst_i:
+  //   sum_out f - sum_in f - [n == src_i] * d_i * lambda = 0.
+  // The destination row is implied by the others and dropped.
+  for (int i = 0; i < k; ++i) {
+    const Commodity& commodity = commodities[static_cast<std::size_t>(i)];
+    for (NodeId n = 0; n < graph.num_nodes(); ++n) {
+      if (n == commodity.dst) continue;
+      LpConstraint row;
+      row.coeffs.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+      bool touched = false;
+      for (int arc = 0; arc < num_arcs; ++arc) {
+        double sign = 0.0;
+        if (arc_tail(arc) == n) sign += 1.0;
+        if (arc_head(arc) == n) sign -= 1.0;
+        if (sign != 0.0) {
+          row.coeffs[static_cast<std::size_t>(i * num_arcs + arc)] = sign;
+          touched = true;
+        }
+      }
+      if (n == commodity.src) {
+        row.coeffs[static_cast<std::size_t>(lambda_var)] = -commodity.demand;
+        touched = true;
+      }
+      if (!touched) continue;  // isolated node, vacuous constraint
+      row.sense = ConstraintSense::kEqual;
+      row.rhs = 0.0;
+      problem.constraints.push_back(std::move(row));
+    }
+  }
+
+  // Capacity per directed arc.
+  for (int arc = 0; arc < num_arcs; ++arc) {
+    LpConstraint row;
+    row.coeffs.assign(static_cast<std::size_t>(problem.num_vars), 0.0);
+    for (int i = 0; i < k; ++i) {
+      row.coeffs[static_cast<std::size_t>(i * num_arcs + arc)] = 1.0;
+    }
+    row.sense = ConstraintSense::kLessEqual;
+    row.rhs = graph.edge(arc / 2).capacity;
+    problem.constraints.push_back(std::move(row));
+  }
+
+  const LpSolution lp = solve_lp(problem, max_iterations);
+  McfLpResult result;
+  result.status = lp.status;
+  if (lp.status != LpStatus::kOptimal) return result;
+  result.lambda = lp.objective;
+  result.arc_flow.assign(static_cast<std::size_t>(num_arcs), 0.0);
+  for (int arc = 0; arc < num_arcs; ++arc) {
+    for (int i = 0; i < k; ++i) {
+      result.arc_flow[static_cast<std::size_t>(arc)] +=
+          lp.x[static_cast<std::size_t>(i * num_arcs + arc)];
+    }
+  }
+  return result;
+}
+
+}  // namespace topo

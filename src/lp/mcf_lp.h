@@ -1,0 +1,42 @@
+// Exact maximum concurrent multi-commodity flow via the arc-flow LP.
+//
+// maximize   lambda
+// subject to per-commodity flow conservation with demand lambda * d_i,
+//            per-arc capacity (each undirected edge is two directed arcs),
+//            all flow variables and lambda non-negative.
+//
+// This is exactly the LP the paper solves with CPLEX. It is exponential in
+// neither variables nor constraints, but dense simplex makes it practical
+// only for small instances (N * k * |arcs| up to a few hundred thousand
+// tableau entries) — which is precisely its role here: the exact reference
+// the FPTAS is validated against in the test suite and the epsilon
+// ablation bench.
+#ifndef TOPODESIGN_LP_MCF_LP_H
+#define TOPODESIGN_LP_MCF_LP_H
+
+#include "graph/graph.h"
+#include "lp/simplex.h"
+#include "traffic/traffic.h"
+
+namespace topo {
+
+/// Exact solution of the max concurrent flow problem.
+struct McfLpResult {
+  LpStatus status = LpStatus::kInfeasible;
+  /// The throughput: the largest lambda such that lambda * d_i is routable
+  /// for every commodity i simultaneously.
+  double lambda = 0.0;
+  /// Total flow on each directed arc; arc 2*e is edge e's u->v direction,
+  /// arc 2*e+1 its v->u direction.
+  std::vector<double> arc_flow;
+};
+
+/// Solves the exact LP. Commodities must have positive demands and
+/// endpoints inside the graph; same-endpoint commodities are rejected.
+[[nodiscard]] McfLpResult solve_concurrent_flow_lp(
+    const Graph& graph, const std::vector<Commodity>& commodities,
+    long long max_iterations = 2'000'000);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_LP_MCF_LP_H

@@ -1,0 +1,306 @@
+#include "lp/simplex.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau with an explicit basis. Rows: one per constraint; columns:
+// structural variables, slack/surplus, artificials, then the RHS.
+class Tableau {
+ public:
+  Tableau(const LpProblem& problem) {
+    const int m = static_cast<int>(problem.constraints.size());
+    const int n = problem.num_vars;
+    require(static_cast<int>(problem.objective.size()) == n,
+            "objective length must equal num_vars");
+
+    // Count auxiliary columns.
+    int num_slack = 0;
+    int num_artificial = 0;
+    for (const LpConstraint& c : problem.constraints) {
+      require(static_cast<int>(c.coeffs.size()) == n,
+              "constraint width must equal num_vars");
+      // After RHS normalization: <= gets slack; >= gets surplus+artificial;
+      // == gets artificial.
+      const bool flipped = c.rhs < 0.0;
+      ConstraintSense sense = c.sense;
+      if (flipped) {
+        if (sense == ConstraintSense::kLessEqual) sense = ConstraintSense::kGreaterEqual;
+        else if (sense == ConstraintSense::kGreaterEqual) sense = ConstraintSense::kLessEqual;
+      }
+      if (sense == ConstraintSense::kLessEqual) {
+        ++num_slack;
+      } else if (sense == ConstraintSense::kGreaterEqual) {
+        ++num_slack;
+        ++num_artificial;
+      } else {
+        ++num_artificial;
+      }
+    }
+
+    num_structural_ = n;
+    first_artificial_ = n + num_slack;
+    num_cols_ = n + num_slack + num_artificial;
+    rows_.assign(static_cast<std::size_t>(m),
+                 std::vector<double>(static_cast<std::size_t>(num_cols_) + 1, 0.0));
+    basis_.assign(static_cast<std::size_t>(m), -1);
+
+    int slack_col = n;
+    int artificial_col = first_artificial_;
+    for (int r = 0; r < m; ++r) {
+      const LpConstraint& c = problem.constraints[static_cast<std::size_t>(r)];
+      const double sign = c.rhs < 0.0 ? -1.0 : 1.0;
+      ConstraintSense sense = c.sense;
+      if (sign < 0.0) {
+        if (sense == ConstraintSense::kLessEqual) sense = ConstraintSense::kGreaterEqual;
+        else if (sense == ConstraintSense::kGreaterEqual) sense = ConstraintSense::kLessEqual;
+      }
+      auto& row = rows_[static_cast<std::size_t>(r)];
+      for (int j = 0; j < n; ++j) {
+        row[static_cast<std::size_t>(j)] = sign * c.coeffs[static_cast<std::size_t>(j)];
+      }
+      row[static_cast<std::size_t>(num_cols_)] = sign * c.rhs;
+
+      if (sense == ConstraintSense::kLessEqual) {
+        row[static_cast<std::size_t>(slack_col)] = 1.0;
+        basis_[static_cast<std::size_t>(r)] = slack_col++;
+      } else if (sense == ConstraintSense::kGreaterEqual) {
+        row[static_cast<std::size_t>(slack_col)] = -1.0;
+        ++slack_col;
+        row[static_cast<std::size_t>(artificial_col)] = 1.0;
+        basis_[static_cast<std::size_t>(r)] = artificial_col++;
+      } else {
+        row[static_cast<std::size_t>(artificial_col)] = 1.0;
+        basis_[static_cast<std::size_t>(r)] = artificial_col++;
+      }
+    }
+  }
+
+  [[nodiscard]] int num_rows() const { return static_cast<int>(rows_.size()); }
+  [[nodiscard]] int num_cols() const { return num_cols_; }
+  [[nodiscard]] int first_artificial() const { return first_artificial_; }
+  [[nodiscard]] int num_structural() const { return num_structural_; }
+
+  [[nodiscard]] double rhs(int r) const {
+    return rows_[static_cast<std::size_t>(r)][static_cast<std::size_t>(num_cols_)];
+  }
+  [[nodiscard]] double at(int r, int c) const {
+    return rows_[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] int basis(int r) const { return basis_[static_cast<std::size_t>(r)]; }
+
+  void pivot(int pivot_row, int pivot_col) {
+    auto& prow = rows_[static_cast<std::size_t>(pivot_row)];
+    const double inv = 1.0 / prow[static_cast<std::size_t>(pivot_col)];
+    for (double& v : prow) v *= inv;
+    for (int r = 0; r < num_rows(); ++r) {
+      if (r == pivot_row) continue;
+      auto& row = rows_[static_cast<std::size_t>(r)];
+      const double factor = row[static_cast<std::size_t>(pivot_col)];
+      if (std::fabs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < row.size(); ++j) {
+        row[j] -= factor * prow[j];
+      }
+      row[static_cast<std::size_t>(pivot_col)] = 0.0;  // exact zero
+    }
+    basis_[static_cast<std::size_t>(pivot_row)] = pivot_col;
+  }
+
+  // Optimizes `objective` (maximization) over the current feasible basis,
+  // with columns >= `forbid_from` excluded from entering. Uses Dantzig's
+  // rule (largest reduced cost) for speed and falls back to Bland's rule
+  // permanently once the objective stalls, which guarantees termination.
+  LpStatus optimize(const std::vector<double>& objective, int forbid_from,
+                    long long& iterations_left) {
+    bool bland_mode = false;
+    int stalled_iterations = 0;
+    double last_objective = -std::numeric_limits<double>::infinity();
+    std::vector<double> reduced(static_cast<std::size_t>(forbid_from));
+
+    while (true) {
+      if (iterations_left-- <= 0) return LpStatus::kIterationLimit;
+
+      // Reduced costs for all candidate columns in one pass:
+      // reduced_j = c_j - sum_r c_{basis(r)} * a_{r j}.
+      for (int j = 0; j < forbid_from; ++j) {
+        reduced[static_cast<std::size_t>(j)] =
+            j < static_cast<int>(objective.size())
+                ? objective[static_cast<std::size_t>(j)]
+                : 0.0;
+      }
+      double current_objective = 0.0;
+      for (int r = 0; r < num_rows(); ++r) {
+        const int b = basis(r);
+        const double cb = b < static_cast<int>(objective.size())
+                              ? objective[static_cast<std::size_t>(b)]
+                              : 0.0;
+        if (cb == 0.0) continue;
+        current_objective += cb * rhs(r);
+        const auto& row = rows_[static_cast<std::size_t>(r)];
+        for (int j = 0; j < forbid_from; ++j) {
+          reduced[static_cast<std::size_t>(j)] -=
+              cb * row[static_cast<std::size_t>(j)];
+        }
+      }
+
+      int entering = -1;
+      if (bland_mode) {
+        for (int j = 0; j < forbid_from; ++j) {
+          if (reduced[static_cast<std::size_t>(j)] > kEps) {
+            entering = j;
+            break;
+          }
+        }
+      } else {
+        double best = kEps;
+        for (int j = 0; j < forbid_from; ++j) {
+          if (reduced[static_cast<std::size_t>(j)] > best) {
+            best = reduced[static_cast<std::size_t>(j)];
+            entering = j;
+          }
+        }
+      }
+      if (entering < 0) return LpStatus::kOptimal;
+
+      // Ratio test, Bland tie-break on smallest basis index.
+      int leaving = -1;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (int r = 0; r < num_rows(); ++r) {
+        const double a = at(r, entering);
+        if (a > kEps) {
+          const double ratio = rhs(r) / a;
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving < 0 || basis(r) < basis(leaving)))) {
+            best_ratio = ratio;
+            leaving = r;
+          }
+        }
+      }
+      if (leaving < 0) return LpStatus::kUnbounded;
+      pivot(leaving, entering);
+
+      // Anti-cycling: if Dantzig makes no objective progress for a while
+      // (degenerate pivots), switch to Bland's rule for guaranteed finite
+      // termination.
+      if (!bland_mode) {
+        if (current_objective > last_objective + kEps) {
+          stalled_iterations = 0;
+          last_objective = current_objective;
+        } else if (++stalled_iterations > 2 * num_rows() + 64) {
+          bland_mode = true;
+        }
+      }
+    }
+  }
+
+  // Removes artificial variables from the basis after phase 1 when they sit
+  // at zero, pivoting in any usable structural/slack column.
+  void drive_out_artificials() {
+    for (int r = 0; r < num_rows(); ++r) {
+      if (basis(r) < first_artificial_) continue;
+      int col = -1;
+      for (int j = 0; j < first_artificial_; ++j) {
+        if (std::fabs(at(r, j)) > kEps) {
+          col = j;
+          break;
+        }
+      }
+      if (col >= 0) pivot(r, col);
+      // Otherwise the row is all-zero over real columns (redundant
+      // constraint); the artificial stays basic at value zero, harmless.
+    }
+  }
+
+  [[nodiscard]] std::vector<double> extract_solution() const {
+    std::vector<double> x(static_cast<std::size_t>(num_structural_), 0.0);
+    for (int r = 0; r < num_rows(); ++r) {
+      if (basis(r) >= 0 && basis(r) < num_structural_) {
+        x[static_cast<std::size_t>(basis(r))] = rhs(r);
+      }
+    }
+    return x;
+  }
+
+ private:
+  std::vector<std::vector<double>> rows_;
+  std::vector<int> basis_;
+  int num_cols_ = 0;
+  int num_structural_ = 0;
+  int first_artificial_ = 0;
+};
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem, long long max_iterations) {
+  require(problem.num_vars >= 0, "num_vars must be non-negative");
+  LpSolution solution;
+  if (problem.num_vars == 0) {
+    // Feasibility depends only on constant constraints.
+    for (const LpConstraint& c : problem.constraints) {
+      const bool ok = (c.sense == ConstraintSense::kLessEqual && 0.0 <= c.rhs + kEps) ||
+                      (c.sense == ConstraintSense::kGreaterEqual && 0.0 >= c.rhs - kEps) ||
+                      (c.sense == ConstraintSense::kEqual && std::fabs(c.rhs) <= kEps);
+      if (!ok) return solution;  // infeasible
+    }
+    solution.status = LpStatus::kOptimal;
+    return solution;
+  }
+
+  Tableau tableau(problem);
+  long long iterations_left = max_iterations;
+
+  // Phase 1: maximize -(sum of artificials).
+  if (tableau.first_artificial() < tableau.num_cols()) {
+    std::vector<double> phase1(static_cast<std::size_t>(tableau.num_cols()), 0.0);
+    for (int j = tableau.first_artificial(); j < tableau.num_cols(); ++j) {
+      phase1[static_cast<std::size_t>(j)] = -1.0;
+    }
+    const LpStatus status =
+        tableau.optimize(phase1, tableau.num_cols(), iterations_left);
+    if (status == LpStatus::kIterationLimit) {
+      solution.status = status;
+      return solution;
+    }
+    // Infeasible if any artificial is strictly positive.
+    double artificial_sum = 0.0;
+    for (int r = 0; r < tableau.num_rows(); ++r) {
+      if (tableau.basis(r) >= tableau.first_artificial()) {
+        artificial_sum += tableau.rhs(r);
+      }
+    }
+    if (artificial_sum > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    tableau.drive_out_artificials();
+  }
+
+  // Phase 2: the real objective over structural columns only (slacks have
+  // zero cost and may enter; artificials are forbidden).
+  std::vector<double> phase2(static_cast<std::size_t>(tableau.num_cols()), 0.0);
+  for (int j = 0; j < problem.num_vars; ++j) {
+    phase2[static_cast<std::size_t>(j)] = problem.objective[static_cast<std::size_t>(j)];
+  }
+  const LpStatus status =
+      tableau.optimize(phase2, tableau.first_artificial(), iterations_left);
+  solution.status = status;
+  if (status != LpStatus::kOptimal) return solution;
+
+  solution.x = tableau.extract_solution();
+  double objective = 0.0;
+  for (int j = 0; j < problem.num_vars; ++j) {
+    objective += problem.objective[static_cast<std::size_t>(j)] *
+                 solution.x[static_cast<std::size_t>(j)];
+  }
+  solution.objective = objective;
+  return solution;
+}
+
+}  // namespace topo

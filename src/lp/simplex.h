@@ -1,0 +1,48 @@
+// Dense two-phase simplex linear-program solver.
+//
+// The paper computes throughput as the optimum of the maximum concurrent
+// multi-commodity flow LP (solved there with CPLEX). This solver is the
+// from-scratch exact reference: a textbook two-phase tableau simplex with
+// Bland's anti-cycling rule. It is dependable and exact on the small
+// instances used for cross-validating the FPTAS and for unit tests; the
+// FPTAS in src/flow handles production scales.
+#ifndef TOPODESIGN_LP_SIMPLEX_H
+#define TOPODESIGN_LP_SIMPLEX_H
+
+#include <vector>
+
+namespace topo {
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+enum class ConstraintSense { kLessEqual, kGreaterEqual, kEqual };
+
+/// One linear constraint: coeffs . x  (sense)  rhs.
+struct LpConstraint {
+  std::vector<double> coeffs;
+  ConstraintSense sense = ConstraintSense::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// Maximize objective . x subject to the constraints and x >= 0.
+struct LpProblem {
+  int num_vars = 0;
+  std::vector<double> objective;
+  std::vector<LpConstraint> constraints;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;
+};
+
+/// Solves the LP. Constraint coefficient vectors must all have length
+/// num_vars (checked). Bland's rule guarantees termination; the iteration
+/// limit is a safety net for pathological sizes.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem,
+                                  long long max_iterations = 2'000'000);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_LP_SIMPLEX_H

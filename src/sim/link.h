@@ -1,0 +1,129 @@
+// Simulated directed link: serialization + propagation + drop-tail queue.
+#ifndef TOPODESIGN_SIM_LINK_H
+#define TOPODESIGN_SIM_LINK_H
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+#include "util/rng.h"
+
+namespace topo::sim {
+
+/// Receives packets that finished traversing a link.
+class PacketReceiver {
+ public:
+  virtual ~PacketReceiver() = default;
+  virtual void packet_arrived(Packet* packet) = 0;
+};
+
+/// One direction of a cable: a fixed-rate serializer feeding a fixed-delay
+/// pipe, with a FIFO queue in front. The queue drops at the tail when
+/// full and, when an Rng is supplied, performs RED-style probabilistic
+/// early drop above a fill threshold — without it, same-RTT Reno flows
+/// synchronize their losses and can lock each other out for long spells.
+class SimLink : public EventHandler {
+ public:
+  /// rate_gbps: serialization rate in Gbit/s. delay_ns: propagation delay.
+  /// queue_packets: queue capacity (excludes the packet in service).
+  /// receiver: where packets land after traversal. rng: optional, enables
+  /// early drop (data packets only).
+  SimLink(EventQueue* queue, double rate_gbps, SimTime delay_ns,
+          int queue_packets, PacketReceiver* receiver, Rng* rng = nullptr)
+      : events_(queue),
+        rate_gbps_(rate_gbps),
+        delay_ns_(delay_ns),
+        queue_capacity_(queue_packets),
+        receiver_(receiver),
+        rng_(rng) {
+    require(queue != nullptr && receiver != nullptr,
+            "SimLink requires a queue and receiver");
+    require(rate_gbps > 0.0, "link rate must be positive");
+    require(queue_packets >= 1, "queue capacity must be >= 1");
+  }
+
+  SimLink(const SimLink&) = delete;
+  SimLink& operator=(const SimLink&) = delete;
+
+  /// Offers a packet to the link. Returns false (and leaves the caller
+  /// owning the packet) when the packet is dropped — the caller frees it.
+  [[nodiscard]] bool enqueue(Packet* packet) {
+    if (transmitting_ == nullptr) {
+      start_transmission(packet);
+      return true;
+    }
+    const int backlog = static_cast<int>(queue_.size());
+    if (backlog >= queue_capacity_) {
+      ++drops_;
+      return false;
+    }
+    if (rng_ != nullptr && !packet->is_ack) {
+      // Linear early-drop ramp from kRedStart of capacity to the tail.
+      const double fill = static_cast<double>(backlog) / queue_capacity_;
+      if (fill > kRedStart) {
+        const double p =
+            kRedMaxProbability * (fill - kRedStart) / (1.0 - kRedStart);
+        if (rng_->chance(p)) {
+          ++drops_;
+          return false;
+        }
+      }
+    }
+    queue_.push_back(packet);
+    return true;
+  }
+
+  void on_event(std::uint64_t cookie) override {
+    if (cookie == kTxDone) {
+      // Serialization finished: the packet enters the propagation pipe.
+      in_flight_.push_back(transmitting_);
+      events_->schedule(events_->now() + delay_ns_, this, kArrival);
+      transmitting_ = nullptr;
+      if (!queue_.empty()) {
+        Packet* next = queue_.front();
+        queue_.pop_front();
+        start_transmission(next);
+      }
+    } else {
+      Packet* packet = in_flight_.front();
+      in_flight_.pop_front();
+      receiver_->packet_arrived(packet);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+  [[nodiscard]] std::uint64_t packets_sent() const { return sent_; }
+  [[nodiscard]] double rate_gbps() const { return rate_gbps_; }
+
+ private:
+  static constexpr std::uint64_t kTxDone = 0;
+  static constexpr std::uint64_t kArrival = 1;
+  static constexpr double kRedStart = 0.6;
+  static constexpr double kRedMaxProbability = 0.2;
+
+  void start_transmission(Packet* packet) {
+    transmitting_ = packet;
+    ++sent_;
+    const double bits = 8.0 * packet->size_bytes;
+    const auto tx_ns = static_cast<SimTime>(bits / rate_gbps_);
+    events_->schedule(events_->now() + (tx_ns == 0 ? 1 : tx_ns), this, kTxDone);
+  }
+
+  EventQueue* events_;
+  double rate_gbps_;
+  SimTime delay_ns_;
+  int queue_capacity_;
+  PacketReceiver* receiver_;
+  Rng* rng_;
+
+  Packet* transmitting_ = nullptr;
+  std::deque<Packet*> queue_;
+  std::deque<Packet*> in_flight_;
+  std::uint64_t drops_ = 0;
+  std::uint64_t sent_ = 0;
+};
+
+}  // namespace topo::sim
+
+#endif  // TOPODESIGN_SIM_LINK_H

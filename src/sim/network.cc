@@ -1,0 +1,215 @@
+#include "sim/network.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "sim/routing.h"
+#include "traffic/traffic.h"
+#include "util/error.h"
+
+namespace topo::sim {
+
+SimNetwork::SimNetwork(const BuiltTopology& topology, const SimParams& params,
+                       std::uint64_t seed)
+    : topology_(topology),
+      params_(params),
+      rng_(seed),
+      server_home_(topology.servers.server_home()) {
+  require(params.subflows >= 1, "at least one subflow required");
+  require(params.warmup_ns < params.duration_ns,
+          "warmup must precede the end of the simulation");
+  const Graph& g = topology_.graph;
+
+  // Switch-switch links: two directions per edge, rate = capacity x base.
+  links_.reserve(2 * static_cast<std::size_t>(g.num_edges()) +
+                 2 * server_home_.size());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double rate = g.edge(e).capacity * params_.server_rate_gbps;
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
+        &rng_));
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
+        &rng_));
+  }
+  // Server access links (up then down per server) at the base rate.
+  for (std::size_t s = 0; s < server_home_.size(); ++s) {
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, params_.server_rate_gbps, params_.link_delay_ns,
+        params_.queue_packets, this, &rng_));
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, params_.server_rate_gbps, params_.link_delay_ns,
+        params_.queue_packets, this, &rng_));
+  }
+}
+
+SimNetwork::~SimNetwork() = default;
+
+int SimNetwork::host_uplink(int server) const {
+  return 2 * topology_.graph.num_edges() + 2 * server;
+}
+int SimNetwork::host_downlink(int server) const {
+  return 2 * topology_.graph.num_edges() + 2 * server + 1;
+}
+
+const std::vector<int>& SimNetwork::dist_to(NodeId dst_switch) {
+  auto it = dist_cache_.find(dst_switch);
+  if (it == dist_cache_.end()) {
+    it = dist_cache_.emplace(dst_switch,
+                             bfs_distances(topology_.graph, dst_switch))
+             .first;
+  }
+  return it->second;
+}
+
+void SimNetwork::add_flow(int src_server, int dst_server) {
+  require(src_server >= 0 &&
+              src_server < static_cast<int>(server_home_.size()) &&
+              dst_server >= 0 &&
+              dst_server < static_cast<int>(server_home_.size()),
+          "server id out of range");
+  require(src_server != dst_server, "flow endpoints must differ");
+
+  const NodeId src_switch = server_home_[static_cast<std::size_t>(src_server)];
+  const NodeId dst_switch = server_home_[static_cast<std::size_t>(dst_server)];
+
+  FlowRecord record;
+  record.src_server = src_server;
+  record.dst_server = dst_server;
+
+  TcpParams tcp;
+  tcp.packet_bytes = params_.packet_bytes;
+  tcp.increase_scale =
+      params_.ewtcp_coupling ? 1.0 / params_.subflows : 1.0;
+
+  const int flow_id = static_cast<int>(flows_.size());
+  for (int k = 0; k < params_.subflows; ++k) {
+    // Independent shortest paths for data and ACKs (ECMP-style draws).
+    std::vector<int> forward{host_uplink(src_server)};
+    if (src_switch != dst_switch) {
+      const auto arcs = sample_shortest_arc_path(
+          topology_.graph, src_switch, dst_switch, dist_to(dst_switch), rng_);
+      forward.insert(forward.end(), arcs.begin(), arcs.end());
+    }
+    forward.push_back(host_downlink(dst_server));
+
+    std::vector<int> reverse{host_uplink(dst_server)};
+    if (src_switch != dst_switch) {
+      const auto arcs = sample_shortest_arc_path(
+          topology_.graph, dst_switch, src_switch, dist_to(src_switch), rng_);
+      reverse.insert(reverse.end(), arcs.begin(), arcs.end());
+    }
+    reverse.push_back(host_downlink(src_server));
+
+    record.subflows.push_back(std::make_unique<TcpSubflow>(
+        this, flow_id, k, std::move(forward), std::move(reverse), tcp));
+  }
+  flows_.push_back(std::move(record));
+
+  // Stagger starts to avoid synchronized slow starts.
+  const SimTime jitter = params_.start_jitter_ns > 0
+                             ? static_cast<SimTime>(rng_.uniform() *
+                                                    static_cast<double>(
+                                                        params_.start_jitter_ns))
+                             : 0;
+  for (auto& sub : flows_.back().subflows) {
+    sub->start(events_.now() + 1 + jitter);
+  }
+}
+
+void SimNetwork::add_permutation_workload() {
+  const int total = topology_.servers.total();
+  require(total >= 2, "permutation workload requires two servers");
+  Rng traffic_rng(Rng::derive_seed(
+      0x7261666669636bULL, static_cast<std::uint64_t>(total)));
+  // Reuse the traffic module's derangement by generating a permutation TM.
+  const TrafficMatrix tm =
+      random_permutation_traffic(topology_.servers, traffic_rng);
+  for (const ServerFlow& f : tm.flows) add_flow(f.src_server, f.dst_server);
+}
+
+Packet* SimNetwork::alloc_packet() {
+  if (pool_free_.empty()) {
+    pool_storage_.push_back(std::make_unique<Packet>());
+    pool_free_.push_back(pool_storage_.back().get());
+  }
+  Packet* p = pool_free_.back();
+  pool_free_.pop_back();
+  return p;
+}
+
+void SimNetwork::free_packet(Packet* packet) {
+  require(packet != nullptr, "free_packet requires a packet");
+  pool_free_.push_back(packet);
+}
+
+void SimNetwork::inject(Packet* packet) {
+  packet->hop = 0;
+  require(!packet->route.empty(), "packet must carry a route");
+  SimLink& first = *links_[static_cast<std::size_t>(packet->route.front())];
+  if (!first.enqueue(packet)) {
+    ++dropped_at_inject_;
+    free_packet(packet);
+  }
+}
+
+void SimNetwork::packet_arrived(Packet* packet) {
+  if (packet->hop + 1 < packet->route.size()) {
+    ++packet->hop;
+    SimLink& next =
+        *links_[static_cast<std::size_t>(packet->route[packet->hop])];
+    if (!next.enqueue(packet)) free_packet(packet);
+    return;
+  }
+  // Delivered to the endpoint host.
+  FlowRecord& flow = flows_[static_cast<std::size_t>(packet->flow_id)];
+  TcpSubflow& sub = *flow.subflows[static_cast<std::size_t>(packet->subflow_id)];
+  if (packet->is_ack) {
+    sub.handle_ack(packet);
+  } else {
+    sub.handle_data(packet);
+  }
+}
+
+SimulationResult SimNetwork::run() {
+  SimulationResult result;
+  result.events_processed += events_.run_until(params_.warmup_ns);
+  for (auto& flow : flows_) {
+    flow.delivered_at_warmup.clear();
+    for (const auto& sub : flow.subflows) {
+      flow.delivered_at_warmup.push_back(sub->delivered_packets());
+    }
+  }
+  result.events_processed += events_.run_until(params_.duration_ns);
+
+  const double window_ns =
+      static_cast<double>(params_.duration_ns - params_.warmup_ns);
+  double min_norm = flows_.empty() ? 0.0 : 1e300;
+  double sum_norm = 0.0;
+  for (const auto& flow : flows_) {
+    FlowStats stats;
+    stats.src_server = flow.src_server;
+    stats.dst_server = flow.dst_server;
+    std::int64_t delivered = 0;
+    for (std::size_t k = 0; k < flow.subflows.size(); ++k) {
+      delivered += flow.subflows[k]->delivered_packets() -
+                   flow.delivered_at_warmup[k];
+      stats.retransmits += flow.subflows[k]->retransmits();
+    }
+    const double bits =
+        static_cast<double>(delivered) * 8.0 * params_.packet_bytes;
+    stats.goodput_gbps = bits / window_ns;  // bits per ns == Gbit/s
+    result.flows.push_back(stats);
+    const double norm = stats.goodput_gbps / params_.server_rate_gbps;
+    min_norm = std::min(min_norm, norm);
+    sum_norm += norm;
+  }
+  result.min_normalized = flows_.empty() ? 0.0 : min_norm;
+  result.mean_normalized =
+      flows_.empty() ? 0.0 : sum_norm / static_cast<double>(flows_.size());
+  result.total_drops = dropped_at_inject_;
+  for (const auto& link : links_) result.total_drops += link->drops();
+  return result;
+}
+
+}  // namespace topo::sim

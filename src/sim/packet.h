@@ -1,0 +1,33 @@
+// Packet representation for the simulator.
+//
+// Packets are source-routed: the sender stamps the full sequence of
+// directed-link ids from source host to destination host. ACKs carry the
+// reverse route. Packets live in a free-list pool owned by the simulation
+// to avoid allocation churn.
+#ifndef TOPODESIGN_SIM_PACKET_H
+#define TOPODESIGN_SIM_PACKET_H
+
+#include <cstdint>
+#include <vector>
+
+namespace topo::sim {
+
+/// Data or ACK packet traversing the simulated network.
+struct Packet {
+  // Routing state.
+  std::vector<int> route;  ///< Directed link ids, in traversal order.
+  std::size_t hop = 0;     ///< Next index into `route`.
+
+  // Transport state.
+  int flow_id = -1;
+  int subflow_id = -1;
+  std::int64_t seq = 0;  ///< Packet sequence number within the subflow.
+  std::int64_t ack = -1; ///< Cumulative ACK (for ACK packets).
+  bool is_ack = false;
+  int size_bytes = 0;
+  std::uint64_t sent_at = 0;  ///< For RTT estimation.
+};
+
+}  // namespace topo::sim
+
+#endif  // TOPODESIGN_SIM_PACKET_H

@@ -1,0 +1,49 @@
+#include "sim/routing.h"
+
+#include "util/error.h"
+
+namespace topo::sim {
+
+std::vector<int> sample_shortest_arc_path(const Graph& graph, NodeId src,
+                                          NodeId dst,
+                                          const std::vector<int>& dist_to_dst,
+                                          Rng& rng) {
+  require(static_cast<int>(dist_to_dst.size()) == graph.num_nodes(),
+          "dist_to_dst must cover all nodes");
+  std::vector<int> path;
+  if (src == dst) return path;
+  require(dist_to_dst[static_cast<std::size_t>(src)] >= 0,
+          "sample_shortest_arc_path: destination unreachable");
+
+  NodeId node = src;
+  std::vector<const Adjacency*> candidates;
+  while (node != dst) {
+    candidates.clear();
+    const int here = dist_to_dst[static_cast<std::size_t>(node)];
+    for (const Adjacency& a : graph.neighbors(node)) {
+      if (dist_to_dst[static_cast<std::size_t>(a.to)] == here - 1) {
+        candidates.push_back(&a);
+      }
+    }
+    require(!candidates.empty(), "inconsistent BFS distances");
+    const Adjacency* step = candidates[rng.index(candidates.size())];
+    const Edge& e = graph.edge(step->edge);
+    path.push_back(e.u == node ? 2 * step->edge : 2 * step->edge + 1);
+    node = step->to;
+  }
+  return path;
+}
+
+std::vector<std::vector<int>> sample_shortest_arc_paths(
+    const Graph& graph, NodeId src, NodeId dst,
+    const std::vector<int>& dist_to_dst, int count, Rng& rng) {
+  require(count >= 1, "count must be >= 1");
+  std::vector<std::vector<int>> paths;
+  paths.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    paths.push_back(sample_shortest_arc_path(graph, src, dst, dist_to_dst, rng));
+  }
+  return paths;
+}
+
+}  // namespace topo::sim

@@ -1,0 +1,35 @@
+// Shortest-path sampling for multipath routing.
+//
+// MPTCP subflows in the Fig-13 experiment run over random shortest paths
+// (ECMP-style). A path is sampled by walking from the source toward the
+// destination, at each step choosing uniformly among the neighbors that
+// lie on some shortest path. Paths are returned as directed-arc id lists
+// (arc 2e = edge e u->v, arc 2e+1 = v->u), matching the flow module's
+// convention and the simulator's link numbering.
+#ifndef TOPODESIGN_SIM_ROUTING_H
+#define TOPODESIGN_SIM_ROUTING_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo::sim {
+
+/// Samples one uniform-ish random shortest path (directed arc ids) from
+/// `src` to `dst`. `dist_to_dst` must be bfs_distances(graph, dst); the
+/// caller owns it so repeated sampling reuses one BFS. Returns an empty
+/// path when src == dst and raises InvalidArgument when unreachable.
+[[nodiscard]] std::vector<int> sample_shortest_arc_path(
+    const Graph& graph, NodeId src, NodeId dst,
+    const std::vector<int>& dist_to_dst, Rng& rng);
+
+/// Samples `count` shortest paths (independent draws; duplicates possible,
+/// as with ECMP hashing).
+[[nodiscard]] std::vector<std::vector<int>> sample_shortest_arc_paths(
+    const Graph& graph, NodeId src, NodeId dst,
+    const std::vector<int>& dist_to_dst, int count, Rng& rng);
+
+}  // namespace topo::sim
+
+#endif  // TOPODESIGN_SIM_ROUTING_H

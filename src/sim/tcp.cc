@@ -1,0 +1,176 @@
+#include "sim/tcp.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace topo::sim {
+
+TcpSubflow::TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
+                       std::vector<int> route_forward,
+                       std::vector<int> route_reverse, const TcpParams& params)
+    : env_(env),
+      flow_id_(flow_id),
+      subflow_id_(subflow_id),
+      route_forward_(std::move(route_forward)),
+      route_reverse_(std::move(route_reverse)),
+      params_(params),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      rto_ns_(params.min_rto_ns) {
+  require(env != nullptr, "TcpSubflow requires an environment");
+  require(!route_forward_.empty() && !route_reverse_.empty(),
+          "TcpSubflow requires non-empty routes");
+}
+
+void TcpSubflow::start(SimTime at) {
+  env_->events().schedule(at, this, kStartCookieBit);
+}
+
+void TcpSubflow::try_send() {
+  while (static_cast<double>(snd_next_ - snd_una_) < cwnd_) {
+    send_segment(snd_next_, /*is_retransmit=*/false);
+    ++snd_next_;
+  }
+}
+
+void TcpSubflow::send_segment(std::int64_t seq, bool is_retransmit) {
+  Packet* p = env_->alloc_packet();
+  p->route = route_forward_;
+  p->hop = 0;
+  p->flow_id = flow_id_;
+  p->subflow_id = subflow_id_;
+  p->seq = seq;
+  p->ack = -1;
+  p->is_ack = false;
+  p->size_bytes = params_.packet_bytes;
+  p->sent_at = env_->events().now();
+  if (is_retransmit) ++retransmits_;
+  env_->inject(p);
+}
+
+void TcpSubflow::send_ack(SimTime echo_sent_at) {
+  Packet* p = env_->alloc_packet();
+  p->route = route_reverse_;
+  p->hop = 0;
+  p->flow_id = flow_id_;
+  p->subflow_id = subflow_id_;
+  p->seq = 0;
+  p->ack = rcv_next_;
+  p->is_ack = true;
+  p->size_bytes = params_.ack_bytes;
+  p->sent_at = echo_sent_at;  // echoed for the sender's RTT estimate
+  env_->inject(p);
+}
+
+void TcpSubflow::handle_data(Packet* packet) {
+  const std::int64_t seq = packet->seq;
+  const SimTime echo = packet->sent_at;
+  env_->free_packet(packet);
+  if (seq == rcv_next_) {
+    ++rcv_next_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_next_;
+    }
+  } else if (seq > rcv_next_) {
+    out_of_order_.insert(seq);
+  }
+  // Cumulative (and duplicate, when out of order) ACK per data packet.
+  send_ack(echo);
+}
+
+void TcpSubflow::handle_ack(Packet* packet) {
+  const std::int64_t ackno = packet->ack;
+  const SimTime echo = packet->sent_at;
+  env_->free_packet(packet);
+
+  // RTT estimation (RFC 6298 shape, coarse constants).
+  const SimTime now = env_->events().now();
+  if (now > echo) {
+    const SimTime sample = now - echo;
+    if (srtt_ns_ == 0) {
+      srtt_ns_ = sample;
+      rttvar_ns_ = sample / 2;
+    } else {
+      const auto diff = sample > srtt_ns_ ? sample - srtt_ns_ : srtt_ns_ - sample;
+      rttvar_ns_ = (3 * rttvar_ns_ + diff) / 4;
+      srtt_ns_ = (7 * srtt_ns_ + sample) / 8;
+    }
+    rto_ns_ = std::max(params_.min_rto_ns, srtt_ns_ + 4 * rttvar_ns_);
+  }
+
+  if (ackno > snd_una_) {
+    const double newly = static_cast<double>(ackno - snd_una_);
+    snd_una_ = ackno;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (ackno >= recover_) {
+        in_recovery_ = false;  // full recovery: the loss window is healed
+        cwnd_ = ssthresh_;     // deflate any recovery inflation
+      } else {
+        // NewReno partial ACK: retransmit the next hole, stay in recovery
+        // and keep cwnd (no further halving for this loss window).
+        send_segment(snd_una_, /*is_retransmit=*/true);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += newly;  // slow start
+    } else {
+      cwnd_ += params_.increase_scale * newly / cwnd_;  // AIMD increase
+    }
+    arm_rto();
+    try_send();
+  } else if (ackno == snd_una_ && snd_una_ < snd_next_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      // Fast retransmit; one window halving per loss window (NewReno).
+      in_recovery_ = true;
+      recover_ = snd_next_;
+      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+      cwnd_ = ssthresh_;
+      send_segment(snd_una_, /*is_retransmit=*/true);
+    } else if (in_recovery_ && dup_acks_ > 3) {
+      // Window inflation so new data keeps flowing during recovery.
+      cwnd_ += 1.0;
+      try_send();
+    }
+  }
+}
+
+void TcpSubflow::arm_rto() {
+  ++rto_generation_;
+  env_->events().schedule(env_->events().now() + rto_ns_, this,
+                          rto_generation_);
+}
+
+void TcpSubflow::on_event(std::uint64_t cookie) {
+  if (cookie & kStartCookieBit) {
+    if (!started_) {
+      started_ = true;
+      arm_rto();
+      try_send();
+    }
+    return;
+  }
+  if (cookie != rto_generation_) return;  // superseded timer
+  on_rto();
+}
+
+void TcpSubflow::on_rto() {
+  if (snd_una_ >= snd_next_) {
+    arm_rto();  // idle; keep the timer alive
+    return;
+  }
+  // Timeout: multiplicative backoff and go-back-N from the first unacked
+  // segment (simple and robust for bulk transfers).
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = params_.initial_cwnd;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  snd_next_ = snd_una_;
+  rto_ns_ = std::min<SimTime>(rto_ns_ * 2, 500'000'000);
+  arm_rto();
+  try_send();
+}
+
+}  // namespace topo::sim

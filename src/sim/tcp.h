@@ -1,0 +1,109 @@
+// TCP Reno-style transport and MPTCP-like multipath striping.
+//
+// Each subflow is an independent Reno-style sender/receiver pair pinned to
+// one sampled shortest path: slow start, AIMD congestion avoidance,
+// triple-duplicate-ACK fast retransmit, go-back-N RTO recovery, and an
+// EWTCP-style coupling option that scales the additive increase by 1/k so
+// a k-subflow flow is roughly as aggressive in aggregate as one TCP (the
+// behaviour MPTCP's linked increases approximate in the symmetric case).
+#ifndef TOPODESIGN_SIM_TCP_H
+#define TOPODESIGN_SIM_TCP_H
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/packet.h"
+
+namespace topo::sim {
+
+/// Services a transport endpoint needs from the surrounding simulation.
+class TransportEnv {
+ public:
+  virtual ~TransportEnv() = default;
+  virtual EventQueue& events() = 0;
+  virtual Packet* alloc_packet() = 0;
+  virtual void free_packet(Packet* packet) = 0;
+  /// Injects a packet into the first link of its route (dropping it,
+  /// with ownership, if that queue is full).
+  virtual void inject(Packet* packet) = 0;
+};
+
+/// Transport tuning knobs.
+struct TcpParams {
+  int packet_bytes = 1500;
+  int ack_bytes = 64;
+  double initial_cwnd = 2.0;
+  double initial_ssthresh = 64.0;
+  SimTime min_rto_ns = 3'000'000;  ///< 3 ms floor.
+  /// Additive-increase scale; 1.0 = plain Reno, 1/k = EWTCP-style coupling
+  /// for a k-subflow MPTCP flow.
+  double increase_scale = 1.0;
+};
+
+/// One subflow: sender and receiver logic bundled (the simulator dispatches
+/// data packets to the receiver half and ACKs to the sender half).
+class TcpSubflow : public EventHandler {
+ public:
+  TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
+             std::vector<int> route_forward, std::vector<int> route_reverse,
+             const TcpParams& params);
+
+  /// Begins the bulk transfer at the given absolute time.
+  void start(SimTime at);
+
+  /// Receiver half: a data packet arrived (takes ownership).
+  void handle_data(Packet* packet);
+  /// Sender half: an ACK arrived (takes ownership).
+  void handle_ack(Packet* packet);
+
+  /// RTO timer callback.
+  void on_event(std::uint64_t cookie) override;
+
+  /// Cumulative in-order packets delivered at the receiver.
+  [[nodiscard]] std::int64_t delivered_packets() const { return rcv_next_; }
+  [[nodiscard]] int flow_id() const { return flow_id_; }
+  [[nodiscard]] int subflow_id() const { return subflow_id_; }
+  [[nodiscard]] double cwnd() const { return cwnd_; }
+  [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+
+ private:
+  static constexpr std::uint64_t kStartCookieBit = 1ULL << 63;
+
+  void try_send();
+  void send_segment(std::int64_t seq, bool is_retransmit);
+  void send_ack(SimTime echo_sent_at);
+  void arm_rto();
+  void on_rto();
+
+  TransportEnv* env_;
+  int flow_id_;
+  int subflow_id_;
+  std::vector<int> route_forward_;
+  std::vector<int> route_reverse_;
+  TcpParams params_;
+
+  // Sender state.
+  std::int64_t snd_next_ = 0;
+  std::int64_t snd_una_ = 0;
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;  ///< NewReno: highest seq sent at loss time.
+  std::int64_t retransmits_ = 0;
+  std::uint64_t rto_generation_ = 0;
+  SimTime srtt_ns_ = 0;
+  SimTime rttvar_ns_ = 0;
+  SimTime rto_ns_;
+  bool started_ = false;
+
+  // Receiver state.
+  std::int64_t rcv_next_ = 0;
+  std::set<std::int64_t> out_of_order_;
+};
+
+}  // namespace topo::sim
+
+#endif  // TOPODESIGN_SIM_TCP_H

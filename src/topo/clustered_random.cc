@@ -1,0 +1,193 @@
+#include "topo/clustered_random.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+enum class EdgeCategory { kCross, kIntraA, kIntraB };
+
+struct TaggedEdge {
+  int u = 0;  // global node id; for kCross, u is always the cluster-A node
+  int v = 0;
+  EdgeCategory category = EdgeCategory::kCross;
+};
+
+long long sum_of(const std::vector<int>& v) {
+  return std::accumulate(v.begin(), v.end(), 0LL);
+}
+
+std::vector<int> component_labels_of(const std::vector<TaggedEdge>& edges,
+                                     int num_nodes) {
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(num_nodes));
+  for (const TaggedEdge& e : edges) {
+    adj[static_cast<std::size_t>(e.u)].push_back(e.v);
+    adj[static_cast<std::size_t>(e.v)].push_back(e.u);
+  }
+  std::vector<int> label(static_cast<std::size_t>(num_nodes), -1);
+  int next = 0;
+  for (int start = 0; start < num_nodes; ++start) {
+    if (label[static_cast<std::size_t>(start)] >= 0 ||
+        adj[static_cast<std::size_t>(start)].empty()) {
+      continue;
+    }
+    std::queue<int> frontier;
+    label[static_cast<std::size_t>(start)] = next;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int w : adj[static_cast<std::size_t>(u)]) {
+        if (label[static_cast<std::size_t>(w)] < 0) {
+          label[static_cast<std::size_t>(w)] = next;
+          frontier.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;
+}
+
+int num_labels(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+// Category-preserving merge of two components: swaps endpoints of two
+// same-category edges lying in different components.
+bool connectivity_pass(std::vector<TaggedEdge>& edges, Rng& rng,
+                       int num_nodes) {
+  constexpr int kMaxIterations = 600;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    const auto labels = component_labels_of(edges, num_nodes);
+    if (num_labels(labels) <= 1) return true;
+    // Find a same-category pair of edges in different components, starting
+    // the scan at a random offset for unbiasedness.
+    const std::size_t offset = rng.index(edges.size());
+    bool swapped = false;
+    for (std::size_t s1 = 0; s1 < edges.size() && !swapped; ++s1) {
+      const std::size_t i = (offset + s1) % edges.size();
+      const int comp_i = labels[static_cast<std::size_t>(edges[i].u)];
+      for (std::size_t s2 = s1 + 1; s2 < edges.size(); ++s2) {
+        const std::size_t j = (offset + s2) % edges.size();
+        if (edges[j].category != edges[i].category) continue;
+        if (labels[static_cast<std::size_t>(edges[j].u)] == comp_i) continue;
+        // (u1,v1),(u2,v2) -> (u1,v2),(u2,v1). For cross edges this keeps
+        // the A-side in `u`; for intra edges any orientation works.
+        std::swap(edges[i].v, edges[j].v);
+        swapped = true;
+        break;
+      }
+    }
+    if (!swapped) return false;  // no same-category bridge possible
+  }
+  return false;
+}
+
+}  // namespace
+
+ClusteredGraph clustered_random_graph(const ClusterSpec& spec,
+                                      std::uint64_t seed) {
+  const int na = static_cast<int>(spec.degrees_a.size());
+  const int nb = static_cast<int>(spec.degrees_b.size());
+  require(na > 0 && nb > 0, "both clusters must be non-empty");
+  require(spec.capacity > 0.0, "capacity must be positive");
+  for (int d : spec.degrees_a) require(d >= 0, "degrees must be non-negative");
+  for (int d : spec.degrees_b) require(d >= 0, "degrees must be non-negative");
+
+  const long long sum_a = sum_of(spec.degrees_a);
+  const long long sum_b = sum_of(spec.degrees_b);
+  require((sum_a + sum_b) % 2 == 0, "total degree must be even");
+  require(spec.cross_links >= 0, "cross_links must be non-negative");
+
+  // Parity fix: each side's leftover stubs must pair internally.
+  int cross = spec.cross_links;
+  if ((sum_a - cross) % 2 != 0) {
+    cross += (cross + 1 <= std::min(sum_a, sum_b)) ? 1 : -1;
+  }
+  require(cross >= 0 && cross <= std::min(sum_a, sum_b),
+          "cross_links exceeds available ports");
+  require((sum_a - cross) % 2 == 0 && (sum_b - cross) % 2 == 0,
+          "unsatisfiable cross-link parity");
+
+  Rng rng(seed);
+
+  // Choose which stubs go cross-cluster: shuffle each side's stub list and
+  // take the first `cross` of each.
+  auto stub_list = [](const std::vector<int>& degrees, int id_offset) {
+    std::vector<int> stubs;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+      for (int j = 0; j < degrees[i]; ++j) {
+        stubs.push_back(static_cast<int>(i) + id_offset);
+      }
+    }
+    return stubs;
+  };
+  std::vector<int> stubs_a = stub_list(spec.degrees_a, 0);
+  std::vector<int> stubs_b = stub_list(spec.degrees_b, na);
+  rng.shuffle(stubs_a);
+  rng.shuffle(stubs_b);
+
+  std::vector<TaggedEdge> edges;
+  edges.reserve(static_cast<std::size_t>((sum_a + sum_b) / 2));
+  for (int i = 0; i < cross; ++i) {
+    edges.push_back(TaggedEdge{stubs_a[static_cast<std::size_t>(i)],
+                               stubs_b[static_cast<std::size_t>(i)],
+                               EdgeCategory::kCross});
+  }
+
+  // Remaining per-node intra-cluster degrees.
+  auto leftover_degrees = [&](const std::vector<int>& degrees,
+                              const std::vector<int>& stubs, int id_offset) {
+    std::vector<int> left(degrees);
+    for (int i = 0; i < cross; ++i) {
+      left[static_cast<std::size_t>(stubs[static_cast<std::size_t>(i)] -
+                                    id_offset)]--;
+    }
+    return left;
+  };
+  const std::vector<int> left_a = leftover_degrees(spec.degrees_a, stubs_a, 0);
+  const std::vector<int> left_b = leftover_degrees(spec.degrees_b, stubs_b, na);
+
+  DegreeSequenceOptions intra_options;
+  intra_options.ensure_connected = false;  // handled jointly below
+  for (const auto& [u, v] : random_degree_sequence_edges(left_a, rng,
+                                                         intra_options)) {
+    edges.push_back(TaggedEdge{u, v, EdgeCategory::kIntraA});
+  }
+  for (const auto& [u, v] : random_degree_sequence_edges(left_b, rng,
+                                                         intra_options)) {
+    edges.push_back(TaggedEdge{u + na, v + na, EdgeCategory::kIntraB});
+  }
+
+  const int total_nodes = na + nb;
+  if (spec.ensure_connected && cross > 0) {
+    if (!connectivity_pass(edges, rng, total_nodes)) {
+      throw ConstructionFailure(
+          "clustered_random_graph: could not connect the graph while "
+          "preserving cluster structure");
+    }
+  }
+
+  ClusteredGraph result;
+  result.graph = Graph(total_nodes);
+  for (const TaggedEdge& e : edges) {
+    result.graph.add_edge(e.u, e.v, spec.capacity);
+  }
+  result.actual_cross_links = cross;
+  return result;
+}
+
+double expected_cross_links_for(const ClusterSpec& spec) {
+  return expected_cross_links(static_cast<int>(sum_of(spec.degrees_a)),
+                              static_cast<int>(sum_of(spec.degrees_b)));
+}
+
+}  // namespace topo

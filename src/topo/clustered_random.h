@@ -1,0 +1,50 @@
+// Two-cluster random graphs with exact control of cross-cluster links.
+//
+// The heterogeneous-design experiments (§5, §6) sweep the number of edges
+// crossing two groups of switches while wiring everything else uniformly at
+// random. This builder realizes an exact cross-link count: `cross_links`
+// inter-cluster edges, with each cluster's remaining ports paired randomly
+// inside the cluster. All repairs are degree-preserving and category-
+// preserving, so the requested port counts and cross-link count hold
+// exactly in the output.
+#ifndef TOPODESIGN_TOPO_CLUSTERED_RANDOM_H
+#define TOPODESIGN_TOPO_CLUSTERED_RANDOM_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo {
+
+/// Specification of a two-cluster random graph. Cluster A occupies node ids
+/// [0, |degrees_a|), cluster B the ids after it.
+struct ClusterSpec {
+  std::vector<int> degrees_a;  ///< Network-port count per cluster-A node.
+  std::vector<int> degrees_b;  ///< Network-port count per cluster-B node.
+  int cross_links = 0;         ///< Exact inter-cluster edge count (see note).
+  double capacity = 1.0;       ///< Capacity of every edge.
+  bool ensure_connected = true;
+};
+
+/// Result of building a clustered graph.
+struct ClusteredGraph {
+  Graph graph{0};
+  int actual_cross_links = 0;  ///< cross_links after the ±1 parity fix.
+};
+
+/// Builds the two-cluster random graph. `cross_links` may be adjusted by
+/// ±1 when parity demands it (each cluster's leftover stub count must be
+/// even); the adjusted value is reported in the result. Raises
+/// ConstructionFailure when constraints cannot be met.
+[[nodiscard]] ClusteredGraph clustered_random_graph(const ClusterSpec& spec,
+                                                    std::uint64_t seed);
+
+/// Expected cross-cluster links if all ports were paired uniformly at
+/// random — the x-axis normalizer in Figures 6-8, 10 and 11.
+[[nodiscard]] double expected_cross_links_for(const ClusterSpec& spec);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_CLUSTERED_RANDOM_H

@@ -1,0 +1,241 @@
+#include "topo/degree_sequence.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+using EdgeList = std::vector<std::pair<int, int>>;
+
+std::pair<int, int> normalized(int u, int v) {
+  return u < v ? std::pair<int, int>{u, v} : std::pair<int, int>{v, u};
+}
+
+// Random pairing of port stubs (configuration model). May contain
+// self-loops and parallel edges; those are repaired afterwards.
+EdgeList pair_stubs(const std::vector<int>& degrees, Rng& rng) {
+  std::vector<int> stubs;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    for (int j = 0; j < degrees[i]; ++j) stubs.push_back(static_cast<int>(i));
+  }
+  rng.shuffle(stubs);
+  EdgeList edges;
+  edges.reserve(stubs.size() / 2);
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    edges.emplace_back(stubs[i], stubs[i + 1]);
+  }
+  return edges;
+}
+
+// Bookkeeping for degree-preserving swap repair.
+class EdgeSet {
+ public:
+  explicit EdgeSet(const EdgeList& edges) {
+    for (const auto& [u, v] : edges) add(u, v);
+  }
+  void add(int u, int v) { ++count_[normalized(u, v)]; }
+  void remove(int u, int v) {
+    auto it = count_.find(normalized(u, v));
+    if (it != count_.end() && --it->second == 0) count_.erase(it);
+  }
+  [[nodiscard]] int count(int u, int v) const {
+    auto it = count_.find(normalized(u, v));
+    return it == count_.end() ? 0 : it->second;
+  }
+
+ private:
+  std::map<std::pair<int, int>, int> count_;
+};
+
+bool is_bad(const std::pair<int, int>& e, const EdgeSet& set, bool simple) {
+  if (e.first == e.second) return true;
+  return simple && set.count(e.first, e.second) > 1;
+}
+
+// Attempts to fix all self-loops (and duplicates when `simple`) via random
+// degree-preserving swaps. Returns false if some conflict resisted repair.
+bool repair_conflicts(EdgeList& edges, Rng& rng, bool simple) {
+  if (edges.empty()) return true;
+  EdgeSet set(edges);
+  constexpr int kTriesPerEdge = 400;
+  bool all_fixed = true;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (!is_bad(edges[i], set, simple)) continue;
+    bool fixed = false;
+    for (int attempt = 0; attempt < kTriesPerEdge && !fixed; ++attempt) {
+      const std::size_t j = rng.index(edges.size());
+      if (j == i) continue;
+      auto [u, v] = edges[i];
+      auto [x, y] = edges[j];
+      if (rng.chance(0.5)) std::swap(x, y);
+      // Proposed replacement: (u,x) and (v,y).
+      if (u == x || v == y) continue;
+      set.remove(edges[i].first, edges[i].second);
+      set.remove(edges[j].first, edges[j].second);
+      const bool ok = !(simple && (set.count(u, x) > 0 || set.count(v, y) > 0)) &&
+                      normalized(u, x) != normalized(v, y);
+      if (ok) {
+        edges[i] = {u, x};
+        edges[j] = {v, y};
+        set.add(u, x);
+        set.add(v, y);
+        // The partner edge may itself have been a conflict; both new edges
+        // are clean by construction, so conflicts never increase.
+        fixed = !is_bad(edges[i], set, simple);
+      } else {
+        set.add(edges[i].first, edges[i].second);
+        set.add(edges[j].first, edges[j].second);
+      }
+    }
+    if (!fixed) all_fixed = false;
+  }
+  return all_fixed;
+}
+
+// Self-loops must always be removed, even in multigraph mode.
+bool has_self_loop(const EdgeList& edges) {
+  return std::any_of(edges.begin(), edges.end(),
+                     [](const auto& e) { return e.first == e.second; });
+}
+
+std::vector<int> components_over_edges(const EdgeList& edges,
+                                       std::size_t num_nodes) {
+  std::vector<std::vector<int>> adj(num_nodes);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    adj[static_cast<std::size_t>(edges[i].first)].push_back(edges[i].second);
+    adj[static_cast<std::size_t>(edges[i].second)].push_back(edges[i].first);
+  }
+  std::vector<int> label(num_nodes, -1);
+  int next = 0;
+  for (std::size_t start = 0; start < num_nodes; ++start) {
+    if (label[start] >= 0 || adj[start].empty()) continue;
+    std::queue<int> frontier;
+    label[start] = next;
+    frontier.push(static_cast<int>(start));
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int w : adj[static_cast<std::size_t>(u)]) {
+        if (label[static_cast<std::size_t>(w)] < 0) {
+          label[static_cast<std::size_t>(w)] = next;
+          frontier.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return label;  // -1 for nodes with no ports (ignored for connectivity)
+}
+
+int count_labels(const std::vector<int>& labels) {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+// Merges components by swapping one edge from each of two different
+// components: (a,b),(c,d) -> (a,c),(b,d). Degree-preserving, and the new
+// edges cannot duplicate existing ones since they span components.
+bool repair_connectivity(EdgeList& edges, Rng& rng, std::size_t num_nodes) {
+  constexpr int kMaxIterations = 400;
+  for (int iter = 0; iter < kMaxIterations; ++iter) {
+    const auto labels = components_over_edges(edges, num_nodes);
+    if (count_labels(labels) <= 1) return true;
+    // Pick random edges until two in different components are found.
+    const std::size_t i = rng.index(edges.size());
+    const int comp_i = labels[static_cast<std::size_t>(edges[i].first)];
+    std::size_t j = rng.index(edges.size());
+    bool found = false;
+    for (std::size_t scan = 0; scan < edges.size(); ++scan) {
+      const std::size_t candidate = (j + scan) % edges.size();
+      if (labels[static_cast<std::size_t>(edges[candidate].first)] != comp_i) {
+        j = candidate;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    if (rng.chance(0.5)) std::swap(c, d);
+    edges[i] = {a, c};
+    edges[j] = {b, d};
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> random_degree_sequence_edges(
+    const std::vector<int>& degrees, Rng& rng,
+    const DegreeSequenceOptions& options) {
+  long long total = 0;
+  for (std::size_t i = 0; i < degrees.size(); ++i) {
+    require(degrees[i] >= 0, "degrees must be non-negative");
+    require(degrees[i] <= static_cast<int>(degrees.size()) - 1 ||
+                !options.strict_simple,
+            "degree exceeds n-1; no simple graph exists");
+    total += degrees[i];
+  }
+  require(total % 2 == 0, "degree sum must be even");
+  if (total == 0) return {};
+
+  EdgeList edges;
+  bool simple_ok = false;
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    edges = pair_stubs(degrees, rng);
+    if (repair_conflicts(edges, rng, options.simple)) {
+      simple_ok = true;
+      break;
+    }
+  }
+  if (!simple_ok) {
+    if (options.simple && options.strict_simple) {
+      throw ConstructionFailure(
+          "could not realize a simple graph for the degree sequence");
+    }
+    // Multigraph fallback: parallel edges tolerated, self-loops are not.
+    bool loops_fixed = false;
+    for (int attempt = 0; attempt < options.max_attempts && !loops_fixed;
+         ++attempt) {
+      if (repair_conflicts(edges, rng, /*simple=*/false)) loops_fixed = true;
+      else edges = pair_stubs(degrees, rng);
+    }
+    if (!loops_fixed || has_self_loop(edges)) {
+      throw ConstructionFailure("could not eliminate self-loops");
+    }
+  }
+
+  if (options.ensure_connected) {
+    if (!repair_connectivity(edges, rng, degrees.size())) {
+      throw ConstructionFailure(
+          "could not rewire the degree sequence into a connected graph");
+    }
+  }
+  return edges;
+}
+
+Graph random_graph_with_degrees(const std::vector<int>& degrees,
+                                std::uint64_t seed,
+                                const DegreeSequenceOptions& options) {
+  Rng rng(seed);
+  Graph g(static_cast<int>(degrees.size()));
+  for (const auto& [u, v] : random_degree_sequence_edges(degrees, rng, options)) {
+    g.add_edge(u, v, 1.0);
+  }
+  return g;
+}
+
+double expected_cross_links(int stubs_a, int stubs_b) {
+  require(stubs_a >= 0 && stubs_b >= 0, "stub counts must be non-negative");
+  if (stubs_a + stubs_b < 2) return 0.0;
+  return static_cast<double>(stubs_a) * static_cast<double>(stubs_b) /
+         (static_cast<double>(stubs_a) + static_cast<double>(stubs_b) - 1.0);
+}
+
+}  // namespace topo

@@ -1,0 +1,56 @@
+// Random graphs with a prescribed degree sequence.
+//
+// The workhorse behind every random topology in the paper: a configuration
+// model (uniform random pairing of port "stubs") followed by repair passes
+// that remove self-loops and, when requested, parallel edges and
+// disconnectedness — all via degree-preserving edge swaps, so the result
+// still has exactly the requested degree sequence.
+#ifndef TOPODESIGN_TOPO_DEGREE_SEQUENCE_H
+#define TOPODESIGN_TOPO_DEGREE_SEQUENCE_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace topo {
+
+/// Options controlling random degree-sequence construction.
+struct DegreeSequenceOptions {
+  /// Forbid parallel edges. When a simple realization cannot be repaired
+  /// within the attempt budget, fall back to allowing parallel edges (the
+  /// configuration-model behaviour) rather than failing, unless
+  /// `strict_simple` is also set.
+  bool simple = true;
+  bool strict_simple = false;
+  /// Rewire (degree-preservingly) until the graph is connected. Requires
+  /// every node to have degree >= 1 when there are >= 2 nodes with ports.
+  bool ensure_connected = true;
+  /// Full restarts of the pairing before giving up on repairs.
+  int max_attempts = 20;
+};
+
+/// Returns a uniformly-ish random edge list realizing `degrees`
+/// (edge endpoints are indices into `degrees`). Self-loops never appear in
+/// the output. Raises InvalidArgument for odd degree sums and
+/// ConstructionFailure when constraints cannot be met.
+[[nodiscard]] std::vector<std::pair<int, int>> random_degree_sequence_edges(
+    const std::vector<int>& degrees, Rng& rng,
+    const DegreeSequenceOptions& options = {});
+
+/// Convenience wrapper building a Graph with unit edge capacities.
+[[nodiscard]] Graph random_graph_with_degrees(
+    const std::vector<int>& degrees, std::uint64_t seed,
+    const DegreeSequenceOptions& options = {});
+
+/// Expected number of inter-group edges when `stubs_a` + `stubs_b` port
+/// stubs are paired uniformly at random (configuration model):
+/// a*b / (a+b-1). This is the paper's "Expected Under Random Connection"
+/// normalizer for cross-cluster link counts.
+[[nodiscard]] double expected_cross_links(int stubs_a, int stubs_b);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_DEGREE_SEQUENCE_H

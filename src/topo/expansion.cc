@@ -1,0 +1,97 @@
+#include "topo/expansion.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+// Rebuilds the graph without the edges marked dead, with room for the new
+// node, returning the surviving edges. Graph has no edge removal by
+// design (solvers index edges densely), so expansion rebuilds.
+Graph rebuild_without(const Graph& g, const std::vector<char>& dead,
+                      int extra_nodes) {
+  Graph out(g.num_nodes() + extra_nodes);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!dead[static_cast<std::size_t>(e)]) {
+      out.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).capacity);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+NodeId splice_switch(BuiltTopology& topology, int network_ports, int servers,
+                     std::uint64_t seed, int node_class) {
+  require(network_ports >= 2, "splicing requires at least two network ports");
+  require(servers >= 0, "servers must be non-negative");
+  const Graph& g = topology.graph;
+  const int splice_count = network_ports / 2;
+  require(g.num_edges() >= splice_count,
+          "not enough existing links to splice into");
+
+  Rng rng(seed);
+  // Choose distinct links to break, preferring links whose endpoints are
+  // not already neighbors of earlier choices (keeps the graph simple).
+  std::vector<EdgeId> candidates(static_cast<std::size_t>(g.num_edges()));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    candidates[static_cast<std::size_t>(e)] = e;
+  }
+  rng.shuffle(candidates);
+
+  std::vector<char> dead(static_cast<std::size_t>(g.num_edges()), 0);
+  std::vector<char> adjacent_to_new(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<EdgeId> chosen;
+  for (EdgeId e : candidates) {
+    if (static_cast<int>(chosen.size()) == splice_count) break;
+    const Edge& edge = g.edge(e);
+    if (adjacent_to_new[static_cast<std::size_t>(edge.u)] ||
+        adjacent_to_new[static_cast<std::size_t>(edge.v)]) {
+      continue;  // would create a parallel edge to the new switch
+    }
+    chosen.push_back(e);
+    dead[static_cast<std::size_t>(e)] = 1;
+    adjacent_to_new[static_cast<std::size_t>(edge.u)] = 1;
+    adjacent_to_new[static_cast<std::size_t>(edge.v)] = 1;
+  }
+  // Fall back to allowing parallel edges if the graph is too small to
+  // avoid them (still correct, just a multigraph).
+  for (EdgeId e : candidates) {
+    if (static_cast<int>(chosen.size()) == splice_count) break;
+    if (!dead[static_cast<std::size_t>(e)]) {
+      chosen.push_back(e);
+      dead[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  require(static_cast<int>(chosen.size()) == splice_count,
+          "could not select links to splice");
+
+  Graph grown = rebuild_without(g, dead, 1);
+  const NodeId fresh = grown.num_nodes() - 1;
+  for (EdgeId e : chosen) {
+    const Edge& edge = g.edge(e);
+    grown.add_edge(edge.u, fresh, edge.capacity);
+    grown.add_edge(fresh, edge.v, edge.capacity);
+  }
+  topology.graph = std::move(grown);
+  topology.servers.per_switch.push_back(servers);
+  if (!topology.node_class.empty()) {
+    topology.node_class.push_back(node_class);
+  }
+  return fresh;
+}
+
+void expand_topology(BuiltTopology& topology, int count, int network_ports,
+                     int servers, std::uint64_t seed, int node_class) {
+  require(count >= 0, "count must be non-negative");
+  for (int i = 0; i < count; ++i) {
+    splice_switch(topology, network_ports, servers,
+                  Rng::derive_seed(seed, static_cast<std::uint64_t>(i)),
+                  node_class);
+  }
+}
+
+}  // namespace topo

@@ -1,0 +1,34 @@
+// Incremental expansion of random topologies (Jellyfish-style).
+//
+// A core motivation the paper inherits from Jellyfish: random graphs grow
+// gracefully. Adding a switch only requires breaking a few existing links
+// and splicing the new switch in — no rewiring of the whole fabric. This
+// module implements that operation and a helper for growing a network by
+// many switches, so the claim "expanded networks match from-scratch random
+// networks" can be tested and benchmarked.
+#ifndef TOPODESIGN_TOPO_EXPANSION_H
+#define TOPODESIGN_TOPO_EXPANSION_H
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Splices one new switch with `network_ports` network-facing ports and
+/// `servers` servers into the topology: floor(network_ports / 2) existing
+/// links (u, v) are removed and replaced by (u, new), (new, v) pairs,
+/// preserving every existing switch's degree. With odd `network_ports`
+/// one port is left free (as in Jellyfish). Links are chosen uniformly at
+/// random among switch-switch links, avoiding duplicates to the new node.
+/// Returns the new switch's id.
+NodeId splice_switch(BuiltTopology& topology, int network_ports, int servers,
+                     std::uint64_t seed, int node_class = 0);
+
+/// Grows the topology by `count` identical switches via repeated splicing.
+void expand_topology(BuiltTopology& topology, int count, int network_ports,
+                     int servers, std::uint64_t seed, int node_class = 0);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_EXPANSION_H

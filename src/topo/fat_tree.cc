@@ -1,0 +1,59 @@
+#include "topo/fat_tree.h"
+
+#include "util/error.h"
+
+namespace topo {
+
+BuiltTopology fat_tree_topology(int k) {
+  require(k >= 2 && k % 2 == 0, "fat tree requires even k >= 2");
+  const int half = k / 2;
+  const int num_edge = k * half;        // k pods * k/2 edge switches
+  const int num_agg = k * half;         // k pods * k/2 aggregation switches
+  const int num_core = half * half;
+  const int total = num_edge + num_agg + num_core;
+
+  // Node layout: edges [0, num_edge), aggs [num_edge, num_edge+num_agg),
+  // cores afterwards. Pod p owns edge/agg switches p*half .. p*half+half-1.
+  const auto edge_id = [&](int pod, int i) { return pod * half + i; };
+  const auto agg_id = [&](int pod, int i) { return num_edge + pod * half + i; };
+  const auto core_id = [&](int group, int i) {
+    return num_edge + num_agg + group * half + i;
+  };
+
+  BuiltTopology t;
+  t.graph = Graph(total);
+
+  for (int pod = 0; pod < k; ++pod) {
+    // Full bipartite edge-aggregation mesh inside the pod.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        t.graph.add_edge(edge_id(pod, e), agg_id(pod, a), 1.0);
+      }
+    }
+    // Aggregation switch a of every pod connects to core group a.
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        t.graph.add_edge(agg_id(pod, a), core_id(a, c), 1.0);
+      }
+    }
+  }
+
+  t.servers.per_switch.assign(static_cast<std::size_t>(total), 0);
+  for (int e = 0; e < num_edge; ++e) {
+    t.servers.per_switch[static_cast<std::size_t>(e)] = half;
+  }
+  t.node_class.assign(static_cast<std::size_t>(total),
+                      static_cast<int>(FatTreeClass::kCore));
+  for (int e = 0; e < num_edge; ++e) {
+    t.node_class[static_cast<std::size_t>(e)] =
+        static_cast<int>(FatTreeClass::kEdge);
+  }
+  for (int a = 0; a < num_agg; ++a) {
+    t.node_class[static_cast<std::size_t>(num_edge + a)] =
+        static_cast<int>(FatTreeClass::kAggregation);
+  }
+  t.class_names = {"edge", "aggregation", "core"};
+  return t;
+}
+
+}  // namespace topo

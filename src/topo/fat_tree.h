@@ -1,0 +1,20 @@
+// Three-level k-ary fat-tree (folded Clos), the Al-Fares et al. baseline.
+#ifndef TOPODESIGN_TOPO_FAT_TREE_H
+#define TOPODESIGN_TOPO_FAT_TREE_H
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Node classes produced by fat_tree_topology.
+enum class FatTreeClass : int { kEdge = 0, kAggregation = 1, kCore = 2 };
+
+/// Builds the k-ary fat-tree: k pods of k/2 edge + k/2 aggregation
+/// switches, (k/2)^2 core switches, k/2 servers per edge switch, unit link
+/// capacities. Requires even k >= 2. Supports k^3/4 servers at full
+/// throughput by construction.
+[[nodiscard]] BuiltTopology fat_tree_topology(int k);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_FAT_TREE_H

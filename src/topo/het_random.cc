@@ -1,0 +1,140 @@
+#include "topo/het_random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "topo/clustered_random.h"
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+void validate(const TwoTypeSpec& spec) {
+  require(spec.num_large > 0 && spec.num_small > 0,
+          "build_two_type requires both switch types present");
+  require(spec.servers_per_large >= 0 && spec.servers_per_small >= 0,
+          "server counts must be non-negative");
+  require(spec.large_ports >= spec.servers_per_large,
+          "large switches cannot host more servers than ports");
+  require(spec.small_ports >= spec.servers_per_small,
+          "small switches cannot host more servers than ports");
+  require(spec.cross_fraction >= 0.0, "cross_fraction must be >= 0");
+  require(spec.hs_links_per_large >= 0, "hs_links_per_large must be >= 0");
+  if (spec.hs_links_per_large > 0) {
+    require(spec.hs_speed > 0.0, "hs_speed must be positive");
+    require((static_cast<long long>(spec.num_large) * spec.hs_links_per_large) %
+                    2 ==
+                0,
+            "num_large * hs_links_per_large must be even");
+  }
+}
+
+int network_degree_large(const TwoTypeSpec& spec) {
+  return spec.large_ports - spec.servers_per_large;
+}
+int network_degree_small(const TwoTypeSpec& spec) {
+  return spec.small_ports - spec.servers_per_small;
+}
+
+}  // namespace
+
+BuiltTopology build_two_type(const TwoTypeSpec& spec, std::uint64_t seed) {
+  validate(spec);
+  const int dl = network_degree_large(spec);
+  const int ds = network_degree_small(spec);
+
+  ClusterSpec cluster;
+  cluster.degrees_a.assign(static_cast<std::size_t>(spec.num_large), dl);
+  cluster.degrees_b.assign(static_cast<std::size_t>(spec.num_small), ds);
+  // cross_fraction is a soft target: physically at most every port of the
+  // smaller side can face the other cluster, so clamp (high fractions then
+  // saturate instead of failing — matching the flat right end of Fig 6).
+  const long long max_cross =
+      std::min(static_cast<long long>(spec.num_large) * dl,
+               static_cast<long long>(spec.num_small) * ds);
+  cluster.cross_links = static_cast<int>(std::min(
+      max_cross,
+      std::llround(spec.cross_fraction * expected_cross_links_for(cluster))));
+  cluster.capacity = 1.0;
+  cluster.ensure_connected = spec.ensure_connected;
+
+  ClusteredGraph built = clustered_random_graph(cluster, seed);
+
+  BuiltTopology t;
+  t.graph = std::move(built.graph);
+
+  // High-line-speed overlay: a random regular graph among the large
+  // switches only, on the dedicated high-speed ports (Fig 8).
+  if (spec.hs_links_per_large > 0 && spec.num_large >= 2) {
+    Rng rng(Rng::derive_seed(seed, 0x48532d4f564cULL));  // independent stream
+    std::vector<int> hs_degrees(static_cast<std::size_t>(spec.num_large),
+                                spec.hs_links_per_large);
+    DegreeSequenceOptions options;
+    options.ensure_connected = false;  // base graph provides connectivity
+    for (const auto& [u, v] :
+         random_degree_sequence_edges(hs_degrees, rng, options)) {
+      t.graph.add_edge(u, v, spec.hs_speed);
+    }
+  }
+
+  t.servers.per_switch.assign(
+      static_cast<std::size_t>(spec.num_large + spec.num_small),
+      spec.servers_per_small);
+  for (int i = 0; i < spec.num_large; ++i) {
+    t.servers.per_switch[static_cast<std::size_t>(i)] = spec.servers_per_large;
+  }
+  t.node_class.assign(static_cast<std::size_t>(spec.num_large + spec.num_small),
+                      static_cast<int>(TwoTypeClass::kSmall));
+  for (int i = 0; i < spec.num_large; ++i) {
+    t.node_class[static_cast<std::size_t>(i)] =
+        static_cast<int>(TwoTypeClass::kLarge);
+  }
+  t.class_names = {"large", "small"};
+  return t;
+}
+
+double two_type_expected_cross(const TwoTypeSpec& spec) {
+  validate(spec);
+  return expected_cross_links(spec.num_large * network_degree_large(spec),
+                              spec.num_small * network_degree_small(spec));
+}
+
+double server_placement_ratio(const TwoTypeSpec& spec) {
+  validate(spec);
+  const double total_ports =
+      static_cast<double>(spec.num_large) * spec.large_ports +
+      static_cast<double>(spec.num_small) * spec.small_ports;
+  const double total_servers =
+      static_cast<double>(spec.num_large) * spec.servers_per_large +
+      static_cast<double>(spec.num_small) * spec.servers_per_small;
+  require(total_ports > 0.0 && total_servers > 0.0,
+          "server_placement_ratio requires ports and servers");
+  const double expected_per_large =
+      total_servers * static_cast<double>(spec.large_ports) / total_ports;
+  return static_cast<double>(spec.servers_per_large) / expected_per_large;
+}
+
+TwoTypeSpec with_server_split(TwoTypeSpec spec, int total_servers,
+                              double ratio) {
+  require(total_servers > 0, "total_servers must be positive");
+  require(ratio >= 0.0, "ratio must be non-negative");
+  const double total_ports =
+      static_cast<double>(spec.num_large) * spec.large_ports +
+      static_cast<double>(spec.num_small) * spec.small_ports;
+  const double proportional_per_large =
+      static_cast<double>(total_servers) * spec.large_ports / total_ports;
+  int per_large = static_cast<int>(std::llround(ratio * proportional_per_large));
+  per_large = std::max(0, std::min(per_large, spec.large_ports - 1));
+  int remaining = total_servers - spec.num_large * per_large;
+  int per_small =
+      static_cast<int>(std::llround(static_cast<double>(remaining) /
+                                    static_cast<double>(spec.num_small)));
+  per_small = std::max(0, std::min(per_small, spec.small_ports - 1));
+  spec.servers_per_large = per_large;
+  spec.servers_per_small = per_small;
+  return spec;
+}
+
+}  // namespace topo

@@ -1,0 +1,60 @@
+// Two-type heterogeneous random topologies (§5 of the paper).
+//
+// A pool of "large" and "small" switches (different port counts, optionally
+// different attached-server counts and an extra high-line-speed overlay on
+// the large switches) wired as a two-cluster random graph with a chosen
+// amount of cross-type connectivity.
+#ifndef TOPODESIGN_TOPO_HET_RANDOM_H
+#define TOPODESIGN_TOPO_HET_RANDOM_H
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Node classes produced by build_two_type.
+enum class TwoTypeClass : int { kLarge = 0, kSmall = 1 };
+
+/// Specification of a two-type heterogeneous network.
+struct TwoTypeSpec {
+  int num_large = 0;
+  int num_small = 0;
+  int large_ports = 0;  ///< Total (low-speed) ports per large switch.
+  int small_ports = 0;  ///< Total ports per small switch.
+  int servers_per_large = 0;
+  int servers_per_small = 0;
+  /// Cross-type links as a multiple of the expected count under uniform
+  /// random wiring (the paper's x-axis). 1.0 = vanilla random graph.
+  double cross_fraction = 1.0;
+  /// Extra high-line-speed links per large switch, wired only among large
+  /// switches (Fig 8). 0 disables the overlay.
+  int hs_links_per_large = 0;
+  double hs_speed = 10.0;  ///< Capacity of each overlay link.
+  bool ensure_connected = true;
+};
+
+/// Builds the heterogeneous topology. Network degree of each switch is its
+/// port count minus its server count (both must be feasible). Classes:
+/// large switches first (ids [0, num_large)), then small.
+[[nodiscard]] BuiltTopology build_two_type(const TwoTypeSpec& spec,
+                                           std::uint64_t seed);
+
+/// Expected cross-type link count under uniform random wiring for `spec`
+/// (after server attachment, excluding any high-speed overlay).
+[[nodiscard]] double two_type_expected_cross(const TwoTypeSpec& spec);
+
+/// The paper's Fig-4 x-axis: ratio of servers-per-large-switch to the
+/// count expected if servers were spread over ports uniformly at random.
+[[nodiscard]] double server_placement_ratio(const TwoTypeSpec& spec);
+
+/// Splits `total_servers` between large/small switches such that the
+/// large switches get `ratio` times their proportional share; returns a
+/// spec with servers_per_large / servers_per_small filled in (rounded,
+/// preserving the total as closely as switch granularity allows).
+[[nodiscard]] TwoTypeSpec with_server_split(TwoTypeSpec spec,
+                                            int total_servers, double ratio);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_HET_RANDOM_H

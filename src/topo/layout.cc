@@ -1,0 +1,64 @@
+#include "topo/layout.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace topo {
+
+FloorLayout grid_layout(int num_switches, int columns, int per_rack) {
+  require(num_switches >= 0, "num_switches must be non-negative");
+  require(columns >= 1, "columns must be positive");
+  require(per_rack >= 1, "per_rack must be positive");
+  FloorLayout layout;
+  layout.position.reserve(static_cast<std::size_t>(num_switches));
+  for (int i = 0; i < num_switches; ++i) {
+    const int rack = i / per_rack;
+    layout.position.push_back(RackPosition{rack / columns, rack % columns});
+  }
+  return layout;
+}
+
+FloorLayout two_zone_layout(int cluster_a_size, int cluster_b_size,
+                            int columns) {
+  require(cluster_a_size >= 0 && cluster_b_size >= 0,
+          "cluster sizes must be non-negative");
+  require(columns >= 2, "two zones need at least two columns");
+  const int half = columns / 2;
+  FloorLayout layout;
+  layout.position.reserve(
+      static_cast<std::size_t>(cluster_a_size + cluster_b_size));
+  for (int i = 0; i < cluster_a_size; ++i) {
+    layout.position.push_back(RackPosition{i / half, i % half});
+  }
+  for (int i = 0; i < cluster_b_size; ++i) {
+    layout.position.push_back(RackPosition{i / half, half + i % half});
+  }
+  return layout;
+}
+
+double cable_length(const FloorLayout& layout, NodeId u, NodeId v) {
+  require(u >= 0 && u < layout.num_switches() && v >= 0 &&
+              v < layout.num_switches(),
+          "cable endpoints out of range");
+  const RackPosition& a = layout.position[static_cast<std::size_t>(u)];
+  const RackPosition& b = layout.position[static_cast<std::size_t>(v)];
+  return std::abs(a.row - b.row) + std::abs(a.column - b.column);
+}
+
+CableStats cable_stats(const Graph& graph, const FloorLayout& layout) {
+  require(layout.num_switches() == graph.num_nodes(),
+          "layout must cover every switch");
+  CableStats stats;
+  if (graph.num_edges() == 0) return stats;
+  for (const Edge& e : graph.edges()) {
+    const double length = cable_length(layout, e.u, e.v);
+    stats.total_length += length;
+    stats.max_length = std::max(stats.max_length, length);
+  }
+  stats.mean_length = stats.total_length / graph.num_edges();
+  return stats;
+}
+
+}  // namespace topo

@@ -1,0 +1,61 @@
+// Physical layout and cable-length accounting (§6.2's application).
+//
+// The paper's plateau result implies switches can be clustered physically
+// — wiring mostly within nearby racks — without losing throughput, as
+// long as the cross-cluster cut stays above the drop threshold. This
+// module models a machine-room floor as a grid of racks, assigns switches
+// to racks, and measures the cable length a topology implies, so the
+// cable-cost/throughput trade-off can be quantified.
+#ifndef TOPODESIGN_TOPO_LAYOUT_H
+#define TOPODESIGN_TOPO_LAYOUT_H
+
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// A switch position on the machine-room floor (rack grid coordinates).
+struct RackPosition {
+  int row = 0;
+  int column = 0;
+};
+
+/// Floor layout: a position per switch.
+struct FloorLayout {
+  std::vector<RackPosition> position;
+
+  [[nodiscard]] int num_switches() const {
+    return static_cast<int>(position.size());
+  }
+};
+
+/// Lays out `num_switches` switches row-major on a grid `columns` wide,
+/// `per_rack` switches per rack position.
+[[nodiscard]] FloorLayout grid_layout(int num_switches, int columns,
+                                      int per_rack = 1);
+
+/// Lays out a two-cluster network with cluster A's switches (ids
+/// [0, cluster_a_size)) on the left half of the floor and cluster B on the
+/// right — the physical arrangement the paper's clustering argument
+/// envisions.
+[[nodiscard]] FloorLayout two_zone_layout(int cluster_a_size,
+                                          int cluster_b_size, int columns);
+
+/// Manhattan cable length of one edge under the layout (rack pitch = 1).
+[[nodiscard]] double cable_length(const FloorLayout& layout, NodeId u,
+                                  NodeId v);
+
+/// Total and mean cable length of all switch-switch links.
+struct CableStats {
+  double total_length = 0.0;
+  double mean_length = 0.0;
+  double max_length = 0.0;
+};
+
+[[nodiscard]] CableStats cable_stats(const Graph& graph,
+                                     const FloorLayout& layout);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_LAYOUT_H

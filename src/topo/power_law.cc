@@ -1,0 +1,118 @@
+#include "topo/power_law.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+
+std::vector<int> power_law_ports(int n, double target_mean, std::uint64_t seed,
+                                 double alpha, int min_ports) {
+  require(n > 0, "power_law_ports requires n > 0");
+  require(alpha > 1.0, "power-law exponent must exceed 1");
+  require(min_ports >= 1, "min_ports must be >= 1");
+  require(target_mean >= static_cast<double>(min_ports),
+          "target_mean must be at least min_ports");
+
+  Rng rng(seed);
+  // Continuous Pareto samples x = u^(-1/(alpha-1)), truncated at 20x the
+  // minimum to keep the largest switch realistic.
+  std::vector<double> raw(static_cast<std::size_t>(n));
+  for (double& x : raw) {
+    const double u = std::max(rng.uniform(), 1e-9);
+    x = std::min(std::pow(u, -1.0 / (alpha - 1.0)), 20.0);
+  }
+  const double raw_mean =
+      std::accumulate(raw.begin(), raw.end(), 0.0) / static_cast<double>(n);
+  const double scale = target_mean / raw_mean;
+
+  std::vector<int> ports(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    ports[i] = std::max(min_ports, static_cast<int>(std::llround(raw[i] * scale)));
+  }
+  return ports;
+}
+
+std::vector<int> beta_proportional_servers(const std::vector<int>& ports,
+                                           double beta, int total_servers) {
+  require(!ports.empty(), "beta_proportional_servers requires switches");
+  require(total_servers >= 0, "total_servers must be non-negative");
+  for (int p : ports) require(p >= 1, "every switch needs at least one port");
+
+  const std::size_t n = ports.size();
+  std::vector<double> weight(n);
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    weight[i] = std::pow(static_cast<double>(ports[i]), beta);
+    weight_sum += weight[i];
+  }
+  require(weight_sum > 0.0, "weights must be positive");
+
+  // Largest-remainder apportionment with a per-switch cap of ports[i]-1
+  // (each switch must keep at least one network port).
+  std::vector<int> servers(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainder(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = total_servers * weight[i] / weight_sum;
+    servers[i] = std::min(static_cast<int>(ideal), ports[i] - 1);
+    assigned += servers[i];
+    remainder[i] = {ideal - servers[i], i};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int deficit = total_servers - assigned;
+  // First pass by remainder order, then round-robin over any remaining room.
+  for (int pass = 0; deficit > 0 && pass < total_servers; ++pass) {
+    bool progressed = false;
+    for (const auto& [frac, i] : remainder) {
+      if (deficit == 0) break;
+      if (servers[i] < ports[i] - 1) {
+        ++servers[i];
+        --deficit;
+        progressed = true;
+      }
+    }
+    if (!progressed) break;
+  }
+  if (deficit > 0) {
+    throw ConstructionFailure(
+        "beta_proportional_servers: not enough port capacity for the "
+        "requested server count");
+  }
+  return servers;
+}
+
+BuiltTopology build_pool_topology(const std::vector<int>& ports,
+                                  const std::vector<int>& servers,
+                                  std::uint64_t seed) {
+  require(ports.size() == servers.size(),
+          "ports and servers must have equal length");
+  std::vector<int> degrees(ports.size());
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    require(servers[i] >= 0 && servers[i] <= ports[i],
+            "server count exceeds port count");
+    degrees[i] = ports[i] - servers[i];
+  }
+
+  BuiltTopology t;
+  DegreeSequenceOptions options;
+  options.ensure_connected = true;
+  t.graph = random_graph_with_degrees(degrees, seed, options);
+  t.servers.per_switch = servers;
+  t.node_class.assign(ports.size(), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+void fix_parity_for_servers(std::vector<int>& ports, int total_servers) {
+  require(!ports.empty(), "fix_parity_for_servers requires switches");
+  const long long port_sum = std::accumulate(ports.begin(), ports.end(), 0LL);
+  if ((port_sum - total_servers) % 2 != 0) ++ports.back();
+}
+
+}  // namespace topo

@@ -1,0 +1,45 @@
+// Power-law switch pools and degree-proportional server placement (Fig 5).
+//
+// The paper's Fig 5 draws switch port-counts from a power-law distribution
+// and attaches servers to switch i in proportion to k_i^beta, then wires
+// the remaining ports uniformly at random.
+#ifndef TOPODESIGN_TOPO_POWER_LAW_H
+#define TOPODESIGN_TOPO_POWER_LAW_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Samples `n` switch port-counts from a truncated discrete Pareto
+/// distribution (exponent `alpha`), rescaled so the sample mean is close to
+/// `target_mean`. Every value is at least `min_ports`.
+[[nodiscard]] std::vector<int> power_law_ports(int n, double target_mean,
+                                               std::uint64_t seed,
+                                               double alpha = 2.5,
+                                               int min_ports = 3);
+
+/// Distributes `total_servers` so switch i gets a share proportional to
+/// ports[i]^beta (largest-remainder rounding). Each switch keeps at least
+/// one network-facing port, so its server count is capped at ports[i]-1;
+/// overflow is redistributed. The returned counts sum to `total_servers`;
+/// raises ConstructionFailure if the caps make that impossible.
+[[nodiscard]] std::vector<int> beta_proportional_servers(
+    const std::vector<int>& ports, double beta, int total_servers);
+
+/// Random topology over a heterogeneous pool: switch i has ports[i] ports
+/// and hosts servers[i] servers; the remaining ports are wired uniformly at
+/// random. Requires sum(ports[i] - servers[i]) to be even.
+[[nodiscard]] BuiltTopology build_pool_topology(const std::vector<int>& ports,
+                                                const std::vector<int>& servers,
+                                                std::uint64_t seed);
+
+/// Adjusts the last element of `ports` (by +1) if needed so that
+/// sum(ports) - total_servers is even, making build_pool_topology feasible.
+void fix_parity_for_servers(std::vector<int>& ports, int total_servers);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_POWER_LAW_H

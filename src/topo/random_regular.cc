@@ -1,0 +1,28 @@
+#include "topo/random_regular.h"
+
+#include "topo/degree_sequence.h"
+
+namespace topo {
+
+Graph random_regular_graph(int n, int r, std::uint64_t seed) {
+  require(n >= 1, "random_regular_graph requires n >= 1");
+  require(r >= 0 && r < n, "random_regular_graph requires 0 <= r < n");
+  require((static_cast<long long>(n) * r) % 2 == 0,
+          "n * r must be even for an r-regular graph");
+  std::vector<int> degrees(static_cast<std::size_t>(n), r);
+  DegreeSequenceOptions options;
+  options.ensure_connected = r >= 1 && n >= 2;
+  return random_graph_with_degrees(degrees, seed, options);
+}
+
+BuiltTopology random_regular_topology(int n, int k, int r, std::uint64_t seed) {
+  require(k >= r, "random_regular_topology requires k >= r");
+  BuiltTopology t;
+  t.graph = random_regular_graph(n, r, seed);
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), k - r);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+}  // namespace topo

@@ -1,0 +1,27 @@
+// Random regular graphs — the paper's near-optimal homogeneous topology.
+//
+// RRG(N, k, r) in the paper's notation: N switches of k ports each, r of
+// which face the network; we generate the r-regular random switch graph and
+// attach (k - r) servers per switch.
+#ifndef TOPODESIGN_TOPO_RANDOM_REGULAR_H
+#define TOPODESIGN_TOPO_RANDOM_REGULAR_H
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Connected simple random r-regular graph on n nodes (unit capacities).
+/// Requires 0 <= r < n and even n*r. Falls back to a multigraph only if a
+/// simple realization resists repair (practically never for r >= 3).
+[[nodiscard]] Graph random_regular_graph(int n, int r, std::uint64_t seed);
+
+/// Full RRG topology: n switches with k ports, r network-facing, so each
+/// switch hosts (k - r) servers. Mirrors the paper's RRG(N, k, r).
+[[nodiscard]] BuiltTopology random_regular_topology(int n, int k, int r,
+                                                    std::uint64_t seed);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_RANDOM_REGULAR_H

@@ -1,0 +1,54 @@
+#include "topo/small_world.h"
+
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+
+BuiltTopology small_world_topology(int n, int lattice_degree,
+                                   int shortcut_degree,
+                                   int servers_per_switch,
+                                   std::uint64_t seed) {
+  require(n >= 3, "small world requires n >= 3");
+  require(lattice_degree >= 2 && lattice_degree % 2 == 0,
+          "lattice degree must be even and >= 2");
+  require(lattice_degree < n, "lattice degree must be < n");
+  require(shortcut_degree >= 0, "shortcut degree must be >= 0");
+  require((static_cast<long long>(n) * shortcut_degree) % 2 == 0,
+          "n * shortcut_degree must be even");
+  require(servers_per_switch >= 0, "servers must be >= 0");
+
+  BuiltTopology t;
+  t.graph = Graph(n);
+  // Ring lattice: each node linked to lattice_degree/2 neighbors per side.
+  // For offset < n/2 the pairs (i, i+offset) for all i are distinct; the
+  // diametric offset n/2 (even n) pairs each edge twice, so iterate half.
+  for (int offset = 1; offset <= lattice_degree / 2; ++offset) {
+    const int upper = (2 * offset == n) ? n / 2 : n;
+    for (int i = 0; i < upper; ++i) {
+      t.graph.add_edge(i, (i + offset) % n, 1.0);
+    }
+  }
+
+  // Random shortcuts realized as a degree sequence over remaining ports,
+  // avoiding duplicates with the lattice where possible.
+  if (shortcut_degree > 0) {
+    Rng rng(seed);
+    const std::vector<int> degrees(static_cast<std::size_t>(n),
+                                   shortcut_degree);
+    DegreeSequenceOptions options;
+    options.ensure_connected = false;  // the lattice is already connected
+    for (const auto& [u, v] :
+         random_degree_sequence_edges(degrees, rng, options)) {
+      t.graph.add_edge(u, v, 1.0);
+    }
+  }
+
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), servers_per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+}  // namespace topo

@@ -1,0 +1,28 @@
+// Small-world data center topology (Shin, Wong, Sirer — SWDC, SOCC 2011).
+//
+// One of the "flat" designs the paper compares against conceptually: a
+// ring lattice (each switch linked to its nearest neighbors) plus random
+// long-range shortcuts. Included as a baseline for the homogeneous
+// comparison benches and the topology-zoo example.
+#ifndef TOPODESIGN_TOPO_SMALL_WORLD_H
+#define TOPODESIGN_TOPO_SMALL_WORLD_H
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Builds a small-world network: `n` switches on a ring, each connected to
+/// its `lattice_degree` nearest neighbors (must be even), plus
+/// `shortcut_degree` random long-range links per switch (must make
+/// n * shortcut_degree even). Total network degree is lattice_degree +
+/// shortcut_degree; `servers_per_switch` servers attach to every switch.
+[[nodiscard]] BuiltTopology small_world_topology(int n, int lattice_degree,
+                                                 int shortcut_degree,
+                                                 int servers_per_switch,
+                                                 std::uint64_t seed);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_SMALL_WORLD_H

@@ -1,0 +1,82 @@
+#include "topo/structured.h"
+
+#include "util/error.h"
+
+namespace topo {
+
+BuiltTopology hypercube_topology(int dim, int servers_per_switch) {
+  require(dim >= 1 && dim <= 20, "hypercube dimension must be in [1, 20]");
+  require(servers_per_switch >= 0, "servers_per_switch must be >= 0");
+  const int n = 1 << dim;
+  BuiltTopology t;
+  t.graph = Graph(n);
+  for (int u = 0; u < n; ++u) {
+    for (int b = 0; b < dim; ++b) {
+      const int v = u ^ (1 << b);
+      if (u < v) t.graph.add_edge(u, v, 1.0);
+    }
+  }
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), servers_per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+BuiltTopology generalized_hypercube_topology(const std::vector<int>& radices,
+                                             int servers_per_switch) {
+  require(!radices.empty(), "generalized hypercube needs >= 1 dimension");
+  require(servers_per_switch >= 0, "servers_per_switch must be >= 0");
+  long long total = 1;
+  for (int radix : radices) {
+    require(radix >= 2, "every radix must be >= 2");
+    total *= radix;
+    require(total <= 1'000'000, "generalized hypercube too large");
+  }
+  const int n = static_cast<int>(total);
+
+  // Mixed-radix strides for coordinate arithmetic.
+  std::vector<long long> stride(radices.size(), 1);
+  for (std::size_t d = 1; d < radices.size(); ++d) {
+    stride[d] = stride[d - 1] * radices[d - 1];
+  }
+
+  BuiltTopology t;
+  t.graph = Graph(n);
+  for (int node = 0; node < n; ++node) {
+    for (std::size_t d = 0; d < radices.size(); ++d) {
+      const int digit = static_cast<int>((node / stride[d]) % radices[d]);
+      // Link to all larger digit values in this dimension (each unordered
+      // pair added exactly once).
+      for (int other = digit + 1; other < radices[d]; ++other) {
+        const int peer =
+            node + static_cast<int>((other - digit) * stride[d]);
+        t.graph.add_edge(node, peer, 1.0);
+      }
+    }
+  }
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), servers_per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+BuiltTopology torus2d_topology(int rows, int cols, int servers_per_switch) {
+  require(rows >= 3 && cols >= 3, "torus requires rows, cols >= 3");
+  require(servers_per_switch >= 0, "servers_per_switch must be >= 0");
+  const int n = rows * cols;
+  const auto id = [&](int r, int c) { return r * cols + c; };
+  BuiltTopology t;
+  t.graph = Graph(n);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.graph.add_edge(id(r, c), id((r + 1) % rows, c), 1.0);
+      t.graph.add_edge(id(r, c), id(r, (c + 1) % cols), 1.0);
+    }
+  }
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), servers_per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+}  // namespace topo

@@ -1,0 +1,30 @@
+// Classic structured baselines: hypercube and 2-D torus.
+//
+// Used by the examples and the homogeneous-design comparisons (the paper
+// notes random graphs beat hypercubes by ~30% at 512 nodes).
+#ifndef TOPODESIGN_TOPO_STRUCTURED_H
+#define TOPODESIGN_TOPO_STRUCTURED_H
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// d-dimensional hypercube on 2^d switches with `servers_per_switch`
+/// servers each; unit capacities. Requires 1 <= dim <= 20.
+[[nodiscard]] BuiltTopology hypercube_topology(int dim, int servers_per_switch);
+
+/// rows x cols wraparound 2-D torus; requires rows, cols >= 3 so no
+/// parallel wrap edges arise.
+[[nodiscard]] BuiltTopology torus2d_topology(int rows, int cols,
+                                             int servers_per_switch);
+
+/// Generalized hypercube (a.k.a. Hamming graph / flattened-butterfly
+/// style interconnect, the [18]-family baseline): switches are points of a
+/// mixed-radix grid given by `radices`, and every pair differing in
+/// exactly one coordinate is directly linked. Degree = sum(radix_i - 1).
+[[nodiscard]] BuiltTopology generalized_hypercube_topology(
+    const std::vector<int>& radices, int servers_per_switch);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_STRUCTURED_H

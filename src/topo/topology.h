@@ -1,0 +1,60 @@
+// Common types for generated topologies.
+//
+// A topology is a switch-level Graph plus a ServerMap saying how many
+// servers attach to each switch. Node classes (ToR / aggregation / core,
+// or large / small) are carried along for link-classification in the
+// bottleneck analysis of §6.1.
+#ifndef TOPODESIGN_TOPO_TOPOLOGY_H
+#define TOPODESIGN_TOPO_TOPOLOGY_H
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace topo {
+
+/// Servers attached to each switch.
+struct ServerMap {
+  std::vector<int> per_switch;
+
+  [[nodiscard]] int total() const {
+    return std::accumulate(per_switch.begin(), per_switch.end(), 0);
+  }
+
+  [[nodiscard]] int num_switches() const {
+    return static_cast<int>(per_switch.size());
+  }
+
+  /// Home switch of every server; server ids are assigned contiguously
+  /// switch by switch (servers of switch 0 first, then switch 1, ...).
+  [[nodiscard]] std::vector<NodeId> server_home() const {
+    std::vector<NodeId> home;
+    home.reserve(static_cast<std::size_t>(total()));
+    for (NodeId sw = 0; sw < num_switches(); ++sw) {
+      for (int i = 0; i < per_switch[static_cast<std::size_t>(sw)]; ++i) {
+        home.push_back(sw);
+      }
+    }
+    return home;
+  }
+};
+
+/// A generated switch-level topology with server attachments.
+struct BuiltTopology {
+  Graph graph{0};
+  ServerMap servers;
+  /// Class index per switch (semantics defined by the generator).
+  std::vector<int> node_class;
+  /// Human-readable name per class index.
+  std::vector<std::string> class_names;
+
+  [[nodiscard]] int class_of(NodeId n) const {
+    return node_class.empty() ? 0 : node_class[static_cast<std::size_t>(n)];
+  }
+};
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_TOPOLOGY_H

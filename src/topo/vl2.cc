@@ -1,0 +1,228 @@
+#include "topo/vl2.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+void validate(const Vl2Params& p) {
+  require(p.d_a >= 2 && p.d_a % 2 == 0, "VL2 requires even d_a >= 2");
+  require(p.d_i >= 2, "VL2 requires d_i >= 2");
+  require((p.d_a * p.d_i) % 4 == 0, "VL2 requires d_a * d_i divisible by 4");
+  require(p.servers_per_tor >= 1, "VL2 requires servers on ToRs");
+  require(p.uplink_speed > 0.0, "uplink speed must be positive");
+}
+
+// Largest-remainder apportionment of `total` items proportional to
+// `weights`, capped per entry; returns counts summing to `total`.
+std::vector<int> apportion(const std::vector<int>& weights, int total,
+                           const std::vector<int>& caps) {
+  const std::size_t n = weights.size();
+  const double weight_sum =
+      static_cast<double>(std::accumulate(weights.begin(), weights.end(), 0LL));
+  std::vector<int> counts(n, 0);
+  std::vector<std::pair<double, std::size_t>> remainder(n);
+  int assigned = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ideal = total * weights[i] / weight_sum;
+    counts[i] = std::min(static_cast<int>(ideal), caps[i]);
+    assigned += counts[i];
+    remainder[i] = {ideal - counts[i], i};
+  }
+  std::sort(remainder.begin(), remainder.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  int deficit = total - assigned;
+  while (deficit > 0) {
+    bool progressed = false;
+    for (const auto& [frac, i] : remainder) {
+      if (deficit == 0) break;
+      if (counts[i] < caps[i]) {
+        ++counts[i];
+        --deficit;
+        progressed = true;
+      }
+    }
+    require(progressed, "apportion: caps too tight for requested total");
+  }
+  return counts;
+}
+
+}  // namespace
+
+int vl2_nominal_tors(const Vl2Params& params) {
+  validate(params);
+  return params.d_a * params.d_i / 4;
+}
+
+BuiltTopology vl2_topology(const Vl2Params& params) {
+  validate(params);
+  const int num_tor = vl2_nominal_tors(params);
+  const int num_agg = params.d_i;
+  const int num_core = params.d_a / 2;
+  const int total = num_tor + num_agg + num_core;
+
+  BuiltTopology t;
+  t.graph = Graph(total);
+  const auto agg_id = [&](int a) { return num_tor + a; };
+  const auto core_id = [&](int c) { return num_tor + num_agg + c; };
+
+  // Each ToR has two 10G uplinks to two different aggregation switches,
+  // assigned round-robin so every aggregation switch receives exactly
+  // d_a/2 ToR-facing links.
+  for (int tor = 0; tor < num_tor; ++tor) {
+    const int a1 = (2 * tor) % num_agg;
+    const int a2 = (2 * tor + 1) % num_agg;
+    t.graph.add_edge(tor, agg_id(a1), params.uplink_speed);
+    t.graph.add_edge(tor, agg_id(a2), params.uplink_speed);
+  }
+  // Full bipartite aggregation-core interconnect.
+  for (int a = 0; a < num_agg; ++a) {
+    for (int c = 0; c < num_core; ++c) {
+      t.graph.add_edge(agg_id(a), core_id(c), params.uplink_speed);
+    }
+  }
+
+  t.servers.per_switch.assign(static_cast<std::size_t>(total), 0);
+  for (int tor = 0; tor < num_tor; ++tor) {
+    t.servers.per_switch[static_cast<std::size_t>(tor)] = params.servers_per_tor;
+  }
+  t.node_class.assign(static_cast<std::size_t>(total),
+                      static_cast<int>(Vl2Class::kCore));
+  for (int tor = 0; tor < num_tor; ++tor) {
+    t.node_class[static_cast<std::size_t>(tor)] =
+        static_cast<int>(Vl2Class::kToR);
+  }
+  for (int a = 0; a < num_agg; ++a) {
+    t.node_class[static_cast<std::size_t>(agg_id(a))] =
+        static_cast<int>(Vl2Class::kAggregation);
+  }
+  t.class_names = {"tor", "aggregation", "core"};
+  return t;
+}
+
+int rewired_vl2_max_tors(const Vl2Params& params) {
+  validate(params);
+  // Every aggregation/core switch keeps >= 1 port for the random fabric.
+  const int agg_room = params.d_i * (params.d_a - 1);
+  const int core_room = (params.d_a / 2) * (params.d_i - 1);
+  return (agg_room + core_room) / 2;
+}
+
+BuiltTopology rewired_vl2_topology(const Vl2Params& params, int num_tors,
+                                   std::uint64_t seed) {
+  validate(params);
+  require(num_tors >= 1, "rewired VL2 requires at least one ToR");
+  require(num_tors <= rewired_vl2_max_tors(params),
+          "switch pool cannot host this many ToR uplinks");
+
+  const int num_agg = params.d_i;
+  const int num_core = params.d_a / 2;
+  const int num_pool = num_agg + num_core;
+  const int total = num_tors + num_pool;
+  Rng rng(seed);
+
+  // Pool switch ports: aggregation switches have d_a, cores d_i.
+  std::vector<int> pool_ports(static_cast<std::size_t>(num_pool), params.d_a);
+  for (int c = 0; c < num_core; ++c) {
+    pool_ports[static_cast<std::size_t>(num_agg + c)] = params.d_i;
+  }
+
+  // §7: distribute ToR uplinks over aggregation and core switches in
+  // proportion to their port counts.
+  const int num_uplinks = 2 * num_tors;
+  std::vector<int> caps(pool_ports.size());
+  for (std::size_t i = 0; i < pool_ports.size(); ++i) caps[i] = pool_ports[i] - 1;
+  const std::vector<int> quota = apportion(pool_ports, num_uplinks, caps);
+
+  // Assign each ToR's two uplinks to two (preferably distinct) switches.
+  std::vector<int> uplink_slots;
+  uplink_slots.reserve(static_cast<std::size_t>(num_uplinks));
+  for (std::size_t s = 0; s < quota.size(); ++s) {
+    for (int i = 0; i < quota[s]; ++i) uplink_slots.push_back(static_cast<int>(s));
+  }
+  rng.shuffle(uplink_slots);
+  for (std::size_t j = 0; j + 1 < uplink_slots.size(); j += 2) {
+    if (uplink_slots[j] != uplink_slots[j + 1]) continue;
+    for (std::size_t k = j + 2; k < uplink_slots.size(); ++k) {
+      if (uplink_slots[k] != uplink_slots[j]) {
+        std::swap(uplink_slots[j + 1], uplink_slots[k]);
+        break;
+      }
+    }
+    // If no swap was possible the ToR double-homes to one switch, which is
+    // legitimate (if unusual) hardware-wise and throughput-equivalent.
+  }
+
+  BuiltTopology t;
+  t.graph = Graph(total);
+  const auto pool_id = [&](int s) { return num_tors + s; };
+  for (int tor = 0; tor < num_tors; ++tor) {
+    t.graph.add_edge(tor, pool_id(uplink_slots[static_cast<std::size_t>(2 * tor)]),
+                     params.uplink_speed);
+    t.graph.add_edge(tor,
+                     pool_id(uplink_slots[static_cast<std::size_t>(2 * tor + 1)]),
+                     params.uplink_speed);
+  }
+
+  // Wire the remaining pool ports uniformly at random.
+  std::vector<int> remaining(pool_ports.size());
+  long long remaining_sum = 0;
+  for (std::size_t s = 0; s < pool_ports.size(); ++s) {
+    remaining[s] = pool_ports[s] - quota[s];
+    remaining_sum += remaining[s];
+  }
+  if (remaining_sum % 2 != 0) {
+    // Leave one port unused on the switch with the most spare ports.
+    const auto it = std::max_element(remaining.begin(), remaining.end());
+    require(*it >= 1, "parity fix requires a spare port");
+    --(*it);
+  }
+  // The leftover fabric need not be connected on its own — ToR uplinks
+  // also join pool switches — so build it unconstrained and retry with
+  // fresh randomness until the WHOLE topology is connected.
+  DegreeSequenceOptions options;
+  options.ensure_connected = false;
+  constexpr int kMaxFabricAttempts = 30;
+  for (int attempt = 0;; ++attempt) {
+    Graph candidate = t.graph;  // ToR uplinks only
+    Rng fabric_rng(Rng::derive_seed(seed, 0xFAB0 + static_cast<std::uint64_t>(attempt)));
+    for (const auto& [u, v] :
+         random_degree_sequence_edges(remaining, fabric_rng, options)) {
+      candidate.add_edge(pool_id(u), pool_id(v), params.uplink_speed);
+    }
+    if (is_connected(candidate)) {
+      t.graph = std::move(candidate);
+      break;
+    }
+    if (attempt + 1 >= kMaxFabricAttempts) {
+      throw ConstructionFailure(
+          "rewired_vl2_topology: could not produce a connected fabric");
+    }
+  }
+
+  t.servers.per_switch.assign(static_cast<std::size_t>(total), 0);
+  for (int tor = 0; tor < num_tors; ++tor) {
+    t.servers.per_switch[static_cast<std::size_t>(tor)] = params.servers_per_tor;
+  }
+  t.node_class.assign(static_cast<std::size_t>(total),
+                      static_cast<int>(Vl2Class::kCore));
+  for (int tor = 0; tor < num_tors; ++tor) {
+    t.node_class[static_cast<std::size_t>(tor)] =
+        static_cast<int>(Vl2Class::kToR);
+  }
+  for (int a = 0; a < num_agg; ++a) {
+    t.node_class[static_cast<std::size_t>(pool_id(a))] =
+        static_cast<int>(Vl2Class::kAggregation);
+  }
+  t.class_names = {"tor", "aggregation", "core"};
+  return t;
+}
+
+}  // namespace topo

@@ -1,0 +1,54 @@
+// VL2 (Greenberg et al., SIGCOMM 2009) and the paper's rewired variant.
+//
+// VL2 uses three switch types: ToRs (20 x 1G servers, 2 x 10G uplinks),
+// DI aggregation switches with DA 10G ports each, and DA/2 core switches
+// with DI 10G ports each, the aggregation-core interconnect being a full
+// bipartite graph. Capacities are expressed in server line-rates, so 10G
+// links have capacity 10.
+//
+// The rewired variant (§7 of the paper) keeps the identical switch pool
+// but (a) spreads ToR uplinks over aggregation AND core switches in
+// proportion to their port counts, and (b) wires all remaining 10G ports
+// uniformly at random. It supports a configurable number of ToRs so the
+// binary search of Fig 12 can find the largest count that still yields
+// full throughput.
+#ifndef TOPODESIGN_TOPO_VL2_H
+#define TOPODESIGN_TOPO_VL2_H
+
+#include <cstdint>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Node classes for VL2-family topologies.
+enum class Vl2Class : int { kToR = 0, kAggregation = 1, kCore = 2 };
+
+/// VL2 sizing parameters.
+struct Vl2Params {
+  int d_a = 16;  ///< Ports per aggregation switch (even); #cores = d_a/2.
+  int d_i = 16;  ///< Ports per core switch; also the number of agg switches.
+  int servers_per_tor = 20;
+  double uplink_speed = 10.0;  ///< 10G in units of the 1G server rate.
+};
+
+/// Number of ToRs the standard VL2 supports at full throughput: DA*DI/4.
+[[nodiscard]] int vl2_nominal_tors(const Vl2Params& params);
+
+/// Builds the standard VL2 topology with its nominal ToR count.
+[[nodiscard]] BuiltTopology vl2_topology(const Vl2Params& params);
+
+/// Builds the rewired variant with `num_tors` ToRs using the identical
+/// aggregation/core switch pool. Raises InvalidArgument when the pool
+/// cannot host that many ToR uplinks.
+[[nodiscard]] BuiltTopology rewired_vl2_topology(const Vl2Params& params,
+                                                 int num_tors,
+                                                 std::uint64_t seed);
+
+/// Largest ToR count rewired_vl2_topology can host with this switch pool
+/// (every aggregation/core switch must keep at least one network port).
+[[nodiscard]] int rewired_vl2_max_tors(const Vl2Params& params);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TOPO_VL2_H

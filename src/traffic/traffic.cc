@@ -1,0 +1,215 @@
+#include "traffic/traffic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+// Fixed-point-free permutation of {0..n-1}: shuffle and repair fixed points
+// by swapping with a neighbour (always possible for n >= 2).
+std::vector<int> derangement(int n, Rng& rng) {
+  require(n >= 2, "derangement requires n >= 2");
+  std::vector<int> target(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) target[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(target);
+  for (int i = 0; i < n; ++i) {
+    if (target[static_cast<std::size_t>(i)] != i) continue;
+    const int j = (i + 1) % n;
+    std::swap(target[static_cast<std::size_t>(i)],
+              target[static_cast<std::size_t>(j)]);
+  }
+  // The repair above can only leave a fixed point at the final position's
+  // partner in pathological cases; one more sweep guarantees none remain.
+  for (int i = 0; i < n; ++i) {
+    if (target[static_cast<std::size_t>(i)] == i) {
+      const int j = (i + n - 1) % n;
+      std::swap(target[static_cast<std::size_t>(i)],
+                target[static_cast<std::size_t>(j)]);
+    }
+  }
+  return target;
+}
+
+// Indices of switches hosting at least one server.
+std::vector<NodeId> server_switches(const ServerMap& servers) {
+  std::vector<NodeId> hosts;
+  for (NodeId s = 0; s < servers.num_switches(); ++s) {
+    if (servers.per_switch[static_cast<std::size_t>(s)] > 0) hosts.push_back(s);
+  }
+  return hosts;
+}
+
+}  // namespace
+
+TrafficMatrix random_permutation_traffic(const ServerMap& servers, Rng& rng) {
+  const int total = servers.total();
+  require(total >= 2, "permutation traffic requires at least two servers");
+  const std::vector<int> target = derangement(total, rng);
+  TrafficMatrix tm;
+  tm.flows.reserve(static_cast<std::size_t>(total));
+  for (int s = 0; s < total; ++s) {
+    tm.flows.push_back(ServerFlow{s, target[static_cast<std::size_t>(s)], 1.0});
+  }
+  return tm;
+}
+
+TrafficMatrix all_to_all_traffic(const ServerMap& servers) {
+  const int total = servers.total();
+  require(total >= 2, "all-to-all traffic requires at least two servers");
+  TrafficMatrix tm;
+  tm.flows.reserve(static_cast<std::size_t>(total) *
+                   static_cast<std::size_t>(total - 1));
+  for (int s = 0; s < total; ++s) {
+    for (int d = 0; d < total; ++d) {
+      if (s != d) tm.flows.push_back(ServerFlow{s, d, 1.0});
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix chunky_traffic(const ServerMap& servers, double fraction,
+                             Rng& rng) {
+  require(fraction >= 0.0 && fraction <= 1.0, "fraction must be in [0, 1]");
+  const std::vector<NodeId> hosts = server_switches(servers);
+  require(hosts.size() >= 2, "chunky traffic requires at least two ToRs");
+
+  // Select the chunky subset of ToRs.
+  std::vector<NodeId> shuffled = hosts;
+  rng.shuffle(shuffled);
+  int num_chunky = static_cast<int>(std::llround(fraction * hosts.size()));
+  if (num_chunky == 1) num_chunky = 2;  // a 1-ToR permutation is undefined
+  num_chunky = std::min<int>(num_chunky, static_cast<int>(hosts.size()));
+
+  // Server id ranges per switch (ids are contiguous per switch).
+  std::vector<int> first_server(static_cast<std::size_t>(servers.num_switches()) +
+                                1);
+  for (NodeId s = 0; s < servers.num_switches(); ++s) {
+    first_server[static_cast<std::size_t>(s) + 1] =
+        first_server[static_cast<std::size_t>(s)] +
+        servers.per_switch[static_cast<std::size_t>(s)];
+  }
+
+  TrafficMatrix tm;
+  if (num_chunky >= 2) {
+    // ToR-level permutation: every server of a chunky ToR sends all of its
+    // (unit) demand to servers of the partner ToR, spread evenly.
+    const std::vector<int> partner = derangement(num_chunky, rng);
+    for (int i = 0; i < num_chunky; ++i) {
+      const NodeId src_tor = shuffled[static_cast<std::size_t>(i)];
+      const NodeId dst_tor =
+          shuffled[static_cast<std::size_t>(partner[static_cast<std::size_t>(i)])];
+      const int src_count = servers.per_switch[static_cast<std::size_t>(src_tor)];
+      const int dst_count = servers.per_switch[static_cast<std::size_t>(dst_tor)];
+      const double per_pair = 1.0 / static_cast<double>(dst_count);
+      for (int a = 0; a < src_count; ++a) {
+        for (int b = 0; b < dst_count; ++b) {
+          tm.flows.push_back(
+              ServerFlow{first_server[static_cast<std::size_t>(src_tor)] + a,
+                         first_server[static_cast<std::size_t>(dst_tor)] + b,
+                         per_pair});
+        }
+      }
+    }
+  }
+
+  // Server-level permutation among the remaining ToRs' servers.
+  std::vector<int> rest_servers;
+  for (std::size_t i = static_cast<std::size_t>(num_chunky); i < shuffled.size();
+       ++i) {
+    const NodeId tor = shuffled[i];
+    for (int a = 0; a < servers.per_switch[static_cast<std::size_t>(tor)]; ++a) {
+      rest_servers.push_back(first_server[static_cast<std::size_t>(tor)] + a);
+    }
+  }
+  if (rest_servers.size() >= 2) {
+    const std::vector<int> target =
+        derangement(static_cast<int>(rest_servers.size()), rng);
+    for (std::size_t i = 0; i < rest_servers.size(); ++i) {
+      tm.flows.push_back(ServerFlow{
+          rest_servers[i], rest_servers[static_cast<std::size_t>(
+                               target[i])], 1.0});
+    }
+  }
+  return tm;
+}
+
+TrafficMatrix hotspot_traffic(const ServerMap& servers, double hot_fraction,
+                              double multiplier, Rng& rng) {
+  require(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+          "hot_fraction must be in [0, 1]");
+  require(multiplier >= 1.0, "multiplier must be >= 1");
+  const int total = servers.total();
+  require(total >= 2, "hotspot traffic requires at least two servers");
+  TrafficMatrix tm = random_permutation_traffic(servers, rng);
+  // Promote a random subset of senders to elephants.
+  std::vector<int> order(static_cast<std::size_t>(total));
+  for (int i = 0; i < total; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  const int hot = static_cast<int>(std::llround(hot_fraction * total));
+  std::vector<char> is_hot(static_cast<std::size_t>(total), 0);
+  for (int i = 0; i < hot; ++i) {
+    is_hot[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = 1;
+  }
+  for (ServerFlow& f : tm.flows) {
+    if (is_hot[static_cast<std::size_t>(f.src_server)]) f.demand = multiplier;
+  }
+  return tm;
+}
+
+TrafficMatrix stride_traffic(const ServerMap& servers, int stride) {
+  const int total = servers.total();
+  require(total >= 2, "stride traffic requires at least two servers");
+  require(stride % total != 0, "stride must not be a multiple of the "
+                               "server count (every flow would be a self-loop)");
+  TrafficMatrix tm;
+  tm.flows.reserve(static_cast<std::size_t>(total));
+  const int step = ((stride % total) + total) % total;
+  for (int s = 0; s < total; ++s) {
+    tm.flows.push_back(ServerFlow{s, (s + step) % total, 1.0});
+  }
+  return tm;
+}
+
+std::vector<Commodity> aggregate_to_commodities(const TrafficMatrix& tm,
+                                                const ServerMap& servers) {
+  const std::vector<NodeId> home = servers.server_home();
+  std::map<std::pair<NodeId, NodeId>, double> demand;
+  for (const ServerFlow& f : tm.flows) {
+    require(f.src_server >= 0 &&
+                f.src_server < static_cast<int>(home.size()) &&
+                f.dst_server >= 0 && f.dst_server < static_cast<int>(home.size()),
+            "server id out of range");
+    const NodeId su = home[static_cast<std::size_t>(f.src_server)];
+    const NodeId sv = home[static_cast<std::size_t>(f.dst_server)];
+    if (su == sv) continue;  // never enters the network
+    demand[{su, sv}] += f.demand;
+  }
+  std::vector<Commodity> commodities;
+  commodities.reserve(demand.size());
+  for (const auto& [pair, d] : demand) {
+    commodities.push_back(Commodity{pair.first, pair.second, d});
+  }
+  return commodities;
+}
+
+std::vector<Commodity> all_to_all_commodities(const ServerMap& servers) {
+  std::vector<Commodity> commodities;
+  for (NodeId u = 0; u < servers.num_switches(); ++u) {
+    const int su = servers.per_switch[static_cast<std::size_t>(u)];
+    if (su == 0) continue;
+    for (NodeId v = 0; v < servers.num_switches(); ++v) {
+      if (u == v) continue;
+      const int sv = servers.per_switch[static_cast<std::size_t>(v)];
+      if (sv == 0) continue;
+      commodities.push_back(
+          Commodity{u, v, static_cast<double>(su) * static_cast<double>(sv)});
+    }
+  }
+  return commodities;
+}
+
+}  // namespace topo

@@ -1,0 +1,87 @@
+// Traffic matrices over servers and their switch-level aggregation.
+//
+// The paper evaluates: random permutation traffic (each server sends to and
+// receives from exactly one other server), all-to-all, and "x% chunky"
+// (a ToR-level permutation over x% of the ToRs, with the rest in a
+// server-level permutation). The flow solvers work on switch-level
+// commodities; flows between servers on the same switch never touch the
+// network in the fluid model and are dropped during aggregation.
+#ifndef TOPODESIGN_TRAFFIC_TRAFFIC_H
+#define TOPODESIGN_TRAFFIC_TRAFFIC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace topo {
+
+/// One server-level flow with unit-scalable demand.
+struct ServerFlow {
+  int src_server = 0;
+  int dst_server = 0;
+  double demand = 1.0;
+};
+
+/// A server-level traffic matrix.
+struct TrafficMatrix {
+  std::vector<ServerFlow> flows;
+
+  [[nodiscard]] double total_demand() const {
+    double total = 0.0;
+    for (const ServerFlow& f : flows) total += f.demand;
+    return total;
+  }
+};
+
+/// One switch-level commodity (aggregated demand between two switches).
+struct Commodity {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double demand = 1.0;
+};
+
+/// Random permutation: a fixed-point-free permutation of all servers, each
+/// pair carrying unit demand. Requires at least two servers.
+[[nodiscard]] TrafficMatrix random_permutation_traffic(const ServerMap& servers,
+                                                       Rng& rng);
+
+/// All-to-all: every ordered pair of distinct servers, unit demand each.
+/// (Use all_to_all_commodities for large networks — it aggregates directly
+/// without materializing S^2 flows.)
+[[nodiscard]] TrafficMatrix all_to_all_traffic(const ServerMap& servers);
+
+/// The paper's "x% chunky" pattern: a fraction `fraction` of the
+/// server-hosting switches (ToRs) form a ToR-level permutation, each
+/// selected ToR directing all its servers' traffic at its partner ToR; the
+/// remaining ToRs run a server-level permutation among themselves.
+[[nodiscard]] TrafficMatrix chunky_traffic(const ServerMap& servers,
+                                           double fraction, Rng& rng);
+
+/// Hotspot pattern: a fraction of servers ("elephants") send with
+/// `multiplier` times the demand of the rest, destinations drawn as a
+/// fixed-point-free permutation. Models skewed tenant load; the paper's
+/// discussion (§9) invites plugging in arbitrary matrices like this one.
+[[nodiscard]] TrafficMatrix hotspot_traffic(const ServerMap& servers,
+                                            double hot_fraction,
+                                            double multiplier, Rng& rng);
+
+/// Stride pattern: server i sends one unit to server (i + stride) mod S —
+/// the classic HPC benchmark workload. Stride must not be a multiple of S.
+[[nodiscard]] TrafficMatrix stride_traffic(const ServerMap& servers,
+                                           int stride);
+
+/// Aggregates server flows to switch-level commodities; same-switch flows
+/// are dropped (they never enter the network).
+[[nodiscard]] std::vector<Commodity> aggregate_to_commodities(
+    const TrafficMatrix& tm, const ServerMap& servers);
+
+/// Direct switch-level all-to-all: demand s_u * s_v between every ordered
+/// pair of distinct switches with s_u, s_v attached servers.
+[[nodiscard]] std::vector<Commodity> all_to_all_commodities(
+    const ServerMap& servers);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TRAFFIC_TRAFFIC_H

@@ -1,0 +1,55 @@
+// Error types shared across the library.
+//
+// All precondition violations and unsatisfiable requests (e.g. asking for a
+// random regular graph with an odd degree sum) raise topo::Error so callers
+// can distinguish library failures from std exceptions.
+#ifndef TOPODESIGN_UTIL_ERROR_H
+#define TOPODESIGN_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace topo {
+
+/// Base exception for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a randomized construction cannot satisfy its constraints
+/// (e.g. graphicality, connectivity) after the allowed number of retries.
+class ConstructionFailure : public Error {
+ public:
+  explicit ConstructionFailure(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a solver cannot produce a valid result (infeasible,
+/// unbounded, or iteration limit reached).
+class SolverFailure : public Error {
+ public:
+  explicit SolverFailure(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise_invalid(const std::string& what) {
+  throw InvalidArgument(what);
+}
+}  // namespace detail
+
+/// Checks a precondition, raising InvalidArgument with `msg` on failure.
+/// A function, not a macro, per the style guide; call sites read as
+/// `require(k >= 0, "k must be non-negative")`.
+inline void require(bool condition, const std::string& msg) {
+  if (!condition) detail::raise_invalid(msg);
+}
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_ERROR_H

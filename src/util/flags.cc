@@ -1,0 +1,53 @@
+#include "util/flags.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace topo {
+
+Flags::Flags(int argc, const char* const* argv, std::vector<std::string> known) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    require(arg.rfind("--", 0) == 0, "flags must start with --: " + arg);
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::string value = "1";
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      value = argv[++i];
+    }
+    require(std::find(known.begin(), known.end(), name) != known.end(),
+            "unknown flag: --" + name);
+    values_[name] = value;
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+int Flags::get_int(const std::string& name, int fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+Flags bench_flags(int argc, const char* const* argv) {
+  return Flags(argc, argv, {"runs", "eps", "seed", "csv", "full"});
+}
+
+}  // namespace topo

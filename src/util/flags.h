@@ -1,0 +1,43 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports "--name value" and "--name=value" forms plus boolean switches.
+// Unknown flags raise InvalidArgument so typos do not silently change an
+// experiment's parameters.
+#ifndef TOPODESIGN_UTIL_FLAGS_H
+#define TOPODESIGN_UTIL_FLAGS_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace topo {
+
+/// Parsed command-line flags for experiment binaries.
+class Flags {
+ public:
+  /// Parses argv. `known` lists accepted flag names (without "--").
+  Flags(int argc, const char* const* argv, std::vector<std::string> known);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  /// True if the flag is present (with or without a value).
+  [[nodiscard]] bool get_bool(const std::string& name) const { return has(name); }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Standard flag set shared by the figure benches:
+///   --runs N     number of seeds per data point
+///   --eps X      FPTAS accuracy
+///   --seed N     master seed
+///   --csv        emit CSV instead of aligned tables
+///   --full       paper-fidelity mode (more runs, tighter eps, larger sweeps)
+[[nodiscard]] Flags bench_flags(int argc, const char* const* argv);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_FLAGS_H

@@ -1,0 +1,41 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace topo {
+
+Summary summarize(const std::vector<double>& values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  double sum = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (double v : values) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(values.size());
+  if (values.size() > 1) {
+    double ss = 0.0;
+    for (double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stdev = std::sqrt(ss / static_cast<double>(values.size() - 1));
+  }
+  return s;
+}
+
+double mean_of(const std::vector<double>& values) {
+  return summarize(values).mean;
+}
+
+double relative_gap(double a, double b, double eps) {
+  const double denom = std::max({std::fabs(a), std::fabs(b), eps});
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace topo

@@ -1,0 +1,31 @@
+// Summary statistics for repeated experiment runs.
+#ifndef TOPODESIGN_UTIL_STATS_H
+#define TOPODESIGN_UTIL_STATS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace topo {
+
+/// Mean / standard deviation / extrema of a sample.
+struct Summary {
+  double mean = 0.0;
+  double stdev = 0.0;   ///< Sample standard deviation (n-1 denominator).
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// Computes summary statistics of `values`. Empty input yields a
+/// zero-initialized Summary with count == 0.
+[[nodiscard]] Summary summarize(const std::vector<double>& values);
+
+/// Arithmetic mean; 0 for empty input.
+[[nodiscard]] double mean_of(const std::vector<double>& values);
+
+/// Relative deviation |a-b| / max(|a|,|b|, eps); symmetric and safe at 0.
+[[nodiscard]] double relative_gap(double a, double b, double eps = 1e-12);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_STATS_H

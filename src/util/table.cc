@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace topo {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  require(!headers_.empty(), "TablePrinter requires at least one column");
+}
+
+void TablePrinter::add_row(std::vector<Cell> row) {
+  require(row.size() == headers_.size(),
+          "TablePrinter row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::render(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+  return os.str();
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  std::vector<std::vector<std::string>> rendered;
+  rendered.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      r.push_back(render(row[i]));
+      widths[i] = std::max(widths[i], r.back().size());
+    }
+    rendered.push_back(std::move(r));
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::setw(static_cast<int>(widths[i])) << cells[i];
+      os << (i + 1 == cells.size() ? "\n" : "  ");
+    }
+  };
+  print_row(headers_);
+  for (const auto& r : rendered) print_row(r);
+}
+
+void TablePrinter::print_csv(std::ostream& os) const {
+  auto csv_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i] << (i + 1 == cells.size() ? "\n" : ",");
+    }
+  };
+  csv_row(headers_);
+  for (const auto& row : rows_) {
+    std::vector<std::string> r;
+    r.reserve(row.size());
+    for (const auto& c : row) r.push_back(render(c));
+    csv_row(r);
+  }
+}
+
+void print_banner(std::ostream& os, const std::string& title) {
+  os << "\n== " << title << " ==\n";
+}
+
+}  // namespace topo

@@ -1,0 +1,58 @@
+// Aligned-column table and CSV emission for benchmark binaries.
+//
+// Every figure-reproduction bench prints its series through TablePrinter so
+// output is uniform: a header block naming the experiment, aligned columns,
+// and optionally machine-readable CSV.
+#ifndef TOPODESIGN_UTIL_TABLE_H
+#define TOPODESIGN_UTIL_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace topo {
+
+/// One table cell: text, integer, or floating point value.
+using Cell = std::variant<std::string, long long, double>;
+
+/// Collects rows and prints them with aligned columns (or as CSV).
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<Cell> row);
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+  /// Prints with space-aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Prints comma-separated values (header row first).
+  void print_csv(std::ostream& os) const;
+
+  /// Convenience: print() or print_csv() depending on `csv`.
+  void emit(std::ostream& os, bool csv) const {
+    if (csv) print_csv(os); else print(os);
+  }
+
+  /// Number of decimal places for double cells (default 4).
+  void set_precision(int digits) { precision_ = digits; }
+
+ private:
+  [[nodiscard]] std::string render(const Cell& c) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+/// Prints a banner naming a reproduced figure, e.g.
+/// "== Figure 1(a): throughput vs degree (N=40) ==".
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_TABLE_H

@@ -1,0 +1,198 @@
+// Tests for the core evaluation / experiment-runner layer.
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "core/experiment.h"
+#include "flow/bottleneck.h"
+#include "topo/het_random.h"
+#include "topo/random_regular.h"
+#include "topo/vl2.h"
+
+namespace topo {
+namespace {
+
+EvalOptions quick_eval() {
+  EvalOptions o;
+  o.flow.epsilon = 0.08;
+  return o;
+}
+
+TEST(Evaluate, PermutationOnRrgHasPositiveThroughput) {
+  const BuiltTopology t = random_regular_topology(16, 8, 5, 2);
+  const ThroughputResult r = evaluate_throughput(t, quick_eval(), 7);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.lambda, 0.1);
+  EXPECT_LT(r.lambda, 5.0);
+}
+
+TEST(Evaluate, AllToAllUsesAggregatedCommodities) {
+  const BuiltTopology t = random_regular_topology(8, 6, 4, 2);
+  EvalOptions o = quick_eval();
+  o.traffic = TrafficKind::kAllToAll;
+  const ThroughputResult r = evaluate_throughput(t, o, 7);
+  EXPECT_TRUE(r.feasible);
+  // Each of 16 servers offers 1 unit of egress split over 15 destinations;
+  // the 1 same-switch destination (of the 15) never enters the network.
+  EXPECT_NEAR(r.total_demand, 16.0 * 14.0 / 15.0, 1e-9);
+}
+
+TEST(Evaluate, ChunkyFractionRespected) {
+  const BuiltTopology t = random_regular_topology(10, 8, 4, 2);
+  EvalOptions o = quick_eval();
+  o.traffic = TrafficKind::kChunky;
+  o.chunky_fraction = 1.0;
+  const ThroughputResult r = evaluate_throughput(t, o, 3);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.lambda, 0.0);
+}
+
+TEST(Evaluate, DeterministicForSameSeed) {
+  const BuiltTopology t = random_regular_topology(12, 8, 5, 4);
+  const ThroughputResult a = evaluate_throughput(t, quick_eval(), 11);
+  const ThroughputResult b = evaluate_throughput(t, quick_eval(), 11);
+  EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+}
+
+TEST(Evaluate, DifferentTrafficSeedsDiffer) {
+  const BuiltTopology t = random_regular_topology(12, 8, 5, 4);
+  const ThroughputResult a = evaluate_throughput(t, quick_eval(), 1);
+  const ThroughputResult b = evaluate_throughput(t, quick_eval(), 2);
+  EXPECT_NE(a.lambda, b.lambda);
+}
+
+TEST(Experiment, AggregatesOverRuns) {
+  const TopologyBuilder builder = [](std::uint64_t seed) {
+    return random_regular_topology(14, 8, 5, seed);
+  };
+  const ExperimentStats stats = run_experiment(builder, quick_eval(), 4, 99);
+  EXPECT_EQ(stats.lambda.count, 4u);
+  EXPECT_GT(stats.lambda.mean, 0.0);
+  EXPECT_EQ(stats.infeasible_runs, 0);
+  EXPECT_GE(stats.lambda.max, stats.lambda.min);
+}
+
+TEST(Experiment, DeterministicForMasterSeed) {
+  const TopologyBuilder builder = [](std::uint64_t seed) {
+    return random_regular_topology(14, 8, 5, seed);
+  };
+  const ExperimentStats a = run_experiment(builder, quick_eval(), 3, 5);
+  const ExperimentStats b = run_experiment(builder, quick_eval(), 3, 5);
+  EXPECT_DOUBLE_EQ(a.lambda.mean, b.lambda.mean);
+  EXPECT_DOUBLE_EQ(a.utilization.mean, b.utilization.mean);
+}
+
+TEST(Experiment, RunToRunVarianceIsModest) {
+  // The paper reports ~1% standard deviations; at our small test scale we
+  // allow more, but variance should still be far below the mean.
+  const TopologyBuilder builder = [](std::uint64_t seed) {
+    return random_regular_topology(20, 10, 6, seed);
+  };
+  const ExperimentStats stats = run_experiment(builder, quick_eval(), 6, 17);
+  EXPECT_LT(stats.lambda.stdev, 0.15 * stats.lambda.mean);
+}
+
+TEST(Experiment, VL2NominalIsNearFullThroughput) {
+  // VL2 at its nominal size is non-oversubscribed by construction: the
+  // solver's certified lower bound should be close to 1.
+  Vl2Params params;
+  params.d_a = 8;
+  params.d_i = 8;
+  const TopologyBuilder builder = [&](std::uint64_t) {
+    return vl2_topology(params);
+  };
+  EvalOptions o = quick_eval();
+  o.flow.epsilon = 0.05;
+  const ExperimentStats stats = run_experiment(builder, o, 3, 3);
+  EXPECT_GE(stats.lambda.min, 0.93);
+  EXPECT_LE(stats.lambda.max, 1.02);
+}
+
+TEST(FullThroughputSearch, FindsCapacityStep) {
+  // Builder: a dumbbell whose capacity supports at most 6 "ToRs" at full
+  // throughput (each ToR = 1 server on each side, crossing demand).
+  FullThroughputSearch search;
+  search.builder = [](int tors, std::uint64_t) {
+    BuiltTopology t;
+    t.graph = Graph(2);
+    t.graph.add_edge(0, 1, 6.0);
+    t.servers.per_switch = {tors, tors};
+    t.node_class = {0, 0};
+    t.class_names = {"switch"};
+    return t;
+  };
+  search.min_tors = 1;
+  search.max_tors = 40;
+  search.threshold = 0.93;
+  search.runs = 2;
+  search.options.flow.epsilon = 0.05;
+  // Permutation over 2*tors servers: about half the flows cross the
+  // dumbbell in each direction => full throughput while tors <~ 6.
+  const int found = max_tors_at_full_throughput(search, 77);
+  EXPECT_GE(found, 5);
+  EXPECT_LE(found, 13);
+}
+
+TEST(FullThroughputSearch, ReturnsBelowMinWhenImpossible) {
+  FullThroughputSearch search;
+  search.builder = [](int tors, std::uint64_t) {
+    BuiltTopology t;
+    t.graph = Graph(2);
+    t.graph.add_edge(0, 1, 0.01);
+    t.servers.per_switch = {tors, tors};
+    t.node_class = {0, 0};
+    t.class_names = {"switch"};
+    return t;
+  };
+  search.min_tors = 2;
+  search.max_tors = 10;
+  search.runs = 1;
+  // Chunky traffic always crosses ToRs (a server permutation over two
+  // 2-server switches can land entirely intra-switch and trivially pass).
+  search.options.traffic = TrafficKind::kChunky;
+  search.options.chunky_fraction = 1.0;
+  EXPECT_EQ(max_tors_at_full_throughput(search, 1), 1);
+}
+
+TEST(FullThroughputSearch, Monotone) {
+  // Larger max range cannot reduce the found value.
+  FullThroughputSearch search;
+  search.builder = [](int tors, std::uint64_t seed) {
+    return rewired_vl2_topology({.d_a = 8, .d_i = 8}, tors, seed);
+  };
+  search.min_tors = 4;
+  search.max_tors = 20;
+  search.runs = 1;
+  search.threshold = 0.9;
+  const int small_range = max_tors_at_full_throughput(search, 5);
+  search.max_tors = rewired_vl2_max_tors({.d_a = 8, .d_i = 8});
+  const int large_range = max_tors_at_full_throughput(search, 5);
+  EXPECT_GE(large_range, small_range);
+}
+
+TEST(Bottleneck, ClassUtilizationAggregates) {
+  TwoTypeSpec spec;
+  spec.num_large = 4;
+  spec.num_small = 8;
+  spec.large_ports = 12;
+  spec.small_ports = 6;
+  spec.servers_per_large = 4;
+  spec.servers_per_small = 2;
+  const BuiltTopology t = build_two_type(spec, 3);
+  const ThroughputResult r = evaluate_throughput(t, quick_eval(), 5);
+  ASSERT_TRUE(r.feasible);
+  const auto classes = utilization_by_class(t, r);
+  ASSERT_FALSE(classes.empty());
+  double total_links = 0;
+  for (const auto& c : classes) {
+    EXPECT_GE(c.mean_utilization, 0.0);
+    EXPECT_LE(c.mean_utilization, 1.0 + 1e-9);
+    EXPECT_LE(c.max_utilization, 1.0 + 1e-9);
+    EXPECT_GE(c.class_b, c.class_a);
+    total_links += c.num_links;
+  }
+  EXPECT_EQ(static_cast<int>(total_links), t.graph.num_edges());
+  EXPECT_EQ(class_pair_label(classes.front(), t.class_names).find("large"), 0u);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,174 @@
+// Tests for the configuration-model builder with swap repair.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "topo/degree_sequence.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+std::vector<int> realized_degrees(const Graph& g) {
+  std::vector<int> d(static_cast<std::size_t>(g.num_nodes()), 0);
+  for (const Edge& e : g.edges()) {
+    ++d[static_cast<std::size_t>(e.u)];
+    ++d[static_cast<std::size_t>(e.v)];
+  }
+  return d;
+}
+
+bool is_simple(const Graph& g) {
+  std::map<std::pair<int, int>, int> seen;
+  for (const Edge& e : g.edges()) {
+    const auto key = std::minmax(e.u, e.v);
+    if (++seen[{key.first, key.second}] > 1) return false;
+  }
+  return true;
+}
+
+TEST(DegreeSequence, RealizesExactDegrees) {
+  const std::vector<int> degrees{3, 3, 2, 2, 2, 2};
+  const Graph g = random_graph_with_degrees(degrees, 1);
+  EXPECT_EQ(realized_degrees(g), degrees);
+}
+
+TEST(DegreeSequence, SimpleByDefault) {
+  const std::vector<int> degrees{4, 4, 4, 4, 4, 4, 4, 4};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Graph g = random_graph_with_degrees(degrees, seed);
+    EXPECT_TRUE(is_simple(g)) << "seed " << seed;
+  }
+}
+
+TEST(DegreeSequence, ConnectedByDefault) {
+  const std::vector<int> degrees{3, 3, 3, 3, 3, 3, 3, 3, 3, 3};
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    EXPECT_TRUE(is_connected(random_graph_with_degrees(degrees, seed)));
+  }
+}
+
+TEST(DegreeSequence, RejectsOddSum) {
+  EXPECT_THROW((void)random_graph_with_degrees({3, 2}, 0), InvalidArgument);
+}
+
+TEST(DegreeSequence, RejectsNegativeDegree) {
+  EXPECT_THROW((void)random_graph_with_degrees({-1, 1}, 0), InvalidArgument);
+}
+
+TEST(DegreeSequence, EmptySequenceYieldsEmptyGraph) {
+  const Graph g = random_graph_with_degrees({0, 0, 0}, 0,
+                                            {.ensure_connected = false});
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(DegreeSequence, DeterministicForSeed) {
+  const std::vector<int> degrees{3, 3, 3, 3, 2, 2};
+  const Graph a = random_graph_with_degrees(degrees, 99);
+  const Graph b = random_graph_with_degrees(degrees, 99);
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+TEST(DegreeSequence, DifferentSeedsGiveDifferentGraphs) {
+  const std::vector<int> degrees(20, 3);
+  const Graph a = random_graph_with_degrees(degrees, 1);
+  const Graph b = random_graph_with_degrees(degrees, 2);
+  bool any_difference = a.num_edges() != b.num_edges();
+  for (EdgeId e = 0; !any_difference && e < a.num_edges(); ++e) {
+    any_difference =
+        a.edge(e).u != b.edge(e).u || a.edge(e).v != b.edge(e).v;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(DegreeSequence, MultigraphFallbackWhenSimpleImpossible) {
+  // Two nodes of degree 4 can only be realized with parallel edges.
+  const Graph g = random_graph_with_degrees(
+      {4, 4}, 3, {.simple = true, .ensure_connected = true});
+  EXPECT_EQ(realized_degrees(g), (std::vector<int>{4, 4}));
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 4);
+}
+
+TEST(DegreeSequence, StrictSimpleFailsWhenImpossible) {
+  DegreeSequenceOptions options;
+  options.strict_simple = true;
+  EXPECT_THROW((void)random_graph_with_degrees({4, 4}, 3, options), Error);
+}
+
+TEST(DegreeSequence, NoSelfLoopsEvenInMultigraphMode) {
+  DegreeSequenceOptions options;
+  options.simple = false;
+  options.ensure_connected = false;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const Graph g = random_graph_with_degrees({5, 3, 2, 2}, seed, options);
+    for (const Edge& e : g.edges()) EXPECT_NE(e.u, e.v);
+  }
+}
+
+TEST(DegreeSequence, HubAndLeavesRealizable) {
+  // Star-like: one hub of degree 5, five leaves of degree 1.
+  const std::vector<int> degrees{5, 1, 1, 1, 1, 1};
+  const Graph g = random_graph_with_degrees(degrees, 4);
+  EXPECT_EQ(realized_degrees(g), degrees);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(ExpectedCrossLinks, MatchesFormula) {
+  EXPECT_DOUBLE_EQ(expected_cross_links(10, 10), 100.0 / 19.0);
+  EXPECT_DOUBLE_EQ(expected_cross_links(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(expected_cross_links(1, 1), 1.0);
+}
+
+TEST(ExpectedCrossLinks, RejectsNegative) {
+  EXPECT_THROW((void)expected_cross_links(-1, 3), InvalidArgument);
+}
+
+// Property sweep: many (n, r) combinations keep degree, simplicity and
+// connectivity invariants.
+class DegreeSequenceSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(DegreeSequenceSweep, InvariantsHold) {
+  const auto [n, r, seed] = GetParam();
+  if ((n * r) % 2 != 0) GTEST_SKIP() << "odd degree sum";
+  if (r >= n) GTEST_SKIP() << "no simple r-regular graph with r >= n";
+  const std::vector<int> degrees(static_cast<std::size_t>(n), r);
+  const Graph g = random_graph_with_degrees(degrees, seed);
+  EXPECT_EQ(realized_degrees(g), degrees);
+  EXPECT_TRUE(is_simple(g));
+  if (r >= 1) EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DegreeSequenceSweep,
+    ::testing::Combine(::testing::Values(4, 8, 16, 40, 100),
+                       ::testing::Values(2, 3, 5, 9),
+                       ::testing::Values(1ULL, 7ULL, 1234ULL)));
+
+// Mixed (irregular) degree sequences as found in heterogeneous pools.
+class MixedDegreeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MixedDegreeSweep, RealizesIrregularSequences) {
+  std::vector<int> degrees;
+  for (int i = 0; i < 12; ++i) degrees.push_back(20);
+  for (int i = 0; i < 24; ++i) degrees.push_back(7);
+  if (std::accumulate(degrees.begin(), degrees.end(), 0) % 2 != 0) {
+    degrees.back() += 1;
+  }
+  const Graph g = random_graph_with_degrees(degrees, GetParam());
+  EXPECT_EQ(realized_degrees(g), degrees);
+  EXPECT_TRUE(is_simple(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MixedDegreeSweep,
+                         ::testing::Values(0ULL, 1ULL, 2ULL, 3ULL, 4ULL));
+
+}  // namespace
+}  // namespace topo

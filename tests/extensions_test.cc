@@ -1,0 +1,330 @@
+// Tests for the extension modules: incremental expansion, floor layout,
+// small-world / generalized hypercube baselines, spectral analysis,
+// serialization, and shortest-path-restricted routing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "core/evaluate.h"
+#include "flow/concurrent_flow.h"
+#include "graph/algorithms.h"
+#include "graph/io.h"
+#include "graph/spectral.h"
+#include "topo/expansion.h"
+#include "topo/het_random.h"
+#include "topo/layout.h"
+#include "topo/random_regular.h"
+#include "topo/small_world.h"
+#include "topo/structured.h"
+
+namespace topo {
+namespace {
+
+// ---- Incremental expansion ----------------------------------------------
+
+TEST(Expansion, SplicePreservesExistingDegrees) {
+  BuiltTopology t = random_regular_topology(20, 14, 8, 3);
+  const NodeId fresh = splice_switch(t, 8, 6, 11);
+  EXPECT_EQ(fresh, 20);
+  EXPECT_EQ(t.graph.num_nodes(), 21);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(t.graph.degree(n), 8);
+  EXPECT_EQ(t.graph.degree(fresh), 8);  // 4 links broken -> 8 new ends
+  EXPECT_EQ(t.servers.per_switch.back(), 6);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Expansion, OddPortCountLeavesOneFree) {
+  BuiltTopology t = random_regular_topology(20, 14, 8, 3);
+  splice_switch(t, 7, 6, 11);
+  EXPECT_EQ(t.graph.degree(20), 6);  // floor(7/2) = 3 splices -> 6 links
+}
+
+TEST(Expansion, GrowManySwitches) {
+  BuiltTopology t = random_regular_topology(20, 14, 8, 3);
+  expand_topology(t, 10, 8, 6, 77);
+  EXPECT_EQ(t.graph.num_nodes(), 30);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(t.graph.degree(n), 8);
+  EXPECT_TRUE(is_connected(t.graph));
+  // Original switches host 14 - 8 = 6 servers; so do the spliced ones.
+  EXPECT_EQ(t.servers.total(), 20 * 6 + 10 * 6);
+}
+
+TEST(Expansion, ExpandedThroughputTracksFreshRandom) {
+  // Grow 16 -> 24 switches and compare with a from-scratch RRG of the
+  // final size: the Jellyfish claim is that they match closely.
+  BuiltTopology grown = random_regular_topology(16, 10, 6, 3);
+  expand_topology(grown, 8, 6, 4, 5);
+  const BuiltTopology fresh = random_regular_topology(24, 10, 6, 3);
+  EvalOptions options;
+  options.flow.epsilon = 0.06;
+  const double grown_lambda = evaluate_throughput(grown, options, 9).lambda;
+  const double fresh_lambda = evaluate_throughput(fresh, options, 9).lambda;
+  EXPECT_NEAR(grown_lambda, fresh_lambda, 0.2 * fresh_lambda);
+}
+
+TEST(Expansion, RejectsDegenerateRequests) {
+  BuiltTopology t = random_regular_topology(6, 5, 2, 1);
+  EXPECT_THROW(splice_switch(t, 1, 0, 3), InvalidArgument);
+  EXPECT_THROW(splice_switch(t, 100, 0, 3), InvalidArgument);
+}
+
+// ---- Floor layout / cable lengths ---------------------------------------
+
+TEST(Layout, GridPositions) {
+  const FloorLayout layout = grid_layout(6, 3);
+  EXPECT_EQ(layout.num_switches(), 6);
+  EXPECT_EQ(layout.position[0].row, 0);
+  EXPECT_EQ(layout.position[2].column, 2);
+  EXPECT_EQ(layout.position[3].row, 1);
+  EXPECT_EQ(layout.position[3].column, 0);
+}
+
+TEST(Layout, PerRackGrouping) {
+  const FloorLayout layout = grid_layout(6, 2, /*per_rack=*/3);
+  EXPECT_EQ(cable_length(layout, 0, 2), 0.0);  // same rack
+  EXPECT_EQ(cable_length(layout, 0, 3), 1.0);  // adjacent rack
+}
+
+TEST(Layout, TwoZoneSeparatesClusters) {
+  const FloorLayout layout = two_zone_layout(4, 4, 4);
+  // Cluster A in columns 0-1, cluster B in columns 2-3.
+  for (int i = 0; i < 4; ++i) EXPECT_LT(layout.position[static_cast<std::size_t>(i)].column, 2);
+  for (int i = 4; i < 8; ++i) EXPECT_GE(layout.position[static_cast<std::size_t>(i)].column, 2);
+}
+
+TEST(Layout, CableStatsOnKnownGraph) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);  // distance 1 on a 2-column grid
+  g.add_edge(0, 3, 1.0);  // distance 2
+  const FloorLayout layout = grid_layout(4, 2);
+  const CableStats stats = cable_stats(g, layout);
+  EXPECT_DOUBLE_EQ(stats.total_length, 3.0);
+  EXPECT_DOUBLE_EQ(stats.mean_length, 1.5);
+  EXPECT_DOUBLE_EQ(stats.max_length, 2.0);
+}
+
+TEST(Layout, LocalWiringShortensCables) {
+  // Two-cluster graph with little cross wiring has shorter cables on a
+  // two-zone floor than vanilla random wiring (the §6.2 application).
+  auto mean_cable = [](double fraction) {
+    TwoTypeSpec spec;
+    spec.num_large = 12;
+    spec.num_small = 12;
+    spec.large_ports = 10;
+    spec.small_ports = 10;
+    spec.servers_per_large = 4;
+    spec.servers_per_small = 4;
+    spec.cross_fraction = fraction;
+    const BuiltTopology t = build_two_type(spec, 3);
+    const FloorLayout layout = two_zone_layout(12, 12, 6);
+    return cable_stats(t.graph, layout).mean_length;
+  };
+  EXPECT_LT(mean_cable(0.3), mean_cable(1.0));
+}
+
+// ---- Baseline topologies -------------------------------------------------
+
+TEST(SmallWorld, LatticePlusShortcutDegrees) {
+  const BuiltTopology t = small_world_topology(20, 4, 2, 3, 9);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(t.graph.degree(n), 6);
+  EXPECT_TRUE(is_connected(t.graph));
+  EXPECT_EQ(t.servers.total(), 60);
+}
+
+TEST(SmallWorld, PureLatticeIsRing) {
+  const BuiltTopology t = small_world_topology(10, 2, 0, 1, 0);
+  EXPECT_EQ(t.graph.num_edges(), 10);
+  EXPECT_EQ(diameter(t.graph), 5);
+}
+
+TEST(SmallWorld, ShortcutsShrinkDiameter) {
+  const BuiltTopology lattice = small_world_topology(64, 4, 0, 1, 3);
+  const BuiltTopology sw = small_world_topology(64, 4, 2, 1, 3);
+  EXPECT_LT(diameter(sw.graph), diameter(lattice.graph));
+}
+
+TEST(SmallWorld, RejectsBadParameters) {
+  EXPECT_THROW((void)small_world_topology(10, 3, 0, 1, 0), InvalidArgument);
+  // 9 switches x 3 shortcut ports is an odd stub total.
+  EXPECT_THROW((void)small_world_topology(9, 2, 3, 1, 0), InvalidArgument);
+}
+
+TEST(GeneralizedHypercube, BinaryRadicesAreHypercube) {
+  const BuiltTopology ghc = generalized_hypercube_topology({2, 2, 2}, 1);
+  const BuiltTopology cube = hypercube_topology(3, 1);
+  EXPECT_EQ(ghc.graph.num_nodes(), cube.graph.num_nodes());
+  EXPECT_EQ(ghc.graph.num_edges(), cube.graph.num_edges());
+  EXPECT_DOUBLE_EQ(average_shortest_path_length(ghc.graph),
+                   average_shortest_path_length(cube.graph));
+}
+
+TEST(GeneralizedHypercube, MixedRadixDegrees) {
+  const BuiltTopology t = generalized_hypercube_topology({3, 4}, 2);
+  EXPECT_EQ(t.graph.num_nodes(), 12);
+  for (NodeId n = 0; n < 12; ++n) {
+    EXPECT_EQ(t.graph.degree(n), (3 - 1) + (4 - 1));
+  }
+  EXPECT_EQ(diameter(t.graph), 2);  // one hop per differing coordinate
+}
+
+TEST(GeneralizedHypercube, SingleDimensionIsClique) {
+  const BuiltTopology t = generalized_hypercube_topology({5}, 0);
+  EXPECT_EQ(t.graph.num_edges(), 10);
+  EXPECT_EQ(diameter(t.graph), 1);
+}
+
+// ---- Spectral analysis ----------------------------------------------------
+
+TEST(Spectral, CompleteGraphSpectrum) {
+  // K_n adjacency: lambda1 = n-1, all others -1.
+  Graph g(6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = i + 1; j < 6; ++j) g.add_edge(i, j, 1.0);
+  }
+  const SpectralResult s = adjacency_spectrum(g, 3);
+  EXPECT_NEAR(s.lambda1, 5.0, 1e-6);
+  EXPECT_NEAR(std::fabs(s.lambda2), 1.0, 1e-4);
+}
+
+TEST(Spectral, HypercubeSpectrumIsBipartite) {
+  // The d-cube's adjacency eigenvalues are d - 2i: second largest = d - 2,
+  // smallest = -d (bipartite), so the two-sided gap is zero.
+  const BuiltTopology cube = hypercube_topology(4, 0);
+  const SpectralResult s = adjacency_spectrum(cube.graph, 5, 2000);
+  EXPECT_NEAR(s.lambda1, 4.0, 1e-5);
+  EXPECT_NEAR(s.lambda2, 2.0, 1e-2);
+  EXPECT_NEAR(s.lambda_min, -4.0, 1e-2);
+  EXPECT_NEAR(s.gap, 0.0, 1e-2);
+}
+
+TEST(Spectral, RandomRegularNearRamanujan) {
+  // |lambda2| close to 2*sqrt(d-1) for random d-regular graphs.
+  const Graph g = random_regular_graph(200, 6, 9);
+  const SpectralResult s = adjacency_spectrum(g, 7, 1200);
+  EXPECT_NEAR(s.lambda1, 6.0, 1e-4);
+  EXPECT_LT(std::fabs(s.lambda2), 2.0 * std::sqrt(5.0) * 1.25);
+  EXPECT_GT(s.gap, 1.0);  // genuine expander
+}
+
+TEST(Spectral, MixingLemmaEstimate) {
+  EXPECT_DOUBLE_EQ(expected_edges_between(100, 10, 50, 50), 250.0);
+}
+
+// ---- Serialization ---------------------------------------------------------
+
+TEST(GraphIo, EdgeListRoundTrip) {
+  const BuiltTopology original = random_regular_topology(12, 8, 5, 17);
+  std::stringstream buffer;
+  write_edge_list(buffer, original);
+  const BuiltTopology parsed = read_edge_list(buffer);
+  ASSERT_EQ(parsed.graph.num_nodes(), original.graph.num_nodes());
+  ASSERT_EQ(parsed.graph.num_edges(), original.graph.num_edges());
+  for (EdgeId e = 0; e < original.graph.num_edges(); ++e) {
+    EXPECT_EQ(parsed.graph.edge(e).u, original.graph.edge(e).u);
+    EXPECT_EQ(parsed.graph.edge(e).v, original.graph.edge(e).v);
+    EXPECT_DOUBLE_EQ(parsed.graph.edge(e).capacity,
+                     original.graph.edge(e).capacity);
+  }
+  EXPECT_EQ(parsed.servers.per_switch, original.servers.per_switch);
+}
+
+TEST(GraphIo, ReadRejectsGarbage) {
+  std::stringstream buffer("not a number\n");
+  EXPECT_THROW((void)read_edge_list(buffer), InvalidArgument);
+}
+
+TEST(GraphIo, DotOutputMentionsEveryNode) {
+  const BuiltTopology t = random_regular_topology(5, 4, 2, 3);
+  std::stringstream buffer;
+  write_dot(buffer, t, "g");
+  const std::string out = buffer.str();
+  for (int n = 0; n < 5; ++n) {
+    EXPECT_NE(out.find("n" + std::to_string(n)), std::string::npos);
+  }
+  EXPECT_NE(out.find("graph g {"), std::string::npos);
+}
+
+// ---- Shortest-path-restricted routing -------------------------------------
+
+TEST(RestrictedRouting, CannotUseLongerDetours) {
+  // Direct 1-hop path (cap 1) plus a 3-hop detour (cap 1): unrestricted
+  // throughput 2, shortest-path-restricted 1.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 1, 1.0);
+  FlowOptions unrestricted;
+  unrestricted.epsilon = 0.03;
+  FlowOptions restricted = unrestricted;
+  restricted.restrict_to_shortest_paths = true;
+  const double free_lambda =
+      max_concurrent_flow(g, {{0, 1, 1.0}}, unrestricted).lambda;
+  const double ecmp_lambda =
+      max_concurrent_flow(g, {{0, 1, 1.0}}, restricted).lambda;
+  EXPECT_NEAR(free_lambda, 2.0, 0.1);
+  EXPECT_NEAR(ecmp_lambda, 1.0, 1e-6);
+}
+
+TEST(RestrictedRouting, EqualCostPathsStillSplit) {
+  // Two parallel 2-hop paths of equal length: ECMP uses both.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  FlowOptions restricted;
+  restricted.epsilon = 0.03;
+  restricted.restrict_to_shortest_paths = true;
+  const double lambda =
+      max_concurrent_flow(g, {{0, 3, 1.0}}, restricted).lambda;
+  EXPECT_GT(lambda, 1.9);
+}
+
+TEST(RestrictedRouting, NeverExceedsUnrestricted) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Graph g = random_regular_graph(16, 4, seed);
+    std::vector<Commodity> commodities;
+    for (int i = 0; i < 16; ++i) commodities.push_back({i, (i + 7) % 16, 1.0});
+    FlowOptions unrestricted;
+    unrestricted.epsilon = 0.05;
+    FlowOptions restricted = unrestricted;
+    restricted.restrict_to_shortest_paths = true;
+    const double free_lambda =
+        max_concurrent_flow(g, commodities, unrestricted).lambda;
+    const double ecmp_lambda =
+        max_concurrent_flow(g, commodities, restricted).lambda;
+    // ECMP is a restriction: it cannot beat optimal routing by more than
+    // the two runs' certified gaps.
+    EXPECT_LE(ecmp_lambda, free_lambda / (1.0 - 0.05) + 1e-9);
+  }
+}
+
+TEST(RestrictedRouting, StrictShortestPathsVisiblyHurtRrgs) {
+  // The Jellyfish finding this module lets us reproduce: restricting
+  // random-graph routing to STRICTLY shortest paths (pure ECMP) costs a
+  // lot of throughput — 1-hop commodities are pinned to their single
+  // direct edge. That is exactly why Jellyfish/this paper route MPTCP
+  // over k-shortest (including non-minimal) paths instead of ECMP.
+  const Graph g = random_regular_graph(24, 6, 3);
+  std::vector<Commodity> commodities;
+  for (int shift : {5, 9, 13}) {
+    for (int i = 0; i < 24; ++i) {
+      commodities.push_back({i, (i + shift) % 24, 2.0});
+    }
+  }
+  FlowOptions unrestricted;
+  unrestricted.epsilon = 0.05;
+  FlowOptions restricted = unrestricted;
+  restricted.restrict_to_shortest_paths = true;
+  const double free_lambda =
+      max_concurrent_flow(g, commodities, unrestricted).lambda;
+  const double ecmp_lambda =
+      max_concurrent_flow(g, commodities, restricted).lambda;
+  EXPECT_GT(ecmp_lambda, 0.0);
+  EXPECT_LT(ecmp_lambda, 0.8 * free_lambda);  // the restriction is costly
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,160 @@
+// Failure-injection tests: degraded networks, missing links, and edge-case
+// server placements must degrade gracefully, never crash or wedge.
+#include <gtest/gtest.h>
+
+#include "core/evaluate.h"
+#include "graph/algorithms.h"
+#include "sim/network.h"
+#include "topo/random_regular.h"
+#include "topo/vl2.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+// Copy of a graph with `kill` randomly chosen edges removed.
+Graph degrade(const Graph& g, int kill, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<char> dead(static_cast<std::size_t>(g.num_edges()), 0);
+  int killed = 0;
+  while (killed < kill) {
+    const std::size_t e = rng.index(static_cast<std::size_t>(g.num_edges()));
+    if (!dead[e]) {
+      dead[e] = 1;
+      ++killed;
+    }
+  }
+  Graph h(g.num_nodes());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (!dead[static_cast<std::size_t>(e)]) {
+      h.add_edge(g.edge(e).u, g.edge(e).v, g.edge(e).capacity);
+    }
+  }
+  return h;
+}
+
+BuiltTopology with_uniform_servers(Graph graph, int per_switch) {
+  BuiltTopology t;
+  const int n = graph.num_nodes();
+  t.graph = std::move(graph);
+  t.servers.per_switch.assign(static_cast<std::size_t>(n), per_switch);
+  t.node_class.assign(static_cast<std::size_t>(n), 0);
+  t.class_names = {"switch"};
+  return t;
+}
+
+TEST(FailureInjection, ThroughputDegradesGracefullyWithLinkLoss) {
+  const Graph g = random_regular_graph(24, 6, 5);
+  EvalOptions options;
+  options.flow.epsilon = 0.08;
+  double previous = 1e9;
+  for (int kill : {0, 4, 8, 16}) {
+    const Graph damaged = degrade(g, kill, 7);
+    if (!is_connected(damaged)) break;  // heavier loss cases may disconnect
+    const ThroughputResult r =
+        evaluate_throughput(with_uniform_servers(damaged, 4), options, 3);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_GT(r.lambda, 0.0);
+    // Allow solver noise but demand a broadly monotone decline.
+    EXPECT_LE(r.lambda, previous * 1.15) << "killed " << kill;
+    previous = r.lambda;
+  }
+}
+
+TEST(FailureInjection, DisconnectionYieldsZeroNotCrash) {
+  // Cut a bridge: a path graph loses its middle edge.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);  // 1-2 missing: {0,1} vs {2,3}
+  const ThroughputResult r = evaluate_throughput(
+      with_uniform_servers(std::move(g), 1), EvalOptions{}, 5);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.lambda, 0.0);
+}
+
+TEST(FailureInjection, SwitchesWithoutServersAreTransitOnly) {
+  // Servers only on half the switches: the rest still forward traffic.
+  const Graph g = random_regular_graph(12, 4, 9);
+  BuiltTopology t = with_uniform_servers(g, 0);
+  for (NodeId n = 0; n < 6; ++n) {
+    t.servers.per_switch[static_cast<std::size_t>(n)] = 4;
+  }
+  const ThroughputResult r = evaluate_throughput(t, EvalOptions{}, 3);
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.lambda, 0.0);
+}
+
+TEST(FailureInjection, HotspotServerPlacementHurtsThroughput) {
+  // Same switches, same 40 servers, two placements: uniform (4 each) vs a
+  // hotspot holding 22 (the paper's footnote 5: uneven placement across
+  // identical switches bottlenecks the heavy switch).
+  const Graph g = random_regular_graph(10, 4, 11);
+  const BuiltTopology balanced = with_uniform_servers(g, 4);
+  BuiltTopology hotspot = with_uniform_servers(g, 2);
+  hotspot.servers.per_switch[0] = 22;  // 22 + 9*2 = 40 servers
+  const ThroughputResult r_balanced =
+      evaluate_throughput(balanced, EvalOptions{}, 3);
+  const ThroughputResult r_hotspot =
+      evaluate_throughput(hotspot, EvalOptions{}, 3);
+  ASSERT_TRUE(r_balanced.feasible);
+  ASSERT_TRUE(r_hotspot.feasible);
+  EXPECT_GT(r_hotspot.lambda, 0.0);
+  EXPECT_LT(r_hotspot.lambda, 0.9 * r_balanced.lambda);
+}
+
+TEST(FailureInjection, PacketSimSurvivesLinkScarcity) {
+  // A barbell: heavy contention on the single middle link. Flows are
+  // added explicitly so every one of them crosses the bottleneck.
+  Graph g(2);
+  g.add_edge(0, 1, 0.2);
+  BuiltTopology t = with_uniform_servers(std::move(g), 3);
+  sim::SimParams params;
+  params.subflows = 2;
+  params.duration_ns = 10'000'000;
+  params.warmup_ns = 5'000'000;
+  sim::SimNetwork net(t, params, 3);
+  for (int i = 0; i < 3; ++i) net.add_flow(i, 3 + i);  // all cross-switch
+  const sim::SimulationResult result = net.run();
+  EXPECT_EQ(result.flows.size(), 3u);
+  EXPECT_GT(result.total_drops, 0u);  // contention must be visible
+  double total = 0.0;
+  for (const auto& f : result.flows) {
+    EXPECT_GE(f.goodput_gbps, 0.0);
+    EXPECT_LE(f.goodput_gbps, 0.22);  // nobody exceeds the bottleneck rate
+    total += f.goodput_gbps;
+  }
+  EXPECT_LE(total, 0.22);  // aggregate bounded by the middle link
+  EXPECT_GT(total, 0.1);   // but the link is actually used
+}
+
+TEST(FailureInjection, RewiredVl2SurvivesExtremeTorCounts) {
+  Vl2Params params;
+  params.d_a = 8;
+  params.d_i = 8;
+  // The absolute maximum leaves each pool switch exactly one fabric port;
+  // construction must still produce a connected topology.
+  const int max_tors = rewired_vl2_max_tors(params);
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const BuiltTopology t = rewired_vl2_topology(params, max_tors, seed);
+    EXPECT_TRUE(is_connected(t.graph));
+  }
+}
+
+TEST(FailureInjection, SolverHandlesExtremeCapacityRatios) {
+  Graph g(4);
+  g.add_edge(0, 1, 1e-3);
+  g.add_edge(1, 2, 1e3);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(3, 0, 1.0);
+  const ThroughputResult r = max_concurrent_flow(
+      g, {{0, 2, 1.0}, {1, 3, 1.0}}, FlowOptions{.epsilon = 0.05});
+  EXPECT_TRUE(r.feasible);
+  EXPECT_GT(r.lambda, 0.0);
+  for (int arc = 0; arc < 2 * g.num_edges(); ++arc) {
+    EXPECT_LE(r.arc_flow[static_cast<std::size_t>(arc)],
+              g.edge(arc / 2).capacity * (1.0 + 1e-6));
+  }
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,176 @@
+// Tests for the Graph container and unweighted graph algorithms.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "graph/graph.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+Graph ring(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n, 1.0);
+  return g;
+}
+
+Graph complete(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.add_edge(i, j, 1.0);
+  }
+  return g;
+}
+
+TEST(Graph, BasicConstruction) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1, 2.5);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 1);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 2.5);
+}
+
+TEST(Graph, RejectsSelfLoop) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), InvalidArgument);
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2), InvalidArgument);
+  EXPECT_THROW(g.add_edge(-1, 0), InvalidArgument);
+}
+
+TEST(Graph, RejectsNonPositiveCapacity) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 1, 0.0), InvalidArgument);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), InvalidArgument);
+}
+
+TEST(Graph, ParallelEdgesAllowedAndCounted) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.edge_multiplicity(0, 1), 2);
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 1));
+}
+
+TEST(Graph, AdjacencyIsSymmetric) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  ASSERT_EQ(g.neighbors(0).size(), 1u);
+  ASSERT_EQ(g.neighbors(2).size(), 1u);
+  EXPECT_EQ(g.neighbors(0)[0].to, 2);
+  EXPECT_EQ(g.neighbors(2)[0].to, 0);
+  EXPECT_TRUE(g.neighbors(1).empty());
+}
+
+TEST(Graph, CapacityAccounting) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(g.capacity_sum(), 5.0);
+  EXPECT_DOUBLE_EQ(g.total_directed_capacity(), 10.0);
+}
+
+TEST(Bfs, LineGraphDistances) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Bfs, UnreachableIsMinusOne) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], -1);
+}
+
+TEST(Bfs, AllPairsMatchesPerSource) {
+  const Graph g = ring(6);
+  const auto all = all_pairs_distances(g);
+  for (NodeId u = 0; u < 6; ++u) {
+    EXPECT_EQ(all[static_cast<std::size_t>(u)], bfs_distances(g, u));
+  }
+}
+
+TEST(Aspl, CompleteGraphIsOne) {
+  EXPECT_DOUBLE_EQ(average_shortest_path_length(complete(5)), 1.0);
+}
+
+TEST(Aspl, RingOfSix) {
+  // Distances from any node: 1,1,2,2,3 -> mean 9/5.
+  EXPECT_DOUBLE_EQ(average_shortest_path_length(ring(6)), 9.0 / 5.0);
+}
+
+TEST(Aspl, StarGraph) {
+  Graph g(5);
+  for (int leaf = 1; leaf < 5; ++leaf) g.add_edge(0, leaf);
+  // Center: 4 at dist 1. Leaves: 1 + 3*2 = 7 each. Total = 4 + 4*7 = 32,
+  // pairs = 20.
+  EXPECT_DOUBLE_EQ(average_shortest_path_length(g), 32.0 / 20.0);
+}
+
+TEST(Aspl, ThrowsOnDisconnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)average_shortest_path_length(g), InvalidArgument);
+}
+
+TEST(Diameter, RingOfSixIsThree) { EXPECT_EQ(diameter(ring(6)), 3); }
+
+TEST(Diameter, CompleteIsOne) { EXPECT_EQ(diameter(complete(4)), 1); }
+
+TEST(Components, CountsAndLabels) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  EXPECT_EQ(num_components(g), 3);
+  const auto labels = component_labels(g);
+  EXPECT_EQ(labels[0], labels[1]);
+  EXPECT_EQ(labels[2], labels[3]);
+  EXPECT_NE(labels[0], labels[2]);
+  EXPECT_NE(labels[4], labels[0]);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(ring(4)));
+}
+
+TEST(Components, SingleNodeIsConnected) {
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_TRUE(is_connected(Graph(0)));
+}
+
+TEST(MeanPairDistance, UnweightedPairs) {
+  const Graph g = ring(6);
+  const double d = mean_pair_distance(g, {{0, 1}, {0, 3}});
+  EXPECT_DOUBLE_EQ(d, (1.0 + 3.0) / 2.0);
+}
+
+TEST(MeanPairDistance, WeightedPairs) {
+  const Graph g = ring(6);
+  const std::vector<double> w{3.0, 1.0};
+  const double d = mean_pair_distance(g, {{0, 1}, {0, 3}}, &w);
+  EXPECT_DOUBLE_EQ(d, (3.0 * 1.0 + 1.0 * 3.0) / 4.0);
+}
+
+TEST(MeanPairDistance, SameEndpointsContributeZero) {
+  const Graph g = ring(4);
+  const double d = mean_pair_distance(g, {{2, 2}, {0, 1}});
+  EXPECT_DOUBLE_EQ(d, 0.5);
+}
+
+TEST(MeanPairDistance, ThrowsWhenUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_THROW((void)mean_pair_distance(g, {{0, 2}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,236 @@
+// Integration tests: miniature versions of the paper's headline results.
+// Each test runs a scaled-down figure pipeline and asserts the qualitative
+// claim (who wins, where the knee sits) rather than absolute numbers.
+#include <gtest/gtest.h>
+
+#include "bounds/bounds.h"
+#include "core/evaluate.h"
+#include "core/experiment.h"
+#include "graph/algorithms.h"
+#include "sim/network.h"
+#include "topo/het_random.h"
+#include "topo/random_regular.h"
+#include "topo/structured.h"
+#include "topo/vl2.h"
+
+namespace topo {
+namespace {
+
+EvalOptions quick_eval(double eps = 0.08) {
+  EvalOptions o;
+  o.flow.epsilon = eps;
+  return o;
+}
+
+double mean_lambda(const TopologyBuilder& builder, const EvalOptions& o,
+                   int runs, std::uint64_t seed) {
+  return run_experiment(builder, o, runs, seed).lambda.mean;
+}
+
+// --- Fig 1/2 mini: RRGs close to the throughput upper bound -------------
+
+TEST(Integration, RrgNearThroughputBoundAtModerateDensity) {
+  // N=20 switches, degree 10, 5 servers each: the paper reports RRGs
+  // within a few percent of the bound at such densities; the FPTAS's
+  // certified lower bound should still land within ~20%.
+  const int n = 20;
+  const int r = 10;
+  const int servers = 5;
+  const TopologyBuilder builder = [&](std::uint64_t seed) {
+    return random_regular_topology(n, r + servers, r, seed);
+  };
+  const ExperimentStats stats = run_experiment(builder, quick_eval(0.05), 3, 1);
+  const double bound = homogeneous_throughput_upper_bound(
+      n, r, static_cast<double>(n * servers));
+  EXPECT_LE(stats.lambda.mean, bound * 1.001);
+  EXPECT_GE(stats.lambda.mean, 0.6 * bound);
+}
+
+TEST(Integration, RrgAsplWithinTenPercentOfLowerBound) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const Graph g = random_regular_graph(60, 10, seed);
+    const double aspl = average_shortest_path_length(g);
+    const double bound = aspl_lower_bound(60, 10);
+    EXPECT_GE(aspl, bound - 1e-9);
+    EXPECT_LE(aspl, 1.10 * bound);
+  }
+}
+
+TEST(Integration, DenserRrgHasHigherThroughput) {
+  const int servers = 5;
+  auto lambda_at_degree = [&](int r) {
+    const TopologyBuilder builder = [&](std::uint64_t seed) {
+      return random_regular_topology(20, r + servers, r, seed);
+    };
+    return mean_lambda(builder, quick_eval(), 2, 3);
+  };
+  EXPECT_LT(lambda_at_degree(4), lambda_at_degree(8));
+  EXPECT_LT(lambda_at_degree(8), lambda_at_degree(14));
+}
+
+// --- "Not all flat topologies are equal": RRG beats the hypercube -------
+
+TEST(Integration, RrgBeatsHypercubeSameEquipment) {
+  // 64 switches, degree 6 (hypercube dimension 6), 3 servers per switch.
+  // The paper reports ~30% advantage at 512 nodes and notes the gap grows
+  // with scale; at 64 nodes we measure ~14%, so assert a safe 5%.
+  const int dim = 6;
+  const int n = 1 << dim;
+  const int servers = 3;
+  const TopologyBuilder rrg = [&](std::uint64_t seed) {
+    return random_regular_topology(n, dim + servers, dim, seed);
+  };
+  const TopologyBuilder cube = [&](std::uint64_t) {
+    return hypercube_topology(dim, servers);
+  };
+  const double rrg_lambda = mean_lambda(rrg, quick_eval(), 3, 7);
+  const double cube_lambda = mean_lambda(cube, quick_eval(), 3, 7);
+  EXPECT_GT(rrg_lambda, 1.05 * cube_lambda);
+}
+
+// --- Fig 4 mini: proportional server placement is optimal ---------------
+
+TEST(Integration, ProportionalServerPlacementBeatsSkewed) {
+  TwoTypeSpec base;
+  base.num_large = 6;
+  base.num_small = 12;
+  base.large_ports = 18;
+  base.small_ports = 6;
+  const int total_servers = 60;
+
+  auto lambda_at_ratio = [&](double ratio) {
+    const TwoTypeSpec spec = with_server_split(base, total_servers, ratio);
+    const TopologyBuilder builder = [spec](std::uint64_t seed) {
+      return build_two_type(spec, seed);
+    };
+    return mean_lambda(builder, quick_eval(), 3, 11);
+  };
+  const double proportional = lambda_at_ratio(1.0);
+  EXPECT_GT(proportional, lambda_at_ratio(0.45) * 1.02);
+  EXPECT_GT(proportional, lambda_at_ratio(1.8) * 1.02);
+}
+
+// --- Fig 6 mini: throughput plateau then collapse in cross links --------
+
+TEST(Integration, CrossClusterPlateauAndCollapse) {
+  TwoTypeSpec spec;
+  spec.num_large = 10;
+  spec.num_small = 20;
+  spec.large_ports = 18;
+  spec.small_ports = 9;
+  spec.servers_per_large = 6;
+  spec.servers_per_small = 3;
+
+  auto lambda_at_fraction = [&](double fraction) {
+    spec.cross_fraction = fraction;
+    const TwoTypeSpec copy = spec;
+    const TopologyBuilder builder = [copy](std::uint64_t seed) {
+      return build_two_type(copy, seed);
+    };
+    return mean_lambda(builder, quick_eval(), 3, 13);
+  };
+  const double vanilla = lambda_at_fraction(1.0);
+  const double reduced = lambda_at_fraction(0.6);
+  const double starved = lambda_at_fraction(0.1);
+  // Plateau: modest reduction stays within ~12% of vanilla randomness.
+  EXPECT_GT(reduced, 0.88 * vanilla);
+  // Collapse: starving the cut costs much more.
+  EXPECT_LT(starved, 0.6 * vanilla);
+}
+
+// --- Fig 10/11 mini: Eqn-1 bound dominates measured throughput ----------
+
+TEST(Integration, TwoClusterBoundDominatesMeasurement) {
+  TwoTypeSpec spec;
+  spec.num_large = 8;
+  spec.num_small = 16;
+  spec.large_ports = 16;
+  spec.small_ports = 8;
+  spec.servers_per_large = 5;
+  spec.servers_per_small = 3;
+  for (double fraction : {0.2, 0.6, 1.0}) {
+    spec.cross_fraction = fraction;
+    const BuiltTopology t = build_two_type(spec, 5);
+    const ThroughputResult r = evaluate_throughput(t, quick_eval(), 9);
+    ASSERT_TRUE(r.feasible);
+    std::vector<char> in_a(static_cast<std::size_t>(t.graph.num_nodes()), 0);
+    for (int i = 0; i < spec.num_large; ++i) in_a[static_cast<std::size_t>(i)] = 1;
+    const double n1 = spec.num_large * spec.servers_per_large;
+    const double n2 = spec.num_small * spec.servers_per_small;
+    const TwoClusterBound bound =
+        two_cluster_throughput_bound(t.graph, in_a, n1, n2);
+    EXPECT_LE(r.lambda, bound.combined * 1.02) << "fraction " << fraction;
+  }
+}
+
+// --- Theorem 2 mini: linear regime below the threshold ------------------
+
+TEST(Integration, ThroughputLinearInScarceCrossCut) {
+  // Theorem 2: for q below q* the throughput is Theta(q) — halving the
+  // cross-cluster wiring in the scarce regime halves throughput.
+  TwoTypeSpec spec;
+  spec.num_large = 16;
+  spec.num_small = 16;
+  spec.large_ports = 16;
+  spec.small_ports = 16;
+  spec.servers_per_large = 6;
+  spec.servers_per_small = 6;
+
+  auto lambda_at = [&](double fraction) {
+    spec.cross_fraction = fraction;
+    const TwoTypeSpec copy = spec;
+    const TopologyBuilder builder = [copy](std::uint64_t seed) {
+      return build_two_type(copy, seed);
+    };
+    return mean_lambda(builder, quick_eval(), 3, 31);
+  };
+  const double at_10 = lambda_at(0.10);
+  const double at_20 = lambda_at(0.20);
+  EXPECT_NEAR(at_20 / at_10, 2.0, 0.5);
+}
+
+// --- Fig 12 mini: rewired VL2 supports more ToRs than VL2 ---------------
+
+TEST(Integration, RewiredVl2BeatsVl2) {
+  Vl2Params params;
+  params.d_a = 8;
+  params.d_i = 8;
+  const int nominal = vl2_nominal_tors(params);  // 16
+
+  FullThroughputSearch search;
+  search.builder = [&](int tors, std::uint64_t seed) {
+    return rewired_vl2_topology(params, tors, seed);
+  };
+  search.min_tors = nominal;
+  search.max_tors = rewired_vl2_max_tors(params);
+  search.threshold = 0.92;
+  search.runs = 2;
+  search.options.flow.epsilon = 0.05;
+  const int rewired = max_tors_at_full_throughput(search, 23);
+  EXPECT_GE(rewired, nominal);  // at least as good, typically better
+}
+
+// --- Fig 13 mini: packet-level within striking distance of flow-level ---
+
+TEST(Integration, PacketSimTracksFlowLevel) {
+  const BuiltTopology t = random_regular_topology(12, 8, 5, 31);
+  const ThroughputResult flow = evaluate_throughput(t, quick_eval(0.05), 5);
+  ASSERT_TRUE(flow.feasible);
+
+  sim::SimParams p;
+  p.subflows = 8;
+  p.duration_ns = 16'000'000;
+  p.warmup_ns = 8'000'000;
+  sim::SimNetwork net(t, p, 31);
+  net.add_permutation_workload();
+  const sim::SimulationResult packet = net.run();
+
+  // Flow-level is an upper bound on the mean; the packet sim should reach
+  // a large fraction of it at this small scale.
+  const double flow_mean = std::min(1.0, flow.dual_bound);
+  EXPECT_LE(packet.mean_normalized, flow_mean * 1.10);
+  EXPECT_GE(packet.mean_normalized, 0.5 * flow.lambda);
+}
+
+}  // namespace
+}  // namespace topo

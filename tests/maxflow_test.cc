@@ -1,0 +1,131 @@
+// Tests for Dinic max-flow, min cuts, and the bisection heuristic.
+#include <gtest/gtest.h>
+
+#include "graph/maxflow.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+TEST(MaxFlow, SingleEdgeFullDuplex) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1).value, 3.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 1, 0).value, 3.0);
+}
+
+TEST(MaxFlow, SeriesTakesMinimum) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 2).value, 2.0);
+}
+
+TEST(MaxFlow, ParallelPathsAdd) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(2, 3, 2.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3).value, 3.0);
+}
+
+TEST(MaxFlow, ParallelEdgesAdd) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 1, 2.5);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 1).value, 3.5);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 2).value, 0.0);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCrossEdge) {
+  // 0->{1,2}->3 with a 1-2 cross edge; undirected full-duplex capacities.
+  Graph g(4);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(1, 3, 10.0);
+  g.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(max_flow(g, 0, 3).value, 20.0);
+}
+
+TEST(MaxFlow, MinCutSideSeparatesSourceFromSink) {
+  Graph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 2.0);
+  const MaxFlowResult r = max_flow(g, 0, 2);
+  EXPECT_TRUE(r.source_side[0]);
+  EXPECT_FALSE(r.source_side[2]);
+  // The cut value must equal the flow value.
+  EXPECT_DOUBLE_EQ(cut_capacity(g, r.source_side), r.value);
+}
+
+TEST(MaxFlow, MultiSourceMultiSink) {
+  Graph g(6);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.5);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(3, 5, 1.0);
+  const MaxFlowResult r = max_flow(g, {0, 1}, {4, 5});
+  EXPECT_DOUBLE_EQ(r.value, 1.5);  // bottleneck at the 2-3 edge
+}
+
+TEST(MaxFlow, RejectsOverlappingSourceSink) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)max_flow(g, {0}, {0}), InvalidArgument);
+}
+
+TEST(MaxFlow, RejectsEmptySets) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(
+      (void)max_flow(g, std::vector<NodeId>{}, std::vector<NodeId>{1}),
+      InvalidArgument);
+}
+
+TEST(CutCapacity, CountsCrossingEdgesOnce) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 2, 5.0);
+  g.add_edge(1, 3, 7.0);
+  const std::vector<char> side{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(cut_capacity(g, side), 12.0);
+}
+
+TEST(CutCapacity, RequiresFullCover) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)cut_capacity(g, std::vector<char>{1}), InvalidArgument);
+}
+
+TEST(Bisection, TwoCliquesJoinedByOneEdge) {
+  // Two K4s joined by a single unit edge: optimal bisection cuts just it.
+  Graph g(8);
+  for (int base : {0, 4}) {
+    for (int i = 0; i < 4; ++i) {
+      for (int j = i + 1; j < 4; ++j) g.add_edge(base + i, base + j, 1.0);
+    }
+  }
+  g.add_edge(0, 4, 1.0);
+  EXPECT_DOUBLE_EQ(bisection_bandwidth_estimate(g, 123, 8), 1.0);
+}
+
+TEST(Bisection, CompleteGraphValueIsExact) {
+  // K4 balanced bisection cuts 2*2 = 4 unit edges.
+  Graph g(4);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.add_edge(i, j, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(bisection_bandwidth_estimate(g, 7, 4), 4.0);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,115 @@
+// Tests for the exact max-concurrent-flow LP formulation.
+#include <gtest/gtest.h>
+
+#include "lp/mcf_lp.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+TEST(McfLp, SingleCommoditySinglePath) {
+  Graph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 1.0);
+  const McfLpResult r = solve_concurrent_flow_lp(g, {{0, 2, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 1.0, 1e-7);  // bottleneck 1.0, demand 1.0
+}
+
+TEST(McfLp, DemandScalesLambda) {
+  Graph g(2);
+  g.add_edge(0, 1, 3.0);
+  const McfLpResult r = solve_concurrent_flow_lp(g, {{0, 1, 2.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 1.5, 1e-7);
+}
+
+TEST(McfLp, ParallelPathsAggregate) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const McfLpResult r = solve_concurrent_flow_lp(g, {{0, 3, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 2.0, 1e-7);
+}
+
+TEST(McfLp, TriangleThreeCommodities) {
+  // Unit triangle, three rotational commodities: each uses its direct edge
+  // (cap 1) plus the two-hop alternative; known optimum 1.5.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  const McfLpResult r =
+      solve_concurrent_flow_lp(g, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 1.5, 1e-7);
+}
+
+TEST(McfLp, OpposingCommoditiesUseBothDirections) {
+  // Full-duplex single edge supports 1 unit each way simultaneously.
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  const McfLpResult r =
+      solve_concurrent_flow_lp(g, {{0, 1, 1.0}, {1, 0, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 1.0, 1e-7);
+}
+
+TEST(McfLp, SharedBottleneckSplitsFairly) {
+  // Two commodities share one unit edge in the same direction.
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  const McfLpResult r =
+      solve_concurrent_flow_lp(g, {{0, 2, 1.0}, {0, 2, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 0.5, 1e-7);
+}
+
+TEST(McfLp, DisconnectedIsInfeasibleOrZero) {
+  Graph g(3);
+  g.add_edge(0, 1, 1.0);
+  const McfLpResult r = solve_concurrent_flow_lp(g, {{0, 2, 1.0}});
+  // lambda can only be zero (or the LP infeasible) for unreachable pairs.
+  if (r.status == LpStatus::kOptimal) EXPECT_NEAR(r.lambda, 0.0, 1e-7);
+}
+
+TEST(McfLp, ArcFlowsRespectCapacities) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(0, 3, 0.5);
+  const McfLpResult r =
+      solve_concurrent_flow_lp(g, {{0, 3, 1.0}, {1, 2, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  for (int arc = 0; arc < 2 * g.num_edges(); ++arc) {
+    EXPECT_LE(r.arc_flow[static_cast<std::size_t>(arc)],
+              g.edge(arc / 2).capacity + 1e-7);
+  }
+}
+
+TEST(McfLp, RejectsBadCommodities) {
+  Graph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW((void)solve_concurrent_flow_lp(g, {{0, 0, 1.0}}),
+               InvalidArgument);
+  EXPECT_THROW((void)solve_concurrent_flow_lp(g, {{0, 1, -1.0}}),
+               InvalidArgument);
+  EXPECT_THROW((void)solve_concurrent_flow_lp(g, {}), InvalidArgument);
+}
+
+TEST(McfLp, CapacityHeterogeneityRespected) {
+  // A 10x "high-speed" edge should carry 10x the load of a unit edge.
+  Graph g(2);
+  g.add_edge(0, 1, 10.0);
+  const McfLpResult r = solve_concurrent_flow_lp(g, {{0, 1, 1.0}});
+  ASSERT_EQ(r.status, LpStatus::kOptimal);
+  EXPECT_NEAR(r.lambda, 10.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,201 @@
+// Tests for the discrete-event queue, links, and path sampling.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "sim/event_queue.h"
+#include "sim/link.h"
+#include "sim/routing.h"
+#include "topo/random_regular.h"
+#include "util/error.h"
+
+namespace topo::sim {
+namespace {
+
+class Recorder : public EventHandler {
+ public:
+  void on_event(std::uint64_t cookie) override { cookies.push_back(cookie); }
+  std::vector<std::uint64_t> cookies;
+};
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  Recorder r;
+  q.schedule(30, &r, 3);
+  q.schedule(10, &r, 1);
+  q.schedule(20, &r, 2);
+  q.run_until(100);
+  EXPECT_EQ(r.cookies, (std::vector<std::uint64_t>{1, 2, 3}));
+  EXPECT_EQ(q.now(), 100u);
+}
+
+TEST(EventQueue, FifoAmongSimultaneousEvents) {
+  EventQueue q;
+  Recorder r;
+  for (std::uint64_t i = 0; i < 5; ++i) q.schedule(10, &r, i);
+  q.run_until(10);
+  EXPECT_EQ(r.cookies, (std::vector<std::uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  EventQueue q;
+  Recorder r;
+  q.schedule(10, &r, 1);
+  q.schedule(20, &r, 2);
+  EXPECT_EQ(q.run_until(15), 1u);
+  EXPECT_EQ(r.cookies.size(), 1u);
+  EXPECT_EQ(q.run_until(25), 1u);
+  EXPECT_EQ(r.cookies.size(), 2u);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  Recorder r;
+  q.schedule(10, &r, 1);
+  q.run_until(50);
+  EXPECT_THROW(q.schedule(20, &r, 2), topo::InvalidArgument);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  struct Chainer : EventHandler {
+    EventQueue* q = nullptr;
+    int count = 0;
+    void on_event(std::uint64_t) override {
+      if (++count < 5) q->schedule(q->now() + 10, this, 0);
+    }
+  } chain;
+  chain.q = &q;
+  q.schedule(0, &chain, 0);
+  q.run_until(1000);
+  EXPECT_EQ(chain.count, 5);
+}
+
+class Collector : public PacketReceiver {
+ public:
+  void packet_arrived(Packet* packet) override {
+    arrival_times.push_back(when->now());
+    packets.push_back(packet);
+  }
+  const EventQueue* when = nullptr;
+  std::vector<SimTime> arrival_times;
+  std::vector<Packet*> packets;
+};
+
+TEST(SimLink, LatencyIsSerializationPlusPropagation) {
+  EventQueue q;
+  Collector sink;
+  sink.when = &q;
+  SimLink link(&q, /*rate_gbps=*/1.0, /*delay_ns=*/500, /*queue=*/4, &sink);
+  Packet p;
+  p.size_bytes = 1500;  // 12000 bits @ 1 Gbps = 12000 ns
+  ASSERT_TRUE(link.enqueue(&p));
+  q.run_until(1'000'000);
+  ASSERT_EQ(sink.arrival_times.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 12'500u);
+}
+
+TEST(SimLink, BackToBackPacketsSerialize) {
+  EventQueue q;
+  Collector sink;
+  sink.when = &q;
+  SimLink link(&q, 1.0, 0, 16, &sink);
+  std::vector<Packet> packets(3);
+  for (auto& p : packets) {
+    p.size_bytes = 1500;
+    ASSERT_TRUE(link.enqueue(&p));
+  }
+  q.run_until(1'000'000);
+  ASSERT_EQ(sink.arrival_times.size(), 3u);
+  EXPECT_EQ(sink.arrival_times[0], 12'000u);
+  EXPECT_EQ(sink.arrival_times[1], 24'000u);
+  EXPECT_EQ(sink.arrival_times[2], 36'000u);
+}
+
+TEST(SimLink, TenXRateIsTenXFaster) {
+  EventQueue q;
+  Collector sink;
+  sink.when = &q;
+  SimLink link(&q, 10.0, 0, 4, &sink);
+  Packet p;
+  p.size_bytes = 1500;
+  ASSERT_TRUE(link.enqueue(&p));
+  q.run_until(1'000'000);
+  ASSERT_EQ(sink.arrival_times.size(), 1u);
+  EXPECT_EQ(sink.arrival_times[0], 1'200u);
+}
+
+TEST(SimLink, DropsWhenQueueFull) {
+  EventQueue q;
+  Collector sink;
+  sink.when = &q;
+  SimLink link(&q, 1.0, 0, /*queue=*/2, &sink);
+  std::vector<Packet> packets(5);
+  int accepted = 0;
+  for (auto& p : packets) {
+    p.size_bytes = 1500;
+    if (link.enqueue(&p)) ++accepted;
+  }
+  // 1 in service + 2 queued = 3 accepted, 2 dropped.
+  EXPECT_EQ(accepted, 3);
+  EXPECT_EQ(link.drops(), 2u);
+  q.run_until(1'000'000);
+  EXPECT_EQ(sink.packets.size(), 3u);
+}
+
+TEST(Routing, SampledPathsAreShortest) {
+  const Graph g = topo::random_regular_graph(20, 4, 3);
+  topo::Rng rng(1);
+  const auto dist = topo::bfs_distances(g, 7);
+  for (NodeId src = 0; src < 20; ++src) {
+    if (src == 7) continue;
+    const auto path = sample_shortest_arc_path(g, src, 7, dist, rng);
+    EXPECT_EQ(static_cast<int>(path.size()),
+              dist[static_cast<std::size_t>(src)]);
+    // Check arc continuity: each arc's tail is the previous head.
+    NodeId at = src;
+    for (int arc : path) {
+      const Edge& e = g.edge(arc / 2);
+      const NodeId tail = arc % 2 == 0 ? e.u : e.v;
+      const NodeId head = arc % 2 == 0 ? e.v : e.u;
+      EXPECT_EQ(tail, at);
+      at = head;
+    }
+    EXPECT_EQ(at, 7);
+  }
+}
+
+TEST(Routing, SamplingFindsMultiplePaths) {
+  // A 4-cycle has two equal shortest paths between opposite corners.
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  topo::Rng rng(5);
+  const auto dist = topo::bfs_distances(g, 2);
+  std::set<std::vector<int>> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(sample_shortest_arc_path(g, 0, 2, dist, rng));
+  }
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+TEST(Routing, EmptyPathForSameNode) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  topo::Rng rng(0);
+  const auto dist = topo::bfs_distances(g, 0);
+  EXPECT_TRUE(sample_shortest_arc_path(g, 0, 0, dist, rng).empty());
+}
+
+TEST(Routing, ThrowsWhenUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  topo::Rng rng(0);
+  const auto dist = topo::bfs_distances(g, 2);
+  EXPECT_THROW((void)sample_shortest_arc_path(g, 0, 2, dist, rng),
+               topo::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topo::sim

@@ -1,0 +1,152 @@
+// Tests for the two-phase simplex LP solver.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+LpProblem make(int vars, std::vector<double> objective) {
+  LpProblem p;
+  p.num_vars = vars;
+  p.objective = std::move(objective);
+  return p;
+}
+
+TEST(Simplex, SimpleTwoVarMaximization) {
+  // max 3x + 2y st x + y <= 4, x <= 2 -> x=2, y=2, obj=10.
+  LpProblem p = make(2, {3.0, 2.0});
+  p.constraints.push_back({{1.0, 1.0}, ConstraintSense::kLessEqual, 4.0});
+  p.constraints.push_back({{1.0, 0.0}, ConstraintSense::kLessEqual, 2.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, BindingGreaterEqual) {
+  // max -x st x >= 3 -> x = 3.
+  LpProblem p = make(1, {-1.0});
+  p.constraints.push_back({{1.0}, ConstraintSense::kGreaterEqual, 3.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.objective, -3.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // max x + y st x + 2y = 4, x <= 2 -> x=2, y=1.
+  LpProblem p = make(2, {1.0, 1.0});
+  p.constraints.push_back({{1.0, 2.0}, ConstraintSense::kEqual, 4.0});
+  p.constraints.push_back({{1.0, 0.0}, ConstraintSense::kLessEqual, 2.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 2.
+  LpProblem p = make(1, {1.0});
+  p.constraints.push_back({{1.0}, ConstraintSense::kLessEqual, 1.0});
+  p.constraints.push_back({{1.0}, ConstraintSense::kGreaterEqual, 2.0});
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  LpProblem p = make(1, {1.0});
+  p.constraints.push_back({{-1.0}, ConstraintSense::kLessEqual, 1.0});
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // max -x st -x <= -2  (i.e. x >= 2) -> x = 2.
+  LpProblem p = make(1, {-1.0});
+  p.constraints.push_back({{-1.0}, ConstraintSense::kLessEqual, -2.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  LpProblem p = make(2, {1.0, 1.0});
+  p.constraints.push_back({{1.0, 0.0}, ConstraintSense::kLessEqual, 1.0});
+  p.constraints.push_back({{0.0, 1.0}, ConstraintSense::kLessEqual, 1.0});
+  p.constraints.push_back({{1.0, 1.0}, ConstraintSense::kLessEqual, 2.0});
+  p.constraints.push_back({{2.0, 2.0}, ConstraintSense::kLessEqual, 4.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroVariableFeasible) {
+  LpProblem p = make(0, {});
+  p.constraints.push_back({{}, ConstraintSense::kLessEqual, 1.0});
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kOptimal);
+}
+
+TEST(Simplex, ZeroVariableInfeasible) {
+  LpProblem p = make(0, {});
+  p.constraints.push_back({{}, ConstraintSense::kGreaterEqual, 1.0});
+  EXPECT_EQ(solve_lp(p).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, RejectsMismatchedWidths) {
+  LpProblem p = make(2, {1.0, 1.0});
+  p.constraints.push_back({{1.0}, ConstraintSense::kLessEqual, 1.0});
+  EXPECT_THROW((void)solve_lp(p), InvalidArgument);
+}
+
+TEST(Simplex, KleeMintyLikeStillSolves) {
+  // A 3-D Klee-Minty cube variant: stresses pivoting rules.
+  LpProblem p = make(3, {100.0, 10.0, 1.0});
+  p.constraints.push_back({{1.0, 0.0, 0.0}, ConstraintSense::kLessEqual, 1.0});
+  p.constraints.push_back({{20.0, 1.0, 0.0}, ConstraintSense::kLessEqual, 100.0});
+  p.constraints.push_back(
+      {{200.0, 20.0, 1.0}, ConstraintSense::kLessEqual, 10000.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 10000.0, 1e-6);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 suppliers (cap 10, 20), 2 consumers (need 15 each), maximize shipped
+  // with shipping allowed only within capacity: total = 30.
+  // Vars: x11, x12, x21, x22.
+  LpProblem p = make(4, {1.0, 1.0, 1.0, 1.0});
+  p.constraints.push_back(
+      {{1.0, 1.0, 0.0, 0.0}, ConstraintSense::kLessEqual, 10.0});
+  p.constraints.push_back(
+      {{0.0, 0.0, 1.0, 1.0}, ConstraintSense::kLessEqual, 20.0});
+  p.constraints.push_back(
+      {{1.0, 0.0, 1.0, 0.0}, ConstraintSense::kLessEqual, 15.0});
+  p.constraints.push_back(
+      {{0.0, 1.0, 0.0, 1.0}, ConstraintSense::kLessEqual, 15.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 30.0, 1e-9);
+}
+
+TEST(Simplex, SolutionSatisfiesConstraints) {
+  LpProblem p = make(3, {2.0, 3.0, 1.0});
+  p.constraints.push_back(
+      {{1.0, 1.0, 1.0}, ConstraintSense::kLessEqual, 10.0});
+  p.constraints.push_back(
+      {{2.0, 1.0, 0.0}, ConstraintSense::kLessEqual, 8.0});
+  p.constraints.push_back(
+      {{0.0, 1.0, 3.0}, ConstraintSense::kGreaterEqual, 3.0});
+  const LpSolution s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::kOptimal);
+  for (const LpConstraint& c : p.constraints) {
+    double lhs = 0.0;
+    for (int j = 0; j < 3; ++j) lhs += c.coeffs[static_cast<std::size_t>(j)] * s.x[static_cast<std::size_t>(j)];
+    if (c.sense == ConstraintSense::kLessEqual) EXPECT_LE(lhs, c.rhs + 1e-7);
+    if (c.sense == ConstraintSense::kGreaterEqual) EXPECT_GE(lhs, c.rhs - 1e-7);
+  }
+  for (double x : s.x) EXPECT_GE(x, -1e-9);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,182 @@
+// Tests for fat-tree, VL2 (standard and rewired), hypercube, and torus.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.h"
+#include "topo/fat_tree.h"
+#include "topo/structured.h"
+#include "topo/vl2.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+TEST(FatTree, K4Structure) {
+  const BuiltTopology t = fat_tree_topology(4);
+  // k=4: 8 edge + 8 agg + 4 core switches, 16 servers.
+  EXPECT_EQ(t.graph.num_nodes(), 20);
+  EXPECT_EQ(t.servers.total(), 16);
+  // Every switch has degree k = 4 except... in a fat tree all switches have
+  // k ports; edge switches use k/2 for servers, so graph degree k/2.
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(t.graph.degree(n), 2);    // edge
+  for (NodeId n = 8; n < 16; ++n) EXPECT_EQ(t.graph.degree(n), 4);   // agg
+  for (NodeId n = 16; n < 20; ++n) EXPECT_EQ(t.graph.degree(n), 4);  // core
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(FatTree, ServerCountScalesAsCube) {
+  EXPECT_EQ(fat_tree_topology(4).servers.total(), 4 * 4 * 4 / 4);
+  EXPECT_EQ(fat_tree_topology(8).servers.total(), 8 * 8 * 8 / 4);
+}
+
+TEST(FatTree, ClassesAreLabelled) {
+  const BuiltTopology t = fat_tree_topology(4);
+  EXPECT_EQ(t.class_of(0), static_cast<int>(FatTreeClass::kEdge));
+  EXPECT_EQ(t.class_of(8), static_cast<int>(FatTreeClass::kAggregation));
+  EXPECT_EQ(t.class_of(16), static_cast<int>(FatTreeClass::kCore));
+  EXPECT_EQ(t.class_names.size(), 3u);
+}
+
+TEST(FatTree, RejectsOddK) { EXPECT_THROW((void)fat_tree_topology(3), InvalidArgument); }
+
+TEST(Vl2, NominalStructure) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 6;
+  const BuiltTopology t = vl2_topology(p);
+  const int tors = vl2_nominal_tors(p);  // 8*6/4 = 12
+  EXPECT_EQ(tors, 12);
+  EXPECT_EQ(t.graph.num_nodes(), 12 + 6 + 4);  // ToRs + aggs + cores
+  // Every ToR: 2 uplinks; servers 20.
+  for (NodeId n = 0; n < tors; ++n) {
+    EXPECT_EQ(t.graph.degree(n), 2);
+    EXPECT_EQ(t.servers.per_switch[static_cast<std::size_t>(n)], 20);
+  }
+  // Aggs: d_a/2 ToR links + d_a/2 core links = d_a.
+  for (NodeId n = tors; n < tors + 6; ++n) EXPECT_EQ(t.graph.degree(n), 8);
+  // Cores: one link to each agg = d_i.
+  for (NodeId n = tors + 6; n < t.graph.num_nodes(); ++n) {
+    EXPECT_EQ(t.graph.degree(n), 6);
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Vl2, UplinkSpeedApplied) {
+  Vl2Params p;
+  p.d_a = 4;
+  p.d_i = 4;
+  p.uplink_speed = 10.0;
+  const BuiltTopology t = vl2_topology(p);
+  for (const Edge& e : t.graph.edges()) EXPECT_DOUBLE_EQ(e.capacity, 10.0);
+}
+
+TEST(Vl2, TorUplinksGoToDistinctAggs) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 6;
+  const BuiltTopology t = vl2_topology(p);
+  const int tors = vl2_nominal_tors(p);
+  for (NodeId n = 0; n < tors; ++n) {
+    const auto& nb = t.graph.neighbors(n);
+    ASSERT_EQ(nb.size(), 2u);
+    EXPECT_NE(nb[0].to, nb[1].to);
+  }
+}
+
+TEST(Vl2, RejectsBadParameters) {
+  Vl2Params p;
+  p.d_a = 7;  // odd
+  EXPECT_THROW((void)vl2_topology(p), InvalidArgument);
+  p.d_a = 6;
+  p.d_i = 5;  // d_a*d_i not divisible by 4
+  EXPECT_THROW((void)vl2_topology(p), InvalidArgument);
+}
+
+TEST(RewiredVl2, EquipmentConserved) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 8;
+  const int tors = vl2_nominal_tors(p);  // 16
+  const BuiltTopology t = rewired_vl2_topology(p, tors, 5);
+  // Pool: 8 aggs with 8 ports, 4 cores with 8 ports. Every pool switch's
+  // degree must not exceed its port count, and ToRs keep 2 uplinks.
+  for (NodeId n = 0; n < tors; ++n) EXPECT_EQ(t.graph.degree(n), 2);
+  for (NodeId n = tors; n < t.graph.num_nodes(); ++n) {
+    EXPECT_LE(t.graph.degree(n), 8);
+    EXPECT_GE(t.graph.degree(n), 1);
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(RewiredVl2, SupportsMoreTorsThanNominal) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 8;
+  const int nominal = vl2_nominal_tors(p);
+  const int max_tors = rewired_vl2_max_tors(p);
+  EXPECT_GT(max_tors, nominal);
+  const BuiltTopology t = rewired_vl2_topology(p, max_tors, 1);
+  EXPECT_EQ(t.graph.num_nodes(), max_tors + 8 + 4);
+}
+
+TEST(RewiredVl2, RejectsBeyondMax) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 8;
+  EXPECT_THROW((void)rewired_vl2_topology(p, rewired_vl2_max_tors(p) + 1, 1),
+               InvalidArgument);
+}
+
+TEST(RewiredVl2, AllLinksAtUplinkSpeed) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 8;
+  const BuiltTopology t = rewired_vl2_topology(p, 10, 2);
+  for (const Edge& e : t.graph.edges()) EXPECT_DOUBLE_EQ(e.capacity, 10.0);
+}
+
+TEST(RewiredVl2, Deterministic) {
+  Vl2Params p;
+  p.d_a = 8;
+  p.d_i = 8;
+  const BuiltTopology a = rewired_vl2_topology(p, 12, 9);
+  const BuiltTopology b = rewired_vl2_topology(p, 12, 9);
+  ASSERT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (EdgeId e = 0; e < a.graph.num_edges(); ++e) {
+    EXPECT_EQ(a.graph.edge(e).u, b.graph.edge(e).u);
+    EXPECT_EQ(a.graph.edge(e).v, b.graph.edge(e).v);
+  }
+}
+
+TEST(Hypercube, StructureAndAspl) {
+  const BuiltTopology t = hypercube_topology(3, 1);
+  EXPECT_EQ(t.graph.num_nodes(), 8);
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(t.graph.degree(n), 3);
+  EXPECT_EQ(diameter(t.graph), 3);
+  // ASPL of the d-cube: d * 2^(d-1) / (2^d - 1) = 12/7.
+  EXPECT_NEAR(average_shortest_path_length(t.graph), 12.0 / 7.0, 1e-12);
+}
+
+TEST(Hypercube, RejectsBadDimension) {
+  EXPECT_THROW((void)hypercube_topology(0, 1), InvalidArgument);
+  EXPECT_THROW((void)hypercube_topology(21, 1), InvalidArgument);
+}
+
+TEST(Torus, StructureAndDegrees) {
+  const BuiltTopology t = torus2d_topology(4, 5, 2);
+  EXPECT_EQ(t.graph.num_nodes(), 20);
+  for (NodeId n = 0; n < 20; ++n) EXPECT_EQ(t.graph.degree(n), 4);
+  EXPECT_EQ(t.servers.total(), 40);
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(Torus, DiameterMatchesManhattanWrap) {
+  const BuiltTopology t = torus2d_topology(5, 5, 0);
+  EXPECT_EQ(diameter(t.graph), 4);  // floor(5/2) + floor(5/2)
+}
+
+TEST(Torus, RejectsTooSmall) {
+  EXPECT_THROW((void)torus2d_topology(2, 5, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topo

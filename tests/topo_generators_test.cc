@@ -1,0 +1,310 @@
+// Tests for RRG, clustered, heterogeneous, and power-law generators.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.h"
+#include "topo/clustered_random.h"
+#include "topo/het_random.h"
+#include "topo/power_law.h"
+#include "topo/random_regular.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+TEST(RandomRegular, DegreesAndConnectivity) {
+  const Graph g = random_regular_graph(30, 5, 17);
+  for (NodeId n = 0; n < 30; ++n) EXPECT_EQ(g.degree(n), 5);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(RandomRegular, RejectsOddProduct) {
+  EXPECT_THROW((void)random_regular_graph(5, 3, 0), InvalidArgument);
+}
+
+TEST(RandomRegular, RejectsDegreeAtLeastN) {
+  EXPECT_THROW((void)random_regular_graph(4, 4, 0), InvalidArgument);
+}
+
+TEST(RandomRegular, ZeroDegreeIsEmpty) {
+  const Graph g = random_regular_graph(5, 0, 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(RandomRegular, TopologyAttachesServers) {
+  const BuiltTopology t = random_regular_topology(10, 12, 8, 3);
+  EXPECT_EQ(t.graph.num_nodes(), 10);
+  EXPECT_EQ(t.servers.total(), 10 * 4);
+  for (int s : t.servers.per_switch) EXPECT_EQ(s, 4);
+}
+
+TEST(RandomRegular, TopologyRejectsServersBeyondPorts) {
+  EXPECT_THROW((void)random_regular_topology(10, 5, 8, 3), InvalidArgument);
+}
+
+class RrgSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(RrgSweep, RegularSimpleConnected) {
+  const auto [n, r, seed] = GetParam();
+  if ((n * r) % 2 != 0 || r >= n) GTEST_SKIP();
+  const Graph g = random_regular_graph(n, r, seed);
+  for (NodeId v = 0; v < n; ++v) EXPECT_EQ(g.degree(v), r);
+  EXPECT_TRUE(is_connected(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RrgSweep,
+                         ::testing::Combine(::testing::Values(10, 40, 120),
+                                            ::testing::Values(3, 10, 24),
+                                            ::testing::Values(5ULL, 99ULL)));
+
+TEST(Clustered, ExactCrossLinkCount) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(10, 6);
+  spec.degrees_b.assign(20, 4);
+  spec.cross_links = 12;
+  const ClusteredGraph built = clustered_random_graph(spec, 5);
+  EXPECT_EQ(built.actual_cross_links, 12);
+  int cross = 0;
+  for (const Edge& e : built.graph.edges()) {
+    const bool a_side_u = e.u < 10;
+    const bool a_side_v = e.v < 10;
+    if (a_side_u != a_side_v) ++cross;
+  }
+  EXPECT_EQ(cross, 12);
+}
+
+TEST(Clustered, DegreesPreserved) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(8, 5);
+  spec.degrees_b.assign(12, 3);
+  spec.cross_links = 10;
+  const ClusteredGraph built = clustered_random_graph(spec, 9);
+  for (NodeId n = 0; n < 8; ++n) EXPECT_EQ(built.graph.degree(n), 5);
+  for (NodeId n = 8; n < 20; ++n) EXPECT_EQ(built.graph.degree(n), 3);
+}
+
+TEST(Clustered, ParityAdjustsCrossByOne) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(4, 3);  // sum 12
+  spec.degrees_b.assign(4, 3);
+  spec.cross_links = 3;         // 12-3 odd -> adjusted to 4
+  const ClusteredGraph built = clustered_random_graph(spec, 1);
+  EXPECT_EQ(built.actual_cross_links, 4);
+}
+
+TEST(Clustered, ConnectedWhenRequested) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(15, 4);
+  spec.degrees_b.assign(15, 4);
+  spec.cross_links = 6;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    EXPECT_TRUE(is_connected(clustered_random_graph(spec, seed).graph));
+  }
+}
+
+TEST(Clustered, ZeroCrossLeavesTwoIslands) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(6, 3);
+  spec.degrees_b.assign(6, 3);
+  spec.cross_links = 0;
+  spec.ensure_connected = false;
+  const ClusteredGraph built = clustered_random_graph(spec, 2);
+  EXPECT_EQ(built.actual_cross_links, 0);
+  EXPECT_EQ(num_components(built.graph), 2);
+}
+
+TEST(Clustered, CapacityApplied) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(4, 2);
+  spec.degrees_b.assign(4, 2);
+  spec.cross_links = 4;
+  spec.capacity = 2.5;
+  const ClusteredGraph built = clustered_random_graph(spec, 3);
+  for (const Edge& e : built.graph.edges()) EXPECT_DOUBLE_EQ(e.capacity, 2.5);
+}
+
+TEST(Clustered, RejectsExcessCross) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(2, 2);  // only 4 stubs on side A
+  spec.degrees_b.assign(10, 4);
+  spec.cross_links = 10;
+  EXPECT_THROW((void)clustered_random_graph(spec, 1), InvalidArgument);
+}
+
+TEST(Clustered, ExpectedCrossMatchesConfigurationModel) {
+  ClusterSpec spec;
+  spec.degrees_a.assign(10, 6);  // 60 stubs
+  spec.degrees_b.assign(20, 3);  // 60 stubs
+  EXPECT_DOUBLE_EQ(expected_cross_links_for(spec), 60.0 * 60.0 / 119.0);
+}
+
+TEST(TwoType, StructureAndClasses) {
+  TwoTypeSpec spec;
+  spec.num_large = 5;
+  spec.num_small = 10;
+  spec.large_ports = 12;
+  spec.small_ports = 6;
+  spec.servers_per_large = 4;
+  spec.servers_per_small = 2;
+  const BuiltTopology t = build_two_type(spec, 11);
+  EXPECT_EQ(t.graph.num_nodes(), 15);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(t.graph.degree(n), 12 - 4);
+    EXPECT_EQ(t.class_of(n), static_cast<int>(TwoTypeClass::kLarge));
+    EXPECT_EQ(t.servers.per_switch[static_cast<std::size_t>(n)], 4);
+  }
+  for (NodeId n = 5; n < 15; ++n) {
+    EXPECT_EQ(t.graph.degree(n), 6 - 2);
+    EXPECT_EQ(t.class_of(n), static_cast<int>(TwoTypeClass::kSmall));
+    EXPECT_EQ(t.servers.per_switch[static_cast<std::size_t>(n)], 2);
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(TwoType, HighSpeedOverlayAddsCapacityLinks) {
+  TwoTypeSpec spec;
+  spec.num_large = 6;
+  spec.num_small = 6;
+  spec.large_ports = 10;
+  spec.small_ports = 6;
+  spec.servers_per_large = 2;
+  spec.servers_per_small = 2;
+  spec.hs_links_per_large = 3;
+  spec.hs_speed = 10.0;
+  const BuiltTopology t = build_two_type(spec, 21);
+  int hs_edges = 0;
+  for (const Edge& e : t.graph.edges()) {
+    if (e.capacity == 10.0) {
+      ++hs_edges;
+      EXPECT_LT(e.u, 6);  // overlay stays among large switches
+      EXPECT_LT(e.v, 6);
+    }
+  }
+  EXPECT_EQ(hs_edges, 6 * 3 / 2);
+}
+
+TEST(TwoType, HighSpeedOverlayRequiresEvenTotal) {
+  TwoTypeSpec spec;
+  spec.num_large = 5;
+  spec.num_small = 5;
+  spec.large_ports = 10;
+  spec.small_ports = 6;
+  spec.hs_links_per_large = 3;  // 5*3 odd
+  EXPECT_THROW((void)build_two_type(spec, 0), InvalidArgument);
+}
+
+TEST(TwoType, ServerPlacementRatioProportionalIsOne) {
+  TwoTypeSpec spec;
+  spec.num_large = 20;
+  spec.num_small = 40;
+  spec.large_ports = 30;
+  spec.small_ports = 10;
+  // Proportional: servers split in ratio of port counts.
+  spec = with_server_split(spec, 300, 1.0);
+  EXPECT_NEAR(server_placement_ratio(spec), 1.0, 0.1);
+}
+
+TEST(TwoType, WithServerSplitPreservesTotalApproximately) {
+  TwoTypeSpec spec;
+  spec.num_large = 20;
+  spec.num_small = 40;
+  spec.large_ports = 30;
+  spec.small_ports = 15;
+  for (double ratio : {0.5, 1.0, 1.5, 2.0}) {
+    const TwoTypeSpec split = with_server_split(spec, 480, ratio);
+    const int total = split.num_large * split.servers_per_large +
+                      split.num_small * split.servers_per_small;
+    EXPECT_NEAR(total, 480, 40) << "ratio " << ratio;
+  }
+}
+
+TEST(TwoType, CrossFractionControlsCut) {
+  TwoTypeSpec spec;
+  spec.num_large = 10;
+  spec.num_small = 20;
+  spec.large_ports = 24;
+  spec.small_ports = 12;
+  spec.servers_per_large = 8;
+  spec.servers_per_small = 4;
+  const double expected = two_type_expected_cross(spec);
+
+  auto count_cross = [&](double fraction) {
+    spec.cross_fraction = fraction;
+    const BuiltTopology t = build_two_type(spec, 31);
+    int cross = 0;
+    for (const Edge& e : t.graph.edges()) {
+      if ((e.u < 10) != (e.v < 10)) ++cross;
+    }
+    return cross;
+  };
+  EXPECT_NEAR(count_cross(1.0), expected, 1.0);
+  EXPECT_NEAR(count_cross(0.5), 0.5 * expected, 1.0);
+  EXPECT_NEAR(count_cross(1.5), 1.5 * expected, 1.0);
+}
+
+TEST(PowerLaw, PortsHitTargetMean) {
+  const auto ports = power_law_ports(200, 8.0, 77);
+  const double mean = std::accumulate(ports.begin(), ports.end(), 0.0) / 200.0;
+  EXPECT_NEAR(mean, 8.0, 1.5);
+  for (int p : ports) EXPECT_GE(p, 3);
+}
+
+TEST(PowerLaw, PortsAreHeavyTailed) {
+  const auto ports = power_law_ports(400, 8.0, 13);
+  const int max_ports = *std::max_element(ports.begin(), ports.end());
+  const int min_ports = *std::min_element(ports.begin(), ports.end());
+  EXPECT_GE(max_ports, 2 * min_ports);  // genuine spread
+}
+
+TEST(PowerLaw, BetaZeroIsUniform) {
+  const std::vector<int> ports{20, 10, 10, 10};
+  const auto servers = beta_proportional_servers(ports, 0.0, 8);
+  EXPECT_EQ(std::accumulate(servers.begin(), servers.end(), 0), 8);
+  EXPECT_EQ(servers, (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(PowerLaw, BetaOneIsProportional) {
+  const std::vector<int> ports{20, 10, 10};
+  const auto servers = beta_proportional_servers(ports, 1.0, 8);
+  EXPECT_EQ(std::accumulate(servers.begin(), servers.end(), 0), 8);
+  EXPECT_EQ(servers[0], 4);
+}
+
+TEST(PowerLaw, ServersRespectPortCaps) {
+  const std::vector<int> ports{4, 4, 30};
+  const auto servers = beta_proportional_servers(ports, 3.0, 20);
+  EXPECT_EQ(std::accumulate(servers.begin(), servers.end(), 0), 20);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_LE(servers[i], ports[i] - 1);
+  }
+}
+
+TEST(PowerLaw, ImpossibleTotalThrows) {
+  EXPECT_THROW((void)beta_proportional_servers({3, 3}, 1.0, 10),
+               ConstructionFailure);
+}
+
+TEST(PowerLaw, PoolTopologyDegrees) {
+  std::vector<int> ports{8, 8, 6, 6, 6, 6};
+  const std::vector<int> servers{3, 3, 2, 2, 2, 2};
+  const int total_servers = 14;
+  fix_parity_for_servers(ports, total_servers);
+  const BuiltTopology t = build_pool_topology(ports, servers, 3);
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    EXPECT_EQ(t.graph.degree(static_cast<NodeId>(i)),
+              ports[i] - servers[i]);
+  }
+  EXPECT_TRUE(is_connected(t.graph));
+}
+
+TEST(PowerLaw, FixParityMakesPoolFeasible) {
+  std::vector<int> ports{5, 5, 4};  // sum 14; with 13 servers -> odd
+  fix_parity_for_servers(ports, 13);
+  const long long sum = std::accumulate(ports.begin(), ports.end(), 0LL);
+  EXPECT_EQ((sum - 13) % 2, 0);
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,239 @@
+// Tests for traffic matrix generators and switch-level aggregation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "traffic/traffic.h"
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+ServerMap uniform_servers(int switches, int per_switch) {
+  ServerMap m;
+  m.per_switch.assign(static_cast<std::size_t>(switches), per_switch);
+  return m;
+}
+
+TEST(ServerMapBasics, TotalsAndHomes) {
+  ServerMap m;
+  m.per_switch = {2, 0, 3};
+  EXPECT_EQ(m.total(), 5);
+  EXPECT_EQ(m.num_switches(), 3);
+  EXPECT_EQ(m.server_home(), (std::vector<NodeId>{0, 0, 2, 2, 2}));
+}
+
+TEST(Permutation, EveryServerSendsAndReceivesOnce) {
+  const ServerMap m = uniform_servers(8, 5);
+  Rng rng(4);
+  const TrafficMatrix tm = random_permutation_traffic(m, rng);
+  EXPECT_EQ(tm.flows.size(), 40u);
+  std::set<int> sources;
+  std::set<int> destinations;
+  for (const ServerFlow& f : tm.flows) {
+    EXPECT_NE(f.src_server, f.dst_server);
+    EXPECT_DOUBLE_EQ(f.demand, 1.0);
+    EXPECT_TRUE(sources.insert(f.src_server).second);
+    EXPECT_TRUE(destinations.insert(f.dst_server).second);
+  }
+  EXPECT_EQ(sources.size(), 40u);
+  EXPECT_EQ(destinations.size(), 40u);
+}
+
+TEST(Permutation, NoFixedPointsAcrossSeeds) {
+  const ServerMap m = uniform_servers(4, 3);
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    Rng rng(seed);
+    const TrafficMatrix tm = random_permutation_traffic(m, rng);
+    for (const ServerFlow& f : tm.flows) EXPECT_NE(f.src_server, f.dst_server);
+  }
+}
+
+TEST(Permutation, RequiresTwoServers) {
+  ServerMap m;
+  m.per_switch = {1};
+  Rng rng(0);
+  EXPECT_THROW((void)random_permutation_traffic(m, rng), InvalidArgument);
+}
+
+TEST(Permutation, DeterministicGivenRngSeed) {
+  const ServerMap m = uniform_servers(6, 4);
+  Rng a(3);
+  Rng b(3);
+  const TrafficMatrix ta = random_permutation_traffic(m, a);
+  const TrafficMatrix tb = random_permutation_traffic(m, b);
+  ASSERT_EQ(ta.flows.size(), tb.flows.size());
+  for (std::size_t i = 0; i < ta.flows.size(); ++i) {
+    EXPECT_EQ(ta.flows[i].dst_server, tb.flows[i].dst_server);
+  }
+}
+
+TEST(AllToAll, CountsAndDemands) {
+  const ServerMap m = uniform_servers(3, 2);
+  const TrafficMatrix tm = all_to_all_traffic(m);
+  EXPECT_EQ(tm.flows.size(), 6u * 5u);
+  EXPECT_DOUBLE_EQ(tm.total_demand(), 30.0);
+}
+
+TEST(AllToAll, CommoditiesAggregateServerProducts) {
+  ServerMap m;
+  m.per_switch = {2, 3, 0};
+  const auto commodities = all_to_all_commodities(m);
+  // Ordered pairs among switches 0 and 1 only.
+  ASSERT_EQ(commodities.size(), 2u);
+  std::map<std::pair<NodeId, NodeId>, double> demand;
+  for (const Commodity& c : commodities) demand[{c.src, c.dst}] = c.demand;
+  EXPECT_DOUBLE_EQ((demand[{0, 1}]), 6.0);
+  EXPECT_DOUBLE_EQ((demand[{1, 0}]), 6.0);
+}
+
+TEST(AllToAll, MatchesAggregatedServerLevel) {
+  const ServerMap m = uniform_servers(4, 3);
+  const auto direct = all_to_all_commodities(m);
+  const auto via_servers =
+      aggregate_to_commodities(all_to_all_traffic(m), m);
+  std::map<std::pair<NodeId, NodeId>, double> a;
+  std::map<std::pair<NodeId, NodeId>, double> b;
+  for (const Commodity& c : direct) a[{c.src, c.dst}] = c.demand;
+  for (const Commodity& c : via_servers) b[{c.src, c.dst}] = c.demand;
+  EXPECT_EQ(a, b);
+}
+
+TEST(Chunky, FullChunkyIsTorLevelPermutation) {
+  const ServerMap m = uniform_servers(6, 4);
+  Rng rng(8);
+  const TrafficMatrix tm = chunky_traffic(m, 1.0, rng);
+  // Each ToR's servers all send to one other ToR: 6 ToRs * 4 servers * 4
+  // destination servers (split demand) = 96 flows of demand 1/4 each.
+  EXPECT_EQ(tm.flows.size(), 96u);
+  EXPECT_NEAR(tm.total_demand(), 24.0, 1e-9);
+  const auto commodities = aggregate_to_commodities(tm, m);
+  // ToR-level permutation: exactly one outgoing commodity per ToR.
+  std::map<NodeId, int> out_count;
+  for (const Commodity& c : commodities) {
+    ++out_count[c.src];
+    EXPECT_NEAR(c.demand, 4.0, 1e-9);  // all 4 servers' demand to one ToR
+  }
+  EXPECT_EQ(out_count.size(), 6u);
+  for (const auto& [tor, count] : out_count) EXPECT_EQ(count, 1);
+}
+
+TEST(Chunky, ZeroFractionIsServerPermutation) {
+  const ServerMap m = uniform_servers(6, 4);
+  Rng rng(8);
+  const TrafficMatrix tm = chunky_traffic(m, 0.0, rng);
+  EXPECT_EQ(tm.flows.size(), 24u);
+  for (const ServerFlow& f : tm.flows) EXPECT_DOUBLE_EQ(f.demand, 1.0);
+}
+
+TEST(Chunky, PartialFractionMixesBoth) {
+  const ServerMap m = uniform_servers(10, 4);
+  Rng rng(8);
+  const TrafficMatrix tm = chunky_traffic(m, 0.5, rng);
+  // 5 chunky ToRs contribute 5*4*4 split flows; 20 remaining servers
+  // contribute 20 unit flows.
+  EXPECT_NEAR(tm.total_demand(), 40.0, 1e-9);
+  int unit_flows = 0;
+  int split_flows = 0;
+  for (const ServerFlow& f : tm.flows) {
+    if (f.demand == 1.0) ++unit_flows;
+    else ++split_flows;
+  }
+  EXPECT_EQ(unit_flows, 20);
+  EXPECT_EQ(split_flows, 80);
+}
+
+TEST(Chunky, RejectsBadFraction) {
+  const ServerMap m = uniform_servers(4, 2);
+  Rng rng(0);
+  EXPECT_THROW((void)chunky_traffic(m, -0.1, rng), InvalidArgument);
+  EXPECT_THROW((void)chunky_traffic(m, 1.5, rng), InvalidArgument);
+}
+
+TEST(Hotspot, ElephantsGetMultiplier) {
+  const ServerMap m = uniform_servers(5, 4);
+  Rng rng(3);
+  const TrafficMatrix tm = hotspot_traffic(m, 0.25, 8.0, rng);
+  EXPECT_EQ(tm.flows.size(), 20u);
+  int elephants = 0;
+  for (const ServerFlow& f : tm.flows) {
+    EXPECT_NE(f.src_server, f.dst_server);
+    if (f.demand == 8.0) ++elephants;
+    else EXPECT_DOUBLE_EQ(f.demand, 1.0);
+  }
+  EXPECT_EQ(elephants, 5);  // 25% of 20 servers
+}
+
+TEST(Hotspot, ZeroFractionIsPlainPermutation) {
+  const ServerMap m = uniform_servers(4, 3);
+  Rng rng(3);
+  const TrafficMatrix tm = hotspot_traffic(m, 0.0, 10.0, rng);
+  for (const ServerFlow& f : tm.flows) EXPECT_DOUBLE_EQ(f.demand, 1.0);
+}
+
+TEST(Hotspot, RejectsBadArguments) {
+  const ServerMap m = uniform_servers(4, 3);
+  Rng rng(0);
+  EXPECT_THROW((void)hotspot_traffic(m, 1.5, 2.0, rng), InvalidArgument);
+  EXPECT_THROW((void)hotspot_traffic(m, 0.5, 0.5, rng), InvalidArgument);
+}
+
+TEST(Stride, ShiftsByStride) {
+  const ServerMap m = uniform_servers(3, 2);
+  const TrafficMatrix tm = stride_traffic(m, 2);
+  ASSERT_EQ(tm.flows.size(), 6u);
+  for (const ServerFlow& f : tm.flows) {
+    EXPECT_EQ(f.dst_server, (f.src_server + 2) % 6);
+  }
+}
+
+TEST(Stride, NegativeStrideWraps) {
+  const ServerMap m = uniform_servers(2, 2);
+  const TrafficMatrix tm = stride_traffic(m, -1);
+  for (const ServerFlow& f : tm.flows) {
+    EXPECT_EQ(f.dst_server, (f.src_server + 3) % 4);
+  }
+}
+
+TEST(Stride, RejectsSelfLoopStride) {
+  const ServerMap m = uniform_servers(2, 2);
+  EXPECT_THROW((void)stride_traffic(m, 4), InvalidArgument);
+  EXPECT_THROW((void)stride_traffic(m, 0), InvalidArgument);
+}
+
+TEST(Aggregate, DropsSameSwitchFlows) {
+  ServerMap m;
+  m.per_switch = {2, 1};
+  TrafficMatrix tm;
+  tm.flows = {{0, 1, 1.0},   // both on switch 0: dropped
+              {0, 2, 2.0},   // 0 -> 1
+              {2, 1, 3.0}};  // 1 -> 0
+  const auto commodities = aggregate_to_commodities(tm, m);
+  ASSERT_EQ(commodities.size(), 2u);
+  std::map<std::pair<NodeId, NodeId>, double> demand;
+  for (const Commodity& c : commodities) demand[{c.src, c.dst}] = c.demand;
+  EXPECT_DOUBLE_EQ((demand[{0, 1}]), 2.0);
+  EXPECT_DOUBLE_EQ((demand[{1, 0}]), 3.0);
+}
+
+TEST(Aggregate, SumsParallelFlows) {
+  ServerMap m;
+  m.per_switch = {1, 2};
+  TrafficMatrix tm;
+  tm.flows = {{0, 1, 1.0}, {0, 2, 1.0}};
+  const auto commodities = aggregate_to_commodities(tm, m);
+  ASSERT_EQ(commodities.size(), 1u);
+  EXPECT_DOUBLE_EQ(commodities[0].demand, 2.0);
+}
+
+TEST(Aggregate, RejectsBadServerIds) {
+  ServerMap m;
+  m.per_switch = {1, 1};
+  TrafficMatrix tm;
+  tm.flows = {{0, 5, 1.0}};
+  EXPECT_THROW((void)aggregate_to_commodities(tm, m), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topo

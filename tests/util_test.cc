@@ -1,0 +1,214 @@
+// Tests for the util module: RNG determinism, statistics, tables, flags.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace topo {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) != b.uniform_int(0, 1'000'000)) ++differences;
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(7);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(7);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), InvalidArgument);
+}
+
+TEST(Rng, IndexCoversRange) {
+  Rng rng(3);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, IndexRejectsZero) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.index(0), InvalidArgument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleChangesOrderEventually) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const auto original = v;
+  bool changed = false;
+  for (int i = 0; i < 10 && !changed; ++i) {
+    rng.shuffle(v);
+    changed = v != original;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(1);
+  std::vector<int> empty;
+  EXPECT_THROW((void)rng.pick(empty), InvalidArgument);
+}
+
+TEST(Rng, DeriveSeedSpreadsSalts) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(Rng::derive_seed(99, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(Rng, DeriveSeedDependsOnMaster) {
+  EXPECT_NE(Rng::derive_seed(1, 0), Rng::derive_seed(2, 0));
+}
+
+TEST(Stats, SummaryOfKnownValues) {
+  const Summary s = summarize({2.0, 4.0, 6.0});
+  EXPECT_DOUBLE_EQ(s.mean, 4.0);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 6.0);
+  EXPECT_NEAR(s.stdev, 2.0, 1e-12);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Stats, SummaryOfSingleValueHasZeroStdev) {
+  const Summary s = summarize({5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stdev, 0.0);
+}
+
+TEST(Stats, SummaryOfEmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, RelativeGapSymmetric) {
+  EXPECT_DOUBLE_EQ(relative_gap(1.0, 2.0), relative_gap(2.0, 1.0));
+  EXPECT_DOUBLE_EQ(relative_gap(1.0, 1.0), 0.0);
+}
+
+TEST(Stats, RelativeGapSafeAtZero) {
+  EXPECT_LE(relative_gap(0.0, 0.0), 1e-6);
+}
+
+TEST(Table, AlignedOutputContainsValues) {
+  TablePrinter t({"name", "x"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("b"), 22.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5000"), std::string::npos);
+  EXPECT_NE(out.find("22.0000"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.add_row({static_cast<long long>(3), 0.5});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n3,0.5000\n");
+}
+
+TEST(Table, RejectsWrongWidth) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), InvalidArgument);
+}
+
+TEST(Table, PrecisionConfigurable) {
+  TablePrinter t({"x"});
+  t.set_precision(1);
+  t.add_row({3.14159});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x\n3.1\n");
+}
+
+TEST(Flags, ParsesSpaceAndEqualsForms) {
+  const char* argv[] = {"prog", "--runs", "5", "--eps=0.25", "--csv"};
+  Flags f(5, argv, {"runs", "eps", "csv"});
+  EXPECT_EQ(f.get_int("runs", 0), 5);
+  EXPECT_DOUBLE_EQ(f.get_double("eps", 0.0), 0.25);
+  EXPECT_TRUE(f.get_bool("csv"));
+  EXPECT_FALSE(f.get_bool("full"));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags f(1, argv, {"runs"});
+  EXPECT_EQ(f.get_int("runs", 7), 7);
+  EXPECT_EQ(f.get_string("runs", "dflt"), "dflt");
+}
+
+TEST(Flags, RejectsUnknownFlag) {
+  const char* argv[] = {"prog", "--bogus"};
+  EXPECT_THROW(Flags(2, argv, {"runs"}), InvalidArgument);
+}
+
+TEST(Flags, RejectsNonFlagToken) {
+  const char* argv[] = {"prog", "runs"};
+  EXPECT_THROW(Flags(2, argv, {"runs"}), InvalidArgument);
+}
+
+TEST(ErrorHierarchy, TypesAreDistinguishable) {
+  try {
+    throw ConstructionFailure("boom");
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+  EXPECT_THROW(require(false, "msg"), InvalidArgument);
+  EXPECT_NO_THROW(require(true, "msg"));
+}
+
+}  // namespace
+}  // namespace topo
