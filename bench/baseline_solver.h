@@ -1,0 +1,26 @@
+// Pre-rewrite (seed) concurrent-flow solver, kept verbatim as the
+// measurement baseline for perf_microbench: binary-heap Dijkstra with
+// per-call allocation, vector-of-vectors adjacency, and std::map source
+// groups. Only the bench links this; the library proper uses the CSR +
+// pooled-workspace solver in src/flow/concurrent_flow.cc. The microbench
+// asserts the two agree on lambda/dual_bound to 1e-9 on fixed seeds and
+// reports the speedup ratio in BENCH_solver.json.
+#ifndef TOPODESIGN_BENCH_BASELINE_SOLVER_H
+#define TOPODESIGN_BENCH_BASELINE_SOLVER_H
+
+#include <vector>
+
+#include "flow/concurrent_flow.h"
+#include "graph/graph.h"
+#include "traffic/traffic.h"
+
+namespace topo::bench {
+
+/// The seed implementation of max_concurrent_flow, bit-for-bit.
+[[nodiscard]] ThroughputResult max_concurrent_flow_baseline(
+    const Graph& graph, const std::vector<Commodity>& commodities,
+    const FlowOptions& options = {});
+
+}  // namespace topo::bench
+
+#endif  // TOPODESIGN_BENCH_BASELINE_SOLVER_H

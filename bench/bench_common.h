@@ -12,7 +12,12 @@
 #ifndef TOPODESIGN_BENCH_BENCH_COMMON_H
 #define TOPODESIGN_BENCH_BENCH_COMMON_H
 
+#include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "core/topobench.h"
 
@@ -48,6 +53,51 @@ inline EvalOptions eval_options(const BenchConfig& config,
   options.traffic = traffic;
   options.chunky_fraction = chunky_fraction;
   return options;
+}
+
+/// Monotonic wall-clock timer for the perf benches.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  /// Milliseconds since construction or the last reset().
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// JSON scalar formatting for the machine-readable BENCH_*.json files.
+/// Doubles keep round-trip precision; non-finite values become null (JSON
+/// has no inf/nan).
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+inline std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
 }
 
 }  // namespace topo::bench

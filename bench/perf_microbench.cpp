@@ -1,101 +1,264 @@
-// Google-benchmark microbenchmarks for the library's hot paths:
-// topology generation, graph algorithms, both flow solvers, and the
-// packet simulator's event loop.
-#include <benchmark/benchmark.h>
+// Solver microbenchmark and perf-regression tracker.
+//
+// Times the library's concurrent-flow solver against the pre-rewrite
+// (seed) implementation kept in baseline_solver.cc, over a few fixed
+// instance classes, and emits a machine-readable BENCH_solver.json so the
+// perf trajectory is tracked PR over PR. Also asserts on every instance
+// that the rewritten solver reproduces the baseline's lambda/dual_bound to
+// 1e-9 (the two implement the same arithmetic; only the data layout and
+// scheduling changed), exiting non-zero on mismatch so CI catches drift.
+//
+// Flags:
+//   --smoke       CI mode: small instances, single repetition
+//   --repeat N    timing repetitions per instance (default 3; min is kept)
+//   --json PATH   output path (default BENCH_solver.json)
+//   --seed N      master seed for the instance generators (default 1)
+//   --no-baseline skip the baseline timing/equivalence pass
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
 
-#include "core/topobench.h"
+#include "baseline_solver.h"
+#include "bench_common.h"
 
-namespace topo {
+namespace topo::bench {
 namespace {
 
-void BM_RandomRegularGraph(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(random_regular_graph(n, 10, seed++));
-  }
-}
-BENCHMARK(BM_RandomRegularGraph)->Arg(40)->Arg(200)->Arg(1000);
-
-void BM_ClusteredRandomGraph(benchmark::State& state) {
-  ClusterSpec spec;
-  spec.degrees_a.assign(20, 12);
-  spec.degrees_b.assign(static_cast<std::size_t>(state.range(0)), 6);
-  spec.cross_links = 60;
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(clustered_random_graph(spec, seed++));
-  }
-}
-BENCHMARK(BM_ClusteredRandomGraph)->Arg(40)->Arg(160);
-
-void BM_AllPairsBfs(benchmark::State& state) {
-  const Graph g =
-      random_regular_graph(static_cast<int>(state.range(0)), 10, 7);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(all_pairs_distances(g));
-  }
-}
-BENCHMARK(BM_AllPairsBfs)->Arg(40)->Arg(200)->Arg(1000);
-
-void BM_DinicMaxFlow(benchmark::State& state) {
-  const Graph g =
-      random_regular_graph(static_cast<int>(state.range(0)), 10, 9);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(max_flow(g, 0, g.num_nodes() - 1));
-  }
-}
-BENCHMARK(BM_DinicMaxFlow)->Arg(40)->Arg(200);
-
-void BM_ConcurrentFlowFptas(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  const Graph g = random_regular_graph(n, 10, 3);
+struct Instance {
+  std::string name;
+  Graph graph{0};
   std::vector<Commodity> commodities;
-  for (int i = 0; i < n; ++i) commodities.push_back({i, (i + n / 2) % n, 5.0});
   FlowOptions options;
-  options.epsilon = 0.08;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(max_concurrent_flow(g, commodities, options));
-  }
-}
-BENCHMARK(BM_ConcurrentFlowFptas)->Arg(40)->Arg(100)->Unit(benchmark::kMillisecond);
+  bool rrg = false;  // counts toward the RRG-class aggregate
+};
 
-void BM_ExactLpSmall(benchmark::State& state) {
-  const Graph g = random_regular_graph(10, 3, 3);
+std::vector<Commodity> shifted_permutation(int n, double demand) {
   std::vector<Commodity> commodities;
-  for (int i = 0; i < 5; ++i) commodities.push_back({i, (i + 5) % 10, 1.0});
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(solve_concurrent_flow_lp(g, commodities));
-  }
+  for (int i = 0; i < n; ++i) commodities.push_back({i, (i + n / 2) % n, demand});
+  return commodities;
 }
-BENCHMARK(BM_ExactLpSmall)->Unit(benchmark::kMillisecond);
 
-void BM_PacketSimulation(benchmark::State& state) {
-  const BuiltTopology t = random_regular_topology(12, 8, 5, 5);
-  for (auto _ : state) {
-    sim::SimParams params;
-    params.subflows = 4;
-    params.duration_ns = 4'000'000;
-    params.warmup_ns = 2'000'000;
-    sim::SimNetwork net(t, params, 3);
-    net.add_permutation_workload();
-    benchmark::DoNotOptimize(net.run());
-  }
-}
-BENCHMARK(BM_PacketSimulation)->Unit(benchmark::kMillisecond);
+// The RRG instances track the paper's two sweep axes: network size at
+// fixed degree (Fig. 2) and degree at fixed size (Fig. 1). The large
+// points cap max_phases so one timing run stays in seconds — a phase cap
+// is a fair perf instance (both solvers do identical work per phase) even
+// though lambda has not converged at the cap.
+std::vector<Instance> make_instances(bool smoke, std::uint64_t seed) {
+  std::vector<Instance> instances;
 
-void BM_TrafficAggregation(benchmark::State& state) {
-  ServerMap servers;
-  servers.per_switch.assign(200, 10);
-  Rng rng(4);
-  const TrafficMatrix tm = random_permutation_traffic(servers, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(aggregate_to_commodities(tm, servers));
+  const auto add_rrg = [&](int n, int degree, bool ecmp, int max_phases) {
+    Instance inst;
+    inst.name = "rrg_n" + std::to_string(n) + "_d" + std::to_string(degree) +
+                (ecmp ? "_ecmp" : "_perm");
+    inst.graph = random_regular_graph(n, degree, seed + 3);
+    inst.commodities = shifted_permutation(n, 5.0);
+    inst.options.epsilon = 0.08;
+    inst.options.restrict_to_shortest_paths = ecmp;
+    if (max_phases > 0) inst.options.max_phases = max_phases;
+    inst.rrg = !ecmp;  // the ECMP variant is reported separately
+    instances.push_back(std::move(inst));
+  };
+
+  add_rrg(40, 10, /*ecmp=*/false, 0);
+  add_rrg(100, 10, /*ecmp=*/false, 0);
+  if (!smoke) {
+    // Size sweep at the paper's fixed degree...
+    add_rrg(200, 10, /*ecmp=*/false, 400);
+    add_rrg(500, 10, /*ecmp=*/false, 40);
+    // ...and degree sweep at fixed size.
+    add_rrg(200, 24, /*ecmp=*/false, 60);
+    add_rrg(256, 32, /*ecmp=*/false, 40);
+    add_rrg(100, 10, /*ecmp=*/true, 0);
+
+    // Two-cluster instance: high-degree core plus a low-degree edge
+    // cluster, permutation across everything — exercises skewed lengths.
+    Instance clustered;
+    clustered.name = "clustered_20x12_160x6";
+    ClusterSpec spec;
+    spec.degrees_a.assign(20, 12);
+    spec.degrees_b.assign(160, 6);
+    spec.cross_links = 60;
+    clustered.graph = clustered_random_graph(spec, seed + 5).graph;
+    clustered.commodities =
+        shifted_permutation(clustered.graph.num_nodes(), 2.0);
+    clustered.options.epsilon = 0.08;
+    instances.push_back(std::move(clustered));
   }
+  return instances;
 }
-BENCHMARK(BM_TrafficAggregation);
+
+template <typename Solve>
+double min_wall_ms(int repeat, ThroughputResult& out, const Solve& solve) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < repeat; ++rep) {
+    WallTimer timer;
+    out = solve();
+    best = std::min(best, timer.elapsed_ms());
+  }
+  return best;
+}
+
+struct InstanceReport {
+  std::string name;
+  int nodes = 0;
+  int edges = 0;
+  int commodities = 0;
+  bool rrg = false;
+  double fast_ms = 0.0;
+  double baseline_ms = 0.0;
+  double speedup = 0.0;
+  double lambda = 0.0;
+  double dual_bound = 0.0;
+  double gap = 0.0;
+  int phases = 0;
+  bool matches_baseline = true;
+};
+
+double geomean_over(const std::vector<InstanceReport>& reports,
+                    bool rrg_only) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (const InstanceReport& r : reports) {
+    if (r.speedup <= 0.0 || (rrg_only && !r.rrg)) continue;
+    log_sum += std::log(r.speedup);
+    ++count;
+  }
+  return count > 0 ? std::exp(log_sum / count) : 0.0;
+}
+
+std::string to_json(const std::vector<InstanceReport>& reports, bool smoke,
+                    bool with_baseline, double geomean_speedup,
+                    double rrg_class_speedup) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"solver\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"threads\": " + std::to_string(parallel_slots()) + ",\n";
+  json += "  \"baseline_compared\": " +
+          std::string(with_baseline ? "true" : "false") + ",\n";
+  json += "  \"geomean_speedup\": " + json_number(geomean_speedup) + ",\n";
+  json += "  \"rrg_class_speedup\": " + json_number(rrg_class_speedup) + ",\n";
+  json += "  \"instances\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const InstanceReport& r = reports[i];
+    json += "    {\n";
+    json += "      \"name\": " + json_string(r.name) + ",\n";
+    json += "      \"nodes\": " + std::to_string(r.nodes) + ",\n";
+    json += "      \"edges\": " + std::to_string(r.edges) + ",\n";
+    json += "      \"commodities\": " + std::to_string(r.commodities) + ",\n";
+    json += "      \"rrg_class\": " + std::string(r.rrg ? "true" : "false") +
+            ",\n";
+    json += "      \"fast_ms\": " + json_number(r.fast_ms) + ",\n";
+    json += "      \"baseline_ms\": " + json_number(r.baseline_ms) + ",\n";
+    json += "      \"speedup\": " + json_number(r.speedup) + ",\n";
+    json += "      \"lambda\": " + json_number(r.lambda) + ",\n";
+    json += "      \"dual_bound\": " + json_number(r.dual_bound) + ",\n";
+    json += "      \"gap\": " + json_number(r.gap) + ",\n";
+    json += "      \"phases\": " + std::to_string(r.phases) + ",\n";
+    json += "      \"matches_baseline\": " +
+            std::string(r.matches_baseline ? "true" : "false") + "\n";
+    json += "    }";
+    json += (i + 1 < reports.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+int run(int argc, const char* const* argv) {
+  const Flags flags(argc, argv,
+                    {"smoke", "repeat", "json", "seed", "no-baseline"});
+  const bool smoke = flags.get_bool("smoke");
+  const int repeat = flags.get_int("repeat", smoke ? 1 : 3);
+  const std::string json_path = flags.get_string("json", "BENCH_solver.json");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const bool with_baseline = !flags.get_bool("no-baseline");
+
+  std::cout << "perf_microbench: concurrent-flow solver vs seed baseline"
+            << (smoke ? " (smoke)" : "") << "\n";
+  std::cout << "threads: " << parallel_slots() << ", repeat: " << repeat
+            << "\n\n";
+
+  std::vector<InstanceReport> reports;
+  bool all_match = true;
+
+  for (Instance& inst : make_instances(smoke, seed)) {
+    InstanceReport report;
+    report.name = inst.name;
+    report.nodes = inst.graph.num_nodes();
+    report.edges = inst.graph.num_edges();
+    report.commodities = static_cast<int>(inst.commodities.size());
+    report.rrg = inst.rrg;
+
+    ThroughputResult fast;
+    report.fast_ms = min_wall_ms(repeat, fast, [&] {
+      return max_concurrent_flow(inst.graph, inst.commodities, inst.options);
+    });
+    report.lambda = fast.lambda;
+    report.dual_bound = fast.dual_bound;
+    report.gap = fast.gap;
+    report.phases = fast.phases;
+
+    if (with_baseline) {
+      ThroughputResult base;
+      report.baseline_ms = min_wall_ms(repeat, base, [&] {
+        return max_concurrent_flow_baseline(inst.graph, inst.commodities,
+                                            inst.options);
+      });
+      report.speedup =
+          report.fast_ms > 0.0 ? report.baseline_ms / report.fast_ms : 0.0;
+      const double scale =
+          std::max({1.0, std::abs(base.lambda), std::abs(base.dual_bound)});
+      report.matches_baseline =
+          std::abs(fast.lambda - base.lambda) <= 1e-9 * scale &&
+          std::abs(fast.dual_bound - base.dual_bound) <= 1e-9 * scale;
+      all_match = all_match && report.matches_baseline;
+    }
+
+    std::cout << report.name << ": fast " << report.fast_ms << " ms";
+    if (with_baseline) {
+      std::cout << ", baseline " << report.baseline_ms << " ms, speedup "
+                << report.speedup << "x"
+                << (report.matches_baseline ? "" : "  [RESULT MISMATCH]");
+    }
+    std::cout << " (lambda " << report.lambda << ", gap " << report.gap
+              << ", phases " << report.phases << ")\n";
+    reports.push_back(report);
+  }
+
+  const double geomean_speedup = geomean_over(reports, /*rrg_only=*/false);
+  const double rrg_class_speedup = geomean_over(reports, /*rrg_only=*/true);
+  if (with_baseline) {
+    std::cout << "\ngeomean speedup: " << geomean_speedup
+              << "x (RRG class: " << rrg_class_speedup << "x)\n";
+  }
+
+  std::ofstream out(json_path);
+  out << to_json(reports, smoke, with_baseline, geomean_speedup,
+                 rrg_class_speedup);
+  out.close();
+  if (!out) {
+    std::cerr << "FAIL: could not write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!all_match) {
+    std::cerr << "FAIL: solver results diverged from the seed baseline\n";
+    return 1;
+  }
+  return 0;
+}
 
 }  // namespace
-}  // namespace topo
+}  // namespace topo::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  try {
+    return topo::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -4,6 +4,7 @@
 
 #include "traffic/traffic.h"
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace topo {
@@ -48,6 +49,17 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
     return result;
   }
   return max_concurrent_flow(topology.graph, commodities, options.flow);
+}
+
+std::vector<ThroughputResult> evaluate_throughput_trials(
+    const BuiltTopology& topology, const EvalOptions& options,
+    const std::vector<std::uint64_t>& traffic_seeds) {
+  std::vector<ThroughputResult> results(traffic_seeds.size());
+  parallel_for(static_cast<int>(traffic_seeds.size()), [&](int i) {
+    results[static_cast<std::size_t>(i)] = evaluate_throughput(
+        topology, options, traffic_seeds[static_cast<std::size_t>(i)]);
+  });
+  return results;
 }
 
 }  // namespace topo

@@ -38,6 +38,14 @@ struct EvalOptions {
     const BuiltTopology& topology, const EvalOptions& options,
     std::uint64_t traffic_seed);
 
+/// Evaluates one topology under several independently seeded workloads,
+/// running the trials concurrently on the shared pool. Results are
+/// returned in seed order and are identical to calling
+/// evaluate_throughput once per seed.
+[[nodiscard]] std::vector<ThroughputResult> evaluate_throughput_trials(
+    const BuiltTopology& topology, const EvalOptions& options,
+    const std::vector<std::uint64_t>& traffic_seeds);
+
 }  // namespace topo
 
 #endif  // TOPODESIGN_CORE_EVALUATE_H

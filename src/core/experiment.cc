@@ -3,33 +3,52 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace topo {
+namespace {
+
+// One (topology, traffic) point of an experiment; exceptions from extreme
+// parameter corners degrade to an infeasible (zero) result.
+ThroughputResult run_one(const TopologyBuilder& builder,
+                         const EvalOptions& options, std::uint64_t master_seed,
+                         int run_index) {
+  const std::uint64_t topo_seed =
+      Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(run_index));
+  const std::uint64_t traffic_seed = Rng::derive_seed(
+      master_seed, 2 * static_cast<std::uint64_t>(run_index) + 1);
+  try {
+    const BuiltTopology topology = builder(topo_seed);
+    return evaluate_throughput(topology, options, traffic_seed);
+  } catch (const ConstructionFailure&) {
+    return ThroughputResult{};  // counts as an infeasible (zero) run
+  }
+}
+
+}  // namespace
 
 ExperimentStats run_experiment(const TopologyBuilder& builder,
                                const EvalOptions& options, int runs,
                                std::uint64_t master_seed) {
   require(runs >= 1, "run_experiment requires runs >= 1");
+
+  // Runs are seeded independently, so they execute in parallel; results
+  // land in per-run slots and are summarized serially in run order, which
+  // keeps the statistics identical for any thread count.
+  std::vector<ThroughputResult> results(static_cast<std::size_t>(runs));
+  parallel_for(runs, [&](int i) {
+    results[static_cast<std::size_t>(i)] =
+        run_one(builder, options, master_seed, i);
+  });
+
   std::vector<double> lambdas;
   std::vector<double> utils;
   std::vector<double> inv_spls;
   std::vector<double> inv_stretches;
   std::vector<double> duals;
   int infeasible = 0;
-
-  for (int i = 0; i < runs; ++i) {
-    const std::uint64_t topo_seed =
-        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i));
-    const std::uint64_t traffic_seed =
-        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i) + 1);
-    ThroughputResult result;
-    try {
-      const BuiltTopology topology = builder(topo_seed);
-      result = evaluate_throughput(topology, options, traffic_seed);
-    } catch (const ConstructionFailure&) {
-      result = ThroughputResult{};  // counts as an infeasible (zero) run
-    }
+  for (const ThroughputResult& result : results) {
     lambdas.push_back(result.lambda);
     duals.push_back(result.dual_bound);
     if (!result.feasible) {
@@ -58,23 +77,40 @@ ExperimentStats run_experiment(const TopologyBuilder& builder,
 
 namespace {
 
+bool run_meets_threshold(const FullThroughputSearch& search, int tors,
+                         std::uint64_t master_seed, int run_index) {
+  const std::uint64_t topo_seed =
+      Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(run_index));
+  const std::uint64_t traffic_seed = Rng::derive_seed(
+      master_seed, 2 * static_cast<std::uint64_t>(run_index) + 1);
+  try {
+    const BuiltTopology topology = search.builder(tors, topo_seed);
+    const ThroughputResult result =
+        evaluate_throughput(topology, search.options, traffic_seed);
+    return result.feasible && result.lambda >= search.threshold;
+  } catch (const ConstructionFailure&) {
+    return false;
+  } catch (const InvalidArgument&) {
+    return false;  // ToR count beyond what the pool can host
+  }
+}
+
 bool supports_full_throughput(const FullThroughputSearch& search, int tors,
                               std::uint64_t master_seed) {
-  for (int i = 0; i < search.runs; ++i) {
-    const std::uint64_t topo_seed =
-        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i));
-    const std::uint64_t traffic_seed =
-        Rng::derive_seed(master_seed, 2 * static_cast<std::uint64_t>(i) + 1);
-    try {
-      const BuiltTopology topology = search.builder(tors, topo_seed);
-      const ThroughputResult result =
-          evaluate_throughput(topology, search.options, traffic_seed);
-      if (!result.feasible || result.lambda < search.threshold) return false;
-    } catch (const ConstructionFailure&) {
-      return false;
-    } catch (const InvalidArgument&) {
-      return false;  // ToR count beyond what the pool can host
+  if (parallel_slots() == 1) {
+    // Serial machines keep the early exit on the first failing run.
+    for (int i = 0; i < search.runs; ++i) {
+      if (!run_meets_threshold(search, tors, master_seed, i)) return false;
     }
+    return true;
+  }
+  std::vector<char> ok(static_cast<std::size_t>(search.runs), 0);
+  parallel_for(search.runs, [&](int i) {
+    ok[static_cast<std::size_t>(i)] =
+        run_meets_threshold(search, tors, master_seed, i) ? 1 : 0;
+  });
+  for (char good : ok) {
+    if (!good) return false;
   }
   return true;
 }

@@ -31,6 +31,11 @@ struct ExperimentStats {
 /// solve) and summarizes. Construction failures (rare, extreme parameter
 /// corners) count as infeasible runs with lambda 0, matching the paper's
 /// treatment of disconnected/bottlenecked corners.
+///
+/// Runs execute concurrently on the shared pool (deterministically: seeds
+/// are derived per run and statistics reduced in run order), so `builder`
+/// must be safe to call from multiple threads — builders that only read
+/// captured state and derive everything from the seed qualify.
 [[nodiscard]] ExperimentStats run_experiment(const TopologyBuilder& builder,
                                              const EvalOptions& options,
                                              int runs,

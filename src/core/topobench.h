@@ -16,6 +16,7 @@
 #include "graph/algorithms.h"
 #include "graph/graph.h"
 #include "graph/maxflow.h"
+#include "graph/shortest_path.h"
 #include "lp/mcf_lp.h"
 #include "lp/simplex.h"
 #include "sim/network.h"
@@ -30,6 +31,7 @@
 #include "topo/vl2.h"
 #include "traffic/traffic.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"

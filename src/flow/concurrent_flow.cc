@@ -3,104 +3,80 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <map>
-#include <queue>
+#include <numeric>
 
 #include "graph/algorithms.h"
+#include "graph/shortest_path.h"
 #include "util/error.h"
+#include "util/parallel.h"
 
 namespace topo {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-// Directed-arc view of the undirected graph: arc 2e is u->v, 2e+1 is v->u.
-struct ArcGraph {
-  explicit ArcGraph(const Graph& g)
-      : num_nodes(g.num_nodes()), num_arcs(2 * g.num_edges()) {
-    capacity.resize(static_cast<std::size_t>(num_arcs));
-    head.resize(static_cast<std::size_t>(num_arcs));
-    out_arcs.resize(static_cast<std::size_t>(num_nodes));
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      const Edge& edge = g.edge(e);
-      capacity[static_cast<std::size_t>(2 * e)] = edge.capacity;
-      capacity[static_cast<std::size_t>(2 * e + 1)] = edge.capacity;
-      head[static_cast<std::size_t>(2 * e)] = edge.v;
-      head[static_cast<std::size_t>(2 * e + 1)] = edge.u;
-      out_arcs[static_cast<std::size_t>(edge.u)].push_back(2 * e);
-      out_arcs[static_cast<std::size_t>(edge.v)].push_back(2 * e + 1);
-    }
-  }
-
-  int num_nodes;
-  int num_arcs;
-  std::vector<double> capacity;
-  std::vector<NodeId> head;
-  std::vector<std::vector<int>> out_arcs;
+// Commodities grouped by source, flattened into parallel arrays so the
+// phase loop walks contiguous memory: group g's destinations/demands are
+// the slice [groups[g].begin, groups[g].end) of dsts/demands.
+struct GroupedCommodities {
+  struct Group {
+    NodeId src = 0;
+    int begin = 0;
+    int end = 0;
+  };
+  std::vector<Group> groups;
+  std::vector<NodeId> dsts;
+  std::vector<double> demands;
 };
 
-// Shortest-path tree under the current arc lengths.
-struct SpTree {
-  std::vector<double> dist;
-  std::vector<int> parent_arc;  // arc entering each node; -1 at the root
-};
-
-// Dijkstra over the directed arcs; when `dag_hops` is non-null, only arcs
-// advancing the BFS-hop distance from the group's source are relaxed
-// (restricting flow to hop-shortest paths, the §8 ECMP model).
-SpTree dijkstra(const ArcGraph& arcs, const std::vector<double>& length,
-                NodeId src, const std::vector<int>* dag_hops = nullptr) {
-  SpTree tree;
-  tree.dist.assign(static_cast<std::size_t>(arcs.num_nodes), kInf);
-  tree.parent_arc.assign(static_cast<std::size_t>(arcs.num_nodes), -1);
-  using Item = std::pair<double, NodeId>;
-  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
-  tree.dist[static_cast<std::size_t>(src)] = 0.0;
-  heap.emplace(0.0, src);
-  while (!heap.empty()) {
-    const auto [d, u] = heap.top();
-    heap.pop();
-    if (d > tree.dist[static_cast<std::size_t>(u)]) continue;
-    for (int a : arcs.out_arcs[static_cast<std::size_t>(u)]) {
-      const NodeId v = arcs.head[static_cast<std::size_t>(a)];
-      if (dag_hops != nullptr &&
-          (*dag_hops)[static_cast<std::size_t>(v)] !=
-              (*dag_hops)[static_cast<std::size_t>(u)] + 1) {
-        continue;  // not on a hop-shortest path from the source
-      }
-      const double nd = d + length[static_cast<std::size_t>(a)];
-      if (nd < tree.dist[static_cast<std::size_t>(v)]) {
-        tree.dist[static_cast<std::size_t>(v)] = nd;
-        tree.parent_arc[static_cast<std::size_t>(v)] = a;
-        heap.emplace(nd, v);
-      }
+GroupedCommodities group_by_source(const std::vector<Commodity>& commodities) {
+  // Stable sort by source: groups ordered by source id, commodities inside
+  // a group in input order — the same iteration order as the std::map of
+  // per-source vectors this replaces.
+  std::vector<int> order(commodities.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return commodities[static_cast<std::size_t>(a)].src <
+           commodities[static_cast<std::size_t>(b)].src;
+  });
+  GroupedCommodities grouped;
+  grouped.dsts.reserve(commodities.size());
+  grouped.demands.reserve(commodities.size());
+  for (int idx : order) {
+    const Commodity& c = commodities[static_cast<std::size_t>(idx)];
+    if (grouped.groups.empty() || grouped.groups.back().src != c.src) {
+      grouped.groups.push_back(
+          {c.src, static_cast<int>(grouped.dsts.size()), 0});
     }
+    grouped.dsts.push_back(c.dst);
+    grouped.demands.push_back(c.demand);
+    grouped.groups.back().end = static_cast<int>(grouped.dsts.size());
   }
-  return tree;
+  return grouped;
 }
 
-// Extracts the arc path src -> dst from a tree (arcs in dst->src order;
-// order is irrelevant to the algorithm).
-bool tree_path(const ArcGraph& arcs, const SpTree& tree, NodeId src,
-               NodeId dst, std::vector<int>& path) {
-  path.clear();
-  if (tree.dist[static_cast<std::size_t>(dst)] == kInf) return false;
-  NodeId node = dst;
-  while (node != src) {
-    const int a = tree.parent_arc[static_cast<std::size_t>(node)];
-    if (a < 0) return false;
-    path.push_back(a);
-    // The tail of arc a: head of its partner arc.
-    node = arcs.head[static_cast<std::size_t>(a ^ 1)];
-    if (static_cast<int>(path.size()) > arcs.num_nodes) return false;
+// Shared congestion scan (the primal certificate and the final feasibility
+// scaling both divide by the same worst congestion; sharing the scan keeps
+// them from drifting). After `routings` full routings of the demand the
+// feasible concurrent-flow value is routings / max_a flow_a / cap_a; when
+// `scale_to_feasible` is set, arc_flow is rescaled in place so it carries
+// lambda * demand exactly once.
+double feasible_lambda(const ArcGraph& arcs, std::vector<double>& arc_flow,
+                       int routings, bool scale_to_feasible) {
+  double congestion = 0.0;
+  for (int a = 0; a < arcs.num_arcs; ++a) {
+    congestion = std::max(congestion,
+                          arc_flow[static_cast<std::size_t>(a)] /
+                              arcs.capacity[static_cast<std::size_t>(a)]);
   }
-  return true;
+  if (congestion <= 0.0) return 0.0;
+  const double lambda = static_cast<double>(routings) / congestion;
+  if (scale_to_feasible) {
+    const double scale = lambda / static_cast<double>(std::max(routings, 1));
+    for (double& f : arc_flow) f *= scale;
+  }
+  return lambda;
 }
-
-struct SourceGroup {
-  NodeId src = 0;
-  std::vector<std::pair<NodeId, double>> demands;  // (dst, demand)
-};
 
 }  // namespace
 
@@ -116,39 +92,52 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
   result.arc_flow.assign(static_cast<std::size_t>(2 * graph.num_edges()), 0.0);
 
   double total_demand = 0.0;
-  std::map<NodeId, SourceGroup> by_source;
   for (const Commodity& c : commodities) {
     require(c.src >= 0 && c.src < graph.num_nodes() && c.dst >= 0 &&
                 c.dst < graph.num_nodes(),
             "commodity endpoint out of range");
     require(c.src != c.dst, "commodity endpoints must differ");
     require(c.demand > 0.0, "commodity demand must be positive");
-    auto& group = by_source[c.src];
-    group.src = c.src;
-    group.demands.emplace_back(c.dst, c.demand);
     total_demand += c.demand;
   }
   result.total_demand = total_demand;
 
   if (graph.num_edges() == 0) return result;  // no network: infeasible
   const ArcGraph arcs(graph);
+  const GroupedCommodities grouped = group_by_source(commodities);
+  const int num_groups = static_cast<int>(grouped.groups.size());
 
-  // Reachability pre-check (hop-based): any unreachable commodity means
-  // throughput zero. The hop maps double as the shortest-path DAGs when
-  // routing is restricted to shortest paths.
-  std::map<NodeId, std::vector<int>> hops_from_source;
-  for (const auto& [src, group] : by_source) {
-    auto dist = bfs_distances(graph, src);
-    for (const auto& [dst, demand] : group.demands) {
-      if (dist[static_cast<std::size_t>(dst)] < 0) return result;
-    }
-    if (options.restrict_to_shortest_paths) {
-      hops_from_source.emplace(src, std::move(dist));
-    }
+  // Reachability pre-pass (hop-based), one BFS per source group, run in
+  // parallel: any unreachable commodity means throughput zero. The hop
+  // maps double as the shortest-path DAGs when routing is restricted to
+  // shortest paths.
+  std::vector<std::vector<int>> hops_per_group(
+      static_cast<std::size_t>(num_groups));
+  std::vector<char> group_reachable(static_cast<std::size_t>(num_groups), 1);
+  {
+    std::vector<BfsWorkspace> bfs_ws(
+        static_cast<std::size_t>(parallel_slots()));
+    parallel_for_slots(num_groups, [&](int slot, int gi) {
+      const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
+      BfsWorkspace& ws = bfs_ws[static_cast<std::size_t>(slot)];
+      ws.run(graph, group.src);
+      for (int i = group.begin; i < group.end; ++i) {
+        if (ws.dist(grouped.dsts[static_cast<std::size_t>(i)]) < 0) {
+          group_reachable[static_cast<std::size_t>(gi)] = 0;
+          return;
+        }
+      }
+      if (options.restrict_to_shortest_paths) {
+        ws.export_distances(hops_per_group[static_cast<std::size_t>(gi)]);
+      }
+    });
   }
-  const auto dag_for = [&](NodeId src) -> const std::vector<int>* {
+  for (char reachable : group_reachable) {
+    if (!reachable) return result;
+  }
+  const auto dag_for = [&](int gi) -> const std::vector<int>* {
     if (!options.restrict_to_shortest_paths) return nullptr;
-    return &hops_from_source.at(src);
+    return &hops_per_group[static_cast<std::size_t>(gi)];
   };
 
   // Demand-weighted shortest-path length (hops) for the stretch metric.
@@ -162,21 +151,27 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
     result.demand_weighted_spl = mean_pair_distance(graph, pairs, &weights);
   }
 
-  // Exponential arc lengths, initialized inversely to capacity.
+  // Exponential arc lengths, initialized inversely to capacity. Lengths
+  // only grow inside a phase, so a running maximum is enough to catch the
+  // overflow guard without rescanning all arcs. slot_length mirrors
+  // `length` in CSR-slot order so the Dijkstra relaxation loop reads one
+  // sequential stream; every update below writes both.
   std::vector<double> length(static_cast<std::size_t>(arcs.num_arcs));
+  double max_length = 0.0;
   for (int a = 0; a < arcs.num_arcs; ++a) {
     length[static_cast<std::size_t>(a)] =
         1.0 / arcs.capacity[static_cast<std::size_t>(a)];
+    max_length = std::max(max_length, length[static_cast<std::size_t>(a)]);
   }
+  std::vector<double> slot_length;
+  fill_slot_lengths(arcs, length, slot_length);
   const double step = options.epsilon / 2.0;  // length-update granularity
-  const double stale_factor = 1.5;  // tree reuse tolerance
+  const double stale_factor = 1.5;            // tree reuse tolerance
 
-  auto rescale_if_needed = [&]() {
-    const double max_len = *std::max_element(length.begin(), length.end());
-    if (max_len > 1e200) {
-      for (double& l : length) l *= 1e-150;
-    }
-  };
+  DijkstraWorkspace routing_ws;
+  std::vector<DijkstraWorkspace> dual_ws(
+      static_cast<std::size_t>(parallel_slots()));
+  std::vector<double> dual_terms(commodities.size());
 
   double best_dual = kInf;
   double last_primal = 0.0;
@@ -186,75 +181,114 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
 
   int phase = 0;
   for (; phase < options.max_phases; ++phase) {
-    for (auto& [src, group] : by_source) {
-      SpTree tree = dijkstra(arcs, length, src, dag_for(src));
-      for (const auto& [dst, demand] : group.demands) {
+    for (int gi = 0; gi < num_groups; ++gi) {
+      const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
+      // Each Dijkstra is bounded by the destinations it still has to
+      // serve: the initial tree by the whole group, a mid-group refresh
+      // only by the remaining slice.
+      routing_ws.run_slots(arcs, slot_length.data(), group.src, dag_for(gi),
+                           grouped.dsts.data() + group.begin,
+                           group.end - group.begin);
+      for (int i = group.begin; i < group.end; ++i) {
+        const NodeId dst = grouped.dsts[static_cast<std::size_t>(i)];
+        const double demand = grouped.demands[static_cast<std::size_t>(i)];
         double remaining = demand;
         const double tol = 1e-12 * demand;
+        // The tree only changes on refresh, so the path and its (static)
+        // bottleneck capacity are cached across saturation steps; only
+        // the path's current length must be re-summed after each push.
+        bool path_valid = false;
+        double bottleneck = kInf;
         while (remaining > tol) {
-          if (!tree_path(arcs, tree, src, dst, path)) {
-            return result;  // should not happen after the pre-check
+          if (!path_valid) {
+            if (!routing_ws.extract_path(arcs, group.src, dst, path)) {
+              return result;  // should not happen after the pre-check
+            }
+            bottleneck = kInf;
+            for (int a : path) {
+              bottleneck = std::min(
+                  bottleneck, arcs.capacity[static_cast<std::size_t>(a)]);
+            }
+            path_valid = true;
           }
           // Refresh the tree when this path's current length has drifted
           // well above the tree's distance (lengths rose since computing
           // it), so routing stays near-shortest.
           double current_len = 0.0;
-          double bottleneck = kInf;
           for (int a : path) {
             current_len += length[static_cast<std::size_t>(a)];
-            bottleneck =
-                std::min(bottleneck, arcs.capacity[static_cast<std::size_t>(a)]);
           }
-          if (current_len >
-              stale_factor * tree.dist[static_cast<std::size_t>(dst)]) {
-            tree = dijkstra(arcs, length, src, dag_for(src));
+          if (current_len > stale_factor * routing_ws.dist(dst)) {
+            routing_ws.run_slots(arcs, slot_length.data(), group.src,
+                                 dag_for(gi), grouped.dsts.data() + i,
+                                 group.end - i);
+            path_valid = false;
             continue;
           }
           const double pushed = std::min(remaining, bottleneck);
           for (int a : path) {
             result.arc_flow[static_cast<std::size_t>(a)] += pushed;
-            length[static_cast<std::size_t>(a)] *=
-                1.0 + step * pushed / arcs.capacity[static_cast<std::size_t>(a)];
+            double& len = length[static_cast<std::size_t>(a)];
+            len *= 1.0 +
+                   step * pushed / arcs.capacity[static_cast<std::size_t>(a)];
+            slot_length[static_cast<std::size_t>(
+                arcs.slot_of_arc[static_cast<std::size_t>(a)])] = len;
+            max_length = std::max(max_length, len);
+          }
+          // Overflow guard, applied inside the routing loop so a long
+          // source group cannot drive lengths to infinity mid-group. The
+          // cached tree distances are sums of the same lengths, so they
+          // rescale by the same factor and the staleness ratio above stays
+          // meaningful.
+          if (max_length > 1e200) {
+            for (double& l : length) l *= 1e-150;
+            for (double& l : slot_length) l *= 1e-150;
+            routing_ws.scale_distances(1e-150);
+            max_length *= 1e-150;
           }
           remaining -= pushed;
         }
       }
-      rescale_if_needed();
     }
 
     // Primal value: every commodity has been routed (phase+1) times its
     // demand; scaling by the worst congestion yields feasibility.
-    double congestion = 0.0;
-    for (int a = 0; a < arcs.num_arcs; ++a) {
-      congestion = std::max(congestion,
-                            result.arc_flow[static_cast<std::size_t>(a)] /
-                                arcs.capacity[static_cast<std::size_t>(a)]);
-    }
     // Primal is not tracked as a running max: feasibility scaling below
     // pairs the final flows with the final phase count, so the reported
     // lambda must be the final primal value (monotone in practice).
-    last_primal =
-        congestion > 0.0 ? static_cast<double>(phase + 1) / congestion : 0.0;
+    last_primal = feasible_lambda(arcs, result.arc_flow, phase + 1,
+                                  /*scale_to_feasible=*/false);
 
-    // Dual bound D(l)/alpha(l), valid for any lengths.
+    // Dual bound D(l)/alpha(l), valid for any lengths. The per-group
+    // Dijkstras are independent, so they run on the pool; each commodity's
+    // term lands in dual_terms and the sum is taken serially in group
+    // order, keeping the result identical for any thread count.
     if (phase % options.dual_every == 0 || phase + 1 == options.max_phases) {
       double d_l = 0.0;
       for (int a = 0; a < arcs.num_arcs; ++a) {
         d_l += length[static_cast<std::size_t>(a)] *
                arcs.capacity[static_cast<std::size_t>(a)];
       }
-      double alpha = 0.0;
-      for (const auto& [src, group] : by_source) {
-        const SpTree tree = dijkstra(arcs, length, src, dag_for(src));
-        for (const auto& [dst, demand] : group.demands) {
-          alpha += demand * tree.dist[static_cast<std::size_t>(dst)];
+      parallel_for_slots(num_groups, [&](int slot, int gi) {
+        const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
+        DijkstraWorkspace& ws = dual_ws[static_cast<std::size_t>(slot)];
+        ws.run_distances(arcs, slot_length.data(), group.src, dag_for(gi),
+                         grouped.dsts.data() + group.begin,
+                         group.end - group.begin);
+        for (int i = group.begin; i < group.end; ++i) {
+          dual_terms[static_cast<std::size_t>(i)] =
+              grouped.demands[static_cast<std::size_t>(i)] *
+              ws.dist(grouped.dsts[static_cast<std::size_t>(i)]);
         }
-      }
+      });
+      double alpha = 0.0;
+      for (double term : dual_terms) alpha += term;
       if (alpha > 0.0) best_dual = std::min(best_dual, d_l / alpha);
     }
 
-    const double gap =
-        best_dual > 0.0 && best_dual < kInf ? 1.0 - last_primal / best_dual : 1.0;
+    const double gap = best_dual > 0.0 && best_dual < kInf
+                           ? 1.0 - last_primal / best_dual
+                           : 1.0;
     if (gap < best_gap - 1e-6) {
       best_gap = gap;
       phases_since_improvement = 0;
@@ -275,26 +309,15 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
   result.feasible = true;
   // Scale flows to the feasible solution and derive the decomposition
   // metrics (utilization, routed path length, stretch).
-  double congestion = 0.0;
-  for (int a = 0; a < arcs.num_arcs; ++a) {
-    congestion = std::max(congestion,
-                          result.arc_flow[static_cast<std::size_t>(a)] /
-                              arcs.capacity[static_cast<std::size_t>(a)]);
-  }
-  result.lambda =
-      congestion > 0.0 ? static_cast<double>(result.phases) / congestion : 0.0;
+  result.lambda = feasible_lambda(arcs, result.arc_flow, result.phases,
+                                  /*scale_to_feasible=*/true);
   result.dual_bound = best_dual == kInf ? result.lambda : best_dual;
   result.gap = result.dual_bound > 0.0
                    ? std::max(0.0, 1.0 - result.lambda / result.dual_bound)
                    : 0.0;
-  if (congestion > 0.0) {
-    // The flow accumulated over all phases corresponds to `phases` routings
-    // of the full demand; normalize so it delivers lambda * demand once.
-    const double scale =
-        result.lambda / static_cast<double>(std::max(result.phases, 1));
+  if (result.lambda > 0.0) {
     double total_flow_hops = 0.0;
     for (int a = 0; a < arcs.num_arcs; ++a) {
-      result.arc_flow[static_cast<std::size_t>(a)] *= scale;
       total_flow_hops += result.arc_flow[static_cast<std::size_t>(a)];
     }
     const double delivered = result.lambda * total_demand;

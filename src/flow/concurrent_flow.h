@@ -20,6 +20,17 @@
 // gap is reported either way. Commodities are grouped by source so each
 // Dijkstra serves many commodities, and shortest-path trees are reused
 // until their paths go stale — the two classic practical accelerations.
+//
+// The hot path runs on a flat CSR arc graph with pooled Dijkstra
+// workspaces (src/graph/shortest_path.h): no per-call allocation, searches
+// bounded by each group's destinations, and the dual-bound Dijkstras and
+// the reachability pre-pass distributed over the shared thread pool
+// (src/util/parallel.h). All reductions are ordered, so results are
+// identical for any thread count — and agree with the original reference
+// formulation's lambda/dual bound to 1e-9 on fixed seeds
+// (bench/baseline_solver.cc + perf_microbench guard this; the only
+// intended divergence is the in-loop overflow rescale, which the
+// reference applied per group).
 #ifndef TOPODESIGN_FLOW_CONCURRENT_FLOW_H
 #define TOPODESIGN_FLOW_CONCURRENT_FLOW_H
 

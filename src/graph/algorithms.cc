@@ -1,54 +1,50 @@
 #include "graph/algorithms.h"
 
 #include <algorithm>
-#include <map>
-#include <queue>
+#include <numeric>
+
+#include "graph/shortest_path.h"
+#include "util/parallel.h"
 
 namespace topo {
 
 std::vector<int> bfs_distances(const Graph& g, NodeId src) {
-  require(src >= 0 && src < g.num_nodes(), "bfs source out of range");
-  std::vector<int> dist(static_cast<std::size_t>(g.num_nodes()), -1);
-  std::queue<NodeId> frontier;
-  dist[static_cast<std::size_t>(src)] = 0;
-  frontier.push(src);
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop();
-    for (const Adjacency& a : g.neighbors(u)) {
-      auto& d = dist[static_cast<std::size_t>(a.to)];
-      if (d < 0) {
-        d = dist[static_cast<std::size_t>(u)] + 1;
-        frontier.push(a.to);
-      }
-    }
-  }
+  BfsWorkspace ws;
+  ws.run(g, src);
+  std::vector<int> dist;
+  ws.export_distances(dist);
   return dist;
 }
 
 std::vector<std::vector<int>> all_pairs_distances(const Graph& g) {
-  std::vector<std::vector<int>> dist;
-  dist.reserve(static_cast<std::size_t>(g.num_nodes()));
-  for (NodeId u = 0; u < g.num_nodes(); ++u) dist.push_back(bfs_distances(g, u));
+  std::vector<std::vector<int>> dist(static_cast<std::size_t>(g.num_nodes()));
+  std::vector<BfsWorkspace> ws(static_cast<std::size_t>(parallel_slots()));
+  parallel_for_slots(g.num_nodes(), [&](int slot, int u) {
+    BfsWorkspace& w = ws[static_cast<std::size_t>(slot)];
+    w.run(g, u);
+    w.export_distances(dist[static_cast<std::size_t>(u)]);
+  });
   return dist;
 }
 
 std::vector<int> component_labels(const Graph& g) {
+  // One linear flood-fill over the label array itself; stays O(n + m) even
+  // for graphs with many components, unlike per-component BFS exports.
   std::vector<int> label(static_cast<std::size_t>(g.num_nodes()), -1);
+  std::vector<NodeId> stack;
   int next = 0;
   for (NodeId start = 0; start < g.num_nodes(); ++start) {
     if (label[static_cast<std::size_t>(start)] >= 0) continue;
-    std::queue<NodeId> frontier;
     label[static_cast<std::size_t>(start)] = next;
-    frontier.push(start);
-    while (!frontier.empty()) {
-      const NodeId u = frontier.front();
-      frontier.pop();
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
       for (const Adjacency& a : g.neighbors(u)) {
         auto& l = label[static_cast<std::size_t>(a.to)];
         if (l < 0) {
           l = next;
-          frontier.push(a.to);
+          stack.push_back(a.to);
         }
       }
     }
@@ -70,31 +66,43 @@ bool is_connected(const Graph& g) {
 
 double average_shortest_path_length(const Graph& g) {
   require(g.num_nodes() >= 2, "ASPL requires at least two nodes");
-  long long total = 0;
   const long long n = g.num_nodes();
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = bfs_distances(g, u);
+  // Per-source integer partial sums: integer addition is associative, so
+  // the parallel sweep is deterministic for any thread count.
+  std::vector<long long> per_source(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<BfsWorkspace> ws(static_cast<std::size_t>(parallel_slots()));
+  parallel_for_slots(g.num_nodes(), [&](int slot, int u) {
+    BfsWorkspace& w = ws[static_cast<std::size_t>(slot)];
+    w.run(g, u);
+    long long sum = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (v == u) continue;
-      require(dist[static_cast<std::size_t>(v)] >= 0,
-              "ASPL requires a connected graph");
-      total += dist[static_cast<std::size_t>(v)];
+      require(w.dist(v) >= 0, "ASPL requires a connected graph");
+      sum += w.dist(v);
     }
-  }
+    per_source[static_cast<std::size_t>(u)] = sum;
+  });
+  const long long total =
+      std::accumulate(per_source.begin(), per_source.end(), 0LL);
   return static_cast<double>(total) / static_cast<double>(n * (n - 1));
 }
 
 int diameter(const Graph& g) {
   require(g.num_nodes() >= 1, "diameter requires a non-empty graph");
-  int best = 0;
-  for (NodeId u = 0; u < g.num_nodes(); ++u) {
-    const auto dist = bfs_distances(g, u);
+  std::vector<int> per_source(static_cast<std::size_t>(g.num_nodes()), 0);
+  std::vector<BfsWorkspace> ws(static_cast<std::size_t>(parallel_slots()));
+  parallel_for_slots(g.num_nodes(), [&](int slot, int u) {
+    BfsWorkspace& w = ws[static_cast<std::size_t>(slot)];
+    w.run(g, u);
+    int ecc = 0;
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      require(dist[static_cast<std::size_t>(v)] >= 0,
-              "diameter requires a connected graph");
-      best = std::max(best, dist[static_cast<std::size_t>(v)]);
+      require(w.dist(v) >= 0, "diameter requires a connected graph");
+      ecc = std::max(ecc, w.dist(v));
     }
-  }
+    per_source[static_cast<std::size_t>(u)] = ecc;
+  });
+  int best = 0;
+  for (int ecc : per_source) best = std::max(best, ecc);
   return best;
 }
 
@@ -104,27 +112,53 @@ double mean_pair_distance(const Graph& g,
   require(!pairs.empty(), "mean_pair_distance requires at least one pair");
   require(weights == nullptr || weights->size() == pairs.size(),
           "weights must match pairs");
-  // Group by source so each BFS serves all pairs sharing that source.
-  std::map<NodeId, std::vector<std::size_t>> by_source;
-  for (std::size_t i = 0; i < pairs.size(); ++i) {
-    by_source[pairs[i].first].push_back(i);
+  // Group pair indices by source (sorted, so each BFS serves all pairs
+  // sharing that source) without the old per-source std::map.
+  std::vector<std::size_t> order(pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return pairs[a].first < pairs[b].first;
+  });
+  std::vector<std::size_t> group_start;
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    if (k == 0 || pairs[order[k]].first != pairs[order[k - 1]].first) {
+      group_start.push_back(k);
+    }
   }
-  double weighted_sum = 0.0;
-  double weight_total = 0.0;
-  for (const auto& [src, indices] : by_source) {
-    const auto dist = bfs_distances(g, src);
-    for (std::size_t i : indices) {
+  group_start.push_back(order.size());
+
+  // One BFS per distinct source, in parallel; each pair's weighted term is
+  // stored at its sorted position and reduced serially afterwards, in the
+  // same source-ascending order as the old serial loop.
+  std::vector<double> terms(pairs.size(), 0.0);
+  std::vector<double> term_weights(pairs.size(), 0.0);
+  std::vector<BfsWorkspace> ws(static_cast<std::size_t>(parallel_slots()));
+  const int num_groups = static_cast<int>(group_start.size()) - 1;
+  parallel_for_slots(num_groups, [&](int slot, int gi) {
+    const auto begin = group_start[static_cast<std::size_t>(gi)];
+    const auto end = group_start[static_cast<std::size_t>(gi) + 1];
+    const NodeId src = pairs[order[begin]].first;
+    BfsWorkspace& w = ws[static_cast<std::size_t>(slot)];
+    w.run(g, src);
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = order[k];
       const NodeId dst = pairs[i].second;
-      const double w = weights ? (*weights)[i] : 1.0;
+      const double weight = weights ? (*weights)[i] : 1.0;
+      term_weights[k] = weight;
       if (src == dst) {
-        weight_total += w;
+        terms[k] = 0.0;
         continue;
       }
-      const int d = dist[static_cast<std::size_t>(dst)];
+      const int d = w.dist(dst);
       require(d >= 0, "mean_pair_distance: unreachable pair");
-      weighted_sum += w * d;
-      weight_total += w;
+      terms[k] = weight * d;
     }
+  });
+  double weighted_sum = 0.0;
+  double weight_total = 0.0;
+  for (std::size_t k = 0; k < terms.size(); ++k) {
+    weighted_sum += terms[k];
+    weight_total += term_weights[k];
   }
   require(weight_total > 0.0, "mean_pair_distance: zero total weight");
   return weighted_sum / weight_total;

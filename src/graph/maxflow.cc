@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 
+#include "graph/shortest_path.h"
 #include "util/rng.h"
 
 namespace topo {
@@ -45,22 +45,11 @@ class ResidualNetwork {
   }
 
   // After run(), nodes reachable from s in the residual network.
-  [[nodiscard]] std::vector<char> reachable_from(int s) const {
+  [[nodiscard]] std::vector<char> reachable_from(int s) {
+    residual_bfs(s);
     std::vector<char> seen(head_.size(), 0);
-    std::queue<int> frontier;
-    seen[static_cast<std::size_t>(s)] = 1;
-    frontier.push(s);
-    while (!frontier.empty()) {
-      const int u = frontier.front();
-      frontier.pop();
-      for (int a = head_[static_cast<std::size_t>(u)]; a >= 0;
-           a = arcs_[static_cast<std::size_t>(a)].next) {
-        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-        if (arc.residual > kFlowEps && !seen[static_cast<std::size_t>(arc.to)]) {
-          seen[static_cast<std::size_t>(arc.to)] = 1;
-          frontier.push(arc.to);
-        }
-      }
+    for (std::size_t v = 0; v < head_.size(); ++v) {
+      if (levels_.dist(static_cast<NodeId>(v)) >= 0) seen[v] = 1;
     }
     return seen;
   }
@@ -72,36 +61,31 @@ class ResidualNetwork {
     double residual = 0.0;
   };
 
+  // BFS over residual arcs via the shared stamped workspace; the level of
+  // node v is then levels_.dist(v), with -1 meaning unreached.
+  void residual_bfs(int s) {
+    levels_.run_custom(
+        static_cast<int>(head_.size()), s, [this](NodeId u, auto&& emit) {
+          for (int a = head_[static_cast<std::size_t>(u)]; a >= 0;
+               a = arcs_[static_cast<std::size_t>(a)].next) {
+            const Arc& arc = arcs_[static_cast<std::size_t>(a)];
+            if (arc.residual > kFlowEps) emit(arc.to);
+          }
+        });
+  }
+
   bool build_levels(int s, int t) {
-    level_.assign(head_.size(), -1);
-    std::queue<int> frontier;
-    level_[static_cast<std::size_t>(s)] = 0;
-    frontier.push(s);
-    while (!frontier.empty()) {
-      const int u = frontier.front();
-      frontier.pop();
-      for (int a = head_[static_cast<std::size_t>(u)]; a >= 0;
-           a = arcs_[static_cast<std::size_t>(a)].next) {
-        const Arc& arc = arcs_[static_cast<std::size_t>(a)];
-        if (arc.residual > kFlowEps &&
-            level_[static_cast<std::size_t>(arc.to)] < 0) {
-          level_[static_cast<std::size_t>(arc.to)] =
-              level_[static_cast<std::size_t>(u)] + 1;
-          frontier.push(arc.to);
-        }
-      }
-    }
-    return level_[static_cast<std::size_t>(t)] >= 0;
+    residual_bfs(s);
+    return levels_.dist(t) >= 0;
   }
 
   double augment(int u, int t, double limit) {
     if (u == t) return limit;
+    const int next_level = levels_.dist(u) + 1;  // invariant across the scan
     for (int& a = iter_[static_cast<std::size_t>(u)]; a >= 0;
          a = arcs_[static_cast<std::size_t>(a)].next) {
       Arc& arc = arcs_[static_cast<std::size_t>(a)];
-      if (arc.residual > kFlowEps &&
-          level_[static_cast<std::size_t>(arc.to)] ==
-              level_[static_cast<std::size_t>(u)] + 1) {
+      if (arc.residual > kFlowEps && levels_.dist(arc.to) == next_level) {
         const double pushed =
             augment(arc.to, t, std::min(limit, arc.residual));
         if (pushed > kFlowEps) {
@@ -116,7 +100,7 @@ class ResidualNetwork {
 
   std::vector<Arc> arcs_;
   std::vector<int> head_;
-  std::vector<int> level_;
+  BfsWorkspace levels_;
   std::vector<int> iter_;
 };
 

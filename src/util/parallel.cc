@@ -1,0 +1,172 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace topo {
+namespace {
+
+// True while the current thread is executing inside a parallel loop; used
+// to run nested loops inline instead of deadlocking the shared pool.
+thread_local bool inside_parallel_region = false;
+
+int resolve_slots() {
+  if (const char* env = std::getenv("TOPOBENCH_THREADS")) {
+    const int parsed = std::atoi(env);
+    if (parsed > 0) return parsed;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+// One batch of loop iterations shared between the caller and the pool.
+struct Batch {
+  const std::function<void(int, int)>* fn = nullptr;
+  std::atomic<int> next{0};
+  int n = 0;
+  std::atomic<int> active_workers{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::mutex error_mutex;
+  std::exception_ptr error;
+
+  void work(int slot) {
+    inside_parallel_region = true;
+    while (true) {
+      const int item = next.fetch_add(1, std::memory_order_relaxed);
+      if (item >= n) break;
+      try {
+        (*fn)(slot, item);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+    inside_parallel_region = false;
+  }
+
+  void worker_done() {
+    // The decrement happens under done_mutex: the waiting caller checks the
+    // counter under the same mutex, so it cannot observe zero (and destroy
+    // this stack-allocated Batch) until the final worker has released the
+    // lock and will never touch the Batch again. Decrementing outside the
+    // lock would let a spurious wakeup race the last worker's notify.
+    std::lock_guard<std::mutex> lock(done_mutex);
+    if (active_workers.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      done_cv.notify_all();
+    }
+  }
+};
+
+// Long-lived workers parked on a condition variable; each loop publishes a
+// Batch and wakes them. Workers outlive every loop and exit at process
+// teardown.
+class Pool {
+ public:
+  static Pool& instance() {
+    // Sized from the same cached value parallel_slots() reports, so helper
+    // slot ids always stay inside [0, parallel_slots()).
+    static Pool* pool = new Pool(parallel_slots() - 1);  // leaked: lives forever
+    return *pool;
+  }
+
+  int helper_threads() const { return static_cast<int>(threads_.size()); }
+
+  // Makes `batch` available to every helper; returns immediately.
+  void publish(Batch* batch) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      batch_ = batch;
+      ++batch_version_;
+    }
+    cv_.notify_all();
+  }
+
+  void retire() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch_ = nullptr;
+  }
+
+ private:
+  explicit Pool(int num_threads) {
+    threads_.reserve(static_cast<std::size_t>(num_threads < 0 ? 0 : num_threads));
+    for (int i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this, slot = i + 1] { worker_loop(slot); });
+      threads_.back().detach();
+    }
+  }
+
+  void worker_loop(int slot) {
+    std::uint64_t seen_version = 0;
+    while (true) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [&] {
+          return batch_ != nullptr && batch_version_ != seen_version;
+        });
+        seen_version = batch_version_;
+        batch = batch_;
+        batch->active_workers.fetch_add(1, std::memory_order_acq_rel);
+      }
+      batch->work(slot);
+      batch->worker_done();
+    }
+  }
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Batch* batch_ = nullptr;
+  std::uint64_t batch_version_ = 0;
+};
+
+}  // namespace
+
+int parallel_slots() {
+  static const int slots = resolve_slots();
+  return slots;
+}
+
+void parallel_for_slots(int n,
+                        const std::function<void(int slot, int item)>& fn) {
+  if (n <= 0) return;
+  if (inside_parallel_region || n == 1 || parallel_slots() == 1) {
+    // Inline: nested region, trivial loop, or single-core machine. Slot 0
+    // is reserved for the calling thread, so nested serial execution never
+    // collides with an outer loop's slot-indexed scratch.
+    for (int item = 0; item < n; ++item) fn(0, item);
+    return;
+  }
+
+  Pool& pool = Pool::instance();
+  Batch batch;
+  const std::function<void(int, int)> call = fn;
+  batch.fn = &call;
+  batch.n = n;
+  // The caller counts as an active worker so the completion wait below
+  // covers it joining the loop.
+  batch.active_workers.store(1, std::memory_order_relaxed);
+  pool.publish(&batch);
+  batch.work(/*slot=*/0);
+  pool.retire();  // no new helpers may join once the caller is done claiming
+  batch.worker_done();
+  {
+    std::unique_lock<std::mutex> lock(batch.done_mutex);
+    batch.done_cv.wait(lock, [&] {
+      return batch.active_workers.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
+}
+
+void parallel_for(int n, const std::function<void(int item)>& fn) {
+  parallel_for_slots(n, [&fn](int /*slot*/, int item) { fn(item); });
+}
+
+}  // namespace topo

@@ -1,0 +1,46 @@
+// Minimal thread pool and parallel-for used by the solver and the
+// experiment sweeps.
+//
+// Design constraints, in order:
+//  * determinism — callers must be able to produce bit-identical results
+//    regardless of thread count, so parallel_for only hands out item
+//    indices; any reduction is the caller's job (store per-item, reduce
+//    serially);
+//  * no oversubscription — one process-wide pool, sized once from
+//    TOPOBENCH_THREADS or std::thread::hardware_concurrency();
+//  * safe nesting — a parallel_for issued from inside a pool worker runs
+//    inline on the calling thread instead of deadlocking the pool.
+#ifndef TOPODESIGN_UTIL_PARALLEL_H
+#define TOPODESIGN_UTIL_PARALLEL_H
+
+#include <functional>
+
+namespace topo {
+
+/// Number of worker slots parallel loops may use, including the calling
+/// thread: >= 1. Reads TOPOBENCH_THREADS (if set and positive) else
+/// hardware_concurrency, once per process.
+[[nodiscard]] int parallel_slots();
+
+/// Runs fn(item) for every item in [0, n), distributing items over the
+/// shared pool plus the calling thread; blocks until all complete. Items
+/// are claimed dynamically, so fn must not depend on execution order.
+/// The first exception thrown by any fn is rethrown on the caller after
+/// all workers drain. Nested calls run serially on the caller.
+///
+/// The pool serves one top-level loop at a time: if two unrelated user
+/// threads issue top-level loops concurrently, both complete correctly,
+/// but the loop that loses the pool may degrade to running entirely on
+/// its calling thread. The library itself only issues top-level loops
+/// from one thread.
+void parallel_for(int n, const std::function<void(int item)>& fn);
+
+/// As parallel_for, but also passes a worker slot id in
+/// [0, parallel_slots()): at any moment each slot runs at most one fn, so
+/// slot-indexed scratch (e.g. one DijkstraWorkspace per slot) is safe.
+void parallel_for_slots(int n,
+                        const std::function<void(int slot, int item)>& fn);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_PARALLEL_H

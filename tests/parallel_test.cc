@@ -1,0 +1,114 @@
+// Tests for the shared thread pool and parallel_for helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/evaluate.h"
+#include "topo/random_regular.h"
+#include "util/parallel.h"
+
+namespace topo {
+namespace {
+
+TEST(Parallel, SlotsIsAtLeastOne) { EXPECT_GE(parallel_slots(), 1); }
+
+TEST(Parallel, RunsEveryItemExactlyOnce) {
+  constexpr int kItems = 1000;
+  std::vector<std::atomic<int>> hits(kItems);
+  parallel_for(kItems, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 0; i < kItems; ++i) {
+    EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "item " << i;
+  }
+}
+
+TEST(Parallel, EmptyAndSingleItemLoops) {
+  int count = 0;
+  parallel_for(0, [&](int) { ++count; });
+  EXPECT_EQ(count, 0);
+  parallel_for(1, [&](int i) { count += i + 1; });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Parallel, SlotIdsStayInRange) {
+  constexpr int kItems = 300;
+  std::vector<int> slot_of(kItems, -1);
+  parallel_for_slots(kItems, [&](int slot, int item) {
+    ASSERT_GE(slot, 0);
+    ASSERT_LT(slot, parallel_slots());
+    slot_of[static_cast<std::size_t>(item)] = slot;
+  });
+  for (int s : slot_of) EXPECT_GE(s, 0);
+}
+
+TEST(Parallel, SlotScratchIsRaceFree) {
+  // Per-slot accumulators reduced serially must total the serial sum; a
+  // slot shared by two concurrent tasks would corrupt the unsynchronized
+  // counters.
+  constexpr int kItems = 5000;
+  std::vector<long long> per_slot(static_cast<std::size_t>(parallel_slots()), 0);
+  parallel_for_slots(kItems, [&](int slot, int item) {
+    per_slot[static_cast<std::size_t>(slot)] += item;
+  });
+  const long long total =
+      std::accumulate(per_slot.begin(), per_slot.end(), 0LL);
+  EXPECT_EQ(total, static_cast<long long>(kItems) * (kItems - 1) / 2);
+}
+
+TEST(Parallel, NestedLoopsRunInline) {
+  constexpr int kOuter = 8;
+  constexpr int kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  parallel_for(kOuter, [&](int outer) {
+    parallel_for_slots(kInner, [&](int slot, int inner) {
+      EXPECT_EQ(slot, 0);  // nested regions run serially on the caller
+      hits[static_cast<std::size_t>(outer * kInner + inner)].fetch_add(1);
+    });
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Parallel, PropagatesExceptions) {
+  EXPECT_THROW(
+      parallel_for(100,
+                   [&](int i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+  // The pool must stay usable after a throwing loop.
+  std::atomic<int> count{0};
+  parallel_for(50, [&](int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(Parallel, EvaluateTrialsMatchesSerialEvaluation) {
+  const BuiltTopology topology = random_regular_topology(12, 8, 5, 5);
+  EvalOptions options;
+  options.flow.epsilon = 0.1;
+  const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+  const auto batch = evaluate_throughput_trials(topology, options, seeds);
+  ASSERT_EQ(batch.size(), seeds.size());
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    const ThroughputResult serial =
+        evaluate_throughput(topology, options, seeds[i]);
+    EXPECT_DOUBLE_EQ(batch[i].lambda, serial.lambda) << "seed " << seeds[i];
+    EXPECT_DOUBLE_EQ(batch[i].dual_bound, serial.dual_bound);
+  }
+}
+
+TEST(Parallel, ManySequentialLoops) {
+  // Exercises batch publish/retire cycling for stale-batch races.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int> count{0};
+    parallel_for(10, [&](int) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 10) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace topo

@@ -1,0 +1,192 @@
+// Tests for the CSR arc graph and the pooled Dijkstra/BFS workspaces.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <queue>
+
+#include "graph/algorithms.h"
+#include "graph/shortest_path.h"
+#include "topo/random_regular.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(ArcGraph, CsrMatchesAdjacency) {
+  Graph g(4);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 3.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 5.0);
+  const ArcGraph arcs(g);
+  ASSERT_EQ(arcs.num_nodes, 4);
+  ASSERT_EQ(arcs.num_arcs, 8);
+  // Arc 2e is u->v, 2e+1 is v->u; partner arc is a^1.
+  EXPECT_EQ(arcs.head[0], 1);
+  EXPECT_EQ(arcs.head[1], 0);
+  EXPECT_EQ(arcs.tail(0), 0);
+  EXPECT_EQ(arcs.tail(1), 1);
+  EXPECT_DOUBLE_EQ(arcs.capacity[6], 5.0);
+  EXPECT_DOUBLE_EQ(arcs.capacity[7], 5.0);
+  // CSR slices cover each node's out-arcs in increasing arc id.
+  ASSERT_EQ(arcs.first_out.size(), 5u);
+  EXPECT_EQ(arcs.first_out[4], 8);
+  std::vector<std::vector<int>> expected(4);
+  expected[0] = {0, 4};
+  expected[1] = {1, 2};
+  expected[2] = {3, 5, 6};
+  expected[3] = {7};
+  for (NodeId n = 0; n < 4; ++n) {
+    std::vector<int> got(
+        arcs.out_arc.begin() + arcs.first_out[static_cast<std::size_t>(n)],
+        arcs.out_arc.begin() + arcs.first_out[static_cast<std::size_t>(n) + 1]);
+    EXPECT_EQ(got, expected[static_cast<std::size_t>(n)]) << "node " << n;
+  }
+}
+
+// Reference Dijkstra: the lazy binary-heap formulation the workspace
+// replaced; ties pop in increasing node id via pair comparison.
+std::vector<double> reference_dijkstra(const ArcGraph& arcs,
+                                       const std::vector<double>& length,
+                                       NodeId src,
+                                       std::vector<int>* parent_out = nullptr) {
+  std::vector<double> dist(static_cast<std::size_t>(arcs.num_nodes), kInf);
+  std::vector<int> parent(static_cast<std::size_t>(arcs.num_nodes), -1);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(src)] = 0.0;
+  heap.emplace(0.0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    for (int i = arcs.first_out[static_cast<std::size_t>(u)];
+         i < arcs.first_out[static_cast<std::size_t>(u) + 1]; ++i) {
+      const int a = arcs.out_arc[static_cast<std::size_t>(i)];
+      const NodeId v = arcs.head[static_cast<std::size_t>(a)];
+      const double nd = d + length[static_cast<std::size_t>(a)];
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        parent[static_cast<std::size_t>(v)] = a;
+        heap.emplace(nd, v);
+      }
+    }
+  }
+  if (parent_out != nullptr) *parent_out = parent;
+  return dist;
+}
+
+TEST(DijkstraWorkspace, MatchesReferenceIncludingParentTree) {
+  const Graph g = random_regular_graph(60, 6, 11);
+  const ArcGraph arcs(g);
+  Rng rng(5);
+  std::vector<double> length(static_cast<std::size_t>(arcs.num_arcs));
+  // Mix of distinct and deliberately tied lengths to exercise tie-breaks.
+  for (double& l : length) l = rng.chance(0.3) ? 1.0 : rng.uniform(0.5, 2.0);
+  DijkstraWorkspace ws;
+  for (NodeId src : {0, 7, 59}) {
+    std::vector<int> ref_parent;
+    const auto ref = reference_dijkstra(arcs, length, src, &ref_parent);
+    ws.run(arcs, length, src);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_DOUBLE_EQ(ws.dist(v), ref[static_cast<std::size_t>(v)]);
+      EXPECT_EQ(ws.parent_arc(v), ref_parent[static_cast<std::size_t>(v)])
+          << "parent mismatch at " << v << " from " << src;
+    }
+  }
+}
+
+TEST(DijkstraWorkspace, ReuseAcrossGraphsOfDifferentSize) {
+  DijkstraWorkspace ws;
+  const Graph big = random_regular_graph(80, 4, 3);
+  const ArcGraph big_arcs(big);
+  std::vector<double> big_len(static_cast<std::size_t>(big_arcs.num_arcs), 1.0);
+  ws.run(big_arcs, big_len, 0);
+  EXPECT_EQ(ws.dist(0), 0.0);
+
+  Graph small(3);
+  small.add_edge(0, 1, 1.0);
+  const ArcGraph small_arcs(small);
+  std::vector<double> small_len(2, 4.0);
+  ws.run(small_arcs, small_len, 0);
+  EXPECT_DOUBLE_EQ(ws.dist(1), 4.0);
+  EXPECT_EQ(ws.dist(2), kInf);  // stale big-graph state must not leak
+  EXPECT_EQ(ws.parent_arc(2), -1);
+}
+
+TEST(DijkstraWorkspace, ExtractPathAndScaleDistances) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);  // arcs 0, 1
+  g.add_edge(1, 2, 1.0);  // arcs 2, 3
+  g.add_edge(2, 3, 1.0);  // arcs 4, 5
+  const ArcGraph arcs(g);
+  std::vector<double> length = {1.0, 1.0, 2.0, 2.0, 3.0, 3.0};
+  DijkstraWorkspace ws;
+  ws.run(arcs, length, 0);
+  std::vector<int> path;
+  ASSERT_TRUE(ws.extract_path(arcs, 0, 3, path));
+  EXPECT_EQ(path, (std::vector<int>{4, 2, 0}));  // dst -> src order
+  EXPECT_DOUBLE_EQ(ws.dist(3), 6.0);
+  ws.scale_distances(0.5);
+  EXPECT_DOUBLE_EQ(ws.dist(3), 3.0);
+  EXPECT_DOUBLE_EQ(ws.dist(0), 0.0);
+}
+
+TEST(DijkstraWorkspace, DagRestrictionLimitsArcs) {
+  // Square with a diagonal shortcut of high length: unrestricted Dijkstra
+  // prefers 0-1-3; restricting to hop-shortest arcs from 0 still allows
+  // it, but forbids the 3->... backward arcs.
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(2, 3, 1.0);
+  const ArcGraph arcs(g);
+  std::vector<double> length(8, 1.0);
+  const std::vector<int> hops = bfs_distances(g, 0);
+  DijkstraWorkspace ws;
+  ws.run(arcs, length, 0, &hops);
+  EXPECT_DOUBLE_EQ(ws.dist(3), 2.0);
+  // Restrict from node 1's perspective instead: node 0 is at hop 1 from 1,
+  // so arcs into 0 from 2 (hop 1 -> hop 1) are not relaxed.
+  const std::vector<int> hops1 = bfs_distances(g, 1);
+  ws.run(arcs, length, 1, &hops1);
+  EXPECT_DOUBLE_EQ(ws.dist(2), 2.0);  // via 0 or 3, both hop-increasing
+}
+
+TEST(BfsWorkspace, MatchesBfsDistancesAndReuses) {
+  const Graph g = random_regular_graph(50, 4, 23);
+  BfsWorkspace ws;
+  for (NodeId src : {0, 13, 49}) {
+    const auto expected = bfs_distances(g, src);
+    ws.run(g, src);
+    std::vector<int> exported;
+    ws.export_distances(exported);
+    EXPECT_EQ(exported, expected);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(ws.dist(v), expected[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(BfsWorkspace, RunCustomFiltersArcs) {
+  Graph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 3, 1.0);
+  BfsWorkspace ws;
+  // Forbid entering node 2: nodes 2 and 3 must stay unreached.
+  ws.run_custom(4, 0, [&](NodeId u, auto&& emit) {
+    for (const Adjacency& a : g.neighbors(u)) {
+      if (a.to != 2) emit(a.to);
+    }
+  });
+  EXPECT_EQ(ws.dist(1), 1);
+  EXPECT_EQ(ws.dist(2), -1);
+  EXPECT_EQ(ws.dist(3), -1);
+}
+
+}  // namespace
+}  // namespace topo
