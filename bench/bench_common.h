@@ -14,12 +14,11 @@
 
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <iostream>
-#include <sstream>
 #include <string>
 
 #include "core/topobench.h"
+#include "util/json.h"
 
 namespace topo::bench {
 
@@ -71,34 +70,10 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// JSON scalar formatting for the machine-readable BENCH_*.json files.
-/// Doubles keep round-trip precision; non-finite values become null (JSON
-/// has no inf/nan).
-inline std::string json_number(double v) {
-  if (!std::isfinite(v)) return "null";
-  std::ostringstream out;
-  out.precision(17);
-  out << v;
-  return out.str();
-}
-
-inline std::string json_string(const std::string& s) {
-  std::string out = "\"";
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-      out += buf;
-    } else {
-      out += c;
-    }
-  }
-  out += '"';
-  return out;
-}
+// JSON scalar formatting for the machine-readable BENCH_*.json files now
+// lives in util/json.h; re-exported here for the bench binaries.
+using topo::json_number;
+using topo::json_string;
 
 }  // namespace topo::bench
 

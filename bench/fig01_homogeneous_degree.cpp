@@ -1,84 +1,9 @@
-// Figure 1 (a,b): random regular graphs vs the bounds as density grows.
-//
-// N = 40 switches throughout; the x-axis sweeps the network degree r.
-// (a) Throughput as a ratio to the universal upper bound N*r/(f*d*), for
-//     all-to-all and permutation traffic with 5 and 10 servers per switch.
-// (b) Observed ASPL vs the Cerf et al. lower bound d*.
-//
-// Paper expectation: the ratio climbs toward 1 with density (all-to-all
-// reaching ~1 by r >= 13), and ASPL hugs the bound.
-#include "bench_common.h"
-
-namespace topo {
-namespace {
-
-using bench::BenchConfig;
-
-double throughput_ratio(const BenchConfig& config, int n, int r,
-                        int servers_per_switch, TrafficKind traffic) {
-  const int k = r + servers_per_switch;
-  const TopologyBuilder builder = [=](std::uint64_t seed) {
-    return random_regular_topology(n, k, r, seed);
-  };
-  EvalOptions options = bench::eval_options(config, traffic);
-  const ExperimentStats stats =
-      run_experiment(builder, options, config.runs, config.seed + r);
-  // Network demand actually offered: same-switch flows never enter the
-  // network, and all-to-all demands are normalized to one unit of egress
-  // per server (see evaluate_throughput).
-  const double servers = static_cast<double>(n) * servers_per_switch;
-  const double f =
-      traffic == TrafficKind::kAllToAll
-          ? servers * (servers - servers_per_switch) / (servers - 1.0)
-          : servers * (1.0 - 1.0 / n);
-  const double bound = homogeneous_throughput_upper_bound(n, r, f);
-  return stats.lambda.mean / bound;
-}
-
-}  // namespace
-}  // namespace topo
+// Thin launcher for the fig01_homogeneous_degree scenario (the experiment itself lives in
+// src/scenario/figures/fig01_homogeneous_degree.cc; `topobench fig01_homogeneous_degree`
+// runs the same code). Kept so the historical per-figure binaries and
+// their flags keep working.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const bench::BenchConfig config =
-      bench::parse_bench_config(argc, argv, /*quick_runs=*/3, /*full_runs=*/20);
-  const int n = 40;
-
-  std::vector<int> degrees;
-  if (config.full) {
-    for (int r = 3; r <= 35; ++r) degrees.push_back(r);
-  } else {
-    degrees = {4, 6, 8, 11, 14, 17, 20, 24, 28, 32};
-  }
-
-  print_banner(std::cout,
-               "Figure 1(a): throughput vs upper bound, N=40, degree sweep");
-  TablePrinter table({"degree", "all_to_all", "perm_10_per_switch",
-                      "perm_5_per_switch"});
-  for (int r : degrees) {
-    table.add_row({static_cast<long long>(r),
-                   throughput_ratio(config, n, r, 5, TrafficKind::kAllToAll),
-                   throughput_ratio(config, n, r, 10, TrafficKind::kPermutation),
-                   throughput_ratio(config, n, r, 5, TrafficKind::kPermutation)});
-  }
-  table.emit(std::cout, config.csv);
-
-  print_banner(std::cout,
-               "Figure 1(b): ASPL vs lower bound, N=40, degree sweep");
-  TablePrinter aspl_table({"degree", "observed_aspl", "aspl_lower_bound",
-                           "ratio"});
-  for (int r : degrees) {
-    std::vector<double> observed;
-    for (int run = 0; run < config.runs; ++run) {
-      const Graph g = random_regular_graph(
-          n, r, Rng::derive_seed(config.seed, 100 + r * 31 + run));
-      observed.push_back(average_shortest_path_length(g));
-    }
-    const double mean_aspl = mean_of(observed);
-    const double bound = aspl_lower_bound(n, r);
-    aspl_table.add_row({static_cast<long long>(r), mean_aspl, bound,
-                        mean_aspl / bound});
-  }
-  aspl_table.emit(std::cout, config.csv);
-  return 0;
+  return topo::scenario::scenario_main("fig01_homogeneous_degree", argc, argv);
 }

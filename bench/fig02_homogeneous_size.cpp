@@ -1,87 +1,9 @@
-// Figure 2 (a,b): random regular graphs vs the bounds as size grows.
-//
-// Degree r = 10 throughout; the x-axis sweeps the switch count N (the
-// network gets sparser rightward). Same series as Figure 1.
-//
-// Paper expectation: ratios fall gently with size; all-to-all stays the
-// highest; ASPL stays close to the bound (within ~10%).
-#include "bench_common.h"
-
-namespace topo {
-namespace {
-
-using bench::BenchConfig;
-
-double throughput_ratio(const BenchConfig& config, int n, int r,
-                        int servers_per_switch, TrafficKind traffic) {
-  const TopologyBuilder builder = [=](std::uint64_t seed) {
-    return random_regular_topology(n, r + servers_per_switch, r, seed);
-  };
-  const ExperimentStats stats =
-      run_experiment(builder, bench::eval_options(config, traffic),
-                     config.runs, config.seed + n);
-  // Network demand actually offered: same-switch flows never enter the
-  // network, and all-to-all demands are normalized to one unit of egress
-  // per server (see evaluate_throughput).
-  const double servers = static_cast<double>(n) * servers_per_switch;
-  const double f =
-      traffic == TrafficKind::kAllToAll
-          ? servers * (servers - servers_per_switch) / (servers - 1.0)
-          : servers * (1.0 - 1.0 / n);
-  return stats.lambda.mean / homogeneous_throughput_upper_bound(n, r, f);
-}
-
-}  // namespace
-}  // namespace topo
+// Thin launcher for the fig02_homogeneous_size scenario (the experiment itself lives in
+// src/scenario/figures/fig02_homogeneous_size.cc; `topobench fig02_homogeneous_size`
+// runs the same code). Kept so the historical per-figure binaries and
+// their flags keep working.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const bench::BenchConfig config =
-      bench::parse_bench_config(argc, argv, /*quick_runs=*/3, /*full_runs=*/20);
-  const int r = 10;
-
-  std::vector<int> sizes;
-  if (config.full) {
-    sizes = {15, 20, 30, 40, 60, 80, 100, 120, 140, 160, 180, 200};
-  } else {
-    sizes = {15, 20, 30, 40, 60, 80, 120};
-  }
-  // The paper notes its LP solver does not scale for all-to-all (the
-  // commodity count grows quadratically); ours does better but we still
-  // cap the all-to-all series in quick mode.
-  const int a2a_cap = config.full ? 200 : 60;
-
-  print_banner(std::cout,
-               "Figure 2(a): throughput vs upper bound, degree=10, size sweep");
-  TablePrinter table({"size", "all_to_all", "perm_10_per_switch",
-                      "perm_5_per_switch"});
-  for (int n : sizes) {
-    Cell a2a = std::string("-");
-    if (n <= a2a_cap) {
-      a2a = throughput_ratio(config, n, r, 5, TrafficKind::kAllToAll);
-    }
-    table.add_row({static_cast<long long>(n), a2a,
-                   throughput_ratio(config, n, r, 10, TrafficKind::kPermutation),
-                   throughput_ratio(config, n, r, 5, TrafficKind::kPermutation)});
-  }
-  table.emit(std::cout, config.csv);
-
-  print_banner(std::cout,
-               "Figure 2(b): ASPL vs lower bound, degree=10, size sweep");
-  TablePrinter aspl_table({"size", "observed_aspl", "aspl_lower_bound",
-                           "ratio"});
-  for (int n : sizes) {
-    std::vector<double> observed;
-    for (int run = 0; run < config.runs; ++run) {
-      const Graph g = random_regular_graph(
-          n, r, Rng::derive_seed(config.seed, 200 + n * 17 + run));
-      observed.push_back(average_shortest_path_length(g));
-    }
-    const double mean_aspl = mean_of(observed);
-    const double bound = aspl_lower_bound(n, r);
-    aspl_table.add_row({static_cast<long long>(n), mean_aspl, bound,
-                        mean_aspl / bound});
-  }
-  aspl_table.emit(std::cout, config.csv);
-  return 0;
+  return topo::scenario::scenario_main("fig02_homogeneous_size", argc, argv);
 }

@@ -1,84 +1,9 @@
-// Figure 5: server placement across a power-law pool of switches.
-//
-// Port counts follow a truncated power law with mean 6/8/10; servers are
-// attached in proportion to port_count^beta and the rest wired uniformly
-// at random. Throughput is normalized to the beta = 1 value of each curve.
-//
-// Paper expectation: beta = 1 (proportional) is among the optima, with a
-// broad flat region around beta in [1, 1.4] and degradation toward both
-// extremes (larger variance there, too).
-#include "bench_common.h"
-
-namespace topo {
-namespace {
-
-using bench::BenchConfig;
-
-ExperimentStats stats_at_beta(const BenchConfig& config, double avg_ports,
-                              double beta, std::uint64_t salt) {
-  const int num_switches = 40;
-  // Hold total servers at ~45% of total ports across the sweep.
-  const int total_servers =
-      static_cast<int>(0.45 * num_switches * avg_ports);
-  const TopologyBuilder builder = [=](std::uint64_t seed) {
-    std::vector<int> ports = power_law_ports(
-        num_switches, avg_ports, Rng::derive_seed(seed, 0x506f7274));
-    fix_parity_for_servers(ports, total_servers);
-    const std::vector<int> servers =
-        beta_proportional_servers(ports, beta, total_servers);
-    return build_pool_topology(ports, servers, seed);
-  };
-  return run_experiment(builder, bench::eval_options(config), config.runs,
-                        Rng::derive_seed(config.seed, salt));
-}
-
-}  // namespace
-}  // namespace topo
+// Thin launcher for the fig05_powerlaw_beta scenario (the experiment itself lives in
+// src/scenario/figures/fig05_powerlaw_beta.cc; `topobench fig05_powerlaw_beta`
+// runs the same code). Kept so the historical per-figure binaries and
+// their flags keep working.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const bench::BenchConfig config =
-      bench::parse_bench_config(argc, argv, /*quick_runs=*/4, /*full_runs=*/20);
-
-  std::vector<double> betas;
-  if (config.full) {
-    betas = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6};
-  } else {
-    betas = {0.0, 0.4, 0.8, 1.0, 1.2, 1.6};
-  }
-
-  print_banner(std::cout,
-               "Figure 5: power-law port counts, servers proportional to "
-               "port^beta (normalized to beta=1)");
-  TablePrinter table({"beta", "avg_ports_6", "avg_ports_8", "avg_ports_10",
-                      "stdev_frac_8"});
-  std::vector<double> baseline(3, 1.0);
-  {
-    int i = 0;
-    for (double avg : {6.0, 8.0, 10.0}) {
-      baseline[static_cast<std::size_t>(i++)] =
-          stats_at_beta(config, avg, 1.0, 5000 + static_cast<int>(avg))
-              .lambda.mean;
-    }
-  }
-  for (double beta : betas) {
-    std::vector<Cell> row{beta};
-    int i = 0;
-    double stdev_frac_8 = 0.0;
-    for (double avg : {6.0, 8.0, 10.0}) {
-      const ExperimentStats stats = stats_at_beta(
-          config, avg, beta, 6000 + static_cast<int>(avg) * 101 +
-                                 static_cast<int>(beta * 10));
-      row.push_back(stats.lambda.mean / baseline[static_cast<std::size_t>(i++)]);
-      if (avg == 8.0 && stats.lambda.mean > 0.0) {
-        stdev_frac_8 = stats.lambda.stdev / stats.lambda.mean;
-      }
-    }
-    row.push_back(stdev_frac_8);
-    table.add_row(std::move(row));
-  }
-  table.emit(std::cout, config.csv);
-  std::cout << "Expected: flat optimum around beta in [1, 1.4]; larger "
-               "run-to-run variance at the extremes.\n";
-  return 0;
+  return topo::scenario::scenario_main("fig05_powerlaw_beta", argc, argv);
 }

@@ -1,147 +1,9 @@
-// Figure 9 (a-c): decomposing throughput into utilization, path length,
-// and stretch (T = C * U / (<D> * AS * f), all curves normalized to their
-// value at the throughput peak).
-//
-// (a) re-runs the Fig 4(c) "480 servers" server-placement sweep,
-// (b) the Fig 6(c) "500 servers" cross-cluster sweep,
-// (c) the Fig 8(c) "3 H-links" line-speed sweep.
-//
-// Paper expectation: utilization tracks throughput most closely —
-// bottlenecks, not path inflation, govern the losses; path length
-// contributes visibly only at the skewed end of (a).
-#include "bench_common.h"
-
-namespace topo {
-namespace {
-
-using bench::BenchConfig;
-
-struct PointMetrics {
-  double x = 0.0;
-  double lambda = 0.0;
-  double utilization = 0.0;
-  double inverse_spl = 0.0;
-  double inverse_stretch = 0.0;
-};
-
-void emit_normalized(const BenchConfig& config, const std::string& title,
-                     const std::vector<PointMetrics>& points) {
-  print_banner(std::cout, title);
-  // Normalize every metric to its value at the throughput-peak x.
-  std::size_t peak = 0;
-  for (std::size_t i = 1; i < points.size(); ++i) {
-    if (points[i].lambda > points[peak].lambda) peak = i;
-  }
-  const PointMetrics& p = points[peak];
-  TablePrinter table(
-      {"x", "throughput", "utilization", "inverse_spl", "inverse_stretch"});
-  for (const PointMetrics& m : points) {
-    table.add_row({m.x, p.lambda > 0 ? m.lambda / p.lambda : 0.0,
-                   p.utilization > 0 ? m.utilization / p.utilization : 0.0,
-                   p.inverse_spl > 0 ? m.inverse_spl / p.inverse_spl : 0.0,
-                   p.inverse_stretch > 0
-                       ? m.inverse_stretch / p.inverse_stretch
-                       : 0.0});
-  }
-  table.emit(std::cout, config.csv);
-}
-
-PointMetrics measure(const BenchConfig& config, const TwoTypeSpec& spec,
-                     double x, std::uint64_t salt) {
-  const TopologyBuilder builder = [spec](std::uint64_t seed) {
-    return build_two_type(spec, seed);
-  };
-  const ExperimentStats stats =
-      run_experiment(builder, bench::eval_options(config), config.runs,
-                     Rng::derive_seed(config.seed, salt));
-  PointMetrics m;
-  m.x = x;
-  m.lambda = stats.lambda.mean;
-  m.utilization = stats.utilization.mean;
-  m.inverse_spl = stats.inverse_spl.mean;
-  m.inverse_stretch = stats.inverse_stretch.mean;
-  return m;
-}
-
-}  // namespace
-}  // namespace topo
+// Thin launcher for the fig09_decomposition scenario (the experiment itself lives in
+// src/scenario/figures/fig09_decomposition.cc; `topobench fig09_decomposition`
+// runs the same code). Kept so the historical per-figure binaries and
+// their flags keep working.
+#include "scenario/scenario.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const bench::BenchConfig config =
-      bench::parse_bench_config(argc, argv, /*quick_runs=*/3, /*full_runs=*/20);
-
-  const std::vector<double> placement_xs =
-      config.full ? std::vector<double>{0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 2.0}
-                  : std::vector<double>{0.4, 0.8, 1.0, 1.4, 2.0};
-  const std::vector<double> cross_xs =
-      config.full
-          ? std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.6, 0.8, 1.0, 1.3, 1.6}
-          : std::vector<double>{0.1, 0.3, 0.6, 1.0, 1.6};
-
-  // (a) Fig 4(c) '480 servers': server placement sweep.
-  {
-    std::vector<PointMetrics> points;
-    int salt = 0;
-    for (double x : placement_xs) {
-      TwoTypeSpec spec;
-      spec.num_large = 20;
-      spec.num_small = 30;
-      spec.large_ports = 30;
-      spec.small_ports = 20;
-      spec = with_server_split(spec, 480, x);
-      if (spec.servers_per_large >= spec.large_ports) continue;
-      points.push_back(measure(config, spec, x, 41000 + salt++ * 61));
-    }
-    emit_normalized(config,
-                    "Figure 9(a): decomposition for the Fig 4(c) 480-server "
-                    "placement sweep",
-                    points);
-  }
-
-  // (b) Fig 6(c) '500 servers': cross-cluster sweep.
-  {
-    std::vector<PointMetrics> points;
-    int salt = 0;
-    for (double x : cross_xs) {
-      TwoTypeSpec spec;
-      spec.num_large = 20;
-      spec.num_small = 30;
-      spec.large_ports = 30;
-      spec.small_ports = 20;
-      spec = with_server_split(spec, 500, 1.0);
-      spec.cross_fraction = x;
-      points.push_back(measure(config, spec, x, 42000 + salt++ * 61));
-    }
-    emit_normalized(config,
-                    "Figure 9(b): decomposition for the Fig 6(c) 500-server "
-                    "cross-cluster sweep",
-                    points);
-  }
-
-  // (c) Fig 8(c) '3 H-links': line-speed sweep.
-  {
-    std::vector<PointMetrics> points;
-    int salt = 0;
-    for (double x : cross_xs) {
-      TwoTypeSpec spec;
-      spec.num_large = 20;
-      spec.num_small = 20;
-      spec.large_ports = 40;
-      spec.small_ports = 15;
-      spec.servers_per_large = 31;
-      spec.servers_per_small = 12;
-      spec.hs_links_per_large = 3;
-      spec.hs_speed = 4.0;
-      spec.cross_fraction = x;
-      points.push_back(measure(config, spec, x, 43000 + salt++ * 61));
-    }
-    emit_normalized(config,
-                    "Figure 9(c): decomposition for the Fig 8(c) 3-H-link "
-                    "sweep",
-                    points);
-  }
-  std::cout << "Expected: the utilization column tracks the throughput "
-               "column most closely in every panel.\n";
-  return 0;
+  return topo::scenario::scenario_main("fig09_decomposition", argc, argv);
 }

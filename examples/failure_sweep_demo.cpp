@@ -1,0 +1,40 @@
+// Scenario-engine demo: declare a failure sweep programmatically.
+//
+// The registered `sweep_*` scenarios (see `topobench --list`) are built
+// exactly like this: pick a topology family from the registry, add sweep
+// axes (here: link failures x capacity derating), and hand the spec to the
+// SweepRunner, which shards every (sweep-point x run) cell across the
+// thread pool with deterministic seeds. ~25 lines for a two-axis
+// robustness study.
+#include <iostream>
+
+#include "scenario/sweep.h"
+#include "scenario/topo_registry.h"
+#include "util/table.h"
+
+int main() {
+  using namespace topo;
+  using namespace topo::scenario;
+
+  ScenarioSpec spec;
+  spec.name = "demo_failure_grid";
+  spec.description =
+      "RRG(24, 12, 8) under link failures x capacity derating";
+  spec.topology = {"random_regular",
+                   {{"n", 24}, {"ports", 12}, {"degree", 8}}};
+  spec.axes = {{"link_failure_fraction", {0.0, 0.1, 0.2}, {}},
+               {"capacity_factor", {1.0, 0.5}, {}}};
+  spec.reuse_topology = true;  // axes are eval-side: build once per run
+
+  SweepRunConfig config;
+  config.runs = 3;
+  config.epsilon = 0.1;
+  config.master_seed = 1;
+
+  const SweepResult result = SweepRunner(spec, config).run();
+  print_banner(std::cout, spec.description);
+  sweep_table(result).print(std::cout);
+  std::cout << "\nEvery cell above = 3 seeded runs; rerun the binary and "
+               "the numbers repeat exactly.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// topobench — the unified scenario CLI.
+//
+//   topobench --list                 table of every registered scenario
+//   topobench --list-names           bare names, one per line (for scripts)
+//   topobench <scenario> [flags...]  run one scenario (unique prefixes OK)
+//
+// Flags (shared with the per-figure bench binaries):
+//   --smoke        quick mode (the default; explicit for CI invocations)
+//   --full         paper-fidelity mode: more runs, finer sweeps
+//   --runs N       override seeds per data point
+//   --eps X        FPTAS certified-gap target (default 0.08)
+//   --seed N       master seed (default 1)
+//   --csv          machine-readable tables on stdout
+//   --out FILE     also write the result tables as JSON
+//   --threads N    pool size (exports TOPOBENCH_THREADS before first use)
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "scenario/scenario.h"
+
+namespace {
+
+void print_usage() {
+  std::puts(
+      "usage: topobench --list | --list-names\n"
+      "       topobench <scenario> [--smoke|--full] [--runs N] [--eps X]\n"
+      "                 [--seed N] [--csv] [--out FILE] [--threads N]\n"
+      "\n"
+      "Runs a registered scenario (all 13 paper figures plus the\n"
+      "declarative sweeps). Unique name prefixes are accepted, e.g.\n"
+      "`topobench fig05`. See README \"Running scenarios\".");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace topo::scenario;
+  register_builtin_scenarios();
+
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") {
+    print_usage();
+    return 0;
+  }
+  if (first == "--list" || first == "--list-names") {
+    std::size_t width = 0;
+    for (const ScenarioInfo* s : list_scenarios()) {
+      width = std::max(width, s->name.size());
+    }
+    for (const ScenarioInfo* s : list_scenarios()) {
+      if (first == "--list-names") {
+        std::printf("%s\n", s->name.c_str());
+      } else {
+        std::printf("%-*s  %s\n", static_cast<int>(width), s->name.c_str(),
+                    s->description.c_str());
+      }
+    }
+    return 0;
+  }
+  if (first.rfind("--", 0) == 0) {
+    std::fprintf(stderr, "first argument must be a scenario name: %s\n",
+                 first.c_str());
+    print_usage();
+    return 1;
+  }
+  // Shift argv so the scenario name plays argv[0] for flag parsing.
+  return scenario_main(first, argc - 1, argv + 1);
+}

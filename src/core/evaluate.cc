@@ -8,12 +8,16 @@
 #include "util/rng.h"
 
 namespace topo {
+namespace {
 
-ThroughputResult evaluate_throughput(const BuiltTopology& topology,
-                                     const EvalOptions& options,
-                                     std::uint64_t traffic_seed) {
-  require(topology.servers.num_switches() == topology.graph.num_nodes(),
-          "server map must cover every switch");
+// Salt separating the failure draw from the per-run topology/traffic
+// streams (Rng::derive_seed(master, 2i) / (master, 2i+1) in experiment.cc).
+constexpr std::uint64_t kFailureSeedSalt = 0xFA17ED;
+
+// Evaluation of an already-degraded (or pristine) topology.
+ThroughputResult evaluate_prepared(const BuiltTopology& topology,
+                                   const EvalOptions& options,
+                                   std::uint64_t traffic_seed) {
   Rng rng(traffic_seed);
   std::vector<Commodity> commodities;
   switch (options.traffic) {
@@ -49,6 +53,32 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
     return result;
   }
   return max_concurrent_flow(topology.graph, commodities, options.flow);
+}
+
+}  // namespace
+
+ThroughputResult evaluate_throughput(const BuiltTopology& topology,
+                                     const EvalOptions& options,
+                                     std::uint64_t traffic_seed) {
+  require(topology.servers.num_switches() == topology.graph.num_nodes(),
+          "server map must cover every switch");
+  if (!options.failure.active()) {
+    return evaluate_prepared(topology, options, traffic_seed);
+  }
+  const BuiltTopology degraded =
+      apply_failures(topology, options.failure,
+                     Rng::derive_seed(traffic_seed, kFailureSeedSalt));
+  // Degradation can leave too few endpoints for a workload; report that as
+  // an infeasible zero-throughput run rather than raising (the network is
+  // effectively down).
+  bool workload_possible = degraded.servers.total() >= 2;
+  if (workload_possible && options.traffic == TrafficKind::kChunky) {
+    int hosts = 0;
+    for (int count : degraded.servers.per_switch) hosts += count > 0 ? 1 : 0;
+    workload_possible = hosts >= 2;
+  }
+  if (!workload_possible) return ThroughputResult{};
+  return evaluate_prepared(degraded, options, traffic_seed);
 }
 
 std::vector<ThroughputResult> evaluate_throughput_trials(

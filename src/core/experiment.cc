@@ -28,20 +28,7 @@ ThroughputResult run_one(const TopologyBuilder& builder,
 
 }  // namespace
 
-ExperimentStats run_experiment(const TopologyBuilder& builder,
-                               const EvalOptions& options, int runs,
-                               std::uint64_t master_seed) {
-  require(runs >= 1, "run_experiment requires runs >= 1");
-
-  // Runs are seeded independently, so they execute in parallel; results
-  // land in per-run slots and are summarized serially in run order, which
-  // keeps the statistics identical for any thread count.
-  std::vector<ThroughputResult> results(static_cast<std::size_t>(runs));
-  parallel_for(runs, [&](int i) {
-    results[static_cast<std::size_t>(i)] =
-        run_one(builder, options, master_seed, i);
-  });
-
+ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   std::vector<double> lambdas;
   std::vector<double> utils;
   std::vector<double> inv_spls;
@@ -73,6 +60,22 @@ ExperimentStats run_experiment(const TopologyBuilder& builder,
   stats.dual_bound = summarize(duals);
   stats.infeasible_runs = infeasible;
   return stats;
+}
+
+ExperimentStats run_experiment(const TopologyBuilder& builder,
+                               const EvalOptions& options, int runs,
+                               std::uint64_t master_seed) {
+  require(runs >= 1, "run_experiment requires runs >= 1");
+
+  // Runs are seeded independently, so they execute in parallel; results
+  // land in per-run slots and are summarized serially in run order, which
+  // keeps the statistics identical for any thread count.
+  std::vector<ThroughputResult> results(static_cast<std::size_t>(runs));
+  parallel_for(runs, [&](int i) {
+    results[static_cast<std::size_t>(i)] =
+        run_one(builder, options, master_seed, i);
+  });
+  return summarize_runs(results);
 }
 
 namespace {

@@ -27,6 +27,13 @@ struct ExperimentStats {
   int infeasible_runs = 0;    ///< Runs whose topology disconnected traffic.
 };
 
+/// Reduces per-run results (in run order) to experiment statistics —
+/// the reduction run_experiment applies, exported so the scenario sweep
+/// runner summarizes its cells identically. Infeasible runs contribute
+/// zero to every summary and are counted in infeasible_runs.
+[[nodiscard]] ExperimentStats summarize_runs(
+    const std::vector<ThroughputResult>& results);
+
 /// Runs `runs` seeded repetitions of (build topology, draw workload,
 /// solve) and summarizes. Construction failures (rare, extreme parameter
 /// corners) count as infeasible runs with lambda 0, matching the paper's

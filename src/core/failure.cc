@@ -1,0 +1,85 @@
+#include "core/failure.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+// First llround(fraction * n) elements of a seeded shuffle of [0, n).
+// Drawing the full order before truncating gives the superset property:
+// for the same rng stream, a larger fraction fails a superset.
+std::vector<int> failed_prefix(int n, double fraction, Rng& rng) {
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  rng.shuffle(order);
+  const int count = static_cast<int>(std::llround(fraction * n));
+  order.resize(static_cast<std::size_t>(std::min(count, n)));
+  return order;
+}
+
+}  // namespace
+
+BuiltTopology apply_failures(const BuiltTopology& topology,
+                             const FailureModel& model, std::uint64_t seed,
+                             FailureSample* sample) {
+  require(model.link_failure_fraction >= 0.0 &&
+              model.link_failure_fraction <= 1.0,
+          "link_failure_fraction must be in [0, 1]");
+  require(model.switch_failure_fraction >= 0.0 &&
+              model.switch_failure_fraction <= 1.0,
+          "switch_failure_fraction must be in [0, 1]");
+  require(model.capacity_factor > 0.0 && model.capacity_factor <= 1.0,
+          "capacity_factor must be in (0, 1]");
+
+  const int num_nodes = topology.graph.num_nodes();
+  const int num_edges = topology.graph.num_edges();
+
+  // The switch draw always precedes the link draw so each stream is
+  // reproducible independently of the other model fields' values.
+  Rng rng(seed);
+  std::vector<int> dead_switches =
+      failed_prefix(num_nodes, model.switch_failure_fraction, rng);
+  std::vector<int> dead_links =
+      failed_prefix(num_edges, model.link_failure_fraction, rng);
+
+  std::vector<char> switch_dead(static_cast<std::size_t>(num_nodes), 0);
+  for (int s : dead_switches) switch_dead[static_cast<std::size_t>(s)] = 1;
+  std::vector<char> link_dead(static_cast<std::size_t>(num_edges), 0);
+  for (int e : dead_links) link_dead[static_cast<std::size_t>(e)] = 1;
+
+  BuiltTopology degraded;
+  degraded.graph = Graph(num_nodes);
+  for (EdgeId e = 0; e < num_edges; ++e) {
+    if (link_dead[static_cast<std::size_t>(e)]) continue;
+    const Edge& edge = topology.graph.edge(e);
+    if (switch_dead[static_cast<std::size_t>(edge.u)] ||
+        switch_dead[static_cast<std::size_t>(edge.v)]) {
+      continue;
+    }
+    degraded.graph.add_edge(edge.u, edge.v,
+                            edge.capacity * model.capacity_factor);
+  }
+
+  degraded.servers = topology.servers;
+  for (NodeId n = 0; n < num_nodes; ++n) {
+    if (switch_dead[static_cast<std::size_t>(n)]) {
+      degraded.servers.per_switch[static_cast<std::size_t>(n)] = 0;
+    }
+  }
+  degraded.node_class = topology.node_class;
+  degraded.class_names = topology.class_names;
+
+  if (sample != nullptr) {
+    std::sort(dead_switches.begin(), dead_switches.end());
+    std::sort(dead_links.begin(), dead_links.end());
+    sample->failed_switches.assign(dead_switches.begin(), dead_switches.end());
+    sample->failed_links.assign(dead_links.begin(), dead_links.end());
+  }
+  return degraded;
+}
+
+}  // namespace topo

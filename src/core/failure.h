@@ -1,0 +1,68 @@
+// Seeded failure models applied to built topologies.
+//
+// The paper evaluates pristine networks; real deployments lose links and
+// switches, and the successor work ("Measuring and Understanding Throughput
+// of Network Topologies") sweeps failure fractions as a first-class axis.
+// FailureModel captures the three degradations the scenario engine sweeps:
+// a fraction of failed links, a fraction of failed switches (all incident
+// links and attached servers go down with the switch), and a uniform
+// capacity derating of the surviving links.
+//
+// Determinism contract: the failed sets are a pure function of (topology,
+// model, seed). For a fixed seed, raising a failure fraction fails a
+// SUPERSET of the previously failed elements (the shuffled order is drawn
+// once and the failure count is a prefix of it). With a fixed workload,
+// nested link-failure sets make the true optimum monotone non-increasing
+// in the link fraction (asserted against the exact LP in
+// failure_injection_test). Observed curves are only approximately
+// monotone: the FPTAS lambda carries epsilon slack, and switch failures
+// change the surviving server set, so workloads drawn over it differ
+// between fractions.
+#ifndef TOPODESIGN_CORE_FAILURE_H
+#define TOPODESIGN_CORE_FAILURE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace topo {
+
+/// Post-build degradation applied before traffic generation.
+struct FailureModel {
+  /// Fraction of links that fail outright, in [0, 1].
+  double link_failure_fraction = 0.0;
+  /// Fraction of switches that fail (incident links die, attached servers
+  /// drop out of the workload), in [0, 1].
+  double switch_failure_fraction = 0.0;
+  /// Capacity multiplier applied to every surviving link, in (0, 1].
+  double capacity_factor = 1.0;
+
+  /// True when the model changes anything (the all-default model is an
+  /// exact no-op and evaluation skips the degradation pass entirely).
+  [[nodiscard]] bool active() const {
+    return link_failure_fraction > 0.0 || switch_failure_fraction > 0.0 ||
+           capacity_factor != 1.0;
+  }
+};
+
+/// The concrete failed sets drawn for one (topology, model, seed) triple.
+struct FailureSample {
+  std::vector<EdgeId> failed_links;      ///< Ids into the original graph, ascending.
+  std::vector<NodeId> failed_switches;   ///< Ascending.
+};
+
+/// Returns a degraded copy of `topology`: failed switches lose all
+/// incident links and their servers; failed links disappear; surviving
+/// links keep capacity * capacity_factor. Node ids are preserved (failed
+/// switches remain as isolated, serverless nodes), so node_class and
+/// downstream bookkeeping stay valid. Deterministic in (topology, model,
+/// seed); pass `sample` to observe the drawn failed sets.
+[[nodiscard]] BuiltTopology apply_failures(const BuiltTopology& topology,
+                                           const FailureModel& model,
+                                           std::uint64_t seed,
+                                           FailureSample* sample = nullptr);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_CORE_FAILURE_H

@@ -1,0 +1,138 @@
+// Registration of the built-in scenario catalog: the 13 paper figures
+// (scenario/figures/) plus the declarative sweep scenarios below — the
+// failure sweeps and traffic mixes the original evaluation never ran.
+#include "scenario/figures/figures.h"
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+
+namespace topo::scenario {
+namespace {
+
+void register_sweep_scenarios() {
+  {
+    // Link failures on a fixed RRG: the successor paper's core robustness
+    // sweep. reuse_topology pins one topology per run across the axis.
+    ScenarioSpec spec;
+    spec.name = "sweep_rrg_link_failures";
+    spec.description =
+        "Failure sweep: random link failures on a fixed RRG (N=32, r=8, "
+        "4 servers/switch)";
+    spec.topology = {"random_regular", {{"n", 32}, {"ports", 12}, {"degree", 8}}};
+    spec.axes = {{"link_failure_fraction",
+                  {0.0, 0.05, 0.1, 0.2, 0.3},
+                  {0.0, 0.025, 0.05, 0.075, 0.1, 0.15, 0.2, 0.25, 0.3}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 20;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "sweep_rrg_switch_failures";
+    spec.description =
+        "Failure sweep: random switch failures (links and servers die with "
+        "the switch) on a fixed RRG (N=32, r=8)";
+    spec.topology = {"random_regular", {{"n", 32}, {"ports", 12}, {"degree", 8}}};
+    spec.axes = {{"switch_failure_fraction",
+                  {0.0, 0.05, 0.1, 0.2, 0.3},
+                  {0.0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 20;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "sweep_rrg_capacity_degradation";
+    spec.description =
+        "Failure sweep: uniform capacity derating of every link on a fixed "
+        "RRG (N=32, r=8)";
+    spec.topology = {"random_regular", {{"n", 32}, {"ports", 12}, {"degree", 8}}};
+    spec.axes = {{"capacity_factor",
+                  {1.0, 0.9, 0.75, 0.5, 0.25},
+                  {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.25}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 20;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "sweep_fat_tree_link_failures";
+    spec.description =
+        "Failure sweep: random link failures on the k=8 fat-tree (structured "
+        "baseline vs the RRG sweep)";
+    spec.topology = {"fat_tree", {{"k", 8}}};
+    spec.axes = {{"link_failure_fraction",
+                  {0.0, 0.05, 0.1, 0.2},
+                  {0.0, 0.025, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 10;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "sweep_vl2_chunky";
+    spec.description =
+        "Traffic sweep: x% chunky traffic on rewired VL2 (DA=8, DI=8, 10 "
+        "servers/ToR)";
+    spec.topology = {"rewired_vl2",
+                     {{"d_a", 8}, {"d_i", 8}, {"servers_per_tor", 10}}};
+    spec.traffic = TrafficKind::kChunky;
+    spec.axes = {{"chunky_fraction",
+                  {0.2, 0.4, 0.6, 0.8, 1.0},
+                  {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 10;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    // Two axes: cross-cluster wiring x link failures — the Fig-6 question
+    // under degradation, as one cartesian grid.
+    ScenarioSpec spec;
+    spec.name = "sweep_two_type_cross_failures";
+    spec.description =
+        "Grid sweep: cross-cluster wiring x link failures on the two-type "
+        "pool (20 large @30p + 30 small @20p, 480 servers)";
+    spec.topology = {"two_type",
+                     {{"num_large", 20},
+                      {"num_small", 30},
+                      {"large_ports", 30},
+                      {"small_ports", 20},
+                      {"total_servers", 480}}};
+    spec.axes = {{"cross_fraction", {0.4, 1.0, 2.0}, {0.2, 0.4, 0.7, 1.0, 1.5, 2.0}},
+                 {"link_failure_fraction", {0.0, 0.1, 0.2}, {0.0, 0.05, 0.1, 0.15, 0.2}}};
+    spec.quick_runs = 2;
+    spec.full_runs = 10;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    ScenarioSpec spec;
+    spec.name = "sweep_small_world_shortcuts";
+    spec.description =
+        "Design sweep: shortcut degree of the small-world ring (N=32, "
+        "lattice degree 4)";
+    spec.topology = {"small_world",
+                     {{"n", 32}, {"lattice_degree", 4},
+                      {"servers_per_switch", 4}}};
+    spec.axes = {{"shortcut_degree", {2, 4, 6}, {1, 2, 3, 4, 5, 6, 8}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 10;
+    register_spec_scenario(std::move(spec));
+  }
+}
+
+}  // namespace
+
+void register_builtin_scenarios() {
+  static const bool registered = [] {
+    register_figure_scenarios();
+    register_sweep_scenarios();
+    return true;
+  }();
+  (void)registered;
+}
+
+}  // namespace topo::scenario

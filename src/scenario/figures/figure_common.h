@@ -1,0 +1,48 @@
+// Shared plumbing for the figure scenarios, mirroring the historical
+// bench/bench_common.h semantics exactly so the ported figures' output is
+// byte-identical on fixed seeds.
+#ifndef TOPODESIGN_SCENARIO_FIGURES_FIGURE_COMMON_H
+#define TOPODESIGN_SCENARIO_FIGURES_FIGURE_COMMON_H
+
+#include "core/topobench.h"
+#include "scenario/scenario.h"
+
+namespace topo::scenario {
+
+/// The historical bench configuration, resolved from a run context.
+struct FigureConfig {
+  int runs = 3;
+  double epsilon = 0.08;
+  std::uint64_t seed = 1;
+  bool csv = false;
+  bool full = false;
+};
+
+/// Mirrors bench::parse_bench_config: explicit --runs wins, else the
+/// figure's historical quick/full default.
+inline FigureConfig figure_config(const ScenarioRun& ctx, int quick_runs,
+                                  int full_runs) {
+  const ScenarioOptions& options = ctx.options();
+  FigureConfig config;
+  config.full = options.full;
+  config.runs = ctx.runs(quick_runs, full_runs);
+  config.epsilon = options.epsilon;
+  config.seed = options.seed;
+  config.csv = options.csv;
+  return config;
+}
+
+/// Mirrors bench::eval_options.
+inline EvalOptions eval_options(const FigureConfig& config,
+                                TrafficKind traffic = TrafficKind::kPermutation,
+                                double chunky_fraction = 1.0) {
+  EvalOptions options;
+  options.flow.epsilon = config.epsilon;
+  options.traffic = traffic;
+  options.chunky_fraction = chunky_fraction;
+  return options;
+}
+
+}  // namespace topo::scenario
+
+#endif  // TOPODESIGN_SCENARIO_FIGURES_FIGURE_COMMON_H

@@ -1,0 +1,21 @@
+#include "scenario/figures/figures.h"
+
+namespace topo::scenario {
+
+void register_figure_scenarios() {
+  register_fig01();
+  register_fig02();
+  register_fig03();
+  register_fig04();
+  register_fig05();
+  register_fig06();
+  register_fig07();
+  register_fig08();
+  register_fig09();
+  register_fig10();
+  register_fig11();
+  register_fig12();
+  register_fig13();
+}
+
+}  // namespace topo::scenario

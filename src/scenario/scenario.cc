@@ -1,0 +1,183 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/error.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace topo::scenario {
+namespace {
+
+std::vector<ScenarioInfo>& registry() {
+  static std::vector<ScenarioInfo>* scenarios = new std::vector<ScenarioInfo>();
+  return *scenarios;
+}
+
+std::string json_cell(const Cell& cell) {
+  if (const auto* s = std::get_if<std::string>(&cell)) return json_string(*s);
+  if (const auto* i = std::get_if<long long>(&cell)) {
+    return std::to_string(*i);
+  }
+  return json_number(std::get<double>(cell));
+}
+
+}  // namespace
+
+void ScenarioRun::banner(const std::string& title) {
+  print_banner(*stream_, title);
+  current_title_ = title;
+}
+
+void ScenarioRun::table(const TablePrinter& t) {
+  t.emit(*stream_, options_.csv);
+  tables_.push_back(RecordedTable{current_title_, t});
+}
+
+void register_scenario(ScenarioInfo info) {
+  for (const ScenarioInfo& existing : registry()) {
+    if (existing.name == info.name) return;
+  }
+  registry().push_back(std::move(info));
+}
+
+std::vector<const ScenarioInfo*> list_scenarios() {
+  std::vector<const ScenarioInfo*> result;
+  result.reserve(registry().size());
+  for (const ScenarioInfo& s : registry()) result.push_back(&s);
+  std::sort(result.begin(), result.end(),
+            [](const ScenarioInfo* a, const ScenarioInfo* b) {
+              return a->name < b->name;
+            });
+  return result;
+}
+
+const ScenarioInfo* find_scenario(const std::string& name) {
+  const ScenarioInfo* prefix_match = nullptr;
+  int prefix_matches = 0;
+  for (const ScenarioInfo& s : registry()) {
+    if (s.name == name) return &s;
+    if (s.name.rfind(name, 0) == 0) {
+      prefix_match = &s;
+      ++prefix_matches;
+    }
+  }
+  return prefix_matches == 1 ? prefix_match : nullptr;
+}
+
+void write_scenario_json(std::ostream& os, const std::string& name,
+                         const ScenarioOptions& options,
+                         const std::vector<RecordedTable>& tables) {
+  os << "{\n";
+  os << "  \"scenario\": " << json_string(name) << ",\n";
+  os << "  \"options\": {\"runs\": " << options.runs
+     << ", \"epsilon\": " << json_number(options.epsilon)
+     << ", \"seed\": " << options.seed
+     << ", \"mode\": " << json_string(options.full ? "full" : "smoke")
+     << "},\n";
+  os << "  \"tables\": [";
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    if (t > 0) os << ",";
+    os << "\n    {\n      \"title\": " << json_string(tables[t].title)
+       << ",\n      \"headers\": [";
+    const TablePrinter& table = tables[t].table;
+    for (std::size_t h = 0; h < table.headers().size(); ++h) {
+      if (h > 0) os << ", ";
+      os << json_string(table.headers()[h]);
+    }
+    os << "],\n      \"rows\": [";
+    for (std::size_t r = 0; r < table.rows().size(); ++r) {
+      if (r > 0) os << ",";
+      os << "\n        [";
+      const std::vector<Cell>& row = table.rows()[r];
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        if (c > 0) os << ", ";
+        os << json_cell(row[c]);
+      }
+      os << "]";
+    }
+    os << (table.rows().empty() ? "]" : "\n      ]");
+    os << "\n    }";
+  }
+  os << (tables.empty() ? "]" : "\n  ]");
+  os << "\n}\n";
+}
+
+ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
+  const Flags flags(argc, argv, {"runs", "eps", "seed", "csv", "full", "smoke",
+                                 "out", "threads"});
+  require(!(flags.get_bool("full") && flags.get_bool("smoke")),
+          "--full and --smoke are mutually exclusive");
+  ScenarioOptions options;
+  options.runs = flags.get_int("runs", 0);
+  options.epsilon = flags.get_double("eps", 0.08);
+  options.seed = flags.get_uint64("seed", 1);
+  options.csv = flags.get_bool("csv");
+  options.full = flags.get_bool("full");
+  options.out_path = flags.get_string("out", "");
+  if (const int threads = flags.get_int("threads", 0); threads > 0) {
+    // The pool reads TOPOBENCH_THREADS once, at its first use; both CLI
+    // entry points parse flags before any parallel region runs.
+    ::setenv("TOPOBENCH_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  return options;
+}
+
+int run_scenario(const std::string& name, const ScenarioOptions& options,
+                 std::ostream& stream) {
+  const ScenarioInfo* info = find_scenario(name);
+  if (info == nullptr) {
+    // Distinguish an ambiguous prefix from a genuinely unknown name.
+    std::vector<const ScenarioInfo*> matches;
+    for (const ScenarioInfo& s : registry()) {
+      if (s.name.rfind(name, 0) == 0) matches.push_back(&s);
+    }
+    if (matches.size() > 1) {
+      std::cerr << "ambiguous scenario prefix: " << name << " matches";
+      for (const ScenarioInfo* s : matches) std::cerr << " " << s->name;
+      std::cerr << "\n";
+    } else {
+      std::cerr << "unknown scenario: " << name
+                << " (topobench --list shows all names)\n";
+    }
+    return 2;
+  }
+  ScenarioRun run(options, stream);
+  info->run(run);
+  if (!options.out_path.empty()) {
+    std::ofstream out(options.out_path);
+    if (!out) {
+      std::cerr << "cannot write " << options.out_path << "\n";
+      return 1;
+    }
+    write_scenario_json(out, info->name, options, run.tables());
+  }
+  return 0;
+}
+
+int scenario_main(const std::string& name, int argc,
+                  const char* const* argv) {
+  register_builtin_scenarios();
+  ScenarioOptions options;
+  try {
+    options = parse_scenario_options(argc, argv);
+  } catch (const InvalidArgument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  try {
+    return run_scenario(name, options, std::cout);
+  } catch (const InvalidArgument& e) {
+    // Flag values validated downstream (e.g. --eps outside (0, 1) is
+    // rejected inside the solver) surface as a clean error, not an abort.
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace topo::scenario

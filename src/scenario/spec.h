@@ -1,0 +1,73 @@
+// Declarative experiment specifications.
+//
+// A ScenarioSpec names a topology family (topo_registry.h), a workload, a
+// failure model, and a set of sweep axes; the SweepRunner (sweep.h) turns
+// it into a sharded grid of (sweep-point × run) evaluations. This is the
+// "one-line scenario" layer: a new failure sweep or traffic mix is a spec
+// literal, not a new binary.
+#ifndef TOPODESIGN_SCENARIO_SPEC_H
+#define TOPODESIGN_SCENARIO_SPEC_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/evaluate.h"
+
+namespace topo::scenario {
+
+/// Named numeric parameters for a topology family (missing keys fall back
+/// to the family's defaults; see topo_registry.cc for each family's set).
+using ParamMap = std::map<std::string, double>;
+
+/// Which topology family to build, with its fixed (non-swept) parameters.
+struct TopologySpec {
+  std::string family;
+  ParamMap params;
+};
+
+/// One sweep dimension. The parameter name either targets the topology
+/// (any family parameter) or, for the reserved names below, the evaluation:
+///   "link_failure_fraction", "switch_failure_fraction", "capacity_factor"
+///       -> the failure model,
+///   "chunky_fraction" -> the chunky traffic knob,
+///   "epsilon"         -> the FPTAS accuracy.
+struct SweepAxis {
+  std::string param;
+  std::vector<double> values;       ///< Smoke-mode sweep points.
+  std::vector<double> full_values;  ///< Paper-fidelity points (empty: reuse values).
+};
+
+/// A declarative scenario: topology family × sweep axes × traffic kind ×
+/// failure model × run counts. Multiple axes form their cartesian product
+/// (first axis slowest).
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+  TopologySpec topology;
+  TrafficKind traffic = TrafficKind::kPermutation;
+  double chunky_fraction = 1.0;
+  /// Base failure model; axes with reserved names override its fields per
+  /// sweep point.
+  FailureModel failure;
+  std::vector<SweepAxis> axes;
+  int quick_runs = 3;
+  int full_runs = 20;
+  /// When true and every axis is evaluation-side (reserved names only),
+  /// run r builds ONE topology shared by all sweep points and also keeps
+  /// its workload/failure stream point-independent, instead of one
+  /// topology per (point, run) cell. This is the "sweep failures on a
+  /// fixed RRG" shape: it skips redundant construction work and, for
+  /// link-failure axes, degrades prefix-nested failed sets of a fixed
+  /// (topology, workload) pair per run — so curves are monotone up to
+  /// FPTAS epsilon slack (see core/failure.h for the exact contract).
+  bool reuse_topology = false;
+};
+
+/// True for axis names bound to evaluation options rather than topology
+/// parameters.
+[[nodiscard]] bool is_eval_axis(const std::string& param);
+
+}  // namespace topo::scenario
+
+#endif  // TOPODESIGN_SCENARIO_SPEC_H

@@ -1,0 +1,217 @@
+#include "scenario/sweep.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "scenario/topo_registry.h"
+#include "util/error.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace topo::scenario {
+namespace {
+
+const std::vector<double>& axis_values(const SweepAxis& axis, bool full) {
+  return full && !axis.full_values.empty() ? axis.full_values : axis.values;
+}
+
+// Applies one sweep coordinate to the topology params or the eval options.
+void bind_coord(const std::string& name, double value, ParamMap& params,
+                EvalOptions& options) {
+  if (name == "link_failure_fraction") {
+    options.failure.link_failure_fraction = value;
+  } else if (name == "switch_failure_fraction") {
+    options.failure.switch_failure_fraction = value;
+  } else if (name == "capacity_factor") {
+    options.failure.capacity_factor = value;
+  } else if (name == "chunky_fraction") {
+    options.chunky_fraction = value;
+  } else if (name == "epsilon") {
+    options.flow.epsilon = value;
+  } else {
+    params[name] = value;
+  }
+}
+
+}  // namespace
+
+bool is_eval_axis(const std::string& param) {
+  return param == "link_failure_fraction" ||
+         param == "switch_failure_fraction" || param == "capacity_factor" ||
+         param == "chunky_fraction" || param == "epsilon";
+}
+
+std::vector<std::vector<double>> SweepRunner::enumerate_points() const {
+  std::vector<std::vector<double>> points{{}};
+  for (const SweepAxis& axis : spec_->axes) {
+    const std::vector<double>& values = axis_values(axis, config_.full);
+    require(!values.empty(), "sweep axis " + axis.param + " has no values");
+    std::vector<std::vector<double>> next;
+    next.reserve(points.size() * values.size());
+    for (const std::vector<double>& prefix : points) {
+      for (double v : values) {
+        std::vector<double> point = prefix;
+        point.push_back(v);
+        next.push_back(std::move(point));
+      }
+    }
+    points = std::move(next);
+  }
+  return points;
+}
+
+SweepResult SweepRunner::run() const {
+  const ScenarioSpec& spec = *spec_;
+  require(config_.runs >= 1, "sweep requires runs >= 1");
+  const FamilyInfo* family = find_family(spec.topology.family);
+  require(family != nullptr,
+          "unknown topology family: " + spec.topology.family);
+
+  // Reject names the builder would silently ignore (a typo'd axis would
+  // otherwise sweep nothing and report identical cells without an error).
+  const auto known = [&](const std::string& name) {
+    return std::find(family->params.begin(), family->params.end(), name) !=
+           family->params.end();
+  };
+  for (const auto& [name, value] : spec.topology.params) {
+    (void)value;
+    require(known(name), "unknown " + family->name + " parameter: " + name);
+  }
+  for (const SweepAxis& axis : spec.axes) {
+    require(is_eval_axis(axis.param) || known(axis.param),
+            "unknown sweep axis for family " + family->name + ": " +
+                axis.param);
+  }
+
+  const std::vector<std::vector<double>> points = enumerate_points();
+  const int runs = config_.runs;
+  const int num_points = static_cast<int>(points.size());
+
+  bool reuse = spec.reuse_topology;
+  for (const SweepAxis& axis : spec.axes) {
+    if (!is_eval_axis(axis.param)) reuse = false;
+  }
+
+  // With reuse, run r's topology is independent of the sweep point: build
+  // the `runs` instances once up front (in parallel) and share them.
+  std::vector<std::shared_ptr<const BuiltTopology>> shared(
+      static_cast<std::size_t>(reuse ? runs : 0));
+  if (reuse) {
+    parallel_for(runs, [&](int r) {
+      try {
+        shared[static_cast<std::size_t>(r)] =
+            std::make_shared<const BuiltTopology>(family->build(
+                spec.topology.params,
+                Rng::derive_seed(config_.master_seed,
+                                 2 * static_cast<std::uint64_t>(r))));
+      } catch (const ConstructionFailure&) {
+        // Left null; the cells below record infeasible runs.
+      }
+    });
+  }
+
+  // One flat grid of (point, run) cells over the pool; results land in
+  // per-cell slots and are reduced serially below.
+  std::vector<ThroughputResult> cells(
+      static_cast<std::size_t>(num_points) * static_cast<std::size_t>(runs));
+  parallel_for(num_points * runs, [&](int index) {
+    const int point = index / runs;
+    const int run_index = index % runs;
+    ParamMap params = spec.topology.params;
+    EvalOptions options;
+    options.flow.epsilon = config_.epsilon;
+    options.traffic = spec.traffic;
+    options.chunky_fraction = spec.chunky_fraction;
+    options.failure = spec.failure;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      bind_coord(spec.axes[a].param,
+                 points[static_cast<std::size_t>(point)][a], params, options);
+    }
+    const std::uint64_t point_seed = Rng::derive_seed(
+        config_.master_seed, static_cast<std::uint64_t>(point));
+    // In reuse mode the whole run-r stream (topology, workload, failure
+    // draw) is point-independent: only the axis value changes between
+    // points, so e.g. a link-failure sweep degrades prefix-nested failed
+    // sets of ONE fixed (topology, workload) pair per run (curves
+    // monotone up to FPTAS slack; see core/failure.h).
+    const std::uint64_t traffic_seed = Rng::derive_seed(
+        reuse ? config_.master_seed : point_seed,
+        2 * static_cast<std::uint64_t>(run_index) + 1);
+    try {
+      if (reuse) {
+        const auto& topology = shared[static_cast<std::size_t>(run_index)];
+        if (topology != nullptr) {
+          cells[static_cast<std::size_t>(index)] =
+              evaluate_throughput(*topology, options, traffic_seed);
+        }
+        return;
+      }
+      const BuiltTopology topology = family->build(
+          params, Rng::derive_seed(
+                      point_seed, 2 * static_cast<std::uint64_t>(run_index)));
+      cells[static_cast<std::size_t>(index)] =
+          evaluate_throughput(topology, options, traffic_seed);
+    } catch (const ConstructionFailure&) {
+      // Infeasible zero run (extreme parameter corners), like
+      // run_experiment.
+    }
+  });
+
+  SweepResult result;
+  for (const SweepAxis& axis : spec.axes) {
+    result.axis_names.push_back(axis.param);
+  }
+  result.points.reserve(points.size());
+  for (int p = 0; p < num_points; ++p) {
+    const auto begin = cells.begin() + static_cast<std::ptrdiff_t>(p) * runs;
+    SweepPointResult point;
+    point.coords = points[static_cast<std::size_t>(p)];
+    point.stats = summarize_runs(std::vector<ThroughputResult>(
+        begin, begin + static_cast<std::ptrdiff_t>(runs)));
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+TablePrinter sweep_table(const SweepResult& result) {
+  std::vector<std::string> headers = result.axis_names;
+  for (const char* metric :
+       {"lambda_mean", "lambda_stdev", "lambda_min", "dual_bound_mean",
+        "utilization_mean", "infeasible_runs"}) {
+    headers.emplace_back(metric);
+  }
+  TablePrinter table(std::move(headers));
+  for (const SweepPointResult& point : result.points) {
+    std::vector<Cell> row;
+    for (double coord : point.coords) row.emplace_back(coord);
+    row.emplace_back(point.stats.lambda.mean);
+    row.emplace_back(point.stats.lambda.stdev);
+    row.emplace_back(point.stats.lambda.min);
+    row.emplace_back(point.stats.dual_bound.mean);
+    row.emplace_back(point.stats.utilization.mean);
+    row.emplace_back(static_cast<long long>(point.stats.infeasible_runs));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void register_spec_scenario(ScenarioSpec spec) {
+  const std::string name = spec.name;
+  const std::string description = spec.description;
+  auto shared_spec = std::make_shared<const ScenarioSpec>(std::move(spec));
+  register_scenario(ScenarioInfo{
+      name, description, [shared_spec](ScenarioRun& ctx) {
+        SweepRunConfig config;
+        config.runs =
+            ctx.runs(shared_spec->quick_runs, shared_spec->full_runs);
+        config.epsilon = ctx.options().epsilon;
+        config.master_seed = ctx.options().seed;
+        config.full = ctx.options().full;
+        const SweepResult result = SweepRunner(*shared_spec, config).run();
+        ctx.banner(shared_spec->description);
+        ctx.table(sweep_table(result));
+      }});
+}
+
+}  // namespace topo::scenario

@@ -1,0 +1,81 @@
+// SweepRunner: a ScenarioSpec, sharded and reduced.
+//
+// Enumerates the cartesian product of the spec's axes, fans every
+// (sweep-point × run) cell out over the shared thread pool with
+// deterministic seed derivation, and reduces results in (point, run) order
+// — so a sweep's numbers are bit-identical for any thread count, and a
+// single-point sweep matches run_experiment with the derived point seed.
+#ifndef TOPODESIGN_SCENARIO_SWEEP_H
+#define TOPODESIGN_SCENARIO_SWEEP_H
+
+#include <cstdint>
+
+#include "core/experiment.h"
+#include "scenario/scenario.h"
+#include "scenario/spec.h"
+#include "util/table.h"
+
+namespace topo::scenario {
+
+/// One reduced sweep point.
+struct SweepPointResult {
+  std::vector<double> coords;  ///< One value per axis, axis order.
+  ExperimentStats stats;
+};
+
+/// A finished sweep.
+struct SweepResult {
+  std::vector<std::string> axis_names;
+  std::vector<SweepPointResult> points;
+};
+
+/// Resolved run configuration for a sweep.
+struct SweepRunConfig {
+  int runs = 3;
+  double epsilon = 0.08;
+  std::uint64_t master_seed = 1;
+  bool full = false;  ///< Use each axis's full_values when present.
+};
+
+/// Runs a declarative scenario spec.
+class SweepRunner {
+ public:
+  SweepRunner(const ScenarioSpec& spec, const SweepRunConfig& config)
+      : spec_(&spec), config_(config) {}
+
+  /// Evaluates every (point, run) cell on the shared pool and reduces.
+  /// Seed fan-out: point p gets point_seed = derive_seed(master, p); run r
+  /// of that point evaluates with topology seed derive_seed(point_seed, 2r)
+  /// and traffic seed derive_seed(point_seed, 2r + 1) — exactly
+  /// run_experiment's fan-out, so one point reproduces run_experiment.
+  /// With spec.reuse_topology (eval-side axes only), run r's entire
+  /// stream is point-independent instead — topology seed
+  /// derive_seed(master, 2r), traffic seed derive_seed(master, 2r + 1) —
+  /// so only the axis value changes between points and link-failure
+  /// sweeps degrade prefix-nested failed sets of one fixed (topology,
+  /// workload) pair per run (monotone curves up to FPTAS epsilon slack;
+  /// see core/failure.h).
+  /// Construction failures count as infeasible zero-throughput runs.
+  /// Raises InvalidArgument for unknown families or axis/parameter names
+  /// the family's builder would ignore.
+  [[nodiscard]] SweepResult run() const;
+
+  /// The active sweep points (cartesian product, first axis slowest).
+  [[nodiscard]] std::vector<std::vector<double>> enumerate_points() const;
+
+ private:
+  const ScenarioSpec* spec_;
+  SweepRunConfig config_;
+};
+
+/// Renders a sweep result as the standard table: one column per axis, then
+/// lambda/dual/utilization summaries and the infeasible-run count.
+[[nodiscard]] TablePrinter sweep_table(const SweepResult& result);
+
+/// Registers `spec` as a named scenario whose run function executes the
+/// sweep with the run context's options and emits sweep_table.
+void register_spec_scenario(ScenarioSpec spec);
+
+}  // namespace topo::scenario
+
+#endif  // TOPODESIGN_SCENARIO_SWEEP_H

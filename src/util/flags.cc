@@ -1,6 +1,7 @@
 #include "util/flags.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/error.h"
@@ -33,6 +34,21 @@ bool Flags::has(const std::string& name) const {
 int Flags::get_int(const std::string& name, int fallback) const {
   auto it = values_.find(name);
   return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+std::uint64_t Flags::get_uint64(const std::string& name,
+                                std::uint64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  require(!text.empty() && text[0] != '-',
+          "--" + name + " must be a non-negative integer: " + text);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  require(errno == 0 && end != nullptr && *end == '\0',
+          "--" + name + " is not a valid 64-bit integer: " + text);
+  return static_cast<std::uint64_t>(value);
 }
 
 double Flags::get_double(const std::string& name, double fallback) const {

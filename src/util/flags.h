@@ -6,6 +6,7 @@
 #ifndef TOPODESIGN_UTIL_FLAGS_H
 #define TOPODESIGN_UTIL_FLAGS_H
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -20,6 +21,11 @@ class Flags {
 
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  /// Full-range unsigned 64-bit parse (for seeds); raises InvalidArgument
+  /// on negative, non-numeric, or out-of-range values instead of silently
+  /// wrapping.
+  [[nodiscard]] std::uint64_t get_uint64(const std::string& name,
+                                         std::uint64_t fallback) const;
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;

@@ -1,0 +1,47 @@
+// Minimal JSON scalar formatting shared by the bench binaries and the
+// scenario engine's machine-readable output.
+//
+// Only emission lives here (the library never needs to parse JSON);
+// doubles keep round-trip precision and non-finite values become null
+// because JSON has no inf/nan.
+#ifndef TOPODESIGN_UTIL_JSON_H
+#define TOPODESIGN_UTIL_JSON_H
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace topo {
+
+/// Round-trip-precise JSON number; null for inf/nan.
+inline std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+/// JSON string literal with the mandatory escapes.
+inline std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_JSON_H

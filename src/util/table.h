@@ -27,6 +27,17 @@ class TablePrinter {
   /// Number of data rows added so far.
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
 
+  /// Column headers, in display order.
+  [[nodiscard]] const std::vector<std::string>& headers() const {
+    return headers_;
+  }
+
+  /// All data rows, in insertion order (used by the machine-readable
+  /// scenario output and the golden-regression tests).
+  [[nodiscard]] const std::vector<std::vector<Cell>>& rows() const {
+    return rows_;
+  }
+
   /// Prints with space-aligned columns.
   void print(std::ostream& os) const;
 

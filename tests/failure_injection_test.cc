@@ -2,8 +2,12 @@
 // server placements must degrade gracefully, never crash or wedge.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/evaluate.h"
+#include "core/failure.h"
 #include "graph/algorithms.h"
+#include "lp/mcf_lp.h"
 #include "sim/network.h"
 #include "topo/random_regular.h"
 #include "topo/vl2.h"
@@ -138,6 +142,139 @@ TEST(FailureInjection, RewiredVl2SurvivesExtremeTorCounts) {
     const BuiltTopology t = rewired_vl2_topology(params, max_tors, seed);
     EXPECT_TRUE(is_connected(t.graph));
   }
+}
+
+// ---- FailureModel (core/failure.h): the scenario engine's seeded
+// ---- degradations.
+
+TEST(FailureModel, SameSeedSameFailedSets) {
+  const BuiltTopology t = random_regular_topology(20, 8, 5, 17);
+  FailureModel model;
+  model.link_failure_fraction = 0.2;
+  model.switch_failure_fraction = 0.1;
+  FailureSample a;
+  FailureSample b;
+  const BuiltTopology da = apply_failures(t, model, 42, &a);
+  const BuiltTopology db = apply_failures(t, model, 42, &b);
+  EXPECT_EQ(a.failed_links, b.failed_links);
+  EXPECT_EQ(a.failed_switches, b.failed_switches);
+  EXPECT_EQ(da.graph.num_edges(), db.graph.num_edges());
+  EXPECT_FALSE(a.failed_links.empty());
+  EXPECT_FALSE(a.failed_switches.empty());
+
+  // A different seed draws a different link set (overwhelmingly likely for
+  // 10 of 50 edges; this seed pair is fixed, so the test is deterministic).
+  FailureSample c;
+  (void)apply_failures(t, model, 43, &c);
+  EXPECT_NE(a.failed_links, c.failed_links);
+}
+
+TEST(FailureModel, HigherFractionFailsSuperset) {
+  const BuiltTopology t = random_regular_topology(24, 9, 6, 5);
+  for (double low_fraction : {0.1, 0.2}) {
+    FailureModel low;
+    low.link_failure_fraction = low_fraction;
+    FailureModel high;
+    high.link_failure_fraction = low_fraction + 0.15;
+    FailureSample small_set;
+    FailureSample big_set;
+    (void)apply_failures(t, low, 7, &small_set);
+    (void)apply_failures(t, high, 7, &big_set);
+    EXPECT_TRUE(std::includes(big_set.failed_links.begin(),
+                              big_set.failed_links.end(),
+                              small_set.failed_links.begin(),
+                              small_set.failed_links.end()));
+  }
+}
+
+TEST(FailureModel, ThroughputMonotoneNonIncreasingInLinkFailures) {
+  // Fixed RRG, fixed permutation workload, exact LP solve: because the
+  // failed sets nest (superset property above), the optimum is exactly
+  // monotone — no FPTAS slack involved.
+  const BuiltTopology t = random_regular_topology(12, 6, 4, 11);
+  Rng traffic_rng(23);
+  const TrafficMatrix tm = random_permutation_traffic(t.servers, traffic_rng);
+  const auto commodities = aggregate_to_commodities(tm, t.servers);
+  double previous = 1e300;
+  for (double fraction : {0.0, 0.1, 0.2, 0.3}) {
+    FailureModel model;
+    model.link_failure_fraction = fraction;
+    const BuiltTopology degraded = apply_failures(t, model, 29);
+    if (!is_connected(degraded.graph)) break;
+    const McfLpResult exact =
+        solve_concurrent_flow_lp(degraded.graph, commodities);
+    ASSERT_EQ(exact.status, LpStatus::kOptimal);
+    EXPECT_LE(exact.lambda, previous + 1e-9) << "fraction " << fraction;
+    previous = exact.lambda;
+  }
+}
+
+TEST(FailureModel, CapacityFactorScalesThroughputExactly) {
+  const BuiltTopology t = random_regular_topology(10, 5, 4, 3);
+  Rng traffic_rng(31);
+  const TrafficMatrix tm = random_permutation_traffic(t.servers, traffic_rng);
+  const auto commodities = aggregate_to_commodities(tm, t.servers);
+  FailureModel half;
+  half.capacity_factor = 0.5;
+  const McfLpResult full = solve_concurrent_flow_lp(t.graph, commodities);
+  const McfLpResult derated =
+      solve_concurrent_flow_lp(apply_failures(t, half, 1).graph, commodities);
+  ASSERT_EQ(full.status, LpStatus::kOptimal);
+  ASSERT_EQ(derated.status, LpStatus::kOptimal);
+  EXPECT_NEAR(derated.lambda, 0.5 * full.lambda, 1e-9);
+}
+
+TEST(FailureModel, SwitchFailureKillsLinksAndServers) {
+  const BuiltTopology t = random_regular_topology(20, 10, 6, 13);
+  FailureModel model;
+  model.switch_failure_fraction = 0.25;
+  FailureSample sample;
+  const BuiltTopology degraded = apply_failures(t, model, 3, &sample);
+  ASSERT_EQ(sample.failed_switches.size(), 5u);
+  EXPECT_EQ(degraded.graph.num_nodes(), t.graph.num_nodes());  // ids stable
+  for (NodeId dead : sample.failed_switches) {
+    EXPECT_EQ(degraded.graph.degree(dead), 0);
+    EXPECT_EQ(degraded.servers.per_switch[static_cast<std::size_t>(dead)], 0);
+  }
+  EXPECT_EQ(degraded.servers.total(), t.servers.total() - 5 * 4);
+}
+
+TEST(FailureModel, FullDisconnectionYieldsZeroThroughputNotCrash) {
+  const BuiltTopology t = random_regular_topology(12, 6, 4, 19);
+  EvalOptions options;
+  options.failure.link_failure_fraction = 1.0;  // every link dies
+  const ThroughputResult r = evaluate_throughput(t, options, 7);
+  EXPECT_FALSE(r.feasible);
+  EXPECT_DOUBLE_EQ(r.lambda, 0.0);
+
+  // All switches down: no servers survive either — still a clean zero.
+  EvalOptions all_switches;
+  all_switches.failure.switch_failure_fraction = 1.0;
+  const ThroughputResult r2 = evaluate_throughput(t, all_switches, 7);
+  EXPECT_FALSE(r2.feasible);
+  EXPECT_DOUBLE_EQ(r2.lambda, 0.0);
+}
+
+TEST(FailureModel, InactiveModelIsExactNoOp) {
+  const BuiltTopology t = random_regular_topology(16, 8, 5, 23);
+  EvalOptions plain;
+  EvalOptions with_inactive;
+  with_inactive.failure = FailureModel{};  // all defaults
+  const ThroughputResult a = evaluate_throughput(t, plain, 9);
+  const ThroughputResult b = evaluate_throughput(t, with_inactive, 9);
+  EXPECT_EQ(a.lambda, b.lambda);
+  EXPECT_EQ(a.dual_bound, b.dual_bound);
+  EXPECT_EQ(a.phases, b.phases);
+}
+
+TEST(FailureModel, RejectsBadParameters) {
+  const BuiltTopology t = random_regular_topology(8, 4, 3, 1);
+  FailureModel negative;
+  negative.link_failure_fraction = -0.1;
+  EXPECT_THROW((void)apply_failures(t, negative, 1), InvalidArgument);
+  FailureModel zero_capacity;
+  zero_capacity.capacity_factor = 0.0;
+  EXPECT_THROW((void)apply_failures(t, zero_capacity, 1), InvalidArgument);
 }
 
 TEST(FailureInjection, SolverHandlesExtremeCapacityRatios) {

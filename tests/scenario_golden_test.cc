@@ -1,0 +1,310 @@
+// Golden-regression layer for the scenario engine.
+//
+// Every registered scenario runs in golden mode (smoke sweeps, one run per
+// data point, master seed 1, epsilon 0.08) and its recorded tables are
+// compared against the checked-in JSON under tests/golden/ with tolerance
+// 1e-9 — so a solver or scenario refactor that shifts any published number
+// fails here, at the API level, not just in perf_microbench.
+//
+// Regenerating after an INTENDED change:
+//   TOPOBENCH_UPDATE_GOLDEN=1 ./build/tests/scenario_golden_test
+// then review the diff of tests/golden/*.json like any other code change.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.h"
+
+#ifndef TOPOBENCH_GOLDEN_DIR
+#error "build must define TOPOBENCH_GOLDEN_DIR"
+#endif
+
+namespace topo::scenario {
+namespace {
+
+// ---- A minimal JSON reader (objects, arrays, strings, numbers, null,
+// ---- bools) — just enough to load the golden files back.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::map<std::string, JsonValue> fields;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  JsonValue parse() {
+    JsonValue value = parse_value();
+    skip_space();
+    if (pos_ != input_.size()) fail("trailing characters");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_space() {
+    while (pos_ < input_.size() && std::isspace(
+               static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= input_.size()) fail("unexpected end");
+    return input_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* literal) {
+    const std::size_t len = std::string(literal).size();
+    if (input_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_space();
+    JsonValue value;
+    switch (peek()) {
+      case '{': {
+        value.kind = JsonValue::Kind::kObject;
+        expect('{');
+        skip_space();
+        if (peek() == '}') { ++pos_; return value; }
+        while (true) {
+          skip_space();
+          const std::string key = parse_string_raw();
+          skip_space();
+          expect(':');
+          value.fields[key] = parse_value();
+          skip_space();
+          if (peek() == ',') { ++pos_; continue; }
+          expect('}');
+          return value;
+        }
+      }
+      case '[': {
+        value.kind = JsonValue::Kind::kArray;
+        expect('[');
+        skip_space();
+        if (peek() == ']') { ++pos_; return value; }
+        while (true) {
+          value.items.push_back(parse_value());
+          skip_space();
+          if (peek() == ',') { ++pos_; continue; }
+          expect(']');
+          return value;
+        }
+      }
+      case '"':
+        value.kind = JsonValue::Kind::kString;
+        value.text = parse_string_raw();
+        return value;
+      default:
+        if (consume_literal("null")) return value;
+        if (consume_literal("true")) {
+          value.kind = JsonValue::Kind::kBool;
+          value.boolean = true;
+          return value;
+        }
+        if (consume_literal("false")) {
+          value.kind = JsonValue::Kind::kBool;
+          return value;
+        }
+        return parse_number();
+    }
+  }
+
+  std::string parse_string_raw() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= input_.size()) fail("unterminated string");
+      const char c = input_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= input_.size()) fail("bad escape");
+        const char e = input_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > input_.size()) fail("bad \\u escape");
+            const int code =
+                std::stoi(input_.substr(pos_, 4), nullptr, 16);
+            pos_ += 4;
+            out += static_cast<char>(code);  // goldens only escape < 0x20
+            break;
+          }
+          default: fail("unsupported escape");
+        }
+      } else {
+        out += c;
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '-' || input_[pos_] == '+' ||
+            input_[pos_] == '.' || input_[pos_] == 'e' ||
+            input_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::strtod(input_.substr(start, pos_ - start).c_str(),
+                               nullptr);
+    return value;
+  }
+
+  const std::string& input_;
+  std::size_t pos_ = 0;
+};
+
+// ---- Golden-mode execution and comparison.
+
+ScenarioOptions golden_options() {
+  ScenarioOptions options;
+  options.runs = 1;  // one seed per data point keeps the suite fast while
+                     // still exercising every scenario code path
+  options.epsilon = 0.08;
+  options.seed = 1;
+  return options;
+}
+
+std::string run_to_json(const ScenarioInfo& info) {
+  std::ostringstream sink;  // human-readable output unused here
+  ScenarioRun run(golden_options(), sink);
+  info.run(run);
+  std::ostringstream json;
+  write_scenario_json(json, info.name, golden_options(), run.tables());
+  return json.str();
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(TOPOBENCH_GOLDEN_DIR) + "/" + name + ".json";
+}
+
+std::vector<std::string> golden_scenario_names() {
+  register_builtin_scenarios();
+  std::vector<std::string> names;
+  for (const ScenarioInfo* info : list_scenarios()) {
+    names.push_back(info->name);
+  }
+  return names;
+}
+
+void compare_tables(const JsonValue& expected, const JsonValue& actual) {
+  ASSERT_EQ(expected.kind, JsonValue::Kind::kObject);
+  ASSERT_EQ(actual.kind, JsonValue::Kind::kObject);
+  const JsonValue& etables = expected.fields.at("tables");
+  const JsonValue& atables = actual.fields.at("tables");
+  ASSERT_EQ(etables.items.size(), atables.items.size()) << "table count";
+  for (std::size_t t = 0; t < etables.items.size(); ++t) {
+    const JsonValue& et = etables.items[t];
+    const JsonValue& at = atables.items[t];
+    EXPECT_EQ(et.fields.at("title").text, at.fields.at("title").text);
+    const JsonValue& eheaders = et.fields.at("headers");
+    const JsonValue& aheaders = at.fields.at("headers");
+    ASSERT_EQ(eheaders.items.size(), aheaders.items.size());
+    for (std::size_t h = 0; h < eheaders.items.size(); ++h) {
+      EXPECT_EQ(eheaders.items[h].text, aheaders.items[h].text);
+    }
+    const JsonValue& erows = et.fields.at("rows");
+    const JsonValue& arows = at.fields.at("rows");
+    ASSERT_EQ(erows.items.size(), arows.items.size())
+        << "row count in table " << t;
+    for (std::size_t r = 0; r < erows.items.size(); ++r) {
+      const JsonValue& erow = erows.items[r];
+      const JsonValue& arow = arows.items[r];
+      ASSERT_EQ(erow.items.size(), arow.items.size());
+      for (std::size_t c = 0; c < erow.items.size(); ++c) {
+        const JsonValue& ecell = erow.items[c];
+        const JsonValue& acell = arow.items[c];
+        ASSERT_EQ(ecell.kind, acell.kind)
+            << "cell kind (" << t << "," << r << "," << c << ")";
+        if (ecell.kind == JsonValue::Kind::kNumber) {
+          const double tolerance =
+              1e-9 * std::max({1.0, std::fabs(ecell.number),
+                               std::fabs(acell.number)});
+          EXPECT_NEAR(ecell.number, acell.number, tolerance)
+              << "cell (" << t << "," << r << "," << c << ")";
+        } else if (ecell.kind == JsonValue::Kind::kString) {
+          EXPECT_EQ(ecell.text, acell.text)
+              << "cell (" << t << "," << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+class GoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GoldenTest, MatchesCheckedInResult) {
+  register_builtin_scenarios();
+  const ScenarioInfo* info = find_scenario(GetParam());
+  ASSERT_NE(info, nullptr);
+
+  const std::string actual_json = run_to_json(*info);
+  const std::string path = golden_path(info->name);
+
+  if (std::getenv("TOPOBENCH_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out) << "cannot write " << path;
+    out << actual_json;
+    SUCCEED() << "updated " << path;
+    return;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in) << "missing golden file " << path
+                  << " — run TOPOBENCH_UPDATE_GOLDEN=1 scenario_golden_test "
+                     "and commit the result";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const JsonValue expected = JsonParser(buffer.str()).parse();
+  const JsonValue actual = JsonParser(actual_json).parse();
+  compare_tables(expected, actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, GoldenTest,
+                         ::testing::ValuesIn(golden_scenario_names()),
+                         [](const auto& info) { return info.param; });
+
+}  // namespace
+}  // namespace topo::scenario

@@ -1,0 +1,202 @@
+// Property tests for the traffic generators: invariants that must hold
+// for every server map and seed, checked across a randomized family of
+// maps (uneven placements, empty switches, extreme chunky fractions, tiny
+// networks) rather than a few hand-picked examples.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "traffic/traffic.h"
+#include "util/rng.h"
+
+namespace topo {
+namespace {
+
+ServerMap map_of(std::vector<int> per_switch) {
+  ServerMap servers;
+  servers.per_switch = std::move(per_switch);
+  return servers;
+}
+
+// A randomized family of server maps: uneven counts and empty switches.
+std::vector<ServerMap> property_maps() {
+  std::vector<ServerMap> maps = {
+      map_of({1, 1}),           // minimal
+      map_of({5, 5, 5, 5}),     // uniform
+      map_of({4, 0, 3, 1}),     // empty switch in the middle
+      map_of({22, 2, 2, 2, 2, 2, 2, 2, 2, 2}),  // hotspot placement
+  };
+  Rng rng(0xbeef);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<int> counts(static_cast<std::size_t>(rng.uniform_int(2, 12)));
+    int total = 0;
+    for (int& c : counts) {
+      c = rng.uniform_int(0, 7);
+      total += c;
+    }
+    if (total < 2) counts.back() += 2;  // permutation needs two servers
+    maps.push_back(map_of(std::move(counts)));
+  }
+  return maps;
+}
+
+TEST(PermutationProperty, DerangementWithEachServerOnceAsSourceAndSink) {
+  for (const ServerMap& servers : property_maps()) {
+    for (std::uint64_t seed : {1ULL, 7ULL, 99ULL}) {
+      Rng rng(seed);
+      const TrafficMatrix tm = random_permutation_traffic(servers, rng);
+      const int total = servers.total();
+      ASSERT_EQ(tm.flows.size(), static_cast<std::size_t>(total));
+      std::vector<int> sent(static_cast<std::size_t>(total), 0);
+      std::vector<int> received(static_cast<std::size_t>(total), 0);
+      for (const ServerFlow& f : tm.flows) {
+        ASSERT_GE(f.src_server, 0);
+        ASSERT_LT(f.src_server, total);
+        ASSERT_GE(f.dst_server, 0);
+        ASSERT_LT(f.dst_server, total);
+        EXPECT_NE(f.src_server, f.dst_server) << "fixed point at seed " << seed;
+        EXPECT_DOUBLE_EQ(f.demand, 1.0);
+        ++sent[static_cast<std::size_t>(f.src_server)];
+        ++received[static_cast<std::size_t>(f.dst_server)];
+      }
+      for (int s = 0; s < total; ++s) {
+        EXPECT_EQ(sent[static_cast<std::size_t>(s)], 1);
+        EXPECT_EQ(received[static_cast<std::size_t>(s)], 1);
+      }
+    }
+  }
+}
+
+TEST(AllToAllProperty, DemandSymmetryAndTotals) {
+  for (const ServerMap& servers : property_maps()) {
+    const std::vector<Commodity> commodities = all_to_all_commodities(servers);
+    std::map<std::pair<NodeId, NodeId>, double> demand;
+    for (const Commodity& c : commodities) {
+      EXPECT_NE(c.src, c.dst);
+      EXPECT_GT(c.demand, 0.0);
+      const bool inserted =
+          demand.emplace(std::make_pair(c.src, c.dst), c.demand).second;
+      EXPECT_TRUE(inserted) << "duplicate commodity " << c.src << "->" << c.dst;
+    }
+    // Symmetric: demand(u, v) == demand(v, u) = s_u * s_v.
+    for (const auto& [key, value] : demand) {
+      const auto reverse = demand.find({key.second, key.first});
+      ASSERT_NE(reverse, demand.end());
+      EXPECT_DOUBLE_EQ(value, reverse->second);
+      const double expected =
+          static_cast<double>(
+              servers.per_switch[static_cast<std::size_t>(key.first)]) *
+          servers.per_switch[static_cast<std::size_t>(key.second)];
+      EXPECT_DOUBLE_EQ(value, expected);
+    }
+    // Only switch pairs with servers on both ends appear.
+    int hosts = 0;
+    for (int count : servers.per_switch) hosts += count > 0 ? 1 : 0;
+    EXPECT_EQ(commodities.size(),
+              static_cast<std::size_t>(hosts) * (hosts - 1));
+  }
+}
+
+// Helper: ToRs that send any chunky-style (fractional-demand) flow.
+int count_chunky_tors(const TrafficMatrix& tm, const ServerMap& servers) {
+  const std::vector<NodeId> home = servers.server_home();
+  std::set<NodeId> chunky;
+  for (const ServerFlow& f : tm.flows) {
+    if (f.demand < 1.0) {
+      chunky.insert(home[static_cast<std::size_t>(f.src_server)]);
+    }
+  }
+  return static_cast<int>(chunky.size());
+}
+
+TEST(ChunkyProperty, ZeroFractionIsPureServerPermutation) {
+  for (double fraction : {0.0, 1e-9}) {
+    const ServerMap servers = map_of({3, 4, 0, 5, 2});
+    Rng rng(11);
+    const TrafficMatrix tm = chunky_traffic(servers, fraction, rng);
+    EXPECT_EQ(tm.flows.size(), static_cast<std::size_t>(servers.total()));
+    for (const ServerFlow& f : tm.flows) {
+      EXPECT_DOUBLE_EQ(f.demand, 1.0);
+      EXPECT_NE(f.src_server, f.dst_server);
+    }
+    EXPECT_EQ(count_chunky_tors(tm, servers), 0);
+  }
+}
+
+TEST(ChunkyProperty, FullFractionEngagesEveryHostTor) {
+  const ServerMap servers = map_of({3, 4, 0, 5, 2});
+  Rng rng(13);
+  const TrafficMatrix tm = chunky_traffic(servers, 1.0, rng);
+  EXPECT_EQ(count_chunky_tors(tm, servers), 4);  // the four host ToRs
+}
+
+TEST(ChunkyProperty, TorCountBoundsAndDemandConservation) {
+  // Across fractions and maps: chunky ToR count stays within
+  // [0, hosts], a single selected ToR is promoted to a pair, and every
+  // server still offers exactly one unit of egress.
+  for (const ServerMap& servers : property_maps()) {
+    int hosts = 0;
+    bool every_host_multi = true;  // the demand<1 detector needs >=2 servers
+    for (int count : servers.per_switch) {
+      hosts += count > 0 ? 1 : 0;
+      if (count == 1) every_host_multi = false;
+    }
+    if (hosts < 2) continue;
+    for (double fraction : {0.0, 0.2, 0.5, 0.8, 1.0}) {
+      Rng rng(17);
+      const TrafficMatrix tm = chunky_traffic(servers, fraction, rng);
+      const int chunky = count_chunky_tors(tm, servers);
+      EXPECT_GE(chunky, 0);
+      EXPECT_LE(chunky, hosts);
+      const int requested =
+          static_cast<int>(std::llround(fraction * hosts));
+      if (requested == 0) {
+        EXPECT_EQ(chunky, 0) << "fraction " << fraction;
+      } else if (every_host_multi) {
+        // A lone selected ToR is promoted to a pair (a 1-ToR permutation
+        // is undefined); otherwise the request is honored exactly.
+        EXPECT_EQ(chunky, std::min(hosts, std::max(requested, 2)))
+            << "fraction " << fraction;
+      }
+      std::vector<double> egress(static_cast<std::size_t>(servers.total()),
+                                 0.0);
+      for (const ServerFlow& f : tm.flows) {
+        egress[static_cast<std::size_t>(f.src_server)] += f.demand;
+      }
+      // Every server offers one unit of egress, except the corner where
+      // the non-chunky remainder is a single server (a 1-server
+      // permutation is empty): at most one server may sit idle.
+      int idle = 0;
+      for (double total : egress) {
+        if (total == 0.0) {
+          ++idle;
+        } else {
+          EXPECT_NEAR(total, 1.0, 1e-12);
+        }
+      }
+      EXPECT_LE(idle, 1) << "fraction " << fraction;
+    }
+  }
+}
+
+TEST(ChunkyProperty, TinyNetworks) {
+  // Two 1-server ToRs: both fractions degenerate to the same pairing.
+  {
+    Rng rng(3);
+    const TrafficMatrix tm = chunky_traffic(map_of({1, 1}), 1.0, rng);
+    ASSERT_EQ(tm.flows.size(), 2u);
+    for (const ServerFlow& f : tm.flows) EXPECT_NE(f.src_server, f.dst_server);
+  }
+  // One host ToR cannot form any ToR-level pairing.
+  {
+    Rng rng(3);
+    EXPECT_THROW(chunky_traffic(map_of({5, 0, 0}), 0.5, rng),
+                 InvalidArgument);
+  }
+}
+
+}  // namespace
+}  // namespace topo

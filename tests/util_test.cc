@@ -190,6 +190,23 @@ TEST(Flags, FallbacksWhenAbsent) {
   EXPECT_EQ(f.get_string("runs", "dflt"), "dflt");
 }
 
+TEST(Flags, Uint64CoversFullSeedRangeAndRejectsGarbage) {
+  const char* argv[] = {"prog", "--seed", "5000000000"};
+  Flags f(3, argv, {"seed"});
+  EXPECT_EQ(f.get_uint64("seed", 1), 5000000000ULL);  // > INT_MAX
+  EXPECT_EQ(f.get_uint64("absent", 7), 7ULL);
+
+  const char* negative[] = {"prog", "--seed=-3"};
+  EXPECT_THROW((void)Flags(2, negative, {"seed"}).get_uint64("seed", 1),
+               InvalidArgument);
+  const char* text[] = {"prog", "--seed", "abc"};
+  EXPECT_THROW((void)Flags(3, text, {"seed"}).get_uint64("seed", 1),
+               InvalidArgument);
+  const char* huge[] = {"prog", "--seed", "99999999999999999999999"};
+  EXPECT_THROW((void)Flags(3, huge, {"seed"}).get_uint64("seed", 1),
+               InvalidArgument);
+}
+
 TEST(Flags, RejectsUnknownFlag) {
   const char* argv[] = {"prog", "--bogus"};
   EXPECT_THROW(Flags(2, argv, {"runs"}), InvalidArgument);
