@@ -3,6 +3,8 @@
 //   topobench --list                 table of every registered scenario
 //   topobench --list-names           bare names, one per line (for scripts)
 //   topobench <scenario> [flags...]  run one scenario (unique prefixes OK)
+//   topobench --spec FILE [flags...] run a spec file (no rebuild needed)
+//   topobench --dump-spec NAME [FILE]  round-trip a sweep scenario to JSON
 //
 // Flags (shared with the per-figure bench binaries):
 //   --smoke        quick mode (the default; explicit for CI invocations)
@@ -13,11 +15,14 @@
 //   --csv          machine-readable tables on stdout
 //   --out FILE     also write the result tables as JSON
 //   --threads N    pool size (exports TOPOBENCH_THREADS before first use)
+//   --cache-dir D  content-addressed cell cache for sweeps (hits/misses
+//                  report on stderr; stdout stays byte-identical)
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
 #include "scenario/scenario.h"
+#include "scenario/spec_io.h"
 
 namespace {
 
@@ -26,10 +31,35 @@ void print_usage() {
       "usage: topobench --list | --list-names\n"
       "       topobench <scenario> [--smoke|--full] [--runs N] [--eps X]\n"
       "                 [--seed N] [--csv] [--out FILE] [--threads N]\n"
+      "                 [--cache-dir DIR]\n"
+      "       topobench --spec FILE [same flags]\n"
+      "       topobench --dump-spec NAME [FILE]\n"
       "\n"
       "Runs a registered scenario (all 13 paper figures plus the\n"
-      "declarative sweeps). Unique name prefixes are accepted, e.g.\n"
-      "`topobench fig05`. See README \"Running scenarios\".");
+      "declarative sweeps), or a ScenarioSpec JSON file. Unique name\n"
+      "prefixes are accepted, e.g. `topobench fig05`. --dump-spec writes\n"
+      "a sweep scenario's spec as JSON (stdout unless FILE is given) so\n"
+      "it can be edited and re-run with --spec. See README \"Running\n"
+      "scenarios from a spec file\".");
+}
+
+// Extracts the value of a leading `--flag VALUE` / `--flag=VALUE`
+// argument pair; returns the number of argv slots consumed (0 when
+// argv[1] is not `flag`, or on a missing value — `*value` empty then).
+int leading_flag_value(int argc, char** argv, const std::string& flag,
+                       std::string* value) {
+  const std::string first = argv[1];
+  value->clear();
+  if (first == flag) {
+    if (argc < 3) return 0;
+    *value = argv[2];
+    return 2;
+  }
+  if (first.rfind(flag + "=", 0) == 0) {
+    *value = first.substr(flag.size() + 1);
+    return value->empty() ? 0 : 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -61,6 +91,30 @@ int main(int argc, char** argv) {
       }
     }
     return 0;
+  }
+  if (first == "--spec" || first.rfind("--spec=", 0) == 0) {
+    std::string path;
+    const int consumed = leading_flag_value(argc, argv, "--spec", &path);
+    if (consumed == 0) {
+      std::fprintf(stderr, "--spec requires a file argument\n");
+      return 1;
+    }
+    // Shift argv so the spec path plays argv[0] for flag parsing.
+    return spec_file_main(path, argc - consumed, argv + consumed);
+  }
+  if (first == "--dump-spec" || first.rfind("--dump-spec=", 0) == 0) {
+    std::string name;
+    const int consumed = leading_flag_value(argc, argv, "--dump-spec", &name);
+    if (consumed == 0) {
+      std::fprintf(stderr, "--dump-spec requires a scenario name\n");
+      return 1;
+    }
+    const int next = 1 + consumed;
+    if (argc > next + 1) {
+      std::fprintf(stderr, "--dump-spec takes at most one output file\n");
+      return 1;
+    }
+    return dump_spec_main(name, argc > next ? argv[next] : "");
   }
   if (first.rfind("--", 0) == 0) {
     std::fprintf(stderr, "first argument must be a scenario name: %s\n",

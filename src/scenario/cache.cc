@@ -1,0 +1,201 @@
+#include "scenario/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "scenario/spec_io.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace topo::scenario {
+namespace {
+
+// The scalar result fields a cached cell persists, in serialization
+// order. summarize_runs reads lambda/dual_bound/feasible/utilization/
+// demand_weighted_spl/stretch; the rest keep the cell a faithful record.
+std::string result_json(const ThroughputResult& r) {
+  std::ostringstream out;
+  out << "{\"lambda\": " << json_number(r.lambda)
+      << ", \"dual_bound\": " << json_number(r.dual_bound)
+      << ", \"gap\": " << json_number(r.gap)
+      << ", \"feasible\": " << (r.feasible ? "true" : "false")
+      << ", \"phases\": " << r.phases
+      << ", \"utilization\": " << json_number(r.utilization)
+      << ", \"mean_routed_path_length\": "
+      << json_number(r.mean_routed_path_length)
+      << ", \"demand_weighted_spl\": " << json_number(r.demand_weighted_spl)
+      << ", \"stretch\": " << json_number(r.stretch)
+      << ", \"total_demand\": " << json_number(r.total_demand) << "}";
+  return out.str();
+}
+
+// Strict inverse of result_json: every field present with the right
+// type, exactly the known keys. Throws InvalidArgument on any mismatch
+// (the loader converts that into a miss).
+ThroughputResult result_from_json(const JsonValue& object) {
+  require(object.is_object(), "cache cell: result must be an object");
+  const std::vector<std::string> known = {
+      "lambda",      "dual_bound",  "gap",
+      "feasible",    "phases",      "utilization",
+      "mean_routed_path_length",    "demand_weighted_spl",
+      "stretch",     "total_demand"};
+  for (const auto& [key, value] : object.members) {
+    (void)value;
+    bool ok = false;
+    for (const std::string& name : known) ok = ok || name == key;
+    require(ok, "cache cell: unknown result key " + key);
+  }
+  const auto number = [&](const char* key) {
+    const JsonValue& value = object.at(key);
+    require(value.is_number(), std::string("cache cell: ") + key);
+    return value.number;
+  };
+  ThroughputResult r;
+  r.lambda = number("lambda");
+  r.dual_bound = number("dual_bound");
+  r.gap = number("gap");
+  const JsonValue& feasible = object.at("feasible");
+  require(feasible.is_bool(), "cache cell: feasible");
+  r.feasible = feasible.boolean;
+  r.phases = static_cast<int>(number("phases"));
+  r.utilization = number("utilization");
+  r.mean_routed_path_length = number("mean_routed_path_length");
+  r.demand_weighted_spl = number("demand_weighted_spl");
+  r.stretch = number("stretch");
+  r.total_demand = number("total_demand");
+  return r;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(const std::string& bytes, std::uint64_t basis) {
+  std::uint64_t hash = basis;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+std::uint64_t spec_hash(const ScenarioSpec& spec,
+                        const SweepRunConfig& config) {
+  std::string material = spec_to_json(spec);
+  material += "|seed=" + std::to_string(config.master_seed);
+  material += "|eps=" + json_number(config.epsilon);
+  material += "|runs=" + std::to_string(config.runs);
+  material += std::string("|mode=") + (config.full ? "full" : "smoke");
+  material += std::string("|solver=") + kSolverVersionTag;
+  return fnv1a64(material);
+}
+
+std::string cell_identity_json(const CellIdentity& cell) {
+  std::ostringstream out;
+  out << "{\"family\": " << json_string(cell.family) << ", \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : cell.params) {  // std::map: sorted, canonical
+    if (!first) out << ", ";
+    first = false;
+    out << json_string(key) << ": " << json_number(value);
+  }
+  const EvalOptions& options = cell.options;
+  out << "}, \"epsilon\": " << json_number(options.flow.epsilon)
+      << ", \"max_phases\": " << options.flow.max_phases
+      << ", \"stagnation_phases\": " << options.flow.stagnation_phases
+      << ", \"dual_every\": " << options.flow.dual_every
+      << ", \"shortest_paths\": "
+      << (options.flow.restrict_to_shortest_paths ? "true" : "false")
+      << ", \"traffic\": " << json_string(traffic_kind_name(options.traffic))
+      << ", \"chunky_fraction\": " << json_number(options.chunky_fraction)
+      << ", \"failure\": {\"link\": "
+      << json_number(options.failure.link_failure_fraction)
+      << ", \"switch\": "
+      << json_number(options.failure.switch_failure_fraction)
+      << ", \"capacity\": " << json_number(options.failure.capacity_factor)
+      << "}, \"topo_seed\": " << cell.topo_seed
+      << ", \"traffic_seed\": " << cell.traffic_seed
+      << ", \"solver\": " << json_string(kSolverVersionTag) << "}";
+  return out.str();
+}
+
+std::uint64_t cell_key(const CellIdentity& cell) {
+  return fnv1a64(cell_identity_json(cell));
+}
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  require(!dir_.empty(), "cache dir must be non-empty");
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  require(!ec && std::filesystem::is_directory(dir_),
+          "cannot create cache dir: " + dir_);
+}
+
+std::string ResultCache::cell_path(std::uint64_t key) const {
+  return dir_ + "/" + hash_hex(key) + ".json";
+}
+
+bool ResultCache::load(std::uint64_t key, ThroughputResult* out) const {
+  std::ifstream in(cell_path(key));
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    const JsonValue root = parse_json(buffer.str());
+    require(root.is_object(), "cache cell: not an object");
+    const JsonValue& version = root.at("version");
+    require(version.is_string() && version.text == kSolverVersionTag,
+            "cache cell: solver version mismatch");
+    const JsonValue& stored_key = root.at("key");
+    require(stored_key.is_string() && stored_key.text == hash_hex(key),
+            "cache cell: key mismatch");
+    const ThroughputResult result = result_from_json(root.at("result"));
+    // The checksum covers the canonical re-serialization of the parsed
+    // result; shortest-round-trip numbers make that reproduce the stored
+    // bytes exactly, so any corrupted digit fails here.
+    const JsonValue& checksum = root.at("checksum");
+    require(checksum.is_string() &&
+                checksum.text == hash_hex(fnv1a64(result_json(result))),
+            "cache cell: checksum mismatch");
+    *out = result;
+    return true;
+  } catch (const Error&) {
+    return false;  // corrupt / truncated / foreign file: recompute
+  }
+}
+
+void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
+    const {
+  const std::string payload = result_json(result);
+  std::ostringstream out;
+  out << "{\n  \"version\": " << json_string(kSolverVersionTag) << ",\n"
+      << "  \"key\": " << json_string(hash_hex(key)) << ",\n"
+      << "  \"result\": " << payload << ",\n"
+      << "  \"checksum\": " << json_string(hash_hex(fnv1a64(payload)))
+      << "\n}\n";
+  // Unique temp per writer thread, then rename: concurrent stores of the
+  // same key (duplicate axis values) each publish a complete file.
+  const std::string temp =
+      cell_path(key) + ".tmp." +
+      hash_hex(static_cast<std::uint64_t>(
+          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+  {
+    std::ofstream file(temp);
+    require(static_cast<bool>(file), "cannot write cache file: " + temp);
+    file << out.str();
+  }
+  std::error_code ec;
+  std::filesystem::rename(temp, cell_path(key), ec);
+  if (ec) std::filesystem::remove(temp, ec);
+}
+
+}  // namespace topo::scenario

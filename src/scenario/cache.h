@@ -1,0 +1,91 @@
+// Content-addressed on-disk cache for sweep cell results.
+//
+// A sweep is a grid of (sweep-point × run) cells, and each cell's result
+// is a pure function of what went into it: topology family + bound
+// parameters, bound evaluation options, the derived topology/traffic
+// seeds, and the solver version. Hashing exactly that identity makes
+// cells content-addressable: re-running a sweep after editing one axis
+// value recomputes only the new column, a --runs 3 warm run reuses the
+// first three runs of an earlier --runs 5 sweep, and two specs that bind
+// to the same cells share entries. Cached cells store every scalar the
+// ordered reduction reads (at shortest-round-trip precision, so reloaded
+// numbers are bit-exact) but drop the per-arc flow vector, which sweep
+// summaries never read.
+//
+// Trust model: cache files are re-verified on load — wrong schema, a key
+// mismatch, a checksum mismatch, or any parse failure counts as a miss
+// and the cell is recomputed, never trusted.
+#ifndef TOPODESIGN_SCENARIO_CACHE_H
+#define TOPODESIGN_SCENARIO_CACHE_H
+
+#include <cstdint>
+#include <string>
+
+#include "core/evaluate.h"
+#include "scenario/spec.h"
+#include "scenario/sweep.h"
+
+namespace topo::scenario {
+
+/// Version tag mixed into every cache key and the spec hash. Bump it
+/// whenever solver numerics change (it invalidates every cached cell);
+/// the golden suite catching an unintended numeric change is the cue.
+inline constexpr const char* kSolverVersionTag = "fptas-csr-v2";
+
+/// FNV-1a 64 over a byte string (optionally chained via `basis`).
+[[nodiscard]] std::uint64_t fnv1a64(
+    const std::string& bytes, std::uint64_t basis = 14695981039346656037ULL);
+
+/// 16-digit lowercase hex of a 64-bit hash (cache file names).
+[[nodiscard]] std::string hash_hex(std::uint64_t hash);
+
+/// Hash of one whole sweep invocation: the canonical spec JSON (covering
+/// every spec field, spec_io.h) + master seed + epsilon + runs + mode +
+/// solver version tag. Any single-field mutation changes it.
+[[nodiscard]] std::uint64_t spec_hash(const ScenarioSpec& spec,
+                                      const SweepRunConfig& config);
+
+/// Everything one (point, run) cell's result is a function of.
+struct CellIdentity {
+  std::string family;
+  ParamMap params;     ///< Topology parameters after axis binding.
+  EvalOptions options; ///< Evaluation options after axis binding.
+  std::uint64_t topo_seed = 0;
+  std::uint64_t traffic_seed = 0;
+};
+
+/// Canonical serialization of a cell identity (the hashing material).
+[[nodiscard]] std::string cell_identity_json(const CellIdentity& cell);
+
+/// Content address of a cell: fnv1a64 over cell_identity_json.
+[[nodiscard]] std::uint64_t cell_key(const CellIdentity& cell);
+
+/// On-disk cell store: one JSON file per cell under `dir`, named by the
+/// cell key. Loads verify schema, key, solver tag, and a checksum;
+/// stores write-to-temp-then-rename so concurrent writers (the sweep
+/// evaluates cells on the shared pool) never expose a torn file.
+class ResultCache {
+ public:
+  /// Creates `dir` (and parents) if missing; raises InvalidArgument when
+  /// that fails.
+  explicit ResultCache(std::string dir);
+
+  /// True when a verified entry for `key` exists; fills `*out` with the
+  /// cached result (arc_flow left empty). Corrupt entries return false.
+  [[nodiscard]] bool load(std::uint64_t key, ThroughputResult* out) const;
+
+  /// Persists a cell result under `key`.
+  void store(std::uint64_t key, const ThroughputResult& result) const;
+
+  /// Path of the cell file for `key` (exposed for tests and tooling).
+  [[nodiscard]] std::string cell_path(std::uint64_t key) const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+};
+
+}  // namespace topo::scenario
+
+#endif  // TOPODESIGN_SCENARIO_CACHE_H

@@ -110,7 +110,7 @@ void write_scenario_json(std::ostream& os, const std::string& name,
 
 ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   const Flags flags(argc, argv, {"runs", "eps", "seed", "csv", "full", "smoke",
-                                 "out", "threads"});
+                                 "out", "threads", "cache-dir"});
   require(!(flags.get_bool("full") && flags.get_bool("smoke")),
           "--full and --smoke are mutually exclusive");
   ScenarioOptions options;
@@ -120,6 +120,7 @@ ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   options.csv = flags.get_bool("csv");
   options.full = flags.get_bool("full");
   options.out_path = flags.get_string("out", "");
+  options.cache_dir = flags.get_string("cache-dir", "");
   if (const int threads = flags.get_int("threads", 0); threads > 0) {
     // The pool reads TOPOBENCH_THREADS once, at its first use; both CLI
     // entry points parse flags before any parallel region runs.

@@ -36,6 +36,9 @@ struct ScenarioOptions {
   bool csv = false;            ///< Emit CSV tables instead of aligned text.
   bool full = false;           ///< Paper-fidelity mode (more runs, finer sweeps).
   std::string out_path;        ///< Write result JSON here ("" = disabled).
+  /// Content-addressed cell cache for sweep scenarios (scenario/cache.h);
+  /// "" disables caching. Figure scenarios ignore it.
+  std::string cache_dir;
 };
 
 /// One table a scenario emitted, with its banner title.
@@ -114,7 +117,8 @@ void write_scenario_json(std::ostream& os, const std::string& name,
                          const std::vector<RecordedTable>& tables);
 
 /// Parses the shared scenario flag set (--runs --eps --seed --csv --full
-/// --smoke --out --threads) from argv (argv[0] is skipped). --threads N
+/// --smoke --out --threads --cache-dir) from argv (argv[0] is skipped).
+/// --threads N
 /// exports TOPOBENCH_THREADS=N, so it must be parsed before the first
 /// parallel region — both entry points below guarantee that. Raises
 /// InvalidArgument on unknown flags or conflicting modes.

@@ -1,0 +1,397 @@
+#include "scenario/spec_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "scenario/scenario.h"
+#include "scenario/sweep.h"
+#include "scenario/topo_registry.h"
+#include "util/error.h"
+#include "util/json.h"
+
+namespace topo::scenario {
+namespace {
+
+std::string number_list(const std::vector<double>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += json_number(values[i]);
+  }
+  out += "]";
+  return out;
+}
+
+// ---- Strict extraction helpers. Every message names the offending key so
+// ---- a typo'd spec file points at its own mistake.
+
+[[noreturn]] void fail_key(const std::string& key, const std::string& why) {
+  throw InvalidArgument("spec key \"" + key + "\": " + why);
+}
+
+void require_only_keys(const JsonValue& object, const std::string& where,
+                       const std::vector<std::string>& allowed) {
+  for (const auto& [key, value] : object.members) {
+    (void)value;
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      std::string known;
+      for (const std::string& name : allowed) {
+        if (!known.empty()) known += ", ";
+        known += name;
+      }
+      throw InvalidArgument("spec: unknown key \"" + where + key +
+                            "\" (known keys: " + known + ")");
+    }
+  }
+}
+
+const JsonValue& member_of_kind(const JsonValue& object,
+                                const std::string& key,
+                                JsonValue::Kind kind, const char* kind_name) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) fail_key(key, "missing (required)");
+  if (value->kind != kind) fail_key(key, std::string("must be ") + kind_name);
+  return *value;
+}
+
+std::string get_string(const JsonValue& object, const std::string& key) {
+  return member_of_kind(object, key, JsonValue::Kind::kString, "a string")
+      .text;
+}
+
+int get_run_count(const JsonValue& object, const std::string& key,
+                  int fallback) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind != JsonValue::Kind::kNumber) fail_key(key, "must be a number");
+  const double number = value->number;
+  if (number != std::floor(number)) fail_key(key, "must be an integer");
+  if (number < 1 || number > 1e6) fail_key(key, "out of range (want 1..1e6)");
+  return static_cast<int>(number);
+}
+
+double get_fraction(const JsonValue& object, const std::string& key,
+                    double fallback) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return fallback;
+  if (value->kind != JsonValue::Kind::kNumber) fail_key(key, "must be a number");
+  if (value->number < 0.0 || value->number > 1.0) {
+    fail_key(key, "out of range (want [0, 1])");
+  }
+  return value->number;
+}
+
+std::vector<double> get_number_list(const JsonValue& object,
+                                    const std::string& key) {
+  const JsonValue* value = object.find(key);
+  if (value == nullptr) return {};
+  if (value->kind != JsonValue::Kind::kArray) {
+    fail_key(key, "must be an array of numbers");
+  }
+  std::vector<double> out;
+  out.reserve(value->items.size());
+  for (const JsonValue& item : value->items) {
+    if (item.kind != JsonValue::Kind::kNumber) {
+      fail_key(key, "must be an array of numbers");
+    }
+    out.push_back(item.number);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* traffic_kind_name(TrafficKind kind) {
+  switch (kind) {
+    case TrafficKind::kPermutation: return "permutation";
+    case TrafficKind::kAllToAll: return "all_to_all";
+    case TrafficKind::kChunky: return "chunky";
+  }
+  throw InvalidArgument("unhandled TrafficKind");
+}
+
+TrafficKind traffic_kind_from_name(const std::string& name) {
+  if (name == "permutation") return TrafficKind::kPermutation;
+  if (name == "all_to_all") return TrafficKind::kAllToAll;
+  if (name == "chunky") return TrafficKind::kChunky;
+  throw InvalidArgument(
+      "spec key \"traffic\": unknown traffic kind \"" + name +
+      "\" (known: permutation, all_to_all, chunky)");
+}
+
+std::string spec_to_json(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"name\": " << json_string(spec.name) << ",\n";
+  out << "  \"description\": " << json_string(spec.description) << ",\n";
+  out << "  \"topology\": {\n";
+  out << "    \"family\": " << json_string(spec.topology.family) << ",\n";
+  out << "    \"params\": {";
+  bool first = true;
+  for (const auto& [key, value] : spec.topology.params) {  // map: sorted
+    if (!first) out << ", ";
+    first = false;
+    out << json_string(key) << ": " << json_number(value);
+  }
+  out << "}\n  },\n";
+  out << "  \"traffic\": " << json_string(traffic_kind_name(spec.traffic))
+      << ",\n";
+  out << "  \"chunky_fraction\": " << json_number(spec.chunky_fraction)
+      << ",\n";
+  out << "  \"failure\": {\"link_failure_fraction\": "
+      << json_number(spec.failure.link_failure_fraction)
+      << ", \"switch_failure_fraction\": "
+      << json_number(spec.failure.switch_failure_fraction)
+      << ", \"capacity_factor\": " << json_number(spec.failure.capacity_factor)
+      << "},\n";
+  out << "  \"axes\": [";
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const SweepAxis& axis = spec.axes[a];
+    if (a > 0) out << ",";
+    out << "\n    {\"param\": " << json_string(axis.param)
+        << ", \"values\": " << number_list(axis.values);
+    if (!axis.full_values.empty()) {
+      out << ", \"full_values\": " << number_list(axis.full_values);
+    }
+    out << "}";
+  }
+  out << (spec.axes.empty() ? "]" : "\n  ]") << ",\n";
+  out << "  \"quick_runs\": " << spec.quick_runs << ",\n";
+  out << "  \"full_runs\": " << spec.full_runs << ",\n";
+  out << "  \"reuse_topology\": " << (spec.reuse_topology ? "true" : "false")
+      << "\n";
+  out << "}\n";
+  return out.str();
+}
+
+ScenarioSpec spec_from_json(const std::string& text) {
+  const JsonValue root = parse_json(text);
+  require(root.is_object(), "spec: top level must be a JSON object");
+  require_only_keys(root, "",
+                    {"name", "description", "topology", "traffic",
+                     "chunky_fraction", "failure", "axes", "quick_runs",
+                     "full_runs", "reuse_topology"});
+
+  ScenarioSpec spec;
+  spec.name = get_string(root, "name");
+  if (spec.name.empty()) fail_key("name", "must be non-empty");
+  if (root.find("description") != nullptr) {
+    spec.description = get_string(root, "description");
+  }
+
+  const JsonValue& topology =
+      member_of_kind(root, "topology", JsonValue::Kind::kObject, "an object");
+  require_only_keys(topology, "topology.", {"family", "params"});
+  spec.topology.family = get_string(topology, "family");
+  if (const JsonValue* params = topology.find("params"); params != nullptr) {
+    if (!params->is_object()) fail_key("topology.params", "must be an object");
+    for (const auto& [key, value] : params->members) {
+      if (!value.is_number()) {
+        fail_key("topology.params." + key, "must be a number");
+      }
+      spec.topology.params[key] = value.number;
+    }
+  }
+
+  if (root.find("traffic") != nullptr) {
+    spec.traffic = traffic_kind_from_name(get_string(root, "traffic"));
+  }
+  spec.chunky_fraction = get_fraction(root, "chunky_fraction", 1.0);
+
+  if (const JsonValue* failure = root.find("failure"); failure != nullptr) {
+    if (!failure->is_object()) fail_key("failure", "must be an object");
+    require_only_keys(*failure, "failure.",
+                      {"link_failure_fraction", "switch_failure_fraction",
+                       "capacity_factor"});
+    spec.failure.link_failure_fraction =
+        get_fraction(*failure, "link_failure_fraction", 0.0);
+    spec.failure.switch_failure_fraction =
+        get_fraction(*failure, "switch_failure_fraction", 0.0);
+    if (const JsonValue* factor = failure->find("capacity_factor");
+        factor != nullptr) {
+      if (!factor->is_number()) {
+        fail_key("failure.capacity_factor", "must be a number");
+      }
+      if (factor->number <= 0.0 || factor->number > 1.0) {
+        fail_key("failure.capacity_factor", "out of range (want (0, 1])");
+      }
+      spec.failure.capacity_factor = factor->number;
+    }
+  }
+
+  if (const JsonValue* axes = root.find("axes"); axes != nullptr) {
+    if (!axes->is_array()) fail_key("axes", "must be an array");
+    for (std::size_t a = 0; a < axes->items.size(); ++a) {
+      const JsonValue& entry = axes->items[a];
+      const std::string where = "axes[" + std::to_string(a) + "].";
+      if (!entry.is_object()) {
+        fail_key("axes[" + std::to_string(a) + "]", "must be an object");
+      }
+      require_only_keys(entry, where, {"param", "values", "full_values"});
+      SweepAxis axis;
+      axis.param = get_string(entry, "param");
+      axis.values = get_number_list(entry, "values");
+      if (axis.values.empty()) fail_key(where + "values", "must be non-empty");
+      axis.full_values = get_number_list(entry, "full_values");
+      spec.axes.push_back(std::move(axis));
+    }
+  }
+
+  spec.quick_runs = get_run_count(root, "quick_runs", spec.quick_runs);
+  spec.full_runs = get_run_count(root, "full_runs", spec.full_runs);
+  if (const JsonValue* reuse = root.find("reuse_topology"); reuse != nullptr) {
+    if (!reuse->is_bool()) fail_key("reuse_topology", "must be a boolean");
+    spec.reuse_topology = reuse->boolean;
+  }
+
+  validate_spec(spec);
+  return spec;
+}
+
+void validate_spec(const ScenarioSpec& spec) {
+  require(!spec.name.empty(), "spec key \"name\": must be non-empty");
+  const FamilyInfo* family = find_family(spec.topology.family);
+  if (family == nullptr) {
+    std::string known;
+    for (const FamilyInfo& f : topology_families()) {
+      if (!known.empty()) known += ", ";
+      known += f.name;
+    }
+    fail_key("topology.family", "unknown family \"" + spec.topology.family +
+                                    "\" (known: " + known + ")");
+  }
+  const auto known_param = [&](const std::string& name) {
+    return std::find(family->params.begin(), family->params.end(), name) !=
+           family->params.end();
+  };
+  for (const auto& [name, value] : spec.topology.params) {
+    (void)value;
+    if (!known_param(name)) {
+      fail_key("topology.params." + name,
+               "unknown " + family->name + " parameter");
+    }
+  }
+  for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+    const SweepAxis& axis = spec.axes[a];
+    const std::string where = "axes[" + std::to_string(a) + "].";
+    if (axis.param.empty()) fail_key(where + "param", "must be non-empty");
+    if (!is_eval_axis(axis.param) && !known_param(axis.param)) {
+      fail_key(where + "param", "unknown sweep axis \"" + axis.param +
+                                    "\" for family " + family->name);
+    }
+    // A repeated axis would silently run a different experiment: axes
+    // bind in order, so the later one overwrites the earlier while the
+    // output table still prints the earlier's values as a column.
+    for (std::size_t b = 0; b < a; ++b) {
+      if (spec.axes[b].param == axis.param) {
+        fail_key(where + "param", "duplicate axis \"" + axis.param +
+                                      "\" (also axes[" + std::to_string(b) +
+                                      "])");
+      }
+    }
+    if (axis.values.empty()) fail_key(where + "values", "must be non-empty");
+    // Evaluation-side axis values get the same range checks as their
+    // scalar spec counterparts, so a bad value names its key here
+    // instead of erroring mid-sweep (after cache writes) downstream.
+    const auto check_values = [&](const std::vector<double>& values,
+                                  const char* list_key) {
+      for (const double v : values) {
+        if ((axis.param == "link_failure_fraction" ||
+             axis.param == "switch_failure_fraction" ||
+             axis.param == "chunky_fraction") &&
+            (v < 0.0 || v > 1.0)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " out of range for " + axis.param +
+                                         " (want [0, 1])");
+        }
+        if (axis.param == "capacity_factor" && (v <= 0.0 || v > 1.0)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " out of range for capacity_factor "
+                                         "(want (0, 1])");
+        }
+        if (axis.param == "epsilon" && (v <= 0.0 || v >= 1.0)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " out of range for epsilon "
+                                         "(want (0, 1))");
+        }
+      }
+    };
+    check_values(axis.values, "values");
+    check_values(axis.full_values, "full_values");
+  }
+  require(spec.quick_runs >= 1,
+          "spec key \"quick_runs\": out of range (want >= 1)");
+  require(spec.full_runs >= 1,
+          "spec key \"full_runs\": out of range (want >= 1)");
+  require(spec.chunky_fraction >= 0.0 && spec.chunky_fraction <= 1.0,
+          "spec key \"chunky_fraction\": out of range (want [0, 1])");
+}
+
+ScenarioSpec load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  require(static_cast<bool>(in), "cannot read spec file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return spec_from_json(buffer.str());
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(path + ": " + e.what());
+  }
+}
+
+int spec_file_main(const std::string& path, int argc,
+                   const char* const* argv) {
+  register_builtin_scenarios();
+  try {
+    const ScenarioSpec spec = load_spec_file(path);
+    const ScenarioOptions options = parse_scenario_options(argc, argv);
+    ScenarioRun run(options, std::cout);
+    run_spec_scenario(spec, run);
+    if (!options.out_path.empty()) {
+      std::ofstream out(options.out_path);
+      if (!out) {
+        std::cerr << "cannot write " << options.out_path << "\n";
+        return 1;
+      }
+      write_scenario_json(out, spec.name, options, run.tables());
+    }
+    return 0;
+  } catch (const InvalidArgument& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+}
+
+int dump_spec_main(const std::string& name, const std::string& out_path) {
+  register_builtin_scenarios();
+  const ScenarioInfo* info = find_scenario(name);
+  if (info == nullptr) {
+    std::cerr << "unknown scenario: " << name
+              << " (topobench --list shows all names)\n";
+    return 2;
+  }
+  const ScenarioSpec* spec = find_spec_scenario(info->name);
+  if (spec == nullptr) {
+    std::cerr << "scenario " << info->name
+              << " is not spec-backed (figure scenarios cannot be dumped; "
+                 "sweep_* scenarios can)\n";
+    return 2;
+  }
+  const std::string json = spec_to_json(*spec);
+  if (out_path.empty()) {
+    std::cout << json;
+    return 0;
+  }
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  out << json;
+  return 0;
+}
+
+}  // namespace topo::scenario

@@ -1,0 +1,58 @@
+// JSON (de)serialization of ScenarioSpec — the spec-file front end.
+//
+// A sweep that used to require a new registration in builtin.cc is now a
+// JSON file: `topobench --spec FILE` parses, validates, and runs it
+// through the same SweepRunner as every registered sweep scenario, and
+// `topobench --dump-spec NAME` round-trips any registered spec-backed
+// scenario to a file. Serialization is canonical — fixed field order,
+// params sorted by key, shortest-round-trip numbers — so
+// dump -> parse -> dump is byte-identical and the emitted string doubles
+// as the hashing material for the result cache (cache.h).
+//
+// Parsing is strict, extending the "fail loudly" contract of
+// util/flags.h and the sweep runner to the file front end: unknown keys,
+// misspelled axis/parameter names, wrong types, and out-of-range values
+// all raise InvalidArgument naming the offending key instead of silently
+// running a different experiment.
+#ifndef TOPODESIGN_SCENARIO_SPEC_IO_H
+#define TOPODESIGN_SCENARIO_SPEC_IO_H
+
+#include <string>
+
+#include "scenario/spec.h"
+
+namespace topo::scenario {
+
+/// Canonical JSON for a spec (human-editable, newline-terminated).
+[[nodiscard]] std::string spec_to_json(const ScenarioSpec& spec);
+
+/// Parses and validates a spec document. Raises InvalidArgument naming
+/// the offending key on unknown keys, wrong types, out-of-range values,
+/// unknown topology families/parameters, and unknown axis names.
+[[nodiscard]] ScenarioSpec spec_from_json(const std::string& text);
+
+/// Reads and parses a spec file; the error message names the path.
+[[nodiscard]] ScenarioSpec load_spec_file(const std::string& path);
+
+/// Semantic checks shared by spec_from_json and programmatic callers:
+/// known family, known parameter and axis names, value ranges, run
+/// counts >= 1, non-empty axis values. Raises InvalidArgument.
+void validate_spec(const ScenarioSpec& spec);
+
+/// Spec-file name of a traffic kind ("permutation" / "all_to_all" /
+/// "chunky") and its strict inverse.
+[[nodiscard]] const char* traffic_kind_name(TrafficKind kind);
+[[nodiscard]] TrafficKind traffic_kind_from_name(const std::string& name);
+
+/// CLI entry: runs the spec in `path` with the standard scenario flags
+/// (argv[0] is skipped, as in scenario_main). Returns a shell exit code.
+int spec_file_main(const std::string& path, int argc, const char* const* argv);
+
+/// CLI entry: writes the canonical JSON of registered spec scenario
+/// `name` (unique prefixes resolve) to `out_path`, or stdout when empty.
+/// Figure scenarios are not spec-backed and are rejected with a message.
+int dump_spec_main(const std::string& name, const std::string& out_path);
+
+}  // namespace topo::scenario
+
+#endif  // TOPODESIGN_SCENARIO_SPEC_IO_H

@@ -1,9 +1,12 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <iostream>
 #include <memory>
 #include <utility>
 
+#include "scenario/cache.h"
+#include "scenario/spec_io.h"
 #include "scenario/topo_registry.h"
 #include "util/error.h"
 #include "util/parallel.h"
@@ -32,6 +35,20 @@ void bind_coord(const std::string& name, double value, ParamMap& params,
   } else {
     params[name] = value;
   }
+}
+
+// The resolved inputs of one (point, run) cell — exactly what its result
+// is a function of, so it doubles as the cache identity (cache.h).
+struct CellPlan {
+  ParamMap params;
+  EvalOptions options;
+  std::uint64_t topo_seed = 0;
+  std::uint64_t traffic_seed = 0;
+};
+
+std::vector<std::shared_ptr<const ScenarioSpec>>& spec_registry() {
+  static auto* specs = new std::vector<std::shared_ptr<const ScenarioSpec>>();
+  return *specs;
 }
 
 }  // namespace
@@ -64,41 +81,102 @@ std::vector<std::vector<double>> SweepRunner::enumerate_points() const {
 SweepResult SweepRunner::run() const {
   const ScenarioSpec& spec = *spec_;
   require(config_.runs >= 1, "sweep requires runs >= 1");
+  // One validator for file-parsed and programmatic specs alike: known
+  // family, known parameter/axis names (a typo'd axis would otherwise
+  // sweep nothing and report identical cells without an error), sane
+  // ranges. Messages name the offending key.
+  validate_spec(spec);
   const FamilyInfo* family = find_family(spec.topology.family);
-  require(family != nullptr,
-          "unknown topology family: " + spec.topology.family);
-
-  // Reject names the builder would silently ignore (a typo'd axis would
-  // otherwise sweep nothing and report identical cells without an error).
-  const auto known = [&](const std::string& name) {
-    return std::find(family->params.begin(), family->params.end(), name) !=
-           family->params.end();
-  };
-  for (const auto& [name, value] : spec.topology.params) {
-    (void)value;
-    require(known(name), "unknown " + family->name + " parameter: " + name);
-  }
-  for (const SweepAxis& axis : spec.axes) {
-    require(is_eval_axis(axis.param) || known(axis.param),
-            "unknown sweep axis for family " + family->name + ": " +
-                axis.param);
-  }
 
   const std::vector<std::vector<double>> points = enumerate_points();
   const int runs = config_.runs;
   const int num_points = static_cast<int>(points.size());
+  const int num_cells = num_points * runs;
 
   bool reuse = spec.reuse_topology;
   for (const SweepAxis& axis : spec.axes) {
     if (!is_eval_axis(axis.param)) reuse = false;
   }
 
-  // With reuse, run r's topology is independent of the sweep point: build
-  // the `runs` instances once up front (in parallel) and share them.
+  // Seed fan-out (the documented contract): point p draws
+  // point_seed = derive_seed(master, p); run r of that point uses
+  // topology seed derive_seed(point_seed, 2r) and traffic seed
+  // derive_seed(point_seed, 2r + 1). In reuse mode the whole run-r
+  // stream (topology, workload, failure draw) is point-independent —
+  // both seeds derive from the master instead — so only the axis value
+  // changes between points and link-failure sweeps degrade
+  // prefix-nested failed sets of ONE fixed (topology, workload) pair
+  // per run (curves monotone up to FPTAS slack; see core/failure.h).
+  const auto make_plan = [&](int index) {
+    const int point = index / runs;
+    const int run_index = index % runs;
+    CellPlan plan;
+    plan.params = spec.topology.params;
+    plan.options.flow.epsilon = config_.epsilon;
+    plan.options.traffic = spec.traffic;
+    plan.options.chunky_fraction = spec.chunky_fraction;
+    plan.options.failure = spec.failure;
+    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+      bind_coord(spec.axes[a].param,
+                 points[static_cast<std::size_t>(point)][a], plan.params,
+                 plan.options);
+    }
+    const std::uint64_t seed_base =
+        reuse ? config_.master_seed
+              : Rng::derive_seed(config_.master_seed,
+                                 static_cast<std::uint64_t>(point));
+    plan.topo_seed =
+        Rng::derive_seed(seed_base, 2 * static_cast<std::uint64_t>(run_index));
+    plan.traffic_seed = Rng::derive_seed(
+        seed_base, 2 * static_cast<std::uint64_t>(run_index) + 1);
+    return plan;
+  };
+
+  // One flat grid of (point, run) cells; results land in per-cell slots
+  // and are reduced serially below, so cached and fresh cells merge in
+  // the same ordered reduction.
+  std::vector<ThroughputResult> cells(static_cast<std::size_t>(num_cells));
+  std::unique_ptr<ResultCache> cache;
+  std::vector<CellPlan> plans;
+  std::vector<std::uint64_t> keys;
+  std::vector<char> cached;
+  int hits = 0;
+  if (!config_.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(config_.cache_dir);
+    plans.resize(static_cast<std::size_t>(num_cells));
+    keys.resize(static_cast<std::size_t>(num_cells));
+    cached.assign(static_cast<std::size_t>(num_cells), 0);
+    // Per-cell loads are independent file reads; run them on the pool so
+    // a large warm sweep is not serialized on its preload. The plans are
+    // kept for the evaluation pass below.
+    parallel_for(num_cells, [&](int index) {
+      const std::size_t i = static_cast<std::size_t>(index);
+      plans[i] = make_plan(index);
+      keys[i] = cell_key(CellIdentity{spec.topology.family, plans[i].params,
+                                      plans[i].options, plans[i].topo_seed,
+                                      plans[i].traffic_seed});
+      if (cache->load(keys[i], &cells[i])) cached[i] = 1;
+    });
+    for (const char hit : cached) hits += hit;
+  }
+
+  // With reuse, run r's topology is independent of the sweep point:
+  // build the `runs` instances once up front (in parallel) and share
+  // them — skipping runs whose every cell came out of the cache.
   std::vector<std::shared_ptr<const BuiltTopology>> shared(
       static_cast<std::size_t>(reuse ? runs : 0));
   if (reuse) {
+    std::vector<char> needed(static_cast<std::size_t>(runs),
+                             cache == nullptr ? 1 : 0);
+    if (cache != nullptr) {
+      for (int index = 0; index < num_cells; ++index) {
+        if (!cached[static_cast<std::size_t>(index)]) {
+          needed[static_cast<std::size_t>(index % runs)] = 1;
+        }
+      }
+    }
     parallel_for(runs, [&](int r) {
+      if (!needed[static_cast<std::size_t>(r)]) return;
       try {
         shared[static_cast<std::size_t>(r)] =
             std::make_shared<const BuiltTopology>(family->build(
@@ -111,50 +189,32 @@ SweepResult SweepRunner::run() const {
     });
   }
 
-  // One flat grid of (point, run) cells over the pool; results land in
-  // per-cell slots and are reduced serially below.
-  std::vector<ThroughputResult> cells(
-      static_cast<std::size_t>(num_points) * static_cast<std::size_t>(runs));
-  parallel_for(num_points * runs, [&](int index) {
-    const int point = index / runs;
-    const int run_index = index % runs;
-    ParamMap params = spec.topology.params;
-    EvalOptions options;
-    options.flow.epsilon = config_.epsilon;
-    options.traffic = spec.traffic;
-    options.chunky_fraction = spec.chunky_fraction;
-    options.failure = spec.failure;
-    for (std::size_t a = 0; a < spec.axes.size(); ++a) {
-      bind_coord(spec.axes[a].param,
-                 points[static_cast<std::size_t>(point)][a], params, options);
-    }
-    const std::uint64_t point_seed = Rng::derive_seed(
-        config_.master_seed, static_cast<std::uint64_t>(point));
-    // In reuse mode the whole run-r stream (topology, workload, failure
-    // draw) is point-independent: only the axis value changes between
-    // points, so e.g. a link-failure sweep degrades prefix-nested failed
-    // sets of ONE fixed (topology, workload) pair per run (curves
-    // monotone up to FPTAS slack; see core/failure.h).
-    const std::uint64_t traffic_seed = Rng::derive_seed(
-        reuse ? config_.master_seed : point_seed,
-        2 * static_cast<std::uint64_t>(run_index) + 1);
+  parallel_for(num_cells, [&](int index) {
+    if (cache != nullptr && cached[static_cast<std::size_t>(index)]) return;
+    const CellPlan plan = cache != nullptr
+                              ? plans[static_cast<std::size_t>(index)]
+                              : make_plan(index);
     try {
       if (reuse) {
-        const auto& topology = shared[static_cast<std::size_t>(run_index)];
+        const auto& topology = shared[static_cast<std::size_t>(index % runs)];
         if (topology != nullptr) {
           cells[static_cast<std::size_t>(index)] =
-              evaluate_throughput(*topology, options, traffic_seed);
+              evaluate_throughput(*topology, plan.options, plan.traffic_seed);
         }
-        return;
+      } else {
+        const BuiltTopology topology =
+            family->build(plan.params, plan.topo_seed);
+        cells[static_cast<std::size_t>(index)] =
+            evaluate_throughput(topology, plan.options, plan.traffic_seed);
       }
-      const BuiltTopology topology = family->build(
-          params, Rng::derive_seed(
-                      point_seed, 2 * static_cast<std::uint64_t>(run_index)));
-      cells[static_cast<std::size_t>(index)] =
-          evaluate_throughput(topology, options, traffic_seed);
     } catch (const ConstructionFailure&) {
       // Infeasible zero run (extreme parameter corners), like
-      // run_experiment.
+      // run_experiment. Cached too: the outcome is as deterministic as
+      // any other cell's.
+    }
+    if (cache != nullptr) {
+      cache->store(keys[static_cast<std::size_t>(index)],
+                   cells[static_cast<std::size_t>(index)]);
     }
   });
 
@@ -162,6 +222,8 @@ SweepResult SweepRunner::run() const {
   for (const SweepAxis& axis : spec.axes) {
     result.axis_names.push_back(axis.param);
   }
+  result.cache_hits = hits;
+  result.cache_misses = cache != nullptr ? num_cells - hits : 0;
   result.points.reserve(points.size());
   for (int p = 0; p < num_points; ++p) {
     const auto begin = cells.begin() + static_cast<std::ptrdiff_t>(p) * runs;
@@ -196,22 +258,60 @@ TablePrinter sweep_table(const SweepResult& result) {
   return table;
 }
 
+void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx) {
+  SweepRunConfig config;
+  config.runs = ctx.runs(spec.quick_runs, spec.full_runs);
+  config.epsilon = ctx.options().epsilon;
+  config.master_seed = ctx.options().seed;
+  config.full = ctx.options().full;
+  config.cache_dir = ctx.options().cache_dir;
+  const SweepResult result = SweepRunner(spec, config).run();
+  ctx.banner(spec.description);
+  ctx.table(sweep_table(result));
+  if (!config.cache_dir.empty()) {
+    // stderr, not the scenario stream: stdout/JSON stay byte-identical
+    // between cold and warm runs.
+    std::cerr << "cache " << spec.name << " ["
+              << hash_hex(spec_hash(spec, config)) << "]: "
+              << result.cache_hits << " hits, " << result.cache_misses
+              << " misses (" << config.cache_dir << ")\n";
+  }
+}
+
 void register_spec_scenario(ScenarioSpec spec) {
   const std::string name = spec.name;
   const std::string description = spec.description;
+  // Idempotent, like register_scenario — and if the name is already taken
+  // by ANY scenario (spec-backed or not), leave both registries alone so
+  // --dump-spec can never emit a spec that is not what `topobench NAME`
+  // runs.
+  for (const ScenarioInfo* existing : list_scenarios()) {
+    if (existing->name == name) return;
+  }
   auto shared_spec = std::make_shared<const ScenarioSpec>(std::move(spec));
-  register_scenario(ScenarioInfo{
-      name, description, [shared_spec](ScenarioRun& ctx) {
-        SweepRunConfig config;
-        config.runs =
-            ctx.runs(shared_spec->quick_runs, shared_spec->full_runs);
-        config.epsilon = ctx.options().epsilon;
-        config.master_seed = ctx.options().seed;
-        config.full = ctx.options().full;
-        const SweepResult result = SweepRunner(*shared_spec, config).run();
-        ctx.banner(shared_spec->description);
-        ctx.table(sweep_table(result));
-      }});
+  spec_registry().push_back(shared_spec);
+  register_scenario(ScenarioInfo{name, description,
+                                 [shared_spec](ScenarioRun& ctx) {
+                                   run_spec_scenario(*shared_spec, ctx);
+                                 }});
+}
+
+const ScenarioSpec* find_spec_scenario(const std::string& name) {
+  for (const auto& spec : spec_registry()) {
+    if (spec->name == name) return spec.get();
+  }
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> list_spec_scenarios() {
+  std::vector<const ScenarioSpec*> result;
+  result.reserve(spec_registry().size());
+  for (const auto& spec : spec_registry()) result.push_back(spec.get());
+  std::sort(result.begin(), result.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) {
+              return a->name < b->name;
+            });
+  return result;
 }
 
 }  // namespace topo::scenario

@@ -27,6 +27,9 @@ struct SweepPointResult {
 struct SweepResult {
   std::vector<std::string> axis_names;
   std::vector<SweepPointResult> points;
+  /// Cell-cache accounting (both zero when no cache_dir was configured).
+  int cache_hits = 0;
+  int cache_misses = 0;  ///< Cells evaluated (and stored) this run.
 };
 
 /// Resolved run configuration for a sweep.
@@ -35,6 +38,11 @@ struct SweepRunConfig {
   double epsilon = 0.08;
   std::uint64_t master_seed = 1;
   bool full = false;  ///< Use each axis's full_values when present.
+  /// Content-addressed cell cache directory (cache.h); "" disables
+  /// caching. Cached (point × run) cells are skipped and merged with
+  /// fresh ones in the same ordered reduction, so a warm run's numbers
+  /// are bit-identical to a cold one.
+  std::string cache_dir;
 };
 
 /// Runs a declarative scenario spec.
@@ -72,9 +80,24 @@ class SweepRunner {
 /// lambda/dual/utilization summaries and the infeasible-run count.
 [[nodiscard]] TablePrinter sweep_table(const SweepResult& result);
 
+/// Executes `spec` against a run context: resolves the SweepRunConfig
+/// from the context's options (runs, epsilon, seed, mode, cache dir),
+/// runs the sweep, and emits banner + sweep_table. Cache accounting goes
+/// to stderr so scenario stdout/JSON stay byte-identical warm or cold.
+/// Shared by registered sweep scenarios and `topobench --spec FILE`.
+void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx);
+
 /// Registers `spec` as a named scenario whose run function executes the
-/// sweep with the run context's options and emits sweep_table.
+/// sweep with the run context's options and emits sweep_table. The spec
+/// itself is retained in a side registry for --dump-spec round-trips.
 void register_spec_scenario(ScenarioSpec spec);
+
+/// The retained spec of a spec-backed scenario; nullptr for scenarios
+/// registered some other way (e.g. the figure scenarios).
+[[nodiscard]] const ScenarioSpec* find_spec_scenario(const std::string& name);
+
+/// All retained specs, sorted by name.
+[[nodiscard]] std::vector<const ScenarioSpec*> list_spec_scenarios();
 
 }  // namespace topo::scenario
 

@@ -1,26 +1,38 @@
-// Minimal JSON scalar formatting shared by the bench binaries and the
-// scenario engine's machine-readable output.
+// Minimal JSON support shared by the bench binaries, the scenario engine's
+// machine-readable output, the spec-file front end, and the result cache.
 //
-// Only emission lives here (the library never needs to parse JSON);
-// doubles keep round-trip precision and non-finite values become null
-// because JSON has no inf/nan.
+// Emission: scalar formatting helpers; doubles use shortest-round-trip
+// formatting (the shortest decimal string strtod maps back to the exact
+// bits), so emit -> parse -> emit is byte-identical and cached numbers
+// reload exactly. Non-finite values become null because JSON has no
+// inf/nan.
+//
+// Parsing: a strict recursive-descent parser (objects, arrays, strings,
+// numbers, bools, null) that rejects trailing input, duplicate object
+// keys, and malformed escapes with a byte offset — shared by the golden
+// regression layer, spec_io, and the cache loader so there is exactly one
+// JSON reader in the tree.
 #ifndef TOPODESIGN_UTIL_JSON_H
 #define TOPODESIGN_UTIL_JSON_H
 
 #include <cmath>
 #include <cstdio>
-#include <sstream>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace topo {
 
-/// Round-trip-precise JSON number; null for inf/nan.
+/// Shortest JSON number that parses back to exactly `v`; null for inf/nan.
 inline std::string json_number(double v) {
   if (!std::isfinite(v)) return "null";
-  std::ostringstream out;
-  out.precision(17);
-  out << v;
-  return out.str();
+  char buf[40];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
 }
 
 /// JSON string literal with the mandatory escapes.
@@ -41,6 +53,36 @@ inline std::string json_string(const std::string& s) {
   out += '"';
   return out;
 }
+
+/// One parsed JSON node. Object members keep source order (canonical
+/// re-serialization and error messages want it); lookup is linear, which
+/// is fine at the document sizes this library reads.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;                ///< Kind::kString payload.
+  std::vector<JsonValue> items;    ///< Kind::kArray elements.
+  std::vector<std::pair<std::string, JsonValue>> members;  ///< Kind::kObject.
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+
+  /// Member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  /// Member lookup; raises InvalidArgument naming `key` when absent.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const;
+};
+
+/// Parses a complete JSON document. Raises InvalidArgument with a byte
+/// offset on malformed input, trailing characters, or duplicate keys.
+[[nodiscard]] JsonValue parse_json(const std::string& text);
 
 }  // namespace topo
 

@@ -1,0 +1,343 @@
+// Result-cache tests: cold vs warm equivalence (bit-identical reductions,
+// zero recomputation on warm), spec-hash sensitivity to every field,
+// content-addressed cell reuse across axis edits and run counts, and the
+// corruption trust model (truncated / corrupted / foreign files are
+// recomputed, never trusted).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/cache.h"
+#include "scenario/spec_io.h"
+#include "scenario/sweep.h"
+#include "util/error.h"
+
+namespace topo::scenario {
+namespace {
+
+ScenarioSpec tiny_rrg_spec() {
+  ScenarioSpec spec;
+  spec.name = "cache_test_tiny";
+  spec.description = "tiny RRG sweep";
+  spec.topology = {"random_regular", {{"n", 12}, {"ports", 6}, {"degree", 4}}};
+  spec.axes = {{"link_failure_fraction", {0.0, 0.25}, {}}};
+  spec.quick_runs = 2;
+  return spec;
+}
+
+SweepRunConfig tiny_config() {
+  SweepRunConfig config;
+  config.runs = 2;
+  config.epsilon = 0.25;  // loose: these tests care about wiring, not bounds
+  config.master_seed = 5;
+  return config;
+}
+
+// A fresh empty cache directory per test.
+std::string fresh_cache_dir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/topobench_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+void expect_points_bitwise_equal(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a.points[i].coords, b.points[i].coords);
+    EXPECT_EQ(a.points[i].stats.lambda.mean, b.points[i].stats.lambda.mean);
+    EXPECT_EQ(a.points[i].stats.lambda.stdev, b.points[i].stats.lambda.stdev);
+    EXPECT_EQ(a.points[i].stats.lambda.min, b.points[i].stats.lambda.min);
+    EXPECT_EQ(a.points[i].stats.dual_bound.mean,
+              b.points[i].stats.dual_bound.mean);
+    EXPECT_EQ(a.points[i].stats.utilization.mean,
+              b.points[i].stats.utilization.mean);
+    EXPECT_EQ(a.points[i].stats.inverse_spl.mean,
+              b.points[i].stats.inverse_spl.mean);
+    EXPECT_EQ(a.points[i].stats.inverse_stretch.mean,
+              b.points[i].stats.inverse_stretch.mean);
+    EXPECT_EQ(a.points[i].stats.infeasible_runs,
+              b.points[i].stats.infeasible_runs);
+  }
+}
+
+TEST(Cache, ColdThenWarmIsBitIdenticalWithZeroRecomputation) {
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  const SweepResult uncached = SweepRunner(spec, config).run();
+  EXPECT_EQ(uncached.cache_hits, 0);
+  EXPECT_EQ(uncached.cache_misses, 0);  // no cache configured
+
+  config.cache_dir = fresh_cache_dir("cold_warm");
+  const SweepResult cold = SweepRunner(spec, config).run();
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.cache_misses, 4);  // 2 points x 2 runs
+  expect_points_bitwise_equal(uncached, cold);
+
+  const SweepResult warm = SweepRunner(spec, config).run();
+  EXPECT_EQ(warm.cache_hits, 4);
+  EXPECT_EQ(warm.cache_misses, 0);
+  expect_points_bitwise_equal(cold, warm);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, EditingOneAxisValueRecomputesOnlyThatColumn) {
+  ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  config.cache_dir = fresh_cache_dir("axis_edit");
+  const SweepResult cold = SweepRunner(spec, config).run();
+  ASSERT_EQ(cold.cache_misses, 4);
+
+  // Replace one value: the untouched column's cells hit, the edited one
+  // recomputes.
+  spec.axes[0].values = {0.0, 0.3};
+  const SweepResult edited = SweepRunner(spec, config).run();
+  EXPECT_EQ(edited.cache_hits, 2);
+  EXPECT_EQ(edited.cache_misses, 2);
+  EXPECT_EQ(edited.points[0].stats.lambda.mean,
+            cold.points[0].stats.lambda.mean);
+
+  // Append a value: both existing columns hit (non-reuse point seeds are
+  // index-derived, and indices of existing points are unchanged).
+  spec.axes[0].values = {0.0, 0.3, 0.5};
+  const SweepResult appended = SweepRunner(spec, config).run();
+  EXPECT_EQ(appended.cache_hits, 4);
+  EXPECT_EQ(appended.cache_misses, 2);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, CellsAreSharedAcrossRunCounts) {
+  // Content addressing: run r's cell identity does not depend on the
+  // total run count, so a --runs 1 warm run reuses the first run of an
+  // earlier --runs 2 sweep.
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  config.cache_dir = fresh_cache_dir("run_counts");
+  (void)SweepRunner(spec, config).run();
+  config.runs = 1;
+  const SweepResult warm = SweepRunner(spec, config).run();
+  EXPECT_EQ(warm.cache_hits, 2);
+  EXPECT_EQ(warm.cache_misses, 0);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, DifferentSeedOrEpsilonMissesEverything) {
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  config.cache_dir = fresh_cache_dir("seed_eps");
+  (void)SweepRunner(spec, config).run();
+
+  SweepRunConfig other_seed = config;
+  other_seed.master_seed = 6;
+  EXPECT_EQ(SweepRunner(spec, other_seed).run().cache_hits, 0);
+
+  SweepRunConfig other_eps = config;
+  other_eps.epsilon = 0.2;
+  EXPECT_EQ(SweepRunner(spec, other_eps).run().cache_hits, 0);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, ReuseTopologySweepsCacheToo) {
+  ScenarioSpec spec = tiny_rrg_spec();
+  spec.axes = {{"capacity_factor", {1.0, 0.5}, {}}};
+  spec.reuse_topology = true;
+  SweepRunConfig config = tiny_config();
+  const SweepResult uncached = SweepRunner(spec, config).run();
+  config.cache_dir = fresh_cache_dir("reuse");
+  const SweepResult cold = SweepRunner(spec, config).run();
+  const SweepResult warm = SweepRunner(spec, config).run();
+  EXPECT_EQ(cold.cache_misses, 4);
+  EXPECT_EQ(warm.cache_hits, 4);
+  expect_points_bitwise_equal(uncached, warm);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, CorruptedTruncatedOrForeignFilesAreRecomputed) {
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  config.cache_dir = fresh_cache_dir("corrupt");
+  const SweepResult cold = SweepRunner(spec, config).run();
+  ASSERT_EQ(cold.cache_misses, 4);
+
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config.cache_dir)) {
+    files.push_back(entry.path().string());
+  }
+  ASSERT_EQ(files.size(), 4u);
+  std::sort(files.begin(), files.end());
+
+  // Truncate one entry mid-document.
+  {
+    std::ifstream in(files[0]);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    std::ofstream out(files[0], std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  // Corrupt a digit in another (still valid JSON; checksum must catch it).
+  {
+    std::ifstream in(files[1]);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const std::size_t pos = content.find("\"lambda\": ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t digit = content.find_first_of("0123456789", pos + 10);
+    ASSERT_NE(digit, std::string::npos);
+    content[digit] = content[digit] == '9' ? '8' : '9';
+    std::ofstream out(files[1], std::ios::trunc);
+    out << content;
+  }
+  // Replace a third with something that is not a cache entry at all.
+  {
+    std::ofstream out(files[2], std::ios::trunc);
+    out << "not json";
+  }
+
+  const SweepResult warm = SweepRunner(spec, config).run();
+  EXPECT_EQ(warm.cache_hits, 1);
+  EXPECT_EQ(warm.cache_misses, 3);
+  expect_points_bitwise_equal(cold, warm);
+
+  // The recompute healed the entries: everything hits now.
+  const SweepResult healed = SweepRunner(spec, config).run();
+  EXPECT_EQ(healed.cache_hits, 4);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, StoreLoadRoundTripsExactly) {
+  ResultCache cache(fresh_cache_dir("roundtrip"));
+  ThroughputResult result;
+  result.lambda = 0.9346999999999999;
+  result.dual_bound = 1.0153000000000001;
+  result.gap = 0.07937;
+  result.feasible = true;
+  result.phases = 123;
+  result.utilization = 1.0 / 3.0;
+  result.mean_routed_path_length = 2.5;
+  result.demand_weighted_spl = 2.25;
+  result.stretch = 2.5 / 2.25;
+  result.total_demand = 48.0;
+  cache.store(17, result);
+
+  ThroughputResult loaded;
+  ASSERT_TRUE(cache.load(17, &loaded));
+  EXPECT_EQ(loaded.lambda, result.lambda);
+  EXPECT_EQ(loaded.dual_bound, result.dual_bound);
+  EXPECT_EQ(loaded.gap, result.gap);
+  EXPECT_EQ(loaded.feasible, result.feasible);
+  EXPECT_EQ(loaded.phases, result.phases);
+  EXPECT_EQ(loaded.utilization, result.utilization);
+  EXPECT_EQ(loaded.mean_routed_path_length, result.mean_routed_path_length);
+  EXPECT_EQ(loaded.demand_weighted_spl, result.demand_weighted_spl);
+  EXPECT_EQ(loaded.stretch, result.stretch);
+  EXPECT_EQ(loaded.total_demand, result.total_demand);
+  EXPECT_TRUE(loaded.arc_flow.empty());  // documented: not cached
+
+  // Unknown key is a clean miss, as is an infeasible default round trip.
+  EXPECT_FALSE(cache.load(18, &loaded));
+  cache.store(18, ThroughputResult{});
+  ASSERT_TRUE(cache.load(18, &loaded));
+  EXPECT_FALSE(loaded.feasible);
+  EXPECT_EQ(loaded.lambda, 0.0);
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(SpecHash, ChangesForEveryFieldSeedEpsAndRuns) {
+  const ScenarioSpec base_spec = tiny_rrg_spec();
+  const SweepRunConfig base_config = tiny_config();
+  const std::uint64_t base = spec_hash(base_spec, base_config);
+  EXPECT_EQ(base, spec_hash(base_spec, base_config));  // deterministic
+
+  const auto mutated_spec = [&](auto mutate) {
+    ScenarioSpec spec = tiny_rrg_spec();
+    mutate(spec);
+    return spec_hash(spec, base_config);
+  };
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) { s.name = "other"; }));
+  EXPECT_NE(base,
+            mutated_spec([](ScenarioSpec& s) { s.description = "other"; }));
+  EXPECT_NE(base, mutated_spec(
+                      [](ScenarioSpec& s) { s.topology.family = "fat_tree"; }));
+  EXPECT_NE(base, mutated_spec(
+                      [](ScenarioSpec& s) { s.topology.params["n"] = 14; }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.traffic = TrafficKind::kAllToAll;
+            }));
+  EXPECT_NE(base,
+            mutated_spec([](ScenarioSpec& s) { s.chunky_fraction = 0.5; }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.link_failure_fraction = 0.1;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.switch_failure_fraction = 0.1;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.capacity_factor = 0.9;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.axes[0].param = "switch_failure_fraction";
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.axes[0].values.push_back(0.5);
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.axes[0].full_values = {0.0, 0.1, 0.2};
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) { s.quick_runs = 4; }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) { s.full_runs = 21; }));
+  EXPECT_NE(base,
+            mutated_spec([](ScenarioSpec& s) { s.reuse_topology = true; }));
+
+  const auto mutated_config = [&](auto mutate) {
+    SweepRunConfig config = tiny_config();
+    mutate(config);
+    return spec_hash(base_spec, config);
+  };
+  EXPECT_NE(base, mutated_config([](SweepRunConfig& c) { c.master_seed = 6; }));
+  EXPECT_NE(base, mutated_config([](SweepRunConfig& c) { c.epsilon = 0.1; }));
+  EXPECT_NE(base, mutated_config([](SweepRunConfig& c) { c.runs = 3; }));
+  EXPECT_NE(base, mutated_config([](SweepRunConfig& c) { c.full = true; }));
+}
+
+TEST(CellIdentity, KeyCoversSeedsOptionsAndSolverTag) {
+  CellIdentity cell;
+  cell.family = "random_regular";
+  cell.params = {{"n", 12}, {"ports", 6}, {"degree", 4}};
+  cell.topo_seed = 100;
+  cell.traffic_seed = 101;
+  const std::uint64_t base = cell_key(cell);
+
+  CellIdentity other = cell;
+  other.topo_seed = 102;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.traffic_seed = 102;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.options.flow.epsilon = 0.1;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.options.failure.link_failure_fraction = 0.25;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.params["degree"] = 5;
+  EXPECT_NE(base, cell_key(other));
+  // The identity string pins the solver tag, so a version bump
+  // invalidates every cell by construction.
+  EXPECT_NE(cell_identity_json(cell).find(kSolverVersionTag),
+            std::string::npos);
+}
+
+TEST(Cache, UnwritableDirFailsLoudly) {
+  EXPECT_THROW(ResultCache(""), InvalidArgument);
+  EXPECT_THROW(ResultCache("/proc/definitely/not/writable"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace topo::scenario

@@ -1,0 +1,167 @@
+// util/json unit tests: shortest-round-trip number emission (every double
+// must parse back to the exact same bits — required for cache checksum
+// stability and for 1e-9 golden stability of spec-driven runs) and the
+// strict parser shared by spec_io, the cache, and the golden layer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json.h"
+
+namespace topo {
+namespace {
+
+TEST(JsonNumber, RoundTripsExactly) {
+  const std::vector<double> values = {
+      0.0,
+      1.0,
+      -1.0,
+      0.1,
+      -0.1,
+      1.0 / 3.0,
+      2.0 / 3.0,
+      1.0 / 7.0,
+      0.9346999999999999,  // a 17-digit survivor
+      1e-9,
+      1e300,
+      -1e300,
+      5e-324,                                   // smallest denormal
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::epsilon(),
+      123456789.123456789,
+      3.141592653589793,
+  };
+  for (const double v : values) {
+    const std::string text = json_number(v);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), v) << text;
+  }
+}
+
+TEST(JsonNumber, PrefersShortRepresentations) {
+  // 17-significant-digit formatting would print 0.1 as
+  // 0.10000000000000001; shortest-round-trip must not.
+  EXPECT_EQ(json_number(0.1), "0.1");
+  EXPECT_EQ(json_number(1.0), "1");
+  EXPECT_EQ(json_number(0.05), "0.05");
+  EXPECT_EQ(json_number(-2.5), "-2.5");
+  EXPECT_EQ(json_number(32.0), "32");
+}
+
+TEST(JsonNumber, NonFiniteBecomesNull) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(std::nan("")), "null");
+}
+
+TEST(JsonParse, ScalarsAndNesting) {
+  const JsonValue root = parse_json(
+      R"({"a": 1.5, "b": "text", "c": [1, 2, 3], "d": {"e": true, "f": null},
+          "g": false, "h": -2e-3})");
+  ASSERT_TRUE(root.is_object());
+  EXPECT_EQ(root.at("a").number, 1.5);
+  EXPECT_EQ(root.at("b").text, "text");
+  ASSERT_EQ(root.at("c").items.size(), 3u);
+  EXPECT_EQ(root.at("c").items[1].number, 2.0);
+  EXPECT_TRUE(root.at("d").at("e").boolean);
+  EXPECT_EQ(root.at("d").at("f").kind, JsonValue::Kind::kNull);
+  EXPECT_FALSE(root.at("g").boolean);
+  EXPECT_EQ(root.at("h").number, -2e-3);
+  // Member order is source order.
+  EXPECT_EQ(root.members.front().first, "a");
+  EXPECT_EQ(root.members.back().first, "h");
+}
+
+TEST(JsonParse, StringEscapes) {
+  const JsonValue value = parse_json(R"(["a\"b", "c\\d", "e\nf", "	"])");
+  ASSERT_EQ(value.items.size(), 4u);
+  EXPECT_EQ(value.items[0].text, "a\"b");
+  EXPECT_EQ(value.items[1].text, "c\\d");
+  EXPECT_EQ(value.items[2].text, "e\nf");
+  EXPECT_EQ(value.items[3].text, "\t");
+}
+
+TEST(JsonParse, EmittedStringsRoundTrip) {
+  const std::string original = "quote\" backslash\\ control\x01 plain";
+  const JsonValue parsed = parse_json(json_string(original));
+  EXPECT_EQ(parsed.text, original);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_json(""), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{\"a\": 1,}"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("[1, 2"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("\"unterminated"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("1 2"), InvalidArgument);  // trailing
+  EXPECT_THROW((void)parse_json("nul"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("1.2.3"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("\"bad \\x escape\""), InvalidArgument);
+}
+
+TEST(JsonParse, UnicodeEscapesDecodeToUtf8) {
+  // Standard serializers ASCII-escape non-ASCII text (ensure_ascii);
+  // those documents must parse, decoding to UTF-8 bytes.
+  EXPECT_EQ(parse_json(R"("caf\u00e9")").text, "caf\xc3\xa9");
+  EXPECT_EQ(parse_json(R"("\u2192")").text, "\xe2\x86\x92");  // arrow
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(parse_json(R"("\ud83d\ude00")").text, "\xf0\x9f\x98\x80");
+  // Raw UTF-8 bytes pass through untouched too.
+  EXPECT_EQ(parse_json("\"caf\xc3\xa9\"").text, "caf\xc3\xa9");
+  // Unpaired or inverted surrogates are malformed.
+  EXPECT_THROW((void)parse_json(R"("\ud83d")"), InvalidArgument);
+  EXPECT_THROW((void)parse_json(R"("\ud83dA")"), InvalidArgument);
+  EXPECT_THROW((void)parse_json(R"("\ude00")"), InvalidArgument);
+}
+
+TEST(JsonParse, RejectsNonJsonNumberForms) {
+  // strtod would take all of these; the JSON grammar does not, and a
+  // spec we accepted must stay readable by every other JSON tool.
+  EXPECT_THROW((void)parse_json("+2"), InvalidArgument);
+  EXPECT_THROW((void)parse_json(".5"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("5."), InvalidArgument);
+  EXPECT_THROW((void)parse_json("01"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("1e"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("1e+"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("-"), InvalidArgument);
+  EXPECT_THROW((void)parse_json("0x10"), InvalidArgument);
+  // ...while every legal shape still parses.
+  EXPECT_EQ(parse_json("0").number, 0.0);
+  EXPECT_EQ(parse_json("-0.5").number, -0.5);
+  EXPECT_EQ(parse_json("1e+3").number, 1000.0);
+  EXPECT_EQ(parse_json("2E-2").number, 0.02);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW((void)parse_json(R"({"a": 1, "a": 2})"), InvalidArgument);
+}
+
+TEST(JsonParse, AtNamesTheMissingKey) {
+  const JsonValue root = parse_json(R"({"present": 1})");
+  EXPECT_EQ(root.find("absent"), nullptr);
+  try {
+    (void)root.at("absent");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("absent"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, NumbersParseWithStrtodExactness) {
+  // The parser must preserve exact bits for everything json_number emits
+  // (cache reload correctness depends on it).
+  for (const double v : {0.9346999999999999, 1.0 / 3.0, 5e-324, 1e300}) {
+    const JsonValue parsed = parse_json(json_number(v));
+    ASSERT_TRUE(parsed.is_number());
+    EXPECT_EQ(parsed.number, v);
+  }
+}
+
+}  // namespace
+}  // namespace topo

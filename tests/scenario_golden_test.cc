@@ -6,24 +6,24 @@
 // 1e-9 — so a solver or scenario refactor that shifts any published number
 // fails here, at the API level, not just in perf_microbench.
 //
+// The JSON reader is the shared strict parser in util/json.h (the same
+// one the spec-file front end and the result cache use).
+//
 // Regenerating after an INTENDED change:
 //   TOPOBENCH_UPDATE_GOLDEN=1 ./build/tests/scenario_golden_test
 // then review the diff of tests/golden/*.json like any other code change.
 #include <gtest/gtest.h>
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <cstdlib>
 #include <fstream>
-#include <stdexcept>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "scenario/scenario.h"
+#include "util/json.h"
 
 #ifndef TOPOBENCH_GOLDEN_DIR
 #error "build must define TOPOBENCH_GOLDEN_DIR"
@@ -31,171 +31,6 @@
 
 namespace topo::scenario {
 namespace {
-
-// ---- A minimal JSON reader (objects, arrays, strings, numbers, null,
-// ---- bools) — just enough to load the golden files back.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string text;
-  std::vector<JsonValue> items;
-  std::map<std::string, JsonValue> fields;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& input) : input_(input) {}
-
-  JsonValue parse() {
-    JsonValue value = parse_value();
-    skip_space();
-    if (pos_ != input_.size()) fail("trailing characters");
-    return value;
-  }
-
- private:
-  [[noreturn]] void fail(const std::string& why) const {
-    throw std::runtime_error("JSON parse error at byte " +
-                             std::to_string(pos_) + ": " + why);
-  }
-
-  void skip_space() {
-    while (pos_ < input_.size() && std::isspace(
-               static_cast<unsigned char>(input_[pos_]))) {
-      ++pos_;
-    }
-  }
-
-  char peek() {
-    if (pos_ >= input_.size()) fail("unexpected end");
-    return input_[pos_];
-  }
-
-  void expect(char c) {
-    if (peek() != c) fail(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-
-  bool consume_literal(const char* literal) {
-    const std::size_t len = std::string(literal).size();
-    if (input_.compare(pos_, len, literal) == 0) {
-      pos_ += len;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    skip_space();
-    JsonValue value;
-    switch (peek()) {
-      case '{': {
-        value.kind = JsonValue::Kind::kObject;
-        expect('{');
-        skip_space();
-        if (peek() == '}') { ++pos_; return value; }
-        while (true) {
-          skip_space();
-          const std::string key = parse_string_raw();
-          skip_space();
-          expect(':');
-          value.fields[key] = parse_value();
-          skip_space();
-          if (peek() == ',') { ++pos_; continue; }
-          expect('}');
-          return value;
-        }
-      }
-      case '[': {
-        value.kind = JsonValue::Kind::kArray;
-        expect('[');
-        skip_space();
-        if (peek() == ']') { ++pos_; return value; }
-        while (true) {
-          value.items.push_back(parse_value());
-          skip_space();
-          if (peek() == ',') { ++pos_; continue; }
-          expect(']');
-          return value;
-        }
-      }
-      case '"':
-        value.kind = JsonValue::Kind::kString;
-        value.text = parse_string_raw();
-        return value;
-      default:
-        if (consume_literal("null")) return value;
-        if (consume_literal("true")) {
-          value.kind = JsonValue::Kind::kBool;
-          value.boolean = true;
-          return value;
-        }
-        if (consume_literal("false")) {
-          value.kind = JsonValue::Kind::kBool;
-          return value;
-        }
-        return parse_number();
-    }
-  }
-
-  std::string parse_string_raw() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= input_.size()) fail("unterminated string");
-      const char c = input_[pos_++];
-      if (c == '"') return out;
-      if (c == '\\') {
-        if (pos_ >= input_.size()) fail("bad escape");
-        const char e = input_[pos_++];
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'u': {
-            if (pos_ + 4 > input_.size()) fail("bad \\u escape");
-            const int code =
-                std::stoi(input_.substr(pos_, 4), nullptr, 16);
-            pos_ += 4;
-            out += static_cast<char>(code);  // goldens only escape < 0x20
-            break;
-          }
-          default: fail("unsupported escape");
-        }
-      } else {
-        out += c;
-      }
-    }
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    while (pos_ < input_.size() &&
-           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
-            input_[pos_] == '-' || input_[pos_] == '+' ||
-            input_[pos_] == '.' || input_[pos_] == 'e' ||
-            input_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNumber;
-    value.number = std::strtod(input_.substr(start, pos_ - start).c_str(),
-                               nullptr);
-    return value;
-  }
-
-  const std::string& input_;
-  std::size_t pos_ = 0;
-};
-
-// ---- Golden-mode execution and comparison.
 
 ScenarioOptions golden_options() {
   ScenarioOptions options;
@@ -229,23 +64,23 @@ std::vector<std::string> golden_scenario_names() {
 }
 
 void compare_tables(const JsonValue& expected, const JsonValue& actual) {
-  ASSERT_EQ(expected.kind, JsonValue::Kind::kObject);
-  ASSERT_EQ(actual.kind, JsonValue::Kind::kObject);
-  const JsonValue& etables = expected.fields.at("tables");
-  const JsonValue& atables = actual.fields.at("tables");
+  ASSERT_TRUE(expected.is_object());
+  ASSERT_TRUE(actual.is_object());
+  const JsonValue& etables = expected.at("tables");
+  const JsonValue& atables = actual.at("tables");
   ASSERT_EQ(etables.items.size(), atables.items.size()) << "table count";
   for (std::size_t t = 0; t < etables.items.size(); ++t) {
     const JsonValue& et = etables.items[t];
     const JsonValue& at = atables.items[t];
-    EXPECT_EQ(et.fields.at("title").text, at.fields.at("title").text);
-    const JsonValue& eheaders = et.fields.at("headers");
-    const JsonValue& aheaders = at.fields.at("headers");
+    EXPECT_EQ(et.at("title").text, at.at("title").text);
+    const JsonValue& eheaders = et.at("headers");
+    const JsonValue& aheaders = at.at("headers");
     ASSERT_EQ(eheaders.items.size(), aheaders.items.size());
     for (std::size_t h = 0; h < eheaders.items.size(); ++h) {
       EXPECT_EQ(eheaders.items[h].text, aheaders.items[h].text);
     }
-    const JsonValue& erows = et.fields.at("rows");
-    const JsonValue& arows = at.fields.at("rows");
+    const JsonValue& erows = et.at("rows");
+    const JsonValue& arows = at.at("rows");
     ASSERT_EQ(erows.items.size(), arows.items.size())
         << "row count in table " << t;
     for (std::size_t r = 0; r < erows.items.size(); ++r) {
@@ -257,13 +92,13 @@ void compare_tables(const JsonValue& expected, const JsonValue& actual) {
         const JsonValue& acell = arow.items[c];
         ASSERT_EQ(ecell.kind, acell.kind)
             << "cell kind (" << t << "," << r << "," << c << ")";
-        if (ecell.kind == JsonValue::Kind::kNumber) {
+        if (ecell.is_number()) {
           const double tolerance =
               1e-9 * std::max({1.0, std::fabs(ecell.number),
                                std::fabs(acell.number)});
           EXPECT_NEAR(ecell.number, acell.number, tolerance)
               << "cell (" << t << "," << r << "," << c << ")";
-        } else if (ecell.kind == JsonValue::Kind::kString) {
+        } else if (ecell.is_string()) {
           EXPECT_EQ(ecell.text, acell.text)
               << "cell (" << t << "," << r << "," << c << ")";
         }
@@ -297,8 +132,8 @@ TEST_P(GoldenTest, MatchesCheckedInResult) {
   std::stringstream buffer;
   buffer << in.rdbuf();
 
-  const JsonValue expected = JsonParser(buffer.str()).parse();
-  const JsonValue actual = JsonParser(actual_json).parse();
+  const JsonValue expected = parse_json(buffer.str());
+  const JsonValue actual = parse_json(actual_json);
   compare_tables(expected, actual);
 }
 

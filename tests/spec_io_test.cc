@@ -1,0 +1,308 @@
+// Spec-file front end tests.
+//
+// Round-trip property: for every registered spec-backed scenario,
+// dump -> parse -> dump is byte-identical, and a parsed spec reproduces
+// the checked-in golden table at the golden harness's 1e-9 tolerance.
+// Error paths: unknown keys, misspelled axis names, wrong types, and
+// out-of-range values each fail with a message naming the offending key
+// — the file-front-end extension of the PR-2 "fail loudly" contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/scenario.h"
+#include "scenario/spec_io.h"
+#include "scenario/sweep.h"
+#include "util/error.h"
+#include "util/json.h"
+
+#ifndef TOPOBENCH_GOLDEN_DIR
+#error "build must define TOPOBENCH_GOLDEN_DIR"
+#endif
+#ifndef TOPOBENCH_EXAMPLE_SPEC_DIR
+#error "build must define TOPOBENCH_EXAMPLE_SPEC_DIR"
+#endif
+
+namespace topo::scenario {
+namespace {
+
+// A minimal valid spec document the error-path tests mutate.
+const char* kTinySpec = R"({
+  "name": "tiny",
+  "topology": {"family": "random_regular",
+               "params": {"n": 12, "ports": 6, "degree": 4}},
+  "axes": [{"param": "link_failure_fraction", "values": [0, 0.25]}]
+})";
+
+// Asserts that parsing fails and that the message names `needle`.
+void expect_spec_error(const std::string& json, const std::string& needle) {
+  try {
+    (void)spec_from_json(json);
+    FAIL() << "expected InvalidArgument for: " << json;
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message \"" << e.what() << "\" does not name \"" << needle
+        << "\"";
+  }
+}
+
+TEST(SpecRoundTrip, EveryRegisteredSpecScenarioIsByteStable) {
+  register_builtin_scenarios();
+  const auto specs = list_spec_scenarios();
+  ASSERT_GE(specs.size(), 7u);
+  for (const ScenarioSpec* spec : specs) {
+    SCOPED_TRACE(spec->name);
+    const std::string once = spec_to_json(*spec);
+    const ScenarioSpec parsed = spec_from_json(once);
+    EXPECT_EQ(spec_to_json(parsed), once);
+  }
+}
+
+TEST(SpecRoundTrip, TinySpecParsesWithDefaults) {
+  const ScenarioSpec spec = spec_from_json(kTinySpec);
+  EXPECT_EQ(spec.name, "tiny");
+  EXPECT_EQ(spec.topology.family, "random_regular");
+  EXPECT_EQ(spec.topology.params.at("degree"), 4.0);
+  EXPECT_EQ(spec.traffic, TrafficKind::kPermutation);
+  EXPECT_EQ(spec.chunky_fraction, 1.0);
+  EXPECT_FALSE(spec.failure.active());
+  ASSERT_EQ(spec.axes.size(), 1u);
+  EXPECT_TRUE(spec.axes[0].full_values.empty());
+  EXPECT_EQ(spec.quick_runs, 3);
+  EXPECT_EQ(spec.full_runs, 20);
+  EXPECT_FALSE(spec.reuse_topology);
+  // Defaults re-serialize canonically too.
+  EXPECT_EQ(spec_to_json(spec), spec_to_json(spec_from_json(
+                                    spec_to_json(spec))));
+}
+
+TEST(SpecRoundTrip, LoadSpecFileRoundTripsAndNamesMissingPath) {
+  register_builtin_scenarios();
+  const ScenarioSpec* registered = find_spec_scenario("sweep_vl2_chunky");
+  ASSERT_NE(registered, nullptr);
+  const std::string path =
+      ::testing::TempDir() + "/spec_io_test_roundtrip.json";
+  {
+    std::ofstream out(path);
+    ASSERT_TRUE(out);
+    out << spec_to_json(*registered);
+  }
+  const ScenarioSpec loaded = load_spec_file(path);
+  EXPECT_EQ(spec_to_json(loaded), spec_to_json(*registered));
+  std::remove(path.c_str());
+
+  try {
+    (void)load_spec_file("/no/such/spec_file.json");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("/no/such/spec_file.json"),
+              std::string::npos);
+  }
+}
+
+// The acceptance criterion: a spec parsed back from --dump-spec output
+// reproduces the builtin scenario's golden table at the golden harness's
+// tolerance (1e-9, scale-relative), via the same ScenarioRun pipeline.
+TEST(SpecRoundTrip, ParsedSpecReproducesGoldenTable) {
+  register_builtin_scenarios();
+  const ScenarioSpec* registered =
+      find_spec_scenario("sweep_rrg_link_failures");
+  ASSERT_NE(registered, nullptr);
+  const ScenarioSpec parsed = spec_from_json(spec_to_json(*registered));
+
+  ScenarioOptions options;  // golden mode: smoke, 1 run, seed 1, eps 0.08
+  options.runs = 1;
+  std::ostringstream sink;
+  ScenarioRun run(options, sink);
+  run_spec_scenario(parsed, run);
+  std::ostringstream actual_stream;
+  write_scenario_json(actual_stream, parsed.name, options, run.tables());
+
+  std::ifstream in(std::string(TOPOBENCH_GOLDEN_DIR) +
+                   "/sweep_rrg_link_failures.json");
+  ASSERT_TRUE(in) << "missing golden file";
+  std::stringstream golden_buffer;
+  golden_buffer << in.rdbuf();
+
+  const JsonValue expected = parse_json(golden_buffer.str());
+  const JsonValue actual = parse_json(actual_stream.str());
+  const JsonValue& etables = expected.at("tables");
+  const JsonValue& atables = actual.at("tables");
+  ASSERT_EQ(etables.items.size(), atables.items.size());
+  for (std::size_t t = 0; t < etables.items.size(); ++t) {
+    const JsonValue& erows = etables.items[t].at("rows");
+    const JsonValue& arows = atables.items[t].at("rows");
+    ASSERT_EQ(erows.items.size(), arows.items.size());
+    for (std::size_t r = 0; r < erows.items.size(); ++r) {
+      ASSERT_EQ(erows.items[r].items.size(), arows.items[r].items.size());
+      for (std::size_t c = 0; c < erows.items[r].items.size(); ++c) {
+        const JsonValue& ecell = erows.items[r].items[c];
+        const JsonValue& acell = arows.items[r].items[c];
+        ASSERT_EQ(ecell.kind, acell.kind);
+        if (ecell.is_number()) {
+          const double tolerance =
+              1e-9 * std::max({1.0, std::fabs(ecell.number),
+                               std::fabs(acell.number)});
+          EXPECT_NEAR(ecell.number, acell.number, tolerance)
+              << "cell (" << t << "," << r << "," << c << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(SpecRoundTrip, CheckedInExampleSpecsStayValid) {
+  // The README's worked examples must keep parsing (and round-tripping)
+  // as the spec schema evolves.
+  for (const char* name :
+       {"rrg_link_failures.json", "fat_tree_failure_grid.json"}) {
+    SCOPED_TRACE(name);
+    const ScenarioSpec spec = load_spec_file(
+        std::string(TOPOBENCH_EXAMPLE_SPEC_DIR) + "/" + name);
+    EXPECT_EQ(spec_to_json(spec_from_json(spec_to_json(spec))),
+              spec_to_json(spec));
+  }
+}
+
+TEST(SpecErrors, UnknownKeysAreNamed) {
+  expect_spec_error(R"({"name": "x", "trafic": "permutation",
+                        "topology": {"family": "random_regular"}})",
+                    "trafic");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular",
+                                     "extra": 1}})",
+                    "topology.extra");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "axes": [{"param": "epsilon", "values": [0.1],
+                                  "full_value": [0.1]}]})",
+                    "full_value");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"link_failure_fractoin": 0.1}})",
+                    "link_failure_fractoin");
+}
+
+TEST(SpecErrors, MisspelledAxisAndParamNamesAreNamed) {
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "lnik_failure_fraction", "values": [0.1]}]})",
+      "lnik_failure_fraction");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular",
+                                    "params": {"degre": 4}}})",
+      "degre");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "no_such_family"}})",
+      "no_such_family");
+}
+
+TEST(SpecErrors, WrongTypesAreNamed) {
+  expect_spec_error(R"({"name": 42,
+                        "topology": {"family": "random_regular"}})",
+                    "name");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "axes": [{"param": "epsilon", "values": "oops"}]})",
+                    "values");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "axes": [{"param": "epsilon",
+                                  "values": [0.1, "oops"]}]})",
+                    "values");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular",
+                                     "params": {"n": "twelve"}}})",
+                    "topology.params.n");
+  expect_spec_error(R"({"name": "x", "reuse_topology": 1,
+                        "topology": {"family": "random_regular"}})",
+                    "reuse_topology");
+  expect_spec_error(R"({"name": "x", "quick_runs": 2.5,
+                        "topology": {"family": "random_regular"}})",
+                    "quick_runs");
+}
+
+TEST(SpecErrors, OutOfRangeValuesAreNamed) {
+  expect_spec_error(R"({"name": "x", "quick_runs": 0,
+                        "topology": {"family": "random_regular"}})",
+                    "quick_runs");
+  expect_spec_error(R"({"name": "x", "full_runs": -3,
+                        "topology": {"family": "random_regular"}})",
+                    "full_runs");
+  expect_spec_error(R"({"name": "x", "chunky_fraction": 1.5,
+                        "topology": {"family": "random_regular"}})",
+                    "chunky_fraction");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"link_failure_fraction": 1.5}})",
+                    "link_failure_fraction");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"capacity_factor": 0}})",
+                    "capacity_factor");
+}
+
+TEST(SpecErrors, DuplicateAxesAndOutOfRangeAxisValuesAreNamed) {
+  // Axes bind in order, so a repeated param would silently overwrite the
+  // earlier axis while the table still prints its values as a column.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "epsilon", "values": [0.1, 0.3]},
+                   {"param": "epsilon", "values": [0.25]}]})",
+      "axes[1].param");
+  // Evaluation-side axis values get the scalar fields' range checks.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "link_failure_fraction",
+                    "values": [0.1, 1.5]}]})",
+      "axes[0].values");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "capacity_factor", "values": [1],
+                    "full_values": [1, 0]}]})",
+      "axes[0].full_values");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "epsilon", "values": [1]}]})",
+      "axes[0].values");
+}
+
+TEST(SpecErrors, StructuralMistakesFailLoudly) {
+  expect_spec_error("[]", "object");
+  expect_spec_error(R"({"topology": {"family": "random_regular"}})",
+                    "name");  // missing required key
+  expect_spec_error(R"({"name": "x", "topology": {}})", "family");
+  expect_spec_error(R"({"name": "x", "traffic": "permutatoin",
+                        "topology": {"family": "random_regular"}})",
+                    "permutatoin");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "axes": [{"param": "epsilon", "values": []}]})",
+                    "values");
+  // Duplicate keys are a parse error, not a silent overwrite.
+  expect_spec_error(R"({"name": "x", "name": "y",
+                        "topology": {"family": "random_regular"}})",
+                    "duplicate");
+}
+
+TEST(SpecErrors, OutOfRangeSeedRejectedBySharedFlagParser) {
+  // The CLI path for spec runs parses the same flag set as scenarios;
+  // get_uint64 rejects negative and overflowing seeds loudly.
+  const char* negative[] = {"spec.json", "--seed", "-3"};
+  EXPECT_THROW((void)parse_scenario_options(3, negative), InvalidArgument);
+  const char* huge[] = {"spec.json", "--seed", "99999999999999999999"};
+  EXPECT_THROW((void)parse_scenario_options(3, huge), InvalidArgument);
+}
+
+TEST(SpecRegistry, FiguresAreNotSpecBacked) {
+  register_builtin_scenarios();
+  EXPECT_EQ(find_spec_scenario("fig05_powerlaw_beta"), nullptr);
+  EXPECT_NE(find_spec_scenario("sweep_rrg_link_failures"), nullptr);
+}
+
+}  // namespace
+}  // namespace topo::scenario
