@@ -1,0 +1,77 @@
+// Failure-subsystem demo: correlated blast-radius and targeted faults.
+//
+// The FailureSpec (core/failure.h) composes typed failure components. This
+// demo applies a correlated blast-radius failure to a k=4 fat-tree — two
+// epicenter switches take same-class peers down with probability 0.5 — and
+// prints who died and why, then sweeps the blast probability and the
+// targeted top-k betweenness cuts through the scenario engine to compare
+// correlated (average-case) against adversarial (worst-case) degradation.
+// Rerun the binary: every number repeats exactly (seeded draws; the
+// targeted ranking is seed-free by construction).
+#include <iostream>
+
+#include "core/failure.h"
+#include "scenario/sweep.h"
+#include "topo/fat_tree.h"
+#include "util/table.h"
+
+int main() {
+  using namespace topo;
+  using namespace topo::scenario;
+
+  const BuiltTopology tree = fat_tree_topology(4);  // 8 edge, 8 agg, 4 core
+
+  FailureSpec blast;
+  blast.correlated.epicenter_fraction = 0.1;  // 2 of 20 switches
+  blast.correlated.peer_probability = 0.5;
+  FailureSample sample;
+  const BuiltTopology degraded = apply_failures(tree, blast, 7, &sample);
+
+  print_banner(std::cout, "Correlated blast radius on the k=4 fat-tree");
+  const auto class_name = [&](NodeId n) {
+    return tree.class_names[static_cast<std::size_t>(tree.class_of(n))];
+  };
+  std::cout << "epicenters:";
+  for (NodeId e : sample.epicenters) {
+    std::cout << " " << e << " (" << class_name(e) << ")";
+  }
+  std::cout << "\nblast victims (same class as an epicenter):";
+  for (NodeId v : sample.blast_victims) {
+    std::cout << " " << v << " (" << class_name(v) << ")";
+  }
+  std::cout << "\nsurviving links: " << degraded.graph.num_edges() << " of "
+            << tree.graph.num_edges() << "\n\n";
+
+  // The same components as sweep axes: correlated blast probability vs
+  // targeted top-k cuts, each on a fixed topology per run (reuse mode).
+  SweepRunConfig config;
+  config.runs = 3;
+  config.epsilon = 0.1;
+  config.master_seed = 1;
+
+  ScenarioSpec correlated;
+  correlated.name = "demo_blast";
+  correlated.description = "fat-tree, 2 epicenters, blast probability swept";
+  correlated.topology = {"fat_tree", {{"k", 4}}};
+  correlated.failure.correlated.epicenter_fraction = 0.1;
+  correlated.axes = {{"blast_probability", {0.0, 0.25, 0.5}, {}}};
+  correlated.reuse_topology = true;
+  print_banner(std::cout, correlated.description);
+  sweep_table(SweepRunner(correlated, config).run()).print(std::cout);
+
+  ScenarioSpec targeted;
+  targeted.name = "demo_targeted";
+  targeted.description =
+      "fat-tree, top-k betweenness links cut (worst-case adversary)";
+  targeted.topology = {"fat_tree", {{"k", 4}}};
+  targeted.axes = {{"targeted_link_cuts", {0, 2, 4, 8}, {}}};
+  targeted.reuse_topology = true;
+  std::cout << "\n";
+  print_banner(std::cout, targeted.description);
+  sweep_table(SweepRunner(targeted, config).run()).print(std::cout);
+
+  std::cout << "\nA handful of targeted cuts does what a much larger random "
+               "loss does:\nthe ranking concentrates damage on the links "
+               "shortest paths share.\n";
+  return 0;
+}

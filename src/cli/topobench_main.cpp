@@ -40,7 +40,14 @@ void print_usage() {
       "prefixes are accepted, e.g. `topobench fig05`. --dump-spec writes\n"
       "a sweep scenario's spec as JSON (stdout unless FILE is given) so\n"
       "it can be edited and re-run with --spec. See README \"Running\n"
-      "scenarios from a spec file\".");
+      "scenarios from a spec file\".\n"
+      "\n"
+      "Failure models (README \"Failure models\"): specs compose uniform\n"
+      "link/switch failures, correlated blast-radius failures\n"
+      "(blast_switch_fraction / blast_probability), per-class rates\n"
+      "(class_failure_fraction:<class>), targeted adversarial link cuts\n"
+      "(targeted_link_cuts), and capacity derating — each usable as a\n"
+      "fixed field or a sweep axis. See the sweep_* scenarios in --list.");
 }
 
 // Extracts the value of a leading `--flag VALUE` / `--flag=VALUE`

@@ -62,6 +62,10 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
                                      std::uint64_t traffic_seed) {
   require(topology.servers.num_switches() == topology.graph.num_nodes(),
           "server map must cover every switch");
+  // Validate BEFORE the active() gate: an out-of-range field (say a
+  // capacity_factor above 1.0) must fail loudly even when no component
+  // would have triggered the degradation pass.
+  validate_failure_spec(options.failure);
   if (!options.failure.active()) {
     return evaluate_prepared(topology, options, traffic_seed);
   }

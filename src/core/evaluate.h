@@ -28,15 +28,16 @@ struct EvalOptions {
   TrafficKind traffic = TrafficKind::kPermutation;
   /// Fraction of ToRs engaged in the chunky pattern (TrafficKind::kChunky).
   double chunky_fraction = 1.0;
-  /// Seeded degradation applied to the topology before traffic generation.
-  /// The default (inactive) model is an exact no-op. When active, the
-  /// failure draw is seeded deterministically from the traffic seed, so a
-  /// run's failed sets are as reproducible as its workload; workloads are
+  /// Seeded degradation applied to the topology before traffic generation
+  /// (any composition of the failure components in core/failure.h). The
+  /// default (inactive) spec is an exact no-op. When active, the failure
+  /// draw is seeded deterministically from the traffic seed, so a run's
+  /// failed sets are as reproducible as its workload; workloads are
   /// generated over the SURVIVING servers, and a degradation that leaves
   /// fewer than two servers (or, for chunky traffic, fewer than two
   /// server-hosting switches) yields an infeasible zero-throughput result
   /// rather than an exception.
-  FailureModel failure;
+  FailureSpec failure;
 };
 
 /// Generates the requested workload over the topology's servers (seeded by

@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <queue>
 
 #include "util/error.h"
 #include "util/rng.h"
 
 namespace topo {
 namespace {
+
+// Seed salts separating each component's stream from the legacy uniform
+// draw (which consumes the base stream exactly as the historical 3-field
+// model did, keeping old results byte-identical) and from each other.
+constexpr std::uint64_t kCorrelatedEpicenterSalt = 0xB1A57;    // "blast"
+constexpr std::uint64_t kCorrelatedPeerSalt = 0xB1A57F00D;
+constexpr std::uint64_t kPerClassSalt = 0xC1A55;               // "class"
 
 // First llround(fraction * n) elements of a seeded shuffle of [0, n).
 // Drawing the full order before truncating gives the superset property:
@@ -21,35 +29,233 @@ std::vector<int> failed_prefix(int n, double fraction, Rng& rng) {
   return order;
 }
 
+// Same prefix draw over an explicit member list (per-class draws).
+std::vector<int> failed_member_prefix(std::vector<int> members,
+                                      double fraction, Rng& rng) {
+  rng.shuffle(members);
+  const int count = static_cast<int>(
+      std::llround(fraction * static_cast<double>(members.size())));
+  members.resize(static_cast<std::size_t>(
+      std::min<int>(count, static_cast<int>(members.size()))));
+  return members;
+}
+
 }  // namespace
 
-BuiltTopology apply_failures(const BuiltTopology& topology,
-                             const FailureModel& model, std::uint64_t seed,
-                             FailureSample* sample) {
-  require(model.link_failure_fraction >= 0.0 &&
-              model.link_failure_fraction <= 1.0,
+void validate_failure_spec(const FailureSpec& spec) {
+  require(spec.uniform.link_fraction >= 0.0 &&
+              spec.uniform.link_fraction <= 1.0,
           "link_failure_fraction must be in [0, 1]");
-  require(model.switch_failure_fraction >= 0.0 &&
-              model.switch_failure_fraction <= 1.0,
+  require(spec.uniform.switch_fraction >= 0.0 &&
+              spec.uniform.switch_fraction <= 1.0,
           "switch_failure_fraction must be in [0, 1]");
-  require(model.capacity_factor > 0.0 && model.capacity_factor <= 1.0,
+  require(spec.correlated.epicenter_fraction >= 0.0 &&
+              spec.correlated.epicenter_fraction <= 1.0,
+          "blast_switch_fraction must be in [0, 1]");
+  require(spec.correlated.peer_probability >= 0.0 &&
+              spec.correlated.peer_probability <= 1.0,
+          "blast_probability must be in [0, 1]");
+  for (const auto& [name, fraction] : spec.per_class.switch_fraction) {
+    require(!name.empty(), "per-class failure: class name must be non-empty");
+    require(fraction >= 0.0 && fraction <= 1.0,
+            "class_failure_fraction:" + name + " must be in [0, 1]");
+  }
+  require(spec.targeted.link_cuts >= 0,
+          "targeted_link_cuts must be >= 0");
+  require(spec.capacity_factor > 0.0 && spec.capacity_factor <= 1.0,
           "capacity_factor must be in (0, 1]");
+}
+
+namespace {
+
+// Correlated blast-radius kills. Epicenters are a seeded prefix shuffle of
+// all switches; each epicenter then rolls one fixed uniform per same-class
+// peer (ascending id) from a stream keyed to the EPICENTER'S NODE ID — so
+// adding epicenters (a larger epicenter_fraction) never reshuffles the
+// victims of existing ones, and raising peer_probability only converts
+// more of the same fixed rolls into kills. Both directions nest.
+void draw_correlated(const BuiltTopology& topology,
+                     const CorrelatedFailure& spec, std::uint64_t seed,
+                     std::vector<char>& switch_dead, FailureSample* sample) {
+  const int num_nodes = topology.graph.num_nodes();
+  Rng epicenter_rng(Rng::derive_seed(seed, kCorrelatedEpicenterSalt));
+  std::vector<int> epicenters =
+      failed_prefix(num_nodes, spec.epicenter_fraction, epicenter_rng);
+  std::vector<char> is_epicenter(static_cast<std::size_t>(num_nodes), 0);
+  for (int e : epicenters) is_epicenter[static_cast<std::size_t>(e)] = 1;
+
+  std::vector<int> victims;
+  for (int e : epicenters) {
+    switch_dead[static_cast<std::size_t>(e)] = 1;
+    Rng peer_rng(Rng::derive_seed(Rng::derive_seed(seed, kCorrelatedPeerSalt),
+                                  static_cast<std::uint64_t>(e)));
+    const int klass = topology.class_of(e);
+    for (NodeId peer = 0; peer < num_nodes; ++peer) {
+      if (peer == e || topology.class_of(peer) != klass) continue;
+      // One roll per (epicenter, peer) regardless of the probability, so
+      // the rolls are a fixed function of (topology, seed, epicenter).
+      const double roll = peer_rng.uniform();
+      if (roll < spec.peer_probability) {
+        switch_dead[static_cast<std::size_t>(peer)] = 1;
+        if (!is_epicenter[static_cast<std::size_t>(peer)]) {
+          victims.push_back(peer);
+        }
+      }
+    }
+  }
+  if (sample != nullptr) {
+    std::sort(epicenters.begin(), epicenters.end());
+    std::sort(victims.begin(), victims.end());
+    victims.erase(std::unique(victims.begin(), victims.end()), victims.end());
+    sample->epicenters.assign(epicenters.begin(), epicenters.end());
+    sample->blast_victims.assign(victims.begin(), victims.end());
+  }
+}
+
+// Per-class prefix draws: class index c gets its own derived stream, so
+// sweeping one class's rate never perturbs another's draw.
+void draw_per_class(const BuiltTopology& topology, const PerClassFailure& spec,
+                    std::uint64_t seed, std::vector<char>& switch_dead) {
+  const int num_nodes = topology.graph.num_nodes();
+  for (const auto& [name, fraction] : spec.switch_fraction) {
+    const auto it = std::find(topology.class_names.begin(),
+                              topology.class_names.end(), name);
+    if (it == topology.class_names.end()) {
+      std::string known;
+      for (const std::string& klass : topology.class_names) {
+        if (!known.empty()) known += ", ";
+        known += klass;
+      }
+      throw InvalidArgument("per-class failure: topology has no class \"" +
+                            name + "\" (classes: " + known + ")");
+    }
+    const int klass =
+        static_cast<int>(it - topology.class_names.begin());
+    std::vector<int> members;
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (topology.class_of(n) == klass) members.push_back(n);
+    }
+    Rng class_rng(Rng::derive_seed(Rng::derive_seed(seed, kPerClassSalt),
+                                   static_cast<std::uint64_t>(klass)));
+    for (int dead :
+         failed_member_prefix(std::move(members), fraction, class_rng)) {
+      switch_dead[static_cast<std::size_t>(dead)] = 1;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<EdgeId> targeted_link_ranking(const Graph& graph) {
+  const int n = graph.num_nodes();
+  const int m = graph.num_edges();
+  // Brandes' accumulation specialized to unweighted BFS, summed over every
+  // source. All arithmetic runs in one fixed serial order, so the scores
+  // (and therefore the ranking) are bit-reproducible.
+  std::vector<double> score(static_cast<std::size_t>(m), 0.0);
+  std::vector<int> dist(static_cast<std::size_t>(n));
+  std::vector<double> sigma(static_cast<std::size_t>(n));
+  std::vector<double> delta(static_cast<std::size_t>(n));
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[static_cast<std::size_t>(s)] = 0;
+    sigma[static_cast<std::size_t>(s)] = 1.0;
+    std::queue<NodeId> frontier;
+    frontier.push(s);
+    while (!frontier.empty()) {
+      const NodeId v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      for (const Adjacency& adj : graph.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(adj.to)] < 0) {
+          dist[static_cast<std::size_t>(adj.to)] =
+              dist[static_cast<std::size_t>(v)] + 1;
+          frontier.push(adj.to);
+        }
+        if (dist[static_cast<std::size_t>(adj.to)] ==
+            dist[static_cast<std::size_t>(v)] + 1) {
+          sigma[static_cast<std::size_t>(adj.to)] +=
+              sigma[static_cast<std::size_t>(v)];
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (const Adjacency& adj : graph.neighbors(w)) {
+        if (dist[static_cast<std::size_t>(adj.to)] !=
+            dist[static_cast<std::size_t>(w)] - 1) {
+          continue;
+        }
+        const double contribution =
+            sigma[static_cast<std::size_t>(adj.to)] /
+            sigma[static_cast<std::size_t>(w)] *
+            (1.0 + delta[static_cast<std::size_t>(w)]);
+        score[static_cast<std::size_t>(adj.edge)] += contribution;
+        delta[static_cast<std::size_t>(adj.to)] += contribution;
+      }
+    }
+  }
+  std::vector<EdgeId> ranking(static_cast<std::size_t>(m));
+  for (EdgeId e = 0; e < m; ++e) ranking[static_cast<std::size_t>(e)] = e;
+  std::sort(ranking.begin(), ranking.end(), [&](EdgeId a, EdgeId b) {
+    const double sa = score[static_cast<std::size_t>(a)];
+    const double sb = score[static_cast<std::size_t>(b)];
+    if (sa != sb) return sa > sb;
+    return a < b;  // deterministic tie-break
+  });
+  return ranking;
+}
+
+BuiltTopology apply_failures(const BuiltTopology& topology,
+                             const FailureSpec& spec, std::uint64_t seed,
+                             FailureSample* sample) {
+  validate_failure_spec(spec);
 
   const int num_nodes = topology.graph.num_nodes();
   const int num_edges = topology.graph.num_edges();
 
-  // The switch draw always precedes the link draw so each stream is
-  // reproducible independently of the other model fields' values.
+  // Legacy uniform draws first, consuming the base stream exactly as the
+  // historical 3-field model did (switch shuffle, then link shuffle), so
+  // uniform-only specs reproduce old results byte-for-byte. Every other
+  // component draws from its own derived stream (or none at all), so
+  // enabling one never perturbs another.
   Rng rng(seed);
   std::vector<int> dead_switches =
-      failed_prefix(num_nodes, model.switch_failure_fraction, rng);
+      failed_prefix(num_nodes, spec.uniform.switch_fraction, rng);
   std::vector<int> dead_links =
-      failed_prefix(num_edges, model.link_failure_fraction, rng);
+      failed_prefix(num_edges, spec.uniform.link_fraction, rng);
 
   std::vector<char> switch_dead(static_cast<std::size_t>(num_nodes), 0);
   for (int s : dead_switches) switch_dead[static_cast<std::size_t>(s)] = 1;
   std::vector<char> link_dead(static_cast<std::size_t>(num_edges), 0);
   for (int e : dead_links) link_dead[static_cast<std::size_t>(e)] = 1;
+
+  if (sample != nullptr) {
+    sample->epicenters.clear();
+    sample->blast_victims.clear();
+    sample->targeted_links.clear();
+  }
+  if (spec.correlated.active()) {
+    draw_correlated(topology, spec.correlated, seed, switch_dead, sample);
+  }
+  if (spec.per_class.active()) {
+    draw_per_class(topology, spec.per_class, seed, switch_dead);
+  }
+  if (spec.targeted.active()) {
+    const std::vector<EdgeId> ranking = targeted_link_ranking(topology.graph);
+    const int cuts = std::min(spec.targeted.link_cuts, num_edges);
+    std::vector<EdgeId> cut(ranking.begin(), ranking.begin() + cuts);
+    for (EdgeId e : cut) link_dead[static_cast<std::size_t>(e)] = 1;
+    if (sample != nullptr) {
+      std::sort(cut.begin(), cut.end());
+      sample->targeted_links = std::move(cut);
+    }
+  }
 
   BuiltTopology degraded;
   degraded.graph = Graph(num_nodes);
@@ -61,7 +267,7 @@ BuiltTopology apply_failures(const BuiltTopology& topology,
       continue;
     }
     degraded.graph.add_edge(edge.u, edge.v,
-                            edge.capacity * model.capacity_factor);
+                            edge.capacity * spec.capacity_factor);
   }
 
   degraded.servers = topology.servers;
@@ -74,10 +280,18 @@ BuiltTopology apply_failures(const BuiltTopology& topology,
   degraded.class_names = topology.class_names;
 
   if (sample != nullptr) {
-    std::sort(dead_switches.begin(), dead_switches.end());
-    std::sort(dead_links.begin(), dead_links.end());
-    sample->failed_switches.assign(dead_switches.begin(), dead_switches.end());
-    sample->failed_links.assign(dead_links.begin(), dead_links.end());
+    sample->failed_switches.clear();
+    for (NodeId n = 0; n < num_nodes; ++n) {
+      if (switch_dead[static_cast<std::size_t>(n)]) {
+        sample->failed_switches.push_back(n);
+      }
+    }
+    sample->failed_links.clear();
+    for (EdgeId e = 0; e < num_edges; ++e) {
+      if (link_dead[static_cast<std::size_t>(e)]) {
+        sample->failed_links.push_back(e);
+      }
+    }
   }
   return degraded;
 }

@@ -1,65 +1,158 @@
-// Seeded failure models applied to built topologies.
+// Pluggable seeded failure models applied to built topologies.
 //
 // The paper evaluates pristine networks; real deployments lose links and
 // switches, and the successor work ("Measuring and Understanding Throughput
-// of Network Topologies") sweeps failure fractions as a first-class axis.
-// FailureModel captures the three degradations the scenario engine sweeps:
-// a fraction of failed links, a fraction of failed switches (all incident
-// links and attached servers go down with the switch), and a uniform
-// capacity derating of the surviving links.
+// of Network Topologies") sweeps failure fractions as a first-class axis,
+// while topology surveys compare families on how they degrade under
+// correlated and targeted faults. FailureSpec composes four typed failure
+// components plus a capacity derating; each component is independently
+// seeded (or deterministic), so enabling one never perturbs another's draw:
 //
-// Determinism contract: the failed sets are a pure function of (topology,
-// model, seed). For a fixed seed, raising a failure fraction fails a
-// SUPERSET of the previously failed elements (the shuffled order is drawn
-// once and the failure count is a prefix of it). With a fixed workload,
-// nested link-failure sets make the true optimum monotone non-increasing
-// in the link fraction (asserted against the exact LP in
-// failure_injection_test). Observed curves are only approximately
-// monotone: the FPTAS lambda carries epsilon slack, and switch failures
-// change the surviving server set, so workloads drawn over it differ
-// between fractions.
+//   UniformFailure    — the legacy model: independent seeded shuffles fail
+//                       a fraction of links and a fraction of switches.
+//   CorrelatedFailure — blast-radius faults: a seeded fraction of switches
+//                       fail as epicenters, and every switch sharing an
+//                       epicenter's BuiltTopology::node_class group fails
+//                       with a per-peer probability (racks/pods go down
+//                       together, not independently).
+//   PerClassFailure   — per-class rates keyed by class name (e.g. ToR vs
+//                       aggregation vs core fail at different rates), each
+//                       class drawing its own seeded prefix shuffle.
+//   TargetedFailure   — adversarial cuts: the top-k links of a
+//                       deterministic edge-betweenness ranking fail,
+//                       modeling worst-case rather than average-case
+//                       degradation. Seed-independent by construction.
+//
+// Determinism contract (every component): the failed sets are a pure
+// function of (topology, spec, seed). For a fixed seed, raising any
+// component's intensity fails a SUPERSET of the previously failed elements:
+// uniform and per-class draw a full shuffled order once and fail a prefix;
+// correlated keys each epicenter's peer coin-flips to the epicenter's node
+// id (more epicenters only add victims) and compares a fixed per-peer
+// uniform against the probability (higher probability only adds victims);
+// targeted cuts a prefix of a fixed ranking. With a fixed workload, nested
+// link-failure sets make the true optimum monotone non-increasing in the
+// intensity (asserted against the exact LP in failure_injection_test).
+// Observed curves are only approximately monotone: the FPTAS lambda
+// carries epsilon slack, and switch failures change the surviving server
+// set, so workloads drawn over it differ between intensities.
 #ifndef TOPODESIGN_CORE_FAILURE_H
 #define TOPODESIGN_CORE_FAILURE_H
 
 #include <cstdint>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "topo/topology.h"
 
 namespace topo {
 
-/// Post-build degradation applied before traffic generation.
-struct FailureModel {
-  /// Fraction of links that fail outright, in [0, 1].
-  double link_failure_fraction = 0.0;
-  /// Fraction of switches that fail (incident links die, attached servers
-  /// drop out of the workload), in [0, 1].
-  double switch_failure_fraction = 0.0;
-  /// Capacity multiplier applied to every surviving link, in (0, 1].
-  double capacity_factor = 1.0;
+/// Uniform random draws: independent seeded shuffles fail a fraction of
+/// links and a fraction of switches (all incident links and attached
+/// servers go down with a switch).
+struct UniformFailure {
+  double link_fraction = 0.0;    ///< Fraction of links failing, in [0, 1].
+  double switch_fraction = 0.0;  ///< Fraction of switches failing, in [0, 1].
 
-  /// True when the model changes anything (the all-default model is an
-  /// exact no-op and evaluation skips the degradation pass entirely).
   [[nodiscard]] bool active() const {
-    return link_failure_fraction > 0.0 || switch_failure_fraction > 0.0 ||
-           capacity_factor != 1.0;
+    return link_fraction > 0.0 || switch_fraction > 0.0;
   }
 };
 
-/// The concrete failed sets drawn for one (topology, model, seed) triple.
-struct FailureSample {
-  std::vector<EdgeId> failed_links;      ///< Ids into the original graph, ascending.
-  std::vector<NodeId> failed_switches;   ///< Ascending.
+/// Correlated blast-radius failures. A seeded fraction of switches fail as
+/// epicenters; every other switch in an epicenter's node_class group then
+/// fails independently with `peer_probability`. Grouping is by
+/// BuiltTopology::node_class (the generator's rack/pod/tier labeling), so
+/// an epicenter ToR takes fellow ToRs down with it, not the core.
+struct CorrelatedFailure {
+  double epicenter_fraction = 0.0;  ///< Fraction of switches drawn as epicenters, in [0, 1].
+  double peer_probability = 0.0;    ///< Per-peer kill probability, in [0, 1].
+
+  [[nodiscard]] bool active() const { return epicenter_fraction > 0.0; }
 };
+
+/// Per-class failure rates: each named class (BuiltTopology::class_names)
+/// fails the given fraction of its switches via its own seeded prefix
+/// shuffle. Naming a class the topology does not define raises
+/// InvalidArgument when the degradation pass runs (fail loudly, not
+/// silently sweep nothing) — which is why a non-empty map counts as
+/// active even at all-zero rates: a typo'd class name must error on the
+/// first cell of a sweep, not only once its swept rate turns positive.
+struct PerClassFailure {
+  std::map<std::string, double> switch_fraction;  ///< class name -> [0, 1].
+
+  [[nodiscard]] bool active() const { return !switch_fraction.empty(); }
+};
+
+/// Targeted adversarial cuts: the top-`link_cuts` links of the
+/// deterministic ranking computed by targeted_link_ranking fail.
+/// Seed-independent; k larger than the link count cuts every link.
+struct TargetedFailure {
+  int link_cuts = 0;  ///< Number of top-ranked links to cut, >= 0.
+
+  [[nodiscard]] bool active() const { return link_cuts > 0; }
+};
+
+/// Post-build degradation applied before traffic generation: the union of
+/// the four components' failed sets, plus a capacity derating of the
+/// surviving links. The all-default spec is an exact no-op and evaluation
+/// skips the degradation pass entirely.
+struct FailureSpec {
+  UniformFailure uniform;
+  CorrelatedFailure correlated;
+  PerClassFailure per_class;
+  TargetedFailure targeted;
+  /// Capacity multiplier applied to every surviving link, in (0, 1].
+  double capacity_factor = 1.0;
+
+  /// True when the spec changes anything. Validation rejects
+  /// capacity_factor outside (0, 1], so "derating requested" is exactly
+  /// capacity_factor < 1.0 — no exact floating-point equality involved.
+  [[nodiscard]] bool active() const {
+    return uniform.active() || correlated.active() || per_class.active() ||
+           targeted.active() || capacity_factor < 1.0;
+  }
+};
+
+/// The concrete failed sets drawn for one (topology, spec, seed) triple.
+/// failed_links / failed_switches are the unions every component
+/// contributed to; the remaining fields attribute failures to the
+/// components that drew them (a switch may appear in several).
+struct FailureSample {
+  std::vector<EdgeId> failed_links;     ///< Ids into the original graph, ascending.
+  std::vector<NodeId> failed_switches;  ///< Ascending.
+  std::vector<NodeId> epicenters;       ///< Correlated epicenters, ascending.
+  std::vector<NodeId> blast_victims;    ///< Correlated peer kills (excl. epicenters), ascending.
+  std::vector<EdgeId> targeted_links;   ///< Targeted cuts, ascending.
+};
+
+/// Range-checks every component field (fractions/probabilities in [0, 1],
+/// k >= 0, capacity_factor in (0, 1]), raising InvalidArgument naming the
+/// offending parameter. Called by apply_failures, and by the evaluation
+/// layer BEFORE the active() gate — so an invalid field (e.g. a
+/// capacity_factor above 1.0) fails loudly even when nothing else would
+/// have triggered the degradation pass. Class names are checked against
+/// the topology in apply_failures, not here.
+void validate_failure_spec(const FailureSpec& spec);
+
+/// Deterministic link ranking for targeted cuts: edges sorted by
+/// unweighted edge betweenness (Brandes accumulation over BFS shortest
+/// paths), descending, ties broken by ascending edge id. A pure function
+/// of the graph — no seed enters — so adversarial cuts are reproducible
+/// across runs and machines.
+[[nodiscard]] std::vector<EdgeId> targeted_link_ranking(const Graph& graph);
 
 /// Returns a degraded copy of `topology`: failed switches lose all
 /// incident links and their servers; failed links disappear; surviving
 /// links keep capacity * capacity_factor. Node ids are preserved (failed
 /// switches remain as isolated, serverless nodes), so node_class and
-/// downstream bookkeeping stay valid. Deterministic in (topology, model,
-/// seed); pass `sample` to observe the drawn failed sets.
+/// downstream bookkeeping stay valid. Deterministic in (topology, spec,
+/// seed); pass `sample` to observe the drawn failed sets. With only the
+/// uniform component and capacity_factor set, the draw and the degraded
+/// topology are identical to the historical 3-field FailureModel's.
 [[nodiscard]] BuiltTopology apply_failures(const BuiltTopology& topology,
-                                           const FailureModel& model,
+                                           const FailureSpec& spec,
                                            std::uint64_t seed,
                                            FailureSample* sample = nullptr);
 

@@ -109,6 +109,64 @@ void register_sweep_scenarios() {
     register_spec_scenario(std::move(spec));
   }
   {
+    // Correlated blast-radius failures: two seeded epicenter switches per
+    // draw, each taking same-class peers down with the swept probability
+    // (racks/pods fail together, not independently).
+    ScenarioSpec spec;
+    spec.name = "sweep_rrg_correlated_failures";
+    spec.description =
+        "Failure sweep: correlated blast-radius failures (epicenters take "
+        "class peers down with probability p) on a fixed RRG (N=32, r=8)";
+    spec.topology = {"random_regular", {{"n", 32}, {"ports", 12}, {"degree", 8}}};
+    spec.failure.correlated.epicenter_fraction = 0.0625;  // 2 of 32 switches
+    spec.axes = {{"blast_probability",
+                  {0.0, 0.1, 0.2, 0.3},
+                  {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 20;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    // Targeted adversarial cuts: fail the top-k links by the deterministic
+    // betweenness ranking — worst-case degradation, vs the average-case
+    // uniform sweeps above. Cuts nest in k, so per-run curves are monotone
+    // up to FPTAS slack.
+    ScenarioSpec spec;
+    spec.name = "sweep_fat_tree_targeted_cuts";
+    spec.description =
+        "Failure sweep: targeted adversarial link cuts (top-k by betweenness "
+        "ranking) on the k=8 fat-tree";
+    spec.topology = {"fat_tree", {{"k", 8}}};
+    spec.axes = {{"targeted_link_cuts",
+                  {0, 4, 8, 16, 32},
+                  {0, 2, 4, 8, 12, 16, 24, 32, 48}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 10;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
+    // Per-class rates: sweep the ToR failure rate while the aggregation
+    // tier holds a fixed 10% rate — tiers fail at different rates, unlike
+    // the uniform switch sweep.
+    ScenarioSpec spec;
+    spec.name = "sweep_vl2_class_failures";
+    spec.description =
+        "Failure sweep: per-class switch failures (ToR rate swept, "
+        "aggregation fixed at 10%) on rewired VL2 (DA=8, DI=8)";
+    spec.topology = {"rewired_vl2",
+                     {{"d_a", 8}, {"d_i", 8}, {"servers_per_tor", 10}}};
+    spec.failure.per_class.switch_fraction["aggregation"] = 0.1;
+    spec.axes = {{"class_failure_fraction:tor",
+                  {0.0, 0.1, 0.2, 0.3},
+                  {0.0, 0.05, 0.1, 0.15, 0.2, 0.25, 0.3}}};
+    spec.quick_runs = 3;
+    spec.full_runs = 10;
+    spec.reuse_topology = true;
+    register_spec_scenario(std::move(spec));
+  }
+  {
     ScenarioSpec spec;
     spec.name = "sweep_small_world_shortcuts";
     spec.description =

@@ -118,11 +118,33 @@ std::string cell_identity_json(const CellIdentity& cell) {
       << ", \"traffic\": " << json_string(traffic_kind_name(options.traffic))
       << ", \"chunky_fraction\": " << json_number(options.chunky_fraction)
       << ", \"failure\": {\"link\": "
-      << json_number(options.failure.link_failure_fraction)
+      << json_number(options.failure.uniform.link_fraction)
       << ", \"switch\": "
-      << json_number(options.failure.switch_failure_fraction)
-      << ", \"capacity\": " << json_number(options.failure.capacity_factor)
-      << "}, \"topo_seed\": " << cell.topo_seed
+      << json_number(options.failure.uniform.switch_fraction)
+      << ", \"capacity\": " << json_number(options.failure.capacity_factor);
+  // Newer failure components join the identity only when set, so cells
+  // written before they existed (and uniform-only cells today) keep their
+  // addresses, while any new failure parameter perturbs the key.
+  const FailureSpec& failure = options.failure;
+  if (failure.correlated.epicenter_fraction != 0.0 ||
+      failure.correlated.peer_probability != 0.0) {
+    out << ", \"blast\": " << json_number(failure.correlated.epicenter_fraction)
+        << ", \"blast_p\": " << json_number(failure.correlated.peer_probability);
+  }
+  if (!failure.per_class.switch_fraction.empty()) {
+    out << ", \"per_class\": {";
+    bool first_class = true;
+    for (const auto& [klass, fraction] : failure.per_class.switch_fraction) {
+      if (!first_class) out << ", ";
+      first_class = false;
+      out << json_string(klass) << ": " << json_number(fraction);
+    }
+    out << "}";
+  }
+  if (failure.targeted.link_cuts != 0) {
+    out << ", \"targeted\": " << failure.targeted.link_cuts;
+  }
+  out << "}, \"topo_seed\": " << cell.topo_seed
       << ", \"traffic_seed\": " << cell.traffic_seed
       << ", \"solver\": " << json_string(kSolverVersionTag) << "}";
   return out.str();

@@ -28,10 +28,16 @@ struct TopologySpec {
 
 /// One sweep dimension. The parameter name either targets the topology
 /// (any family parameter) or, for the reserved names below, the evaluation:
-///   "link_failure_fraction", "switch_failure_fraction", "capacity_factor"
-///       -> the failure model,
-///   "chunky_fraction" -> the chunky traffic knob,
-///   "epsilon"         -> the FPTAS accuracy.
+///   "link_failure_fraction", "switch_failure_fraction"
+///       -> the uniform failure component,
+///   "blast_switch_fraction", "blast_probability"
+///       -> the correlated blast-radius component,
+///   "class_failure_fraction:<class>" (e.g. "class_failure_fraction:tor")
+///       -> that class's per-class failure rate,
+///   "targeted_link_cuts" -> the adversarial top-k link cuts (integers),
+///   "capacity_factor"    -> the surviving-link capacity derating,
+///   "chunky_fraction"    -> the chunky traffic knob,
+///   "epsilon"            -> the FPTAS accuracy.
 struct SweepAxis {
   std::string param;
   std::vector<double> values;       ///< Smoke-mode sweep points.
@@ -47,9 +53,9 @@ struct ScenarioSpec {
   TopologySpec topology;
   TrafficKind traffic = TrafficKind::kPermutation;
   double chunky_fraction = 1.0;
-  /// Base failure model; axes with reserved names override its fields per
-  /// sweep point.
-  FailureModel failure;
+  /// Base failure spec (core/failure.h); axes with reserved names override
+  /// its fields per sweep point.
+  FailureSpec failure;
   std::vector<SweepAxis> axes;
   int quick_runs = 3;
   int full_runs = 20;
@@ -63,6 +69,11 @@ struct ScenarioSpec {
   /// FPTAS epsilon slack (see core/failure.h for the exact contract).
   bool reuse_topology = false;
 };
+
+/// Axis-name prefix selecting one class's per-class failure rate; the
+/// remainder of the name is the class (BuiltTopology::class_names entry),
+/// e.g. "class_failure_fraction:tor".
+inline const std::string kClassAxisPrefix = "class_failure_fraction:";
 
 /// True for axis names bound to evaluation options rather than topology
 /// parameters.

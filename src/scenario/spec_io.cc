@@ -141,12 +141,38 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       << ",\n";
   out << "  \"chunky_fraction\": " << json_number(spec.chunky_fraction)
       << ",\n";
+  // The three legacy keys are always emitted (pre-component spec files
+  // stay byte-identical); the newer component keys appear only when they
+  // differ from their inactive defaults, so dump -> parse -> dump is
+  // byte-stable in both directions.
   out << "  \"failure\": {\"link_failure_fraction\": "
-      << json_number(spec.failure.link_failure_fraction)
+      << json_number(spec.failure.uniform.link_fraction)
       << ", \"switch_failure_fraction\": "
-      << json_number(spec.failure.switch_failure_fraction)
-      << ", \"capacity_factor\": " << json_number(spec.failure.capacity_factor)
-      << "},\n";
+      << json_number(spec.failure.uniform.switch_fraction)
+      << ", \"capacity_factor\": " << json_number(spec.failure.capacity_factor);
+  if (spec.failure.correlated.epicenter_fraction != 0.0) {
+    out << ", \"blast_switch_fraction\": "
+        << json_number(spec.failure.correlated.epicenter_fraction);
+  }
+  if (spec.failure.correlated.peer_probability != 0.0) {
+    out << ", \"blast_probability\": "
+        << json_number(spec.failure.correlated.peer_probability);
+  }
+  if (!spec.failure.per_class.switch_fraction.empty()) {
+    out << ", \"class_failure_fraction\": {";
+    bool first_class = true;
+    for (const auto& [klass, fraction] :
+         spec.failure.per_class.switch_fraction) {  // map: sorted
+      if (!first_class) out << ", ";
+      first_class = false;
+      out << json_string(klass) << ": " << json_number(fraction);
+    }
+    out << "}";
+  }
+  if (spec.failure.targeted.link_cuts != 0) {
+    out << ", \"targeted_link_cuts\": " << spec.failure.targeted.link_cuts;
+  }
+  out << "},\n";
   out << "  \"axes\": [";
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     const SweepAxis& axis = spec.axes[a];
@@ -205,11 +231,45 @@ ScenarioSpec spec_from_json(const std::string& text) {
     if (!failure->is_object()) fail_key("failure", "must be an object");
     require_only_keys(*failure, "failure.",
                       {"link_failure_fraction", "switch_failure_fraction",
-                       "capacity_factor"});
-    spec.failure.link_failure_fraction =
+                       "capacity_factor", "blast_switch_fraction",
+                       "blast_probability", "class_failure_fraction",
+                       "targeted_link_cuts"});
+    spec.failure.uniform.link_fraction =
         get_fraction(*failure, "link_failure_fraction", 0.0);
-    spec.failure.switch_failure_fraction =
+    spec.failure.uniform.switch_fraction =
         get_fraction(*failure, "switch_failure_fraction", 0.0);
+    spec.failure.correlated.epicenter_fraction =
+        get_fraction(*failure, "blast_switch_fraction", 0.0);
+    spec.failure.correlated.peer_probability =
+        get_fraction(*failure, "blast_probability", 0.0);
+    if (const JsonValue* per_class = failure->find("class_failure_fraction");
+        per_class != nullptr) {
+      if (!per_class->is_object()) {
+        fail_key("failure.class_failure_fraction", "must be an object");
+      }
+      for (const auto& [klass, value] : per_class->members) {
+        const std::string where = "failure.class_failure_fraction." + klass;
+        if (klass.empty()) fail_key(where, "class name must be non-empty");
+        if (!value.is_number()) fail_key(where, "must be a number");
+        if (value.number < 0.0 || value.number > 1.0) {
+          fail_key(where, "out of range (want [0, 1])");
+        }
+        spec.failure.per_class.switch_fraction[klass] = value.number;
+      }
+    }
+    if (const JsonValue* cuts = failure->find("targeted_link_cuts");
+        cuts != nullptr) {
+      if (!cuts->is_number()) {
+        fail_key("failure.targeted_link_cuts", "must be a number");
+      }
+      if (cuts->number != std::floor(cuts->number)) {
+        fail_key("failure.targeted_link_cuts", "must be an integer");
+      }
+      if (cuts->number < 0 || cuts->number > 1e9) {
+        fail_key("failure.targeted_link_cuts", "out of range (want 0..1e9)");
+      }
+      spec.failure.targeted.link_cuts = static_cast<int>(cuts->number);
+    }
     if (const JsonValue* factor = failure->find("capacity_factor");
         factor != nullptr) {
       if (!factor->is_number()) {
@@ -274,10 +334,48 @@ void validate_spec(const ScenarioSpec& spec) {
                "unknown " + family->name + " parameter");
     }
   }
+  // Scalar failure ranges are validated here — not only in the JSON
+  // front end — so programmatic specs get the same loud errors as files
+  // (apply_failures would reject them too, but only mid-sweep).
+  const auto check_fraction = [](const char* key, double value) {
+    if (value < 0.0 || value > 1.0) {
+      fail_key(std::string("failure.") + key, "out of range (want [0, 1])");
+    }
+  };
+  check_fraction("link_failure_fraction", spec.failure.uniform.link_fraction);
+  check_fraction("switch_failure_fraction",
+                 spec.failure.uniform.switch_fraction);
+  check_fraction("blast_switch_fraction",
+                 spec.failure.correlated.epicenter_fraction);
+  check_fraction("blast_probability",
+                 spec.failure.correlated.peer_probability);
+  for (const auto& [klass, fraction] :
+       spec.failure.per_class.switch_fraction) {
+    if (klass.empty()) {
+      fail_key("failure.class_failure_fraction",
+               "class name must be non-empty");
+    }
+    if (fraction < 0.0 || fraction > 1.0) {
+      fail_key("failure.class_failure_fraction." + klass,
+               "out of range (want [0, 1])");
+    }
+  }
+  if (spec.failure.targeted.link_cuts < 0) {
+    fail_key("failure.targeted_link_cuts", "out of range (want >= 0)");
+  }
+  if (spec.failure.capacity_factor <= 0.0 ||
+      spec.failure.capacity_factor > 1.0) {
+    fail_key("failure.capacity_factor", "out of range (want (0, 1])");
+  }
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     const SweepAxis& axis = spec.axes[a];
     const std::string where = "axes[" + std::to_string(a) + "].";
     if (axis.param.empty()) fail_key(where + "param", "must be non-empty");
+    if (axis.param == kClassAxisPrefix) {
+      fail_key(where + "param",
+               "class axis needs a class name after \"" + kClassAxisPrefix +
+                   "\" (e.g. " + kClassAxisPrefix + "tor)");
+    }
     if (!is_eval_axis(axis.param) && !known_param(axis.param)) {
       fail_key(where + "param", "unknown sweep axis \"" + axis.param +
                                     "\" for family " + family->name);
@@ -298,14 +396,24 @@ void validate_spec(const ScenarioSpec& spec) {
     // instead of erroring mid-sweep (after cache writes) downstream.
     const auto check_values = [&](const std::vector<double>& values,
                                   const char* list_key) {
+      const bool unit_fraction =
+          axis.param == "link_failure_fraction" ||
+          axis.param == "switch_failure_fraction" ||
+          axis.param == "blast_switch_fraction" ||
+          axis.param == "blast_probability" ||
+          axis.param.rfind(kClassAxisPrefix, 0) == 0 ||
+          axis.param == "chunky_fraction";
       for (const double v : values) {
-        if ((axis.param == "link_failure_fraction" ||
-             axis.param == "switch_failure_fraction" ||
-             axis.param == "chunky_fraction") &&
-            (v < 0.0 || v > 1.0)) {
+        if (unit_fraction && (v < 0.0 || v > 1.0)) {
           fail_key(where + list_key, "value " + json_number(v) +
                                          " out of range for " + axis.param +
                                          " (want [0, 1])");
+        }
+        if (axis.param == "targeted_link_cuts" &&
+            (v < 0.0 || v > 1e9 || v != std::floor(v))) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " invalid for targeted_link_cuts "
+                                         "(want integers in 0..1e9)");
         }
         if (axis.param == "capacity_factor" && (v <= 0.0 || v > 1.0)) {
           fail_key(where + list_key, "value " + json_number(v) +

@@ -1,6 +1,7 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <cmath>
 #include <iostream>
 #include <memory>
 #include <utility>
@@ -23,9 +24,18 @@ const std::vector<double>& axis_values(const SweepAxis& axis, bool full) {
 void bind_coord(const std::string& name, double value, ParamMap& params,
                 EvalOptions& options) {
   if (name == "link_failure_fraction") {
-    options.failure.link_failure_fraction = value;
+    options.failure.uniform.link_fraction = value;
   } else if (name == "switch_failure_fraction") {
-    options.failure.switch_failure_fraction = value;
+    options.failure.uniform.switch_fraction = value;
+  } else if (name == "blast_switch_fraction") {
+    options.failure.correlated.epicenter_fraction = value;
+  } else if (name == "blast_probability") {
+    options.failure.correlated.peer_probability = value;
+  } else if (name == "targeted_link_cuts") {
+    options.failure.targeted.link_cuts = static_cast<int>(std::llround(value));
+  } else if (name.rfind(kClassAxisPrefix, 0) == 0) {
+    options.failure.per_class
+        .switch_fraction[name.substr(kClassAxisPrefix.size())] = value;
   } else if (name == "capacity_factor") {
     options.failure.capacity_factor = value;
   } else if (name == "chunky_fraction") {
@@ -55,8 +65,12 @@ std::vector<std::shared_ptr<const ScenarioSpec>>& spec_registry() {
 
 bool is_eval_axis(const std::string& param) {
   return param == "link_failure_fraction" ||
-         param == "switch_failure_fraction" || param == "capacity_factor" ||
-         param == "chunky_fraction" || param == "epsilon";
+         param == "switch_failure_fraction" ||
+         param == "blast_switch_fraction" || param == "blast_probability" ||
+         param == "targeted_link_cuts" ||
+         param.rfind(kClassAxisPrefix, 0) == 0 ||
+         param == "capacity_factor" || param == "chunky_fraction" ||
+         param == "epsilon";
 }
 
 std::vector<std::vector<double>> SweepRunner::enumerate_points() const {

@@ -271,13 +271,25 @@ TEST(SpecHash, ChangesForEveryFieldSeedEpsAndRuns) {
   EXPECT_NE(base,
             mutated_spec([](ScenarioSpec& s) { s.chunky_fraction = 0.5; }));
   EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
-              s.failure.link_failure_fraction = 0.1;
+              s.failure.uniform.link_fraction = 0.1;
             }));
   EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
-              s.failure.switch_failure_fraction = 0.1;
+              s.failure.uniform.switch_fraction = 0.1;
             }));
   EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
               s.failure.capacity_factor = 0.9;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.correlated.epicenter_fraction = 0.1;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.correlated.peer_probability = 0.5;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.per_class.switch_fraction["switch"] = 0.1;
+            }));
+  EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
+              s.failure.targeted.link_cuts = 3;
             }));
   EXPECT_NE(base, mutated_spec([](ScenarioSpec& s) {
               s.axes[0].param = "switch_failure_fraction";
@@ -322,15 +334,64 @@ TEST(CellIdentity, KeyCoversSeedsOptionsAndSolverTag) {
   other.options.flow.epsilon = 0.1;
   EXPECT_NE(base, cell_key(other));
   other = cell;
-  other.options.failure.link_failure_fraction = 0.25;
+  other.options.failure.uniform.link_fraction = 0.25;
   EXPECT_NE(base, cell_key(other));
   other = cell;
   other.params["degree"] = 5;
   EXPECT_NE(base, cell_key(other));
+  // Every newer failure component perturbs the key too...
+  other = cell;
+  other.options.failure.correlated.epicenter_fraction = 0.1;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.options.failure.correlated.peer_probability = 0.4;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.options.failure.per_class.switch_fraction["switch"] = 0.2;
+  EXPECT_NE(base, cell_key(other));
+  other = cell;
+  other.options.failure.targeted.link_cuts = 2;
+  EXPECT_NE(base, cell_key(other));
+  // ...while inactive components stay OUT of the identity string, so
+  // uniform-only cells keep the addresses they had before the failure
+  // subsystem grew components (old cache dirs stay warm).
+  const std::string legacy_identity = cell_identity_json(cell);
+  EXPECT_EQ(legacy_identity.find("blast"), std::string::npos);
+  EXPECT_EQ(legacy_identity.find("per_class"), std::string::npos);
+  EXPECT_EQ(legacy_identity.find("targeted"), std::string::npos);
   // The identity string pins the solver tag, so a version bump
   // invalidates every cell by construction.
   EXPECT_NE(cell_identity_json(cell).find(kSolverVersionTag),
             std::string::npos);
+}
+
+TEST(Cache, NewFailureFamiliesCacheColdWarmIdentically) {
+  // One correlated + one targeted sweep through the cache: warm runs must
+  // be bit-identical with zero recomputation (the CI failure-families
+  // smoke job asserts the same property end-to-end via --spec).
+  for (const char* axis : {"blast_probability", "targeted_link_cuts"}) {
+    SCOPED_TRACE(axis);
+    ScenarioSpec spec = tiny_rrg_spec();
+    spec.name = std::string("cache_test_") + axis;
+    if (std::string(axis) == "blast_probability") {
+      spec.failure.correlated.epicenter_fraction = 0.1;
+      spec.axes = {{axis, {0.0, 0.5}, {}}};
+    } else {
+      spec.axes = {{axis, {0, 3}, {}}};
+    }
+    spec.reuse_topology = true;
+    SweepRunConfig config = tiny_config();
+    const SweepResult uncached = SweepRunner(spec, config).run();
+    config.cache_dir = fresh_cache_dir(std::string("family_") + axis);
+    const SweepResult cold = SweepRunner(spec, config).run();
+    const SweepResult warm = SweepRunner(spec, config).run();
+    EXPECT_EQ(cold.cache_misses, 4);
+    EXPECT_EQ(warm.cache_hits, 4);
+    EXPECT_EQ(warm.cache_misses, 0);
+    expect_points_bitwise_equal(uncached, cold);
+    expect_points_bitwise_equal(cold, warm);
+    std::filesystem::remove_all(config.cache_dir);
+  }
 }
 
 TEST(Cache, UnwritableDirFailsLoudly) {

@@ -3,12 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <map>
+#include <string>
 
 #include "core/evaluate.h"
 #include "core/failure.h"
 #include "graph/algorithms.h"
 #include "lp/mcf_lp.h"
 #include "sim/network.h"
+#include "topo/fat_tree.h"
 #include "topo/random_regular.h"
 #include "topo/vl2.h"
 #include "util/rng.h"
@@ -144,14 +148,14 @@ TEST(FailureInjection, RewiredVl2SurvivesExtremeTorCounts) {
   }
 }
 
-// ---- FailureModel (core/failure.h): the scenario engine's seeded
-// ---- degradations.
+// ---- FailureSpec (core/failure.h): the scenario engine's seeded,
+// ---- composable degradations.
 
-TEST(FailureModel, SameSeedSameFailedSets) {
+TEST(FailureSpec, SameSeedSameFailedSets) {
   const BuiltTopology t = random_regular_topology(20, 8, 5, 17);
-  FailureModel model;
-  model.link_failure_fraction = 0.2;
-  model.switch_failure_fraction = 0.1;
+  FailureSpec model;
+  model.uniform.link_fraction = 0.2;
+  model.uniform.switch_fraction = 0.1;
   FailureSample a;
   FailureSample b;
   const BuiltTopology da = apply_failures(t, model, 42, &a);
@@ -169,13 +173,13 @@ TEST(FailureModel, SameSeedSameFailedSets) {
   EXPECT_NE(a.failed_links, c.failed_links);
 }
 
-TEST(FailureModel, HigherFractionFailsSuperset) {
+TEST(FailureSpec, HigherFractionFailsSuperset) {
   const BuiltTopology t = random_regular_topology(24, 9, 6, 5);
   for (double low_fraction : {0.1, 0.2}) {
-    FailureModel low;
-    low.link_failure_fraction = low_fraction;
-    FailureModel high;
-    high.link_failure_fraction = low_fraction + 0.15;
+    FailureSpec low;
+    low.uniform.link_fraction = low_fraction;
+    FailureSpec high;
+    high.uniform.link_fraction = low_fraction + 0.15;
     FailureSample small_set;
     FailureSample big_set;
     (void)apply_failures(t, low, 7, &small_set);
@@ -187,7 +191,7 @@ TEST(FailureModel, HigherFractionFailsSuperset) {
   }
 }
 
-TEST(FailureModel, ThroughputMonotoneNonIncreasingInLinkFailures) {
+TEST(FailureSpec, ThroughputMonotoneNonIncreasingInLinkFailures) {
   // Fixed RRG, fixed permutation workload, exact LP solve: because the
   // failed sets nest (superset property above), the optimum is exactly
   // monotone — no FPTAS slack involved.
@@ -197,8 +201,8 @@ TEST(FailureModel, ThroughputMonotoneNonIncreasingInLinkFailures) {
   const auto commodities = aggregate_to_commodities(tm, t.servers);
   double previous = 1e300;
   for (double fraction : {0.0, 0.1, 0.2, 0.3}) {
-    FailureModel model;
-    model.link_failure_fraction = fraction;
+    FailureSpec model;
+    model.uniform.link_fraction = fraction;
     const BuiltTopology degraded = apply_failures(t, model, 29);
     if (!is_connected(degraded.graph)) break;
     const McfLpResult exact =
@@ -209,12 +213,12 @@ TEST(FailureModel, ThroughputMonotoneNonIncreasingInLinkFailures) {
   }
 }
 
-TEST(FailureModel, CapacityFactorScalesThroughputExactly) {
+TEST(FailureSpec, CapacityFactorScalesThroughputExactly) {
   const BuiltTopology t = random_regular_topology(10, 5, 4, 3);
   Rng traffic_rng(31);
   const TrafficMatrix tm = random_permutation_traffic(t.servers, traffic_rng);
   const auto commodities = aggregate_to_commodities(tm, t.servers);
-  FailureModel half;
+  FailureSpec half;
   half.capacity_factor = 0.5;
   const McfLpResult full = solve_concurrent_flow_lp(t.graph, commodities);
   const McfLpResult derated =
@@ -224,10 +228,10 @@ TEST(FailureModel, CapacityFactorScalesThroughputExactly) {
   EXPECT_NEAR(derated.lambda, 0.5 * full.lambda, 1e-9);
 }
 
-TEST(FailureModel, SwitchFailureKillsLinksAndServers) {
+TEST(FailureSpec, SwitchFailureKillsLinksAndServers) {
   const BuiltTopology t = random_regular_topology(20, 10, 6, 13);
-  FailureModel model;
-  model.switch_failure_fraction = 0.25;
+  FailureSpec model;
+  model.uniform.switch_fraction = 0.25;
   FailureSample sample;
   const BuiltTopology degraded = apply_failures(t, model, 3, &sample);
   ASSERT_EQ(sample.failed_switches.size(), 5u);
@@ -239,27 +243,27 @@ TEST(FailureModel, SwitchFailureKillsLinksAndServers) {
   EXPECT_EQ(degraded.servers.total(), t.servers.total() - 5 * 4);
 }
 
-TEST(FailureModel, FullDisconnectionYieldsZeroThroughputNotCrash) {
+TEST(FailureSpec, FullDisconnectionYieldsZeroThroughputNotCrash) {
   const BuiltTopology t = random_regular_topology(12, 6, 4, 19);
   EvalOptions options;
-  options.failure.link_failure_fraction = 1.0;  // every link dies
+  options.failure.uniform.link_fraction = 1.0;  // every link dies
   const ThroughputResult r = evaluate_throughput(t, options, 7);
   EXPECT_FALSE(r.feasible);
   EXPECT_DOUBLE_EQ(r.lambda, 0.0);
 
   // All switches down: no servers survive either — still a clean zero.
   EvalOptions all_switches;
-  all_switches.failure.switch_failure_fraction = 1.0;
+  all_switches.failure.uniform.switch_fraction = 1.0;
   const ThroughputResult r2 = evaluate_throughput(t, all_switches, 7);
   EXPECT_FALSE(r2.feasible);
   EXPECT_DOUBLE_EQ(r2.lambda, 0.0);
 }
 
-TEST(FailureModel, InactiveModelIsExactNoOp) {
+TEST(FailureSpec, InactiveModelIsExactNoOp) {
   const BuiltTopology t = random_regular_topology(16, 8, 5, 23);
   EvalOptions plain;
   EvalOptions with_inactive;
-  with_inactive.failure = FailureModel{};  // all defaults
+  with_inactive.failure = FailureSpec{};  // all defaults
   const ThroughputResult a = evaluate_throughput(t, plain, 9);
   const ThroughputResult b = evaluate_throughput(t, with_inactive, 9);
   EXPECT_EQ(a.lambda, b.lambda);
@@ -267,14 +271,305 @@ TEST(FailureModel, InactiveModelIsExactNoOp) {
   EXPECT_EQ(a.phases, b.phases);
 }
 
-TEST(FailureModel, RejectsBadParameters) {
+TEST(FailureSpec, RejectsBadParameters) {
   const BuiltTopology t = random_regular_topology(8, 4, 3, 1);
-  FailureModel negative;
-  negative.link_failure_fraction = -0.1;
+  FailureSpec negative;
+  negative.uniform.link_fraction = -0.1;
   EXPECT_THROW((void)apply_failures(t, negative, 1), InvalidArgument);
-  FailureModel zero_capacity;
+  FailureSpec zero_capacity;
   zero_capacity.capacity_factor = 0.0;
   EXPECT_THROW((void)apply_failures(t, zero_capacity, 1), InvalidArgument);
+}
+
+TEST(FailureSpec, ActiveReflectsEveryComponent) {
+  EXPECT_FALSE(FailureSpec{}.active());
+  FailureSpec uniform;
+  uniform.uniform.link_fraction = 0.1;
+  EXPECT_TRUE(uniform.active());
+  FailureSpec correlated;
+  correlated.correlated.epicenter_fraction = 0.1;
+  EXPECT_TRUE(correlated.active());
+  FailureSpec per_class;
+  per_class.per_class.switch_fraction["core"] = 0.1;
+  EXPECT_TRUE(per_class.active());
+  FailureSpec targeted;
+  targeted.targeted.link_cuts = 1;
+  EXPECT_TRUE(targeted.active());
+  FailureSpec derated;
+  derated.capacity_factor = 0.5;
+  EXPECT_TRUE(derated.active());
+  // "Derating requested" is capacity_factor < 1.0, not an exact != 1.0
+  // compare: a value one ulp ABOVE 1.0 no longer flips the whole
+  // degradation pass on. It is invalid rather than a no-op, and the
+  // evaluation layer validates before the active() gate, so it still
+  // fails loudly instead of silently evaluating pristine.
+  FailureSpec drifted;
+  drifted.capacity_factor = std::nextafter(1.0, 2.0);
+  EXPECT_FALSE(drifted.active());
+  const BuiltTopology t = random_regular_topology(8, 4, 3, 1);
+  EvalOptions options;
+  options.failure = drifted;
+  EXPECT_THROW((void)evaluate_throughput(t, options, 1), InvalidArgument);
+}
+
+// ---- Correlated blast-radius component.
+
+TEST(FailureSpec, CorrelatedSameSeedSameBlast) {
+  const BuiltTopology t = fat_tree_topology(4);  // classes: 8 edge/8 agg/4 core
+  FailureSpec spec;
+  spec.correlated.epicenter_fraction = 0.25;
+  spec.correlated.peer_probability = 0.5;
+  FailureSample a;
+  FailureSample b;
+  (void)apply_failures(t, spec, 11, &a);
+  (void)apply_failures(t, spec, 11, &b);
+  EXPECT_EQ(a.epicenters, b.epicenters);
+  EXPECT_EQ(a.blast_victims, b.blast_victims);
+  EXPECT_EQ(a.failed_switches, b.failed_switches);
+  EXPECT_EQ(a.epicenters.size(), 5u);  // llround(0.25 * 20)
+  EXPECT_FALSE(a.blast_victims.empty());
+
+  FailureSample c;
+  (void)apply_failures(t, spec, 12, &c);
+  EXPECT_NE(a.failed_switches, c.failed_switches);
+}
+
+TEST(FailureSpec, CorrelatedNestsInEpicenterFractionAndProbability) {
+  const BuiltTopology t = fat_tree_topology(4);
+  const auto failed_switches = [&](double fraction, double probability) {
+    FailureSpec spec;
+    spec.correlated.epicenter_fraction = fraction;
+    spec.correlated.peer_probability = probability;
+    FailureSample sample;
+    (void)apply_failures(t, spec, 17, &sample);
+    return sample.failed_switches;
+  };
+  // More epicenters: existing epicenters' victims are keyed to the
+  // epicenter's node id, so the failed set only grows.
+  const auto few = failed_switches(0.1, 0.4);
+  const auto more = failed_switches(0.3, 0.4);
+  EXPECT_TRUE(std::includes(more.begin(), more.end(), few.begin(), few.end()));
+  // Higher peer probability: the per-peer rolls are fixed, so raising the
+  // threshold converts a superset of them into kills.
+  const auto gentle = failed_switches(0.2, 0.2);
+  const auto harsh = failed_switches(0.2, 0.7);
+  EXPECT_TRUE(
+      std::includes(harsh.begin(), harsh.end(), gentle.begin(), gentle.end()));
+}
+
+TEST(FailureSpec, BlastRadiusRespectsNodeClass) {
+  const BuiltTopology t = fat_tree_topology(4);
+  FailureSpec spec;
+  spec.correlated.epicenter_fraction = 0.15;  // 3 epicenters
+  spec.correlated.peer_probability = 0.6;
+  FailureSample sample;
+  (void)apply_failures(t, spec, 5, &sample);
+  ASSERT_FALSE(sample.blast_victims.empty());
+  for (NodeId victim : sample.blast_victims) {
+    bool shares_class_with_epicenter = false;
+    for (NodeId epicenter : sample.epicenters) {
+      shares_class_with_epicenter =
+          shares_class_with_epicenter ||
+          t.class_of(victim) == t.class_of(epicenter);
+    }
+    EXPECT_TRUE(shares_class_with_epicenter)
+        << "victim " << victim << " (class " << t.class_of(victim)
+        << ") shares no epicenter's class";
+  }
+}
+
+// ---- Per-class component.
+
+TEST(FailureSpec, PerClassRatesFailTheNamedClassOnly) {
+  const BuiltTopology t = fat_tree_topology(4);  // 8 edge, 8 agg, 4 core
+  FailureSpec spec;
+  spec.per_class.switch_fraction["core"] = 0.5;
+  FailureSample sample;
+  const BuiltTopology degraded = apply_failures(t, spec, 9, &sample);
+  ASSERT_EQ(sample.failed_switches.size(), 2u);  // llround(0.5 * 4)
+  const int core_class = 2;  // fat_tree class_names = {edge, aggregation, core}
+  ASSERT_EQ(t.class_names[core_class], "core");
+  for (NodeId dead : sample.failed_switches) {
+    EXPECT_EQ(t.class_of(dead), core_class);
+    EXPECT_EQ(degraded.graph.degree(dead), 0);
+  }
+}
+
+TEST(FailureSpec, PerClassNestsAndStreamsAreIndependent) {
+  const BuiltTopology t = fat_tree_topology(4);
+  const auto failed_switches = [&](std::map<std::string, double> rates) {
+    FailureSpec spec;
+    spec.per_class.switch_fraction = std::move(rates);
+    FailureSample sample;
+    (void)apply_failures(t, spec, 21, &sample);
+    return sample.failed_switches;
+  };
+  const auto low = failed_switches({{"edge", 0.25}});
+  const auto high = failed_switches({{"edge", 0.5}});
+  EXPECT_EQ(low.size(), 2u);
+  EXPECT_EQ(high.size(), 4u);
+  EXPECT_TRUE(std::includes(high.begin(), high.end(), low.begin(), low.end()));
+  // Adding another class's rate must not reshuffle the edge class's draw.
+  const auto combined = failed_switches({{"edge", 0.25}, {"core", 0.5}});
+  EXPECT_TRUE(std::includes(combined.begin(), combined.end(), low.begin(),
+                            low.end()));
+  EXPECT_EQ(combined.size(), low.size() + 2u);
+}
+
+TEST(FailureSpec, PerClassUnknownClassFailsLoudly) {
+  const BuiltTopology t = random_regular_topology(8, 4, 3, 1);  // class "switch"
+  FailureSpec spec;
+  spec.per_class.switch_fraction["tor"] = 0.5;
+  try {
+    (void)apply_failures(t, spec, 1);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("tor"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("switch"), std::string::npos);
+  }
+  // Even an all-zero rate counts as active and validates the class name:
+  // a typo'd class axis fails at its first cell, not only once the swept
+  // rate turns positive (after cache writes).
+  FailureSpec zero_rate;
+  zero_rate.per_class.switch_fraction["tor"] = 0.0;
+  EXPECT_TRUE(zero_rate.active());
+  EXPECT_THROW((void)apply_failures(t, zero_rate, 1), InvalidArgument);
+}
+
+// ---- Targeted adversarial component.
+
+TEST(FailureSpec, TargetedRankingIsDeterministicAndComplete) {
+  const BuiltTopology t = random_regular_topology(16, 8, 5, 23);
+  const std::vector<EdgeId> ranking = targeted_link_ranking(t.graph);
+  EXPECT_EQ(ranking, targeted_link_ranking(t.graph));
+  ASSERT_EQ(static_cast<int>(ranking.size()), t.graph.num_edges());
+  std::vector<EdgeId> sorted = ranking;
+  std::sort(sorted.begin(), sorted.end());
+  for (EdgeId e = 0; e < t.graph.num_edges(); ++e) {
+    EXPECT_EQ(sorted[static_cast<std::size_t>(e)], e);  // a permutation
+  }
+}
+
+TEST(FailureSpec, TargetedRankingPutsTheBridgeFirst) {
+  // Two triangles joined by a single bridge: every cross pair routes over
+  // it, so betweenness must rank the bridge strictly first.
+  Graph g(6);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 1.0);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(3, 4, 1.0);
+  g.add_edge(4, 5, 1.0);
+  g.add_edge(5, 3, 1.0);
+  const EdgeId bridge = g.add_edge(2, 3, 1.0);
+  const std::vector<EdgeId> ranking = targeted_link_ranking(g);
+  EXPECT_EQ(ranking.front(), bridge);
+}
+
+TEST(FailureSpec, TargetedCutsAreSeedIndependentAndNested) {
+  const BuiltTopology t = random_regular_topology(16, 8, 5, 23);
+  FailureSpec spec;
+  spec.targeted.link_cuts = 5;
+  FailureSample a;
+  FailureSample b;
+  (void)apply_failures(t, spec, 1, &a);
+  (void)apply_failures(t, spec, 999, &b);  // seed must not matter
+  EXPECT_EQ(a.failed_links, b.failed_links);
+  EXPECT_EQ(a.targeted_links, b.targeted_links);
+  ASSERT_EQ(a.targeted_links.size(), 5u);
+
+  // The cuts are exactly the ranking's top-5, and k nests.
+  const std::vector<EdgeId> ranking = targeted_link_ranking(t.graph);
+  std::vector<EdgeId> expected(ranking.begin(), ranking.begin() + 5);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(a.targeted_links, expected);
+  FailureSpec fewer;
+  fewer.targeted.link_cuts = 2;
+  FailureSample small_set;
+  (void)apply_failures(t, fewer, 1, &small_set);
+  EXPECT_TRUE(std::includes(a.failed_links.begin(), a.failed_links.end(),
+                            small_set.failed_links.begin(),
+                            small_set.failed_links.end()));
+
+  // k beyond the edge count cuts everything, cleanly.
+  FailureSpec all;
+  all.targeted.link_cuts = t.graph.num_edges() + 100;
+  FailureSample everything;
+  const BuiltTopology empty = apply_failures(t, all, 1, &everything);
+  EXPECT_EQ(static_cast<int>(everything.failed_links.size()),
+            t.graph.num_edges());
+  EXPECT_EQ(empty.graph.num_edges(), 0);
+}
+
+TEST(FailureSpec, ExactLpMonotoneNonIncreasingInTargetedCuts) {
+  // Targeted cuts nest in k by construction, so with a fixed workload the
+  // exact optimum is monotone non-increasing — the targeted counterpart of
+  // the uniform link-fraction test above.
+  const BuiltTopology t = random_regular_topology(12, 6, 4, 11);
+  Rng traffic_rng(23);
+  const TrafficMatrix tm = random_permutation_traffic(t.servers, traffic_rng);
+  const auto commodities = aggregate_to_commodities(tm, t.servers);
+  double previous = 1e300;
+  for (int cuts : {0, 2, 4, 6}) {
+    FailureSpec spec;
+    spec.targeted.link_cuts = cuts;
+    const BuiltTopology degraded = apply_failures(t, spec, 29);
+    if (!is_connected(degraded.graph)) break;
+    const McfLpResult exact =
+        solve_concurrent_flow_lp(degraded.graph, commodities);
+    ASSERT_EQ(exact.status, LpStatus::kOptimal);
+    EXPECT_LE(exact.lambda, previous + 1e-9) << "cuts " << cuts;
+    previous = exact.lambda;
+  }
+}
+
+// ---- Composition.
+
+TEST(FailureSpec, ComponentsComposeWithoutPerturbingEachOther) {
+  const BuiltTopology t = fat_tree_topology(4);
+  FailureSpec uniform_only;
+  uniform_only.uniform.link_fraction = 0.1;
+  uniform_only.uniform.switch_fraction = 0.1;
+  FailureSample uniform_sample;
+  (void)apply_failures(t, uniform_only, 31, &uniform_sample);
+
+  FailureSpec composed = uniform_only;
+  composed.targeted.link_cuts = 4;
+  composed.per_class.switch_fraction["core"] = 0.5;
+  FailureSample composed_sample;
+  (void)apply_failures(t, composed, 31, &composed_sample);
+
+  // The uniform component's draw is untouched by the added components
+  // (independent streams), and the union contains every contributor.
+  EXPECT_TRUE(std::includes(composed_sample.failed_links.begin(),
+                            composed_sample.failed_links.end(),
+                            uniform_sample.failed_links.begin(),
+                            uniform_sample.failed_links.end()));
+  EXPECT_TRUE(std::includes(composed_sample.failed_switches.begin(),
+                            composed_sample.failed_switches.end(),
+                            uniform_sample.failed_switches.begin(),
+                            uniform_sample.failed_switches.end()));
+  EXPECT_TRUE(std::includes(composed_sample.failed_links.begin(),
+                            composed_sample.failed_links.end(),
+                            composed_sample.targeted_links.begin(),
+                            composed_sample.targeted_links.end()));
+  EXPECT_GE(composed_sample.failed_switches.size(),
+            uniform_sample.failed_switches.size() + 2u);  // + 2 core kills
+}
+
+TEST(FailureSpec, RejectsBadComponentParameters) {
+  const BuiltTopology t = random_regular_topology(8, 4, 3, 1);
+  FailureSpec blast;
+  blast.correlated.peer_probability = 1.5;
+  EXPECT_THROW((void)apply_failures(t, blast, 1), InvalidArgument);
+  FailureSpec epicenters;
+  epicenters.correlated.epicenter_fraction = -0.25;
+  EXPECT_THROW((void)apply_failures(t, epicenters, 1), InvalidArgument);
+  FailureSpec cuts;
+  cuts.targeted.link_cuts = -1;
+  EXPECT_THROW((void)apply_failures(t, cuts, 1), InvalidArgument);
+  FailureSpec rate;
+  rate.per_class.switch_fraction["switch"] = 2.0;
+  EXPECT_THROW((void)apply_failures(t, rate, 1), InvalidArgument);
 }
 
 TEST(FailureInjection, SolverHandlesExtremeCapacityRatios) {

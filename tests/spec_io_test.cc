@@ -159,13 +159,110 @@ TEST(SpecRoundTrip, CheckedInExampleSpecsStayValid) {
   // The README's worked examples must keep parsing (and round-tripping)
   // as the spec schema evolves.
   for (const char* name :
-       {"rrg_link_failures.json", "fat_tree_failure_grid.json"}) {
+       {"rrg_link_failures.json", "fat_tree_failure_grid.json",
+        "rrg_correlated_failures.json", "fat_tree_targeted_cuts.json",
+        "vl2_class_failures.json"}) {
     SCOPED_TRACE(name);
     const ScenarioSpec spec = load_spec_file(
         std::string(TOPOBENCH_EXAMPLE_SPEC_DIR) + "/" + name);
     EXPECT_EQ(spec_to_json(spec_from_json(spec_to_json(spec))),
               spec_to_json(spec));
   }
+}
+
+TEST(SpecRoundTrip, FailureComponentsRoundTripByteStably) {
+  // A spec exercising every failure component: correlated blast radius,
+  // per-class rates, targeted cuts, plus the legacy uniform fields.
+  const char* doc = R"({
+    "name": "all_components",
+    "topology": {"family": "fat_tree", "params": {"k": 4}},
+    "failure": {"link_failure_fraction": 0.05,
+                "blast_switch_fraction": 0.1,
+                "blast_probability": 0.25,
+                "class_failure_fraction": {"core": 0.5, "edge": 0.1},
+                "targeted_link_cuts": 4,
+                "capacity_factor": 0.9},
+    "axes": [{"param": "blast_probability", "values": [0, 0.25, 0.5]}]
+  })";
+  const ScenarioSpec spec = spec_from_json(doc);
+  EXPECT_EQ(spec.failure.uniform.link_fraction, 0.05);
+  EXPECT_EQ(spec.failure.correlated.epicenter_fraction, 0.1);
+  EXPECT_EQ(spec.failure.correlated.peer_probability, 0.25);
+  EXPECT_EQ(spec.failure.per_class.switch_fraction.at("core"), 0.5);
+  EXPECT_EQ(spec.failure.per_class.switch_fraction.at("edge"), 0.1);
+  EXPECT_EQ(spec.failure.targeted.link_cuts, 4);
+  EXPECT_EQ(spec.failure.capacity_factor, 0.9);
+  EXPECT_TRUE(spec.failure.active());
+  const std::string once = spec_to_json(spec);
+  EXPECT_EQ(spec_to_json(spec_from_json(once)), once);
+  // Inactive components stay out of the canonical emission, so legacy
+  // uniform-only specs serialize exactly as they did before.
+  ScenarioSpec legacy = spec;
+  legacy.failure = FailureSpec{};
+  legacy.axes = {{"link_failure_fraction", {0.0, 0.25}, {}}};
+  const std::string legacy_json = spec_to_json(legacy);
+  EXPECT_EQ(legacy_json.find("blast"), std::string::npos);
+  EXPECT_EQ(legacy_json.find("class_failure_fraction"), std::string::npos);
+  EXPECT_EQ(legacy_json.find("targeted"), std::string::npos);
+}
+
+TEST(SpecErrors, FailureComponentKeysAreValidated) {
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"blast_probability": 1.5}})",
+                    "blast_probability");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"blast_switch_fractoin": 0.1}})",
+                    "blast_switch_fractoin");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"targeted_link_cuts": -1}})",
+                    "targeted_link_cuts");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"targeted_link_cuts": 2.5}})",
+                    "targeted_link_cuts");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"class_failure_fraction": {"tor": 2}}})",
+                    "class_failure_fraction.tor");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "failure": {"class_failure_fraction": 0.5}})",
+                    "class_failure_fraction");
+}
+
+TEST(SpecErrors, FailureAxisValuesAreValidated) {
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "blast_probability", "values": [0.5, 1.5]}]})",
+      "axes[0].values");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "targeted_link_cuts", "values": [0, 1.5]}]})",
+      "axes[0].values");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "targeted_link_cuts", "values": [-2]}]})",
+      "axes[0].values");
+  // Same 1e9 cap as the scalar field: values that would overflow the int
+  // cast in axis binding are rejected up front, not mid-sweep.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "targeted_link_cuts", "values": [3000000000]}]})",
+      "axes[0].values");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "class_failure_fraction:tor",
+                    "values": [0, 2]}]})",
+      "axes[0].values");
+  // A bare class prefix with no class name is a spec mistake, not a
+  // topology-parameter axis.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "class_failure_fraction:", "values": [0.1]}]})",
+      "axes[0].param");
 }
 
 TEST(SpecErrors, UnknownKeysAreNamed) {
