@@ -14,9 +14,14 @@
 //   --seed N       master seed (default 1)
 //   --csv          machine-readable tables on stdout
 //   --out FILE     also write the result tables as JSON
-//   --threads N    pool size (exports TOPOBENCH_THREADS before first use)
+//   --threads N    pool size (must land before the first parallel region;
+//                  fails loudly otherwise)
 //   --cache-dir D  content-addressed cell cache for sweeps (hits/misses
 //                  report on stderr; stdout stays byte-identical)
+//   --shard I/N    distributed sweeps: evaluate only stripe I of N of the
+//                  (point x run) cell grid into the shared --cache-dir; a
+//                  final unsharded run with the same spec and cache dir
+//                  warm-merges every shard into the full table
 #include <algorithm>
 #include <cstdio>
 #include <string>
@@ -31,7 +36,7 @@ void print_usage() {
       "usage: topobench --list | --list-names\n"
       "       topobench <scenario> [--smoke|--full] [--runs N] [--eps X]\n"
       "                 [--seed N] [--csv] [--out FILE] [--threads N]\n"
-      "                 [--cache-dir DIR]\n"
+      "                 [--cache-dir DIR] [--shard I/N]\n"
       "       topobench --spec FILE [same flags]\n"
       "       topobench --dump-spec NAME [FILE]\n"
       "\n"
@@ -41,6 +46,15 @@ void print_usage() {
       "a sweep scenario's spec as JSON (stdout unless FILE is given) so\n"
       "it can be edited and re-run with --spec. See README \"Running\n"
       "scenarios from a spec file\".\n"
+      "\n"
+      "Distributed sweeps (README \"Distributed sweeps\"): --shard I/N\n"
+      "restricts a sweep to stripe I (0-based) of N stripes of its\n"
+      "(point x run) cell grid, publishing results into the shared\n"
+      "--cache-dir (required). Run all N shards — concurrently, on any\n"
+      "mix of machines sharing the dir — then re-run the same spec\n"
+      "unsharded with the same cache dir: the coordinator warm-merges\n"
+      "every cell into output byte-identical to a single-process run,\n"
+      "recomputing nothing. See examples/shard_merge_demo.sh.\n"
       "\n"
       "Failure models (README \"Failure models\"): specs compose uniform\n"
       "link/switch failures, correlated blast-radius failures\n"

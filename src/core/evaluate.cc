@@ -59,7 +59,8 @@ ThroughputResult evaluate_prepared(const BuiltTopology& topology,
 
 ThroughputResult evaluate_throughput(const BuiltTopology& topology,
                                      const EvalOptions& options,
-                                     std::uint64_t traffic_seed) {
+                                     std::uint64_t traffic_seed,
+                                     const std::vector<EdgeId>* targeted_ranking) {
   require(topology.servers.num_switches() == topology.graph.num_nodes(),
           "server map must cover every switch");
   // Validate BEFORE the active() gate: an out-of-range field (say a
@@ -71,7 +72,8 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
   }
   const BuiltTopology degraded =
       apply_failures(topology, options.failure,
-                     Rng::derive_seed(traffic_seed, kFailureSeedSalt));
+                     Rng::derive_seed(traffic_seed, kFailureSeedSalt),
+                     /*sample=*/nullptr, targeted_ranking);
   // Degradation can leave too few endpoints for a workload; report that as
   // an infeasible zero-throughput run rather than raising (the network is
   // effectively down).
@@ -88,10 +90,17 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
 std::vector<ThroughputResult> evaluate_throughput_trials(
     const BuiltTopology& topology, const EvalOptions& options,
     const std::vector<std::uint64_t>& traffic_seeds) {
+  // The targeted ranking is seed-independent (a pure function of the
+  // graph): compute it once for every trial instead of per seed.
+  std::vector<EdgeId> ranking;
+  const bool targeted =
+      options.failure.targeted.active() && traffic_seeds.size() > 1;
+  if (targeted) ranking = targeted_link_ranking(topology.graph);
   std::vector<ThroughputResult> results(traffic_seeds.size());
   parallel_for(static_cast<int>(traffic_seeds.size()), [&](int i) {
     results[static_cast<std::size_t>(i)] = evaluate_throughput(
-        topology, options, traffic_seeds[static_cast<std::size_t>(i)]);
+        topology, options, traffic_seeds[static_cast<std::size_t>(i)],
+        targeted ? &ranking : nullptr);
   });
   return results;
 }

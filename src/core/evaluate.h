@@ -45,9 +45,16 @@ struct EvalOptions {
 /// lambda is the paper's throughput: the per-unit-demand rate of the worst
 /// flow under optimal routing; lambda >= 1 means full line-rate for every
 /// server in a permutation.
+///
+/// `targeted_ranking`, when non-null, is the memoized
+/// targeted_link_ranking of `topology.graph` (see apply_failures):
+/// callers that evaluate the same topology many times with an active
+/// targeted-failure component pass it to skip the per-call O(V*E)
+/// recomputation; the result is identical either way.
 [[nodiscard]] ThroughputResult evaluate_throughput(
     const BuiltTopology& topology, const EvalOptions& options,
-    std::uint64_t traffic_seed);
+    std::uint64_t traffic_seed,
+    const std::vector<EdgeId>* targeted_ranking = nullptr);
 
 /// Evaluates one topology under several independently seeded workloads,
 /// running the trials concurrently on the shared pool. Results are

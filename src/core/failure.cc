@@ -213,7 +213,8 @@ std::vector<EdgeId> targeted_link_ranking(const Graph& graph) {
 
 BuiltTopology apply_failures(const BuiltTopology& topology,
                              const FailureSpec& spec, std::uint64_t seed,
-                             FailureSample* sample) {
+                             FailureSample* sample,
+                             const std::vector<EdgeId>* targeted_ranking) {
   validate_failure_spec(spec);
 
   const int num_nodes = topology.graph.num_nodes();
@@ -247,7 +248,15 @@ BuiltTopology apply_failures(const BuiltTopology& topology,
     draw_per_class(topology, spec.per_class, seed, switch_dead);
   }
   if (spec.targeted.active()) {
-    const std::vector<EdgeId> ranking = targeted_link_ranking(topology.graph);
+    // A caller-provided ranking (memoized per topology) short-circuits
+    // the O(V*E) Brandes pass; it is a pure function of the graph, so
+    // the cut prefix is identical either way.
+    std::vector<EdgeId> computed;
+    if (targeted_ranking == nullptr) {
+      computed = targeted_link_ranking(topology.graph);
+    }
+    const std::vector<EdgeId>& ranking =
+        targeted_ranking != nullptr ? *targeted_ranking : computed;
     const int cuts = std::min(spec.targeted.link_cuts, num_edges);
     std::vector<EdgeId> cut(ranking.begin(), ranking.begin() + cuts);
     for (EdgeId e : cut) link_dead[static_cast<std::size_t>(e)] = 1;

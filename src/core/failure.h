@@ -151,10 +151,17 @@ void validate_failure_spec(const FailureSpec& spec);
 /// seed); pass `sample` to observe the drawn failed sets. With only the
 /// uniform component and capacity_factor set, the draw and the degraded
 /// topology are identical to the historical 3-field FailureModel's.
-[[nodiscard]] BuiltTopology apply_failures(const BuiltTopology& topology,
-                                           const FailureSpec& spec,
-                                           std::uint64_t seed,
-                                           FailureSample* sample = nullptr);
+///
+/// `targeted_ranking`, when non-null, must be targeted_link_ranking of
+/// THIS topology's graph; the targeted component then cuts its prefix
+/// instead of recomputing the O(V*E) ranking. Callers that degrade one
+/// topology many times (sweeps over k, multi-trial evaluation) compute
+/// the ranking once and pass it here — the result is identical either
+/// way, by the ranking's purity in the graph.
+[[nodiscard]] BuiltTopology apply_failures(
+    const BuiltTopology& topology, const FailureSpec& spec,
+    std::uint64_t seed, FailureSample* sample = nullptr,
+    const std::vector<EdgeId>* targeted_ranking = nullptr);
 
 }  // namespace topo
 

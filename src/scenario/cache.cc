@@ -1,9 +1,13 @@
 #include "scenario/cache.h"
 
+#include <unistd.h>
+
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <sstream>
 #include <thread>
 
@@ -154,12 +158,46 @@ std::uint64_t cell_key(const CellIdentity& cell) {
   return fnv1a64(cell_identity_json(cell));
 }
 
+namespace {
+
+// Cutoff separating this process's in-flight temp files from a crashed
+// writer's leftovers, captured at the first cache open. A live writer's
+// temp exists only for the instant between write and rename, so a temp
+// predating this process is garbage from a shard that died mid-store —
+// minus a safety margin absorbing clock skew between machines sharing
+// the dir (NFS mtimes come from the file server's clock, not ours) and
+// coarse filesystem timestamp granularity.
+std::filesystem::file_time_type stale_temp_cutoff() {
+  static const auto epoch = std::filesystem::file_time_type::clock::now();
+  return epoch - std::chrono::minutes(10);
+}
+
+}  // namespace
+
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   require(!dir_.empty(), "cache dir must be non-empty");
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   require(!ec && std::filesystem::is_directory(dir_),
           "cannot create cache dir: " + dir_);
+  // Crash hygiene for shared dirs: rename failure already cleans its own
+  // temp, but a writer killed between write and rename leaves
+  // `<cell>.json.tmp.<id>` behind forever. Sweep temps that clearly
+  // predate this process on open, so crashed shards don't accumulate
+  // garbage in a cache dir shared across many shard invocations. Cell
+  // files are never touched, and removal failures are ignored (another
+  // opener may have swept the same file first).
+  const auto cutoff = stale_temp_cutoff();
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) continue;
+    if (entry.path().filename().string().find(".json.tmp.") ==
+        std::string::npos) {
+      continue;
+    }
+    const auto written = std::filesystem::last_write_time(entry.path(), ec);
+    if (ec || written >= cutoff) continue;
+    std::filesystem::remove(entry.path(), ec);
+  }
 }
 
 std::string ResultCache::cell_path(std::uint64_t key) const {
@@ -204,12 +242,16 @@ void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
       << "  \"result\": " << payload << ",\n"
       << "  \"checksum\": " << json_string(hash_hex(fnv1a64(payload)))
       << "\n}\n";
-  // Unique temp per writer thread, then rename: concurrent stores of the
-  // same key (duplicate axis values) each publish a complete file.
+  // Unique temp per (process, thread) writer, then rename: concurrent
+  // stores of the same key — duplicate axis values within a sweep, or
+  // shard processes racing on a shared dir — each publish a complete
+  // file, and the rename winner is a valid document either way.
   const std::string temp =
       cell_path(key) + ".tmp." +
-      hash_hex(static_cast<std::uint64_t>(
-          std::hash<std::thread::id>{}(std::this_thread::get_id())));
+      hash_hex(fnv1a64(
+          std::to_string(static_cast<long long>(::getpid())) + "." +
+          std::to_string(static_cast<std::uint64_t>(
+              std::hash<std::thread::id>{}(std::this_thread::get_id())))));
   {
     std::ofstream file(temp);
     require(static_cast<bool>(file), "cannot write cache file: " + temp);
@@ -217,7 +259,14 @@ void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
   }
   std::error_code ec;
   std::filesystem::rename(temp, cell_path(key), ec);
-  if (ec) std::filesystem::remove(temp, ec);
+  if (ec) {
+    // A shard's only output channel is the cache: a lost store is not an
+    // error (the coordinator will recompute the cell) but it must not be
+    // silent, or sharded runs would under-publish with no diagnostic.
+    std::cerr << "warning: cache store failed for " << cell_path(key) << ": "
+              << ec.message() << "\n";
+    std::filesystem::remove(temp, ec);
+  }
 }
 
 }  // namespace topo::scenario

@@ -62,12 +62,17 @@ struct CellIdentity {
 
 /// On-disk cell store: one JSON file per cell under `dir`, named by the
 /// cell key. Loads verify schema, key, solver tag, and a checksum;
-/// stores write-to-temp-then-rename so concurrent writers (the sweep
-/// evaluates cells on the shared pool) never expose a torn file.
+/// stores write-to-temp-then-rename so concurrent writers — pool threads
+/// within one sweep, or shard processes sharing the dir (sweep.h
+/// sharding) — never expose a torn file: racing stores of the same key
+/// each publish a complete document and any of them verifies.
 class ResultCache {
  public:
   /// Creates `dir` (and parents) if missing; raises InvalidArgument when
-  /// that fails.
+  /// that fails. Also sweeps stale temp files — `*.json.tmp.*` clearly
+  /// predating this process (minus a clock-skew safety margin) — left
+  /// behind by writers that crashed between write and rename, so shared
+  /// dirs don't accumulate garbage across shard runs.
   explicit ResultCache(std::string dir);
 
   /// True when a verified entry for `key` exists; fills `*out` with the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <exception>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -9,6 +10,7 @@
 #include "util/error.h"
 #include "util/flags.h"
 #include "util/json.h"
+#include "util/parallel.h"
 #include "util/table.h"
 
 namespace topo::scenario {
@@ -108,9 +110,42 @@ void write_scenario_json(std::ostream& os, const std::string& name,
   os << "\n}\n";
 }
 
+namespace {
+
+// Parses a --shard value of the form "I/N" (0-based stripe I of N) into
+// the options; raises InvalidArgument naming the flag on any malformation.
+void parse_shard_value(const std::string& value, ScenarioOptions* options) {
+  const std::size_t slash = value.find('/');
+  bool ok = slash != std::string::npos && slash > 0 &&
+            slash + 1 < value.size();
+  int index = 0;
+  int count = 0;
+  if (ok) {
+    try {
+      std::size_t used = 0;
+      index = std::stoi(value.substr(0, slash), &used);
+      ok = used == slash;
+      std::size_t used_count = 0;
+      const std::string count_text = value.substr(slash + 1);
+      count = std::stoi(count_text, &used_count);
+      ok = ok && used_count == count_text.size();
+    } catch (const std::exception&) {
+      ok = false;
+    }
+  }
+  require(ok, "--shard expects I/N (e.g. --shard 0/2), got: " + value);
+  require(count >= 1, "--shard I/N requires N >= 1, got: " + value);
+  require(index >= 0 && index < count,
+          "--shard I/N requires 0 <= I < N, got: " + value);
+  options->shard_index = index;
+  options->shard_count = count;
+}
+
+}  // namespace
+
 ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   const Flags flags(argc, argv, {"runs", "eps", "seed", "csv", "full", "smoke",
-                                 "out", "threads", "cache-dir"});
+                                 "out", "threads", "cache-dir", "shard"});
   require(!(flags.get_bool("full") && flags.get_bool("smoke")),
           "--full and --smoke are mutually exclusive");
   ScenarioOptions options;
@@ -121,10 +156,27 @@ ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   options.full = flags.get_bool("full");
   options.out_path = flags.get_string("out", "");
   options.cache_dir = flags.get_string("cache-dir", "");
+  if (const std::string shard = flags.get_string("shard", ""); !shard.empty()) {
+    parse_shard_value(shard, &options);
+    require(options.shard_count == 1 || !options.cache_dir.empty(),
+            "--shard requires --cache-dir: a shard's cells are published "
+            "through the shared cache for the coordinator to merge");
+  }
   if (const int threads = flags.get_int("threads", 0); threads > 0) {
-    // The pool reads TOPOBENCH_THREADS once, at its first use; both CLI
-    // entry points parse flags before any parallel region runs.
+    // Exported for child processes the scenario may spawn; the local pool
+    // is sized explicitly below (the env var alone is read only at the
+    // pool's first use, which may already have happened).
     ::setenv("TOPOBENCH_THREADS", std::to_string(threads).c_str(), 1);
+    if (!set_parallel_slots(threads)) {
+      // The pool serves one size per process: if a parallel region
+      // already ran, honoring the flag is impossible — fail loudly
+      // instead of silently computing at the old width.
+      throw InvalidArgument(
+          "--threads " + std::to_string(threads) +
+          " cannot take effect: the thread pool already started with " +
+          std::to_string(parallel_slots()) +
+          " slots (pass --threads before the first parallel region)");
+    }
   }
   return options;
 }

@@ -39,6 +39,16 @@ struct ScenarioOptions {
   /// Content-addressed cell cache for sweep scenarios (scenario/cache.h);
   /// "" disables caching. Figure scenarios ignore it.
   std::string cache_dir;
+  /// Distributed sweep sharding (--shard I/N): this invocation evaluates
+  /// only the cells of stripe `shard_index` out of `shard_count` stripes
+  /// of the sweep's flat (point × run) cell grid, storing them into the
+  /// shared cache_dir (required when shard_count > 1). Cell identity is
+  /// shard-agnostic, so a coordinator run with the same spec and no
+  /// sharding warm-merges every shard's cells into the full table with
+  /// zero recomputation. The default (0, 1) is an unsharded run.
+  /// Figure scenarios ignore it.
+  int shard_index = 0;
+  int shard_count = 1;
 };
 
 /// One table a scenario emitted, with its banner title.
@@ -117,11 +127,14 @@ void write_scenario_json(std::ostream& os, const std::string& name,
                          const std::vector<RecordedTable>& tables);
 
 /// Parses the shared scenario flag set (--runs --eps --seed --csv --full
-/// --smoke --out --threads --cache-dir) from argv (argv[0] is skipped).
-/// --threads N
-/// exports TOPOBENCH_THREADS=N, so it must be parsed before the first
-/// parallel region — both entry points below guarantee that. Raises
-/// InvalidArgument on unknown flags or conflicting modes.
+/// --smoke --out --threads --cache-dir --shard) from argv (argv[0] is
+/// skipped). --threads N sizes the shared thread pool (and exports
+/// TOPOBENCH_THREADS=N for child processes); the pool is sized once, so
+/// if a parallel region already ran, the flag cannot take effect and
+/// parsing fails loudly instead of silently running at the old width.
+/// --shard I/N selects stripe I (0-based) of N for distributed sweeps
+/// and requires --cache-dir. Raises InvalidArgument on unknown flags,
+/// malformed values, or conflicting modes.
 [[nodiscard]] ScenarioOptions parse_scenario_options(int argc,
                                                      const char* const* argv);
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "scenario/cache.h"
@@ -63,6 +64,14 @@ std::vector<std::shared_ptr<const ScenarioSpec>>& spec_registry() {
 
 }  // namespace
 
+bool cell_in_shard(int cell_index, int shard_index, int shard_count) {
+  // Round-robin striping: cheap, independent of the grid shape, and an
+  // exact partition for any (cells, shard_count) pair. Striding by cell
+  // rather than by point also balances shards when a single point's runs
+  // dominate the grid.
+  return cell_index % shard_count == shard_index;
+}
+
 bool is_eval_axis(const std::string& param) {
   return param == "link_failure_fraction" ||
          param == "switch_failure_fraction" ||
@@ -95,6 +104,15 @@ std::vector<std::vector<double>> SweepRunner::enumerate_points() const {
 SweepResult SweepRunner::run() const {
   const ScenarioSpec& spec = *spec_;
   require(config_.runs >= 1, "sweep requires runs >= 1");
+  require(config_.shard_count >= 1, "shard_count must be >= 1");
+  require(config_.shard_index >= 0 &&
+              config_.shard_index < config_.shard_count,
+          "shard_index must be in [0, shard_count)");
+  // A shard's only output channel is the shared cache: without one its
+  // stripe would be computed and thrown away.
+  require(config_.shard_count == 1 || !config_.cache_dir.empty(),
+          "sharded sweeps require a cache dir (the coordinator merges "
+          "shards through it)");
   // One validator for file-parsed and programmatic specs alike: known
   // family, known parameter/axis names (a typo'd axis would otherwise
   // sweep nothing and report identical cells without an error), sane
@@ -106,6 +124,12 @@ SweepResult SweepRunner::run() const {
   const int runs = config_.runs;
   const int num_points = static_cast<int>(points.size());
   const int num_cells = num_points * runs;
+  // This run's stripe of the cell grid. Sharding restricts EVALUATION
+  // only — plans, seeds, and cache keys are shard-agnostic, so every
+  // shard and the coordinator address identical cells.
+  const auto in_shard = [this](int index) {
+    return cell_in_shard(index, config_.shard_index, config_.shard_count);
+  };
 
   bool reuse = spec.reuse_topology;
   for (const SweepAxis& axis : spec.axes) {
@@ -180,11 +204,13 @@ SweepResult SweepRunner::run() const {
   std::vector<std::shared_ptr<const BuiltTopology>> shared(
       static_cast<std::size_t>(reuse ? runs : 0));
   if (reuse) {
+    // Run r's topology is needed only if some cell of run r will actually
+    // be evaluated here: not cached, and in this run's stripe.
     std::vector<char> needed(static_cast<std::size_t>(runs),
                              cache == nullptr ? 1 : 0);
     if (cache != nullptr) {
       for (int index = 0; index < num_cells; ++index) {
-        if (!cached[static_cast<std::size_t>(index)]) {
+        if (!cached[static_cast<std::size_t>(index)] && in_shard(index)) {
           needed[static_cast<std::size_t>(index % runs)] = 1;
         }
       }
@@ -203,17 +229,36 @@ SweepResult SweepRunner::run() const {
     });
   }
 
+  // Memoized targeted-failure rankings for the shared reuse topologies: a
+  // pure, seed-independent function of the graph, so a k-axis sweep
+  // computes it once per run instead of once per cell. call_once keeps
+  // the lazy computation race-free on the pool; whichever worker computes
+  // it, the bytes are identical.
+  std::vector<std::once_flag> ranking_once(
+      static_cast<std::size_t>(reuse ? runs : 0));
+  std::vector<std::vector<EdgeId>> rankings(
+      static_cast<std::size_t>(reuse ? runs : 0));
+
   parallel_for(num_cells, [&](int index) {
     if (cache != nullptr && cached[static_cast<std::size_t>(index)]) return;
+    if (!in_shard(index)) return;  // another shard's cell
     const CellPlan plan = cache != nullptr
                               ? plans[static_cast<std::size_t>(index)]
                               : make_plan(index);
     try {
       if (reuse) {
-        const auto& topology = shared[static_cast<std::size_t>(index % runs)];
+        const std::size_t r = static_cast<std::size_t>(index % runs);
+        const auto& topology = shared[r];
         if (topology != nullptr) {
-          cells[static_cast<std::size_t>(index)] =
-              evaluate_throughput(*topology, plan.options, plan.traffic_seed);
+          const std::vector<EdgeId>* ranking = nullptr;
+          if (plan.options.failure.targeted.active()) {
+            std::call_once(ranking_once[r], [&] {
+              rankings[r] = targeted_link_ranking(topology->graph);
+            });
+            ranking = &rankings[r];
+          }
+          cells[static_cast<std::size_t>(index)] = evaluate_throughput(
+              *topology, plan.options, plan.traffic_seed, ranking);
         }
       } else {
         const BuiltTopology topology =
@@ -232,14 +277,35 @@ SweepResult SweepRunner::run() const {
     }
   });
 
+  // A cell is available when this run has its result: a cache hit from
+  // any shard's earlier store, or an in-stripe evaluation above.
+  const auto available = [&](int index) {
+    if (cache != nullptr && cached[static_cast<std::size_t>(index)]) {
+      return true;
+    }
+    return in_shard(index);
+  };
+
   SweepResult result;
   for (const SweepAxis& axis : spec.axes) {
     result.axis_names.push_back(axis.param);
   }
+  int skipped = 0;
+  for (int index = 0; index < num_cells; ++index) {
+    if (!available(index)) ++skipped;
+  }
   result.cache_hits = hits;
-  result.cache_misses = cache != nullptr ? num_cells - hits : 0;
+  result.shard_skipped = skipped;
+  result.cache_misses = cache != nullptr ? num_cells - hits - skipped : 0;
   result.points.reserve(points.size());
   for (int p = 0; p < num_points; ++p) {
+    // Partial-reduction skip: a sharded run reduces only the points whose
+    // every cell it has (its stripe plus cache hits); the remaining
+    // points belong to other shards until the coordinator's warm run
+    // merges everything. Unsharded runs always reduce every point.
+    bool complete = true;
+    for (int r = 0; r < runs; ++r) complete = complete && available(p * runs + r);
+    if (!complete) continue;
     const auto begin = cells.begin() + static_cast<std::ptrdiff_t>(p) * runs;
     SweepPointResult point;
     point.coords = points[static_cast<std::size_t>(p)];
@@ -279,16 +345,29 @@ void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx) {
   config.master_seed = ctx.options().seed;
   config.full = ctx.options().full;
   config.cache_dir = ctx.options().cache_dir;
+  config.shard_index = ctx.options().shard_index;
+  config.shard_count = ctx.options().shard_count;
   const SweepResult result = SweepRunner(spec, config).run();
   ctx.banner(spec.description);
   ctx.table(sweep_table(result));
   if (!config.cache_dir.empty()) {
     // stderr, not the scenario stream: stdout/JSON stay byte-identical
-    // between cold and warm runs.
+    // between cold and warm runs. The spec hash is shard-agnostic
+    // (spec_hash never reads the shard fields), so all shards and the
+    // coordinator report the same sweep identity; unsharded runs keep the
+    // historical line format exactly (CI greps it).
     std::cerr << "cache " << spec.name << " ["
-              << hash_hex(spec_hash(spec, config)) << "]: "
-              << result.cache_hits << " hits, " << result.cache_misses
-              << " misses (" << config.cache_dir << ")\n";
+              << hash_hex(spec_hash(spec, config)) << "]";
+    if (config.shard_count > 1) {
+      std::cerr << " shard " << config.shard_index << "/"
+                << config.shard_count;
+    }
+    std::cerr << ": " << result.cache_hits << " hits, "
+              << result.cache_misses << " misses";
+    if (config.shard_count > 1) {
+      std::cerr << ", " << result.shard_skipped << " left to other shards";
+    }
+    std::cerr << " (" << config.cache_dir << ")\n";
   }
 }
 

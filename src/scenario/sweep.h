@@ -26,10 +26,17 @@ struct SweepPointResult {
 /// A finished sweep.
 struct SweepResult {
   std::vector<std::string> axis_names;
+  /// Reduced points, in enumeration order. In a sharded run only
+  /// COMPLETE points appear — those whose every cell was either in this
+  /// shard's stripe or already cached; unsharded runs always reduce every
+  /// point.
   std::vector<SweepPointResult> points;
   /// Cell-cache accounting (both zero when no cache_dir was configured).
   int cache_hits = 0;
   int cache_misses = 0;  ///< Cells evaluated (and stored) this run.
+  /// Cells left to other shards (out of this run's stripe and not in the
+  /// cache); 0 for unsharded runs.
+  int shard_skipped = 0;
 };
 
 /// Resolved run configuration for a sweep.
@@ -43,7 +50,25 @@ struct SweepRunConfig {
   /// fresh ones in the same ordered reduction, so a warm run's numbers
   /// are bit-identical to a cold one.
   std::string cache_dir;
+  /// Distributed sharding: evaluate only stripe `shard_index` of
+  /// `shard_count` deterministic stripes of the flat (point × run) cell
+  /// grid (cell_in_shard), publishing results through cache_dir (required
+  /// when shard_count > 1 — without it a shard's work would be
+  /// discarded). Striping never enters cell identity or seed fan-out, so
+  /// every shard and the coordinator address identical cells: N shard
+  /// invocations over a shared cache dir followed by an unsharded warm
+  /// run of the same spec reproduce the single-process table byte for
+  /// byte with zero coordinator recomputation.
+  int shard_index = 0;
+  int shard_count = 1;
 };
+
+/// True when flat cell `cell_index` belongs to stripe `shard_index` of
+/// `shard_count` (round-robin by index). For any cell count the stripes
+/// of a given shard_count partition the grid: every cell belongs to
+/// exactly one shard.
+[[nodiscard]] bool cell_in_shard(int cell_index, int shard_index,
+                                 int shard_count);
 
 /// Runs a declarative scenario spec.
 class SweepRunner {
@@ -64,8 +89,11 @@ class SweepRunner {
   /// workload) pair per run (monotone curves up to FPTAS epsilon slack;
   /// see core/failure.h).
   /// Construction failures count as infeasible zero-throughput runs.
-  /// Raises InvalidArgument for unknown families or axis/parameter names
-  /// the family's builder would ignore.
+  /// With shard_count > 1 only the configured stripe of cells is
+  /// evaluated (cached cells still merge wherever they live), and only
+  /// complete points are reduced. Raises InvalidArgument for unknown
+  /// families, axis/parameter names the family's builder would ignore,
+  /// or a sharded config without a cache dir.
   [[nodiscard]] SweepResult run() const;
 
   /// The active sweep points (cartesian product, first axis slowest).

@@ -15,7 +15,17 @@ namespace {
 // to run nested loops inline instead of deadlocking the shared pool.
 thread_local bool inside_parallel_region = false;
 
+// Explicit size request (set_parallel_slots) and whether the size has
+// been resolved; the request must land before the first parallel_slots()
+// call to take effect.
+std::atomic<int> requested_slots{0};
+std::atomic<bool> slots_resolved{false};
+
 int resolve_slots() {
+  if (const int requested = requested_slots.load(std::memory_order_acquire);
+      requested > 0) {
+    return requested;
+  }
   if (const char* env = std::getenv("TOPOBENCH_THREADS")) {
     const int parsed = std::atoi(env);
     if (parsed > 0) return parsed;
@@ -130,7 +140,21 @@ class Pool {
 
 int parallel_slots() {
   static const int slots = resolve_slots();
+  slots_resolved.store(true, std::memory_order_release);
   return slots;
+}
+
+bool parallel_slots_resolved() {
+  return slots_resolved.load(std::memory_order_acquire);
+}
+
+bool set_parallel_slots(int n) {
+  if (n < 1) return false;
+  requested_slots.store(n, std::memory_order_release);
+  // Resolving here makes the outcome definite for the caller: either the
+  // request just became the pool size, or the pool was already sized and
+  // the request only "succeeds" when it matches.
+  return parallel_slots() == n;
 }
 
 void parallel_for_slots(int n,

@@ -18,9 +18,23 @@
 namespace topo {
 
 /// Number of worker slots parallel loops may use, including the calling
-/// thread: >= 1. Reads TOPOBENCH_THREADS (if set and positive) else
-/// hardware_concurrency, once per process.
+/// thread: >= 1. Resolved once per process: an explicit
+/// set_parallel_slots request wins, else TOPOBENCH_THREADS (if set and
+/// positive), else hardware_concurrency.
 [[nodiscard]] int parallel_slots();
+
+/// True once the pool size has been resolved (parallel_slots() was
+/// called, directly or by a parallel region). After that point a
+/// different size can no longer take effect.
+[[nodiscard]] bool parallel_slots_resolved();
+
+/// Requests the pool size explicitly (e.g. from a --threads flag),
+/// overriding TOPOBENCH_THREADS. Returns true when the pool will run
+/// (or already runs) with exactly `n` slots; false when `n < 1` or the
+/// size was already resolved to a different value — callers that must
+/// honor a user-visible flag should fail loudly on false instead of
+/// silently running with the wrong width.
+bool set_parallel_slots(int n);
 
 /// Runs fn(item) for every item in [0, n), distributing items over the
 /// shared pool plus the calling thread; blocks until all complete. Items

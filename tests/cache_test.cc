@@ -1,14 +1,21 @@
 // Result-cache tests: cold vs warm equivalence (bit-identical reductions,
 // zero recomputation on warm), spec-hash sensitivity to every field,
-// content-addressed cell reuse across axis edits and run counts, and the
+// content-addressed cell reuse across axis edits and run counts, the
 // corruption trust model (truncated / corrupted / foreign files are
-// recomputed, never trusted).
+// recomputed, never trusted), the cross-process store contract sharding
+// relies on (racing writers, stale-temp sweeping), and shard striping
+// (stripes partition the cell grid; sharded cold runs + a coordinator
+// warm run merge to the single-process result bit for bit).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
+#include <tuple>
 #include <vector>
 
 #include "scenario/cache.h"
@@ -392,6 +399,174 @@ TEST(Cache, NewFailureFamiliesCacheColdWarmIdentically) {
     expect_points_bitwise_equal(cold, warm);
     std::filesystem::remove_all(config.cache_dir);
   }
+}
+
+TEST(Cache, RacingStoresOnOneKeyBothSucceedAndLoadsVerify) {
+  // The temp-file + rename contract sharding depends on: two writers —
+  // here two cache handles on the dir, as two shard processes would hold —
+  // racing on the SAME cell key must both complete, and a subsequent load
+  // must see one complete document (never a torn mix; the checksum
+  // re-verification would reject it as a miss).
+  const std::string dir = fresh_cache_dir("race");
+  const ResultCache first(dir);
+  const ResultCache second(dir);
+  ThroughputResult result_a;
+  result_a.lambda = 0.25;
+  result_a.feasible = true;
+  ThroughputResult result_b;
+  result_b.lambda = 0.75;
+  result_b.feasible = true;
+  for (int round = 0; round < 50; ++round) {
+    const std::uint64_t key = 1000 + static_cast<std::uint64_t>(round);
+    std::thread writer_a([&] { first.store(key, result_a); });
+    std::thread writer_b([&] { second.store(key, result_b); });
+    writer_a.join();
+    writer_b.join();
+    ThroughputResult loaded;
+    ASSERT_TRUE(first.load(key, &loaded)) << "round " << round;
+    EXPECT_TRUE(loaded.lambda == result_a.lambda ||
+                loaded.lambda == result_b.lambda)
+        << loaded.lambda;
+  }
+  // Every rename landed: no temp litter remains.
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_EQ(entry.path().filename().string().find(".tmp."),
+              std::string::npos)
+        << entry.path();
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Cache, StaleTempFilesAreSweptOnOpenFreshAndCellFilesKept) {
+  const std::string dir = fresh_cache_dir("stale_tmp");
+  {
+    const ResultCache cache(dir);
+    cache.store(42, ThroughputResult{});
+  }
+  // A crashed shard's leftover (old mtime) vs a live writer's in-flight
+  // temp (fresh mtime): reopening the dir must sweep only the former.
+  const std::string stale = dir + "/00000000deadbeef.json.tmp.aaaa";
+  const std::string fresh = dir + "/00000000deadbeef.json.tmp.bbbb";
+  {
+    std::ofstream out(stale);
+    out << "{\"version\": half a doc";
+  }
+  {
+    std::ofstream out(fresh);
+    out << "{\"version\": half a doc";
+  }
+  std::filesystem::last_write_time(
+      stale, std::filesystem::file_time_type::clock::now() -
+                 std::chrono::hours(2));
+  const ResultCache reopened(dir);
+  EXPECT_FALSE(std::filesystem::exists(stale));
+  EXPECT_TRUE(std::filesystem::exists(fresh));
+  ThroughputResult loaded;
+  EXPECT_TRUE(reopened.load(42, &loaded));  // cell files are never touched
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Shard, StripesPartitionTheCellGridExactly) {
+  // Every (points, runs, shard_count) shape: each flat cell index belongs
+  // to exactly one stripe, so N shard runs cover the CellPlan with no
+  // overlap and no gap.
+  const std::vector<std::tuple<int, int, int>> shapes = {
+      {1, 1, 1}, {5, 1, 2}, {2, 2, 2}, {3, 3, 3}, {4, 2, 5}, {2, 3, 7}};
+  for (const auto& [points, runs, shards] : shapes) {
+    SCOPED_TRACE(std::to_string(points) + "x" + std::to_string(runs) + "/" +
+                 std::to_string(shards));
+    for (int index = 0; index < points * runs; ++index) {
+      int owners = 0;
+      for (int s = 0; s < shards; ++s) {
+        owners += cell_in_shard(index, s, shards) ? 1 : 0;
+      }
+      EXPECT_EQ(owners, 1) << "cell " << index;
+    }
+  }
+}
+
+TEST(Shard, ShardedColdRunsThenCoordinatorWarmMergeByteIdentical) {
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  const SweepResult single = SweepRunner(spec, config).run();
+
+  // Two shard invocations over one shared dir. Stripes are disjoint, so
+  // the shards together compute every cell exactly once; each shard
+  // reduces only the points it has completely (stripe + cache hits).
+  config.cache_dir = fresh_cache_dir("shard_merge");
+  config.shard_count = 2;
+  config.shard_index = 0;
+  const SweepResult shard0 = SweepRunner(spec, config).run();
+  EXPECT_EQ(shard0.cache_hits, 0);
+  EXPECT_EQ(shard0.cache_misses, 2);  // cells 0 and 2 of 4
+  EXPECT_EQ(shard0.shard_skipped, 2);
+  // 2 runs per point straddle both stripes: nothing is complete yet.
+  EXPECT_TRUE(shard0.points.empty());
+
+  config.shard_index = 1;
+  const SweepResult shard1 = SweepRunner(spec, config).run();
+  EXPECT_EQ(shard1.cache_hits, 2);  // shard 0's cells, via the shared dir
+  EXPECT_EQ(shard1.cache_misses, 2);
+  EXPECT_EQ(shard1.shard_skipped, 0);
+  // With the sibling stripe already published, every point completes —
+  // and matches the single-process run bit for bit.
+  expect_points_bitwise_equal(single, shard1);
+
+  // Coordinator: same spec, no sharding, same cache dir — a pure merge.
+  config.shard_index = 0;
+  config.shard_count = 1;
+  const SweepResult merged = SweepRunner(spec, config).run();
+  EXPECT_EQ(merged.cache_hits, 4);
+  EXPECT_EQ(merged.cache_misses, 0);
+  EXPECT_EQ(merged.shard_skipped, 0);
+  expect_points_bitwise_equal(single, merged);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Shard, ComposesWithReuseTopologyAndTargetedCuts) {
+  // Reuse mode + the targeted component (whose ranking is memoized per
+  // shared topology) under a 3-way shard split: the merged table must
+  // equal the unsharded, uncached run exactly.
+  ScenarioSpec spec = tiny_rrg_spec();
+  spec.axes = {{"targeted_link_cuts", {0, 2}, {}}};
+  spec.reuse_topology = true;
+  SweepRunConfig config = tiny_config();
+  const SweepResult single = SweepRunner(spec, config).run();
+
+  config.cache_dir = fresh_cache_dir("shard_reuse");
+  config.shard_count = 3;
+  int computed = 0;
+  for (int s = 0; s < 3; ++s) {
+    config.shard_index = s;
+    const SweepResult shard = SweepRunner(spec, config).run();
+    computed += shard.cache_misses;
+    EXPECT_EQ(shard.cache_hits + shard.cache_misses + shard.shard_skipped, 4);
+  }
+  EXPECT_EQ(computed, 4);  // disjoint stripes: every cell computed once
+
+  config.shard_index = 0;
+  config.shard_count = 1;
+  const SweepResult merged = SweepRunner(spec, config).run();
+  EXPECT_EQ(merged.cache_hits, 4);
+  EXPECT_EQ(merged.cache_misses, 0);
+  expect_points_bitwise_equal(single, merged);
+  std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Shard, InvalidShardConfigFailsLoudly) {
+  const ScenarioSpec spec = tiny_rrg_spec();
+  SweepRunConfig config = tiny_config();
+  config.shard_count = 2;  // sharded but no cache dir: work would vanish
+  EXPECT_THROW((void)SweepRunner(spec, config).run(), InvalidArgument);
+  config.cache_dir = fresh_cache_dir("shard_bad");
+  config.shard_index = 2;  // out of range
+  EXPECT_THROW((void)SweepRunner(spec, config).run(), InvalidArgument);
+  config.shard_index = -1;
+  EXPECT_THROW((void)SweepRunner(spec, config).run(), InvalidArgument);
+  config.shard_index = 0;
+  config.shard_count = 0;
+  EXPECT_THROW((void)SweepRunner(spec, config).run(), InvalidArgument);
+  std::filesystem::remove_all(config.cache_dir);
 }
 
 TEST(Cache, UnwritableDirFailsLoudly) {

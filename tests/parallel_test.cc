@@ -16,6 +16,22 @@ namespace {
 
 TEST(Parallel, SlotsIsAtLeastOne) { EXPECT_GE(parallel_slots(), 1); }
 
+TEST(Parallel, SetSlotsAfterResolutionOnlyAcceptsTheResolvedSize) {
+  // Force resolution (any earlier test's loop already did, but this test
+  // must not depend on ordering).
+  std::atomic<int> sink{0};
+  parallel_for(4, [&](int) { sink.fetch_add(1, std::memory_order_relaxed); });
+  EXPECT_TRUE(parallel_slots_resolved());
+  const int slots = parallel_slots();
+  // Once the pool is sized, a matching request "succeeds" (it already
+  // holds) and any other request reports failure instead of being
+  // silently ignored — the contract the --threads flag builds on.
+  EXPECT_TRUE(set_parallel_slots(slots));
+  EXPECT_FALSE(set_parallel_slots(slots + 1));
+  EXPECT_FALSE(set_parallel_slots(0));
+  EXPECT_EQ(parallel_slots(), slots);  // failed requests changed nothing
+}
+
 TEST(Parallel, RunsEveryItemExactlyOnce) {
   constexpr int kItems = 1000;
   std::vector<std::atomic<int>> hits(kItems);

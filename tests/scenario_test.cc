@@ -5,12 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "core/experiment.h"
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
 #include "scenario/topo_registry.h"
 #include "topo/random_regular.h"
+#include "util/error.h"
 #include "util/rng.h"
 
 namespace topo::scenario {
@@ -223,6 +225,45 @@ TEST(ScenarioRunContext, RecordsTablesAndWritesJson) {
             std::string::npos);
   EXPECT_NE(out.find("a\\\"b"), std::string::npos);  // escaped quote
   EXPECT_NE(out.find("0.5"), std::string::npos);
+}
+
+TEST(ScenarioOptionsFlags, ParsesShardStripe) {
+  const char* argv[] = {"prog", "--shard", "1/3", "--cache-dir", "dir"};
+  const ScenarioOptions options = parse_scenario_options(5, argv);
+  EXPECT_EQ(options.shard_index, 1);
+  EXPECT_EQ(options.shard_count, 3);
+  EXPECT_EQ(options.cache_dir, "dir");
+
+  const char* plain[] = {"prog"};
+  const ScenarioOptions defaults = parse_scenario_options(1, plain);
+  EXPECT_EQ(defaults.shard_index, 0);
+  EXPECT_EQ(defaults.shard_count, 1);
+
+  // The degenerate 0/1 stripe is an unsharded run and needs no cache.
+  const char* unsharded[] = {"prog", "--shard", "0/1"};
+  EXPECT_EQ(parse_scenario_options(3, unsharded).shard_count, 1);
+}
+
+TEST(ScenarioOptionsFlags, RejectsMalformedOrCachelessShard) {
+  const auto parse = [](std::vector<const char*> argv) {
+    return parse_scenario_options(static_cast<int>(argv.size()), argv.data());
+  };
+  // A sharded run without a cache dir would compute a stripe and discard it.
+  EXPECT_THROW(parse({"p", "--shard", "1/2"}), InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "2/2", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "-1/2", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "1/0", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "nope", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "1/", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "/2", "--cache-dir", "d"}),
+               InvalidArgument);
+  EXPECT_THROW(parse({"p", "--shard", "1/2/3", "--cache-dir", "d"}),
+               InvalidArgument);
 }
 
 TEST(ScenarioRunContext, RunsDefaultRespectsModeAndOverride) {
