@@ -1,17 +1,20 @@
 #!/usr/bin/env sh
-# Distributed sweep sharding, end to end: split one sweep's (point x run)
-# cell grid across N `topobench --shard I/N` invocations sharing a cache
-# dir (here run as background processes; across machines, point them at
-# one shared filesystem), then warm-merge with an unsharded coordinator
-# run and verify the merged table is byte-identical to a single-process
-# run. See README "Distributed sweeps".
+# Supervised distributed sweeps, end to end: `topobench orchestrate`
+# spawns N shard workers over one shared cache dir, watches exit codes
+# and per-cell heartbeats, retries crashed or stalled stripes with
+# exponential backoff, and finishes with the coordinator merge — output
+# byte-identical to a single-process run. The second half injects a
+# fault (every worker SIGKILLed after its first published cell, via
+# TOPOBENCH_FAULT) and verifies the orchestrator still converges to the
+# exact same bytes. See README "Fault tolerance" and "Distributed
+# sweeps".
 #
-# usage: examples/shard_merge_demo.sh [BUILD_DIR] [SCENARIO] [SHARDS]
+# usage: examples/shard_merge_demo.sh [BUILD_DIR] [SCENARIO] [WORKERS]
 set -eu
 
 build_dir="${1:-build}"
 scenario="${2:-sweep_rrg_link_failures}"
-shards="${3:-2}"
+workers="${3:-2}"
 topobench="$build_dir/topobench"
 [ -x "$topobench" ] || {
   echo "error: $topobench not built (cmake -B $build_dir -S . && cmake --build $build_dir)" >&2
@@ -20,25 +23,28 @@ topobench="$build_dir/topobench"
 
 workdir="$(mktemp -d)"
 trap 'rm -rf "$workdir"' EXIT
-cache="$workdir/cache"
+spec="$workdir/spec.json"
 
 echo "== reference: single-process run =="
-"$topobench" "$scenario" --smoke --runs 1 --out "$workdir/single.json" \
+"$topobench" --dump-spec "$scenario" "$spec"
+"$topobench" --spec "$spec" --smoke --runs 1 --out "$workdir/single.json" \
   > "$workdir/single.txt"
 
-echo "== $shards shards, one shared cache dir =="
-i=0
-while [ "$i" -lt "$shards" ]; do
-  "$topobench" "$scenario" --smoke --runs 1 --shard "$i/$shards" \
-    --cache-dir "$cache" > "$workdir/shard$i.txt" &
-  i=$((i + 1))
-done
-wait
-
-echo "== coordinator: unsharded warm run merges every shard's cells =="
-"$topobench" "$scenario" --smoke --runs 1 --cache-dir "$cache" \
-  --out "$workdir/merged.json" > "$workdir/merged.txt"
+echo "== orchestrate: $workers supervised shard workers + merge =="
+"$topobench" orchestrate --spec "$spec" --cache-dir "$workdir/cache" \
+  --workers "$workers" --smoke --runs 1 --out "$workdir/merged.json" \
+  > "$workdir/merged.txt"
 
 diff "$workdir/single.txt" "$workdir/merged.txt"
 diff "$workdir/single.json" "$workdir/merged.json"
 echo "merged output is byte-identical to the single-process run"
+
+echo "== chaos: every worker crashes after its first published cell =="
+TOPOBENCH_FAULT=crash_after_cells:1 \
+  "$topobench" orchestrate --spec "$spec" --cache-dir "$workdir/chaos" \
+  --workers "$workers" --max-retries 8 --backoff 50 --smoke --runs 1 \
+  --out "$workdir/chaos.json" > "$workdir/chaos.txt"
+
+diff "$workdir/single.txt" "$workdir/chaos.txt"
+diff "$workdir/single.json" "$workdir/chaos.json"
+echo "crash-injected run recovered to byte-identical output"

@@ -22,12 +22,25 @@
 //                  (point x run) cell grid into the shared --cache-dir; a
 //                  final unsharded run with the same spec and cache dir
 //                  warm-merges every shard into the full table
+//
+// `topobench orchestrate --spec FILE --cache-dir DIR --workers N` is the
+// supervised version of the --shard recipe: it spawns the N shard
+// workers itself, watches exit codes and progress heartbeats, retries
+// crashed/stalled stripes with exponential backoff, and finishes with
+// the coordinator merge — degrading to partial output + a missing-cell
+// manifest (exit 3) when a stripe exhausts its retries. See README
+// "Fault tolerance".
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <string>
 
+#include "scenario/orchestrator.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_io.h"
+#include "util/cleanup.h"
+#include "util/exit_codes.h"
 
 namespace {
 
@@ -39,6 +52,10 @@ void print_usage() {
       "                 [--cache-dir DIR] [--shard I/N]\n"
       "       topobench --spec FILE [same flags]\n"
       "       topobench --dump-spec NAME [FILE]\n"
+      "       topobench orchestrate --spec FILE --cache-dir DIR\n"
+      "                 [--workers N] [--max-retries K] [--worker-timeout S]\n"
+      "                 [--backoff MS] [--runs N] [--eps X] [--seed N]\n"
+      "                 [--smoke|--full] [--csv] [--out FILE] [--threads N]\n"
       "\n"
       "Runs a registered scenario (all 13 paper figures plus the\n"
       "declarative sweeps), or a ScenarioSpec JSON file. Unique name\n"
@@ -61,7 +78,28 @@ void print_usage() {
       "(blast_switch_fraction / blast_probability), per-class rates\n"
       "(class_failure_fraction:<class>), targeted adversarial link cuts\n"
       "(targeted_link_cuts), and capacity derating — each usable as a\n"
-      "fixed field or a sweep axis. See the sweep_* scenarios in --list.");
+      "fixed field or a sweep axis. See the sweep_* scenarios in --list.\n"
+      "\n"
+      "Fault tolerance (README \"Fault tolerance\"): `orchestrate`\n"
+      "supervises the --shard workers itself: crashed or heartbeat-stalled\n"
+      "workers are killed and their stripes retried with exponential\n"
+      "backoff (--max-retries, --worker-timeout, --backoff), then the\n"
+      "coordinator merge runs in-process. Exit codes: 0 ok, 2 usage, 3\n"
+      "partial results after retry exhaustion (see the missing-cell\n"
+      "manifest under the cache dir), 4 internal error, 128+sig on\n"
+      "signal.");
+}
+
+// The path workers are exec'd through: /proc/self/exe where available
+// (immune to argv[0] games and cwd changes), else argv[0] as given.
+std::string self_executable(const char* argv0) {
+  char buf[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (len > 0) {
+    buf[len] = '\0';
+    return buf;
+  }
+  return argv0;
 }
 
 // Extracts the value of a leading `--flag VALUE` / `--flag=VALUE`
@@ -87,16 +125,24 @@ int leading_flag_value(int argc, char** argv, const std::string& flag,
 
 int main(int argc, char** argv) {
   using namespace topo::scenario;
+  // SIGINT/SIGTERM: unlink in-flight cache temp files, SIGTERM any
+  // supervised workers, exit 128+sig — so an interrupted run neither
+  // leaks `*.json.tmp.*` garbage nor orphans its children.
+  topo::install_signal_cleanup();
   register_builtin_scenarios();
 
   if (argc < 2) {
     print_usage();
-    return 1;
+    return topo::kExitUsage;
   }
   const std::string first = argv[1];
   if (first == "--help" || first == "-h") {
     print_usage();
-    return 0;
+    return topo::kExitOk;
+  }
+  if (first == "orchestrate") {
+    // Shift argv so "orchestrate" plays argv[0] for flag parsing.
+    return orchestrate_main(self_executable(argv[0]), argc - 1, argv + 1);
   }
   if (first == "--list" || first == "--list-names") {
     std::size_t width = 0;
@@ -118,7 +164,7 @@ int main(int argc, char** argv) {
     const int consumed = leading_flag_value(argc, argv, "--spec", &path);
     if (consumed == 0) {
       std::fprintf(stderr, "--spec requires a file argument\n");
-      return 1;
+      return topo::kExitUsage;
     }
     // Shift argv so the spec path plays argv[0] for flag parsing.
     return spec_file_main(path, argc - consumed, argv + consumed);
@@ -128,12 +174,12 @@ int main(int argc, char** argv) {
     const int consumed = leading_flag_value(argc, argv, "--dump-spec", &name);
     if (consumed == 0) {
       std::fprintf(stderr, "--dump-spec requires a scenario name\n");
-      return 1;
+      return topo::kExitUsage;
     }
     const int next = 1 + consumed;
     if (argc > next + 1) {
       std::fprintf(stderr, "--dump-spec takes at most one output file\n");
-      return 1;
+      return topo::kExitUsage;
     }
     return dump_spec_main(name, argc > next ? argv[next] : "");
   }
@@ -141,7 +187,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "first argument must be a scenario name: %s\n",
                  first.c_str());
     print_usage();
-    return 1;
+    return topo::kExitUsage;
   }
   // Shift argv so the scenario name plays argv[0] for flag parsing.
   return scenario_main(first, argc - 1, argv + 1);

@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
@@ -12,7 +13,9 @@
 #include <thread>
 
 #include "scenario/spec_io.h"
+#include "util/cleanup.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/json.h"
 
 namespace topo::scenario {
@@ -204,6 +207,14 @@ std::string ResultCache::cell_path(std::uint64_t key) const {
   return dir_ + "/" + hash_hex(key) + ".json";
 }
 
+namespace {
+
+// One process-wide quarantine warning: a corrupted shared cache can hold
+// thousands of bad cells, and one line per cell would bury the signal.
+std::atomic<bool> g_quarantine_warned{false};
+
+}  // namespace
+
 bool ResultCache::load(std::uint64_t key, ThroughputResult* out) const {
   std::ifstream in(cell_path(key));
   if (!in) return false;
@@ -229,7 +240,24 @@ bool ResultCache::load(std::uint64_t key, ThroughputResult* out) const {
     *out = result;
     return true;
   } catch (const Error&) {
-    return false;  // corrupt / truncated / foreign file: recompute
+    // Corrupt / truncated / foreign file: a miss — but not a silent one.
+    // Left in place the bad file would be re-parsed and re-missed on
+    // every warm run forever (store() only runs for cells the loader
+    // missed, and rename would replace the file anyway — but a reader
+    // between recompute and re-store would trip over it again).
+    // Quarantine it: rename to `<cell>.json.corrupt` so the slot is
+    // cleanly re-stored and the evidence survives for diagnosis. Racing
+    // loaders may quarantine the same file; the losers' renames fail
+    // silently (ec swallowed), which is fine.
+    in.close();
+    std::error_code ec;
+    std::filesystem::rename(cell_path(key), cell_path(key) + ".corrupt", ec);
+    if (!ec && !g_quarantine_warned.exchange(true)) {
+      std::cerr << "warning: quarantined corrupt cache cell "
+                << cell_path(key) << " (renamed to .corrupt; further "
+                << "quarantines this run are silent)\n";
+    }
+    return false;  // recompute; the fresh store fills the slot
   }
 }
 
@@ -237,9 +265,13 @@ void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
     const {
   const std::string payload = result_json(result);
   std::ostringstream out;
+  // Fault point (util/fault.h): under TOPOBENCH_FAULT=corrupt_store the
+  // written result bytes are mangled while the checksum still covers the
+  // clean payload, so the published file fails verification — the
+  // deterministic way to drive the loader's quarantine path.
   out << "{\n  \"version\": " << json_string(kSolverVersionTag) << ",\n"
       << "  \"key\": " << json_string(hash_hex(key)) << ",\n"
-      << "  \"result\": " << payload << ",\n"
+      << "  \"result\": " << fault::maybe_corrupt_payload(payload) << ",\n"
       << "  \"checksum\": " << json_string(hash_hex(fnv1a64(payload)))
       << "\n}\n";
   // Unique temp per (process, thread) writer, then rename: concurrent
@@ -252,13 +284,22 @@ void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
           std::to_string(static_cast<long long>(::getpid())) + "." +
           std::to_string(static_cast<std::uint64_t>(
               std::hash<std::thread::id>{}(std::this_thread::get_id())))));
+  // Registered for unlink-on-signal (cleanup.h) for exactly the window
+  // where the temp exists: a ^C between write and rename removes it
+  // immediately instead of leaking it until a later cache open's stale
+  // sweep ages it out.
+  const int cleanup_slot = register_cleanup_path(temp);
   {
     std::ofstream file(temp);
-    require(static_cast<bool>(file), "cannot write cache file: " + temp);
+    if (!file) {
+      unregister_cleanup_path(cleanup_slot);
+      require(false, "cannot write cache file: " + temp);
+    }
     file << out.str();
   }
   std::error_code ec;
   std::filesystem::rename(temp, cell_path(key), ec);
+  unregister_cleanup_path(cleanup_slot);
   if (ec) {
     // A shard's only output channel is the cache: a lost store is not an
     // error (the coordinator will recompute the cell) but it must not be
@@ -267,6 +308,10 @@ void ResultCache::store(std::uint64_t key, const ThroughputResult& result)
               << ec.message() << "\n";
     std::filesystem::remove(temp, ec);
   }
+  // Fault point (util/fault.h): under crash_after_cells:M the M-th
+  // completed store SIGKILLs the process right here — the published cell
+  // survives, nothing after it does.
+  fault::on_cell_stored();
 }
 
 }  // namespace topo::scenario

@@ -14,7 +14,11 @@
 //
 // Trust model: cache files are re-verified on load — wrong schema, a key
 // mismatch, a checksum mismatch, or any parse failure counts as a miss
-// and the cell is recomputed, never trusted.
+// and the cell is recomputed, never trusted. Failed files are also
+// QUARANTINED (renamed to `<cell>.json.corrupt`, one warning per
+// process) so the slot is cleanly re-stored instead of being re-parsed
+// and re-missed on every warm run, and the bad bytes survive for
+// diagnosis.
 #ifndef TOPODESIGN_SCENARIO_CACHE_H
 #define TOPODESIGN_SCENARIO_CACHE_H
 
@@ -76,7 +80,10 @@ class ResultCache {
   explicit ResultCache(std::string dir);
 
   /// True when a verified entry for `key` exists; fills `*out` with the
-  /// cached result (arc_flow left empty). Corrupt entries return false.
+  /// cached result (arc_flow left empty). Corrupt entries return false
+  /// after being quarantined: the bad file is renamed to
+  /// `<cell>.json.corrupt` (warning once per process) so the recomputed
+  /// cell re-stores into a clean slot.
   [[nodiscard]] bool load(std::uint64_t key, ThroughputResult* out) const;
 
   /// Persists a cell result under `key`.

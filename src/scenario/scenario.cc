@@ -8,6 +8,7 @@
 #include <string>
 
 #include "util/error.h"
+#include "util/exit_codes.h"
 #include "util/flags.h"
 #include "util/json.h"
 #include "util/parallel.h"
@@ -198,7 +199,7 @@ int run_scenario(const std::string& name, const ScenarioOptions& options,
       std::cerr << "unknown scenario: " << name
                 << " (topobench --list shows all names)\n";
     }
-    return 2;
+    return kExitUsage;
   }
   ScenarioRun run(options, stream);
   info->run(run);
@@ -206,11 +207,11 @@ int run_scenario(const std::string& name, const ScenarioOptions& options,
     std::ofstream out(options.out_path);
     if (!out) {
       std::cerr << "cannot write " << options.out_path << "\n";
-      return 1;
+      return kExitInternal;
     }
     write_scenario_json(out, info->name, options, run.tables());
   }
-  return 0;
+  return kExitOk;
 }
 
 int scenario_main(const std::string& name, int argc,
@@ -221,7 +222,7 @@ int scenario_main(const std::string& name, int argc,
     options = parse_scenario_options(argc, argv);
   } catch (const InvalidArgument& e) {
     std::cerr << e.what() << "\n";
-    return 1;
+    return kExitUsage;
   }
   try {
     return run_scenario(name, options, std::cout);
@@ -229,7 +230,12 @@ int scenario_main(const std::string& name, int argc,
     // Flag values validated downstream (e.g. --eps outside (0, 1) is
     // rejected inside the solver) surface as a clean error, not an abort.
     std::cerr << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    // Anything else is a bug or an environment failure, not a usage
+    // error; keep the codes distinct so scripts can tell them apart.
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
   }
 }
 

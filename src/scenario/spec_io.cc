@@ -10,6 +10,7 @@
 #include "scenario/sweep.h"
 #include "scenario/topo_registry.h"
 #include "util/error.h"
+#include "util/exit_codes.h"
 #include "util/json.h"
 
 namespace topo::scenario {
@@ -462,14 +463,17 @@ int spec_file_main(const std::string& path, int argc,
       std::ofstream out(options.out_path);
       if (!out) {
         std::cerr << "cannot write " << options.out_path << "\n";
-        return 1;
+        return kExitInternal;
       }
       write_scenario_json(out, spec.name, options, run.tables());
     }
-    return 0;
+    return kExitOk;
   } catch (const InvalidArgument& e) {
     std::cerr << e.what() << "\n";
-    return 1;
+    return kExitUsage;
+  } catch (const std::exception& e) {
+    std::cerr << "internal error: " << e.what() << "\n";
+    return kExitInternal;
   }
 }
 
@@ -479,27 +483,27 @@ int dump_spec_main(const std::string& name, const std::string& out_path) {
   if (info == nullptr) {
     std::cerr << "unknown scenario: " << name
               << " (topobench --list shows all names)\n";
-    return 2;
+    return kExitUsage;
   }
   const ScenarioSpec* spec = find_spec_scenario(info->name);
   if (spec == nullptr) {
     std::cerr << "scenario " << info->name
               << " is not spec-backed (figure scenarios cannot be dumped; "
                  "sweep_* scenarios can)\n";
-    return 2;
+    return kExitUsage;
   }
   const std::string json = spec_to_json(*spec);
   if (out_path.empty()) {
     std::cout << json;
-    return 0;
+    return kExitOk;
   }
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot write " << out_path << "\n";
-    return 1;
+    return kExitInternal;
   }
   out << json;
-  return 0;
+  return kExitOk;
 }
 
 }  // namespace topo::scenario

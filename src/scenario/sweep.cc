@@ -1,7 +1,10 @@
 #include "scenario/sweep.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
@@ -11,6 +14,7 @@
 #include "scenario/spec_io.h"
 #include "scenario/topo_registry.h"
 #include "util/error.h"
+#include "util/fault.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -61,6 +65,34 @@ std::vector<std::shared_ptr<const ScenarioSpec>>& spec_registry() {
   static auto* specs = new std::vector<std::shared_ptr<const ScenarioSpec>>();
   return *specs;
 }
+
+// Progress heartbeat for supervised shard workers (kHeartbeatEnvVar):
+// rewrites the file with the number of cells completed so far. The
+// payload is diagnostic; supervision reads only the mtime. Concurrent
+// beats from pool threads interleave harmlessly — every write refreshes
+// the mtime, which is all that matters.
+class Heartbeat {
+ public:
+  Heartbeat() {
+    const char* path = std::getenv(kHeartbeatEnvVar);
+    if (path != nullptr && path[0] != '\0') path_ = path;
+  }
+
+  void beat() const {
+    if (path_.empty()) return;
+    std::ofstream out(path_, std::ios::trunc);
+    out << cells_done_.load() << "\n";
+  }
+
+  void cell_done() {
+    cells_done_.fetch_add(1);
+    beat();
+  }
+
+ private:
+  std::string path_;
+  mutable std::atomic<int> cells_done_{0};
+};
 
 }  // namespace
 
@@ -113,6 +145,10 @@ SweepResult SweepRunner::run() const {
   require(config_.shard_count == 1 || !config_.cache_dir.empty(),
           "sharded sweeps require a cache dir (the coordinator merges "
           "shards through it)");
+  // Merge-only evaluates nothing, so the cache is its only input.
+  require(!config_.merge_only || !config_.cache_dir.empty(),
+          "merge_only requires a cache dir (there is nothing else to "
+          "merge from)");
   // One validator for file-parsed and programmatic specs alike: known
   // family, known parameter/axis names (a typo'd axis would otherwise
   // sweep nothing and report identical cells without an error), sane
@@ -120,15 +156,24 @@ SweepResult SweepRunner::run() const {
   validate_spec(spec);
   const FamilyInfo* family = find_family(spec.topology.family);
 
+  // Liveness signal for supervised workers (kHeartbeatEnvVar): one beat
+  // up front — before the cache preload and any reuse-topology builds,
+  // which can themselves take a while — then one per completed cell.
+  Heartbeat heartbeat;
+  heartbeat.beat();
+
   const std::vector<std::vector<double>> points = enumerate_points();
   const int runs = config_.runs;
   const int num_points = static_cast<int>(points.size());
   const int num_cells = num_points * runs;
   // This run's stripe of the cell grid. Sharding restricts EVALUATION
   // only — plans, seeds, and cache keys are shard-agnostic, so every
-  // shard and the coordinator address identical cells.
+  // shard and the coordinator address identical cells. A merge_only run
+  // owns no stripe at all: it reduces what the cache holds and reports
+  // the rest as missing.
   const auto in_shard = [this](int index) {
-    return cell_in_shard(index, config_.shard_index, config_.shard_count);
+    return !config_.merge_only &&
+           cell_in_shard(index, config_.shard_index, config_.shard_count);
   };
 
   bool reuse = spec.reuse_topology;
@@ -275,6 +320,12 @@ SweepResult SweepRunner::run() const {
       cache->store(keys[static_cast<std::size_t>(index)],
                    cells[static_cast<std::size_t>(index)]);
     }
+    // Fault point (util/fault.h): under stall_after_cells:M the M-th
+    // completed cell parks every evaluation thread, so the beat below
+    // never lands and the heartbeat goes silent — the supervised-hang
+    // scenario the orchestrator's --worker-timeout reaper must catch.
+    fault::on_cell_evaluated();
+    heartbeat.cell_done();
   });
 
   // A cell is available when this run has its result: a cache hit from
@@ -302,9 +353,20 @@ SweepResult SweepRunner::run() const {
     // Partial-reduction skip: a sharded run reduces only the points whose
     // every cell it has (its stripe plus cache hits); the remaining
     // points belong to other shards until the coordinator's warm run
-    // merges everything. Unsharded runs always reduce every point.
+    // merges everything. Unsharded runs always reduce every point. A
+    // merge_only run additionally names each absent cell, so a degraded
+    // coordinator can emit an exact missing-cell manifest next to its
+    // partial table.
     bool complete = true;
-    for (int r = 0; r < runs; ++r) complete = complete && available(p * runs + r);
+    for (int r = 0; r < runs; ++r) {
+      const int index = p * runs + r;
+      complete = complete && available(index);
+      if (config_.merge_only && !available(index)) {
+        result.missing.push_back(
+            MissingCell{p, r, points[static_cast<std::size_t>(p)],
+                        keys[static_cast<std::size_t>(index)]});
+      }
+    }
     if (!complete) continue;
     const auto begin = cells.begin() + static_cast<std::ptrdiff_t>(p) * runs;
     SweepPointResult point;
@@ -338,7 +400,8 @@ TablePrinter sweep_table(const SweepResult& result) {
   return table;
 }
 
-void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx) {
+SweepResult run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx,
+                              bool merge_only) {
   SweepRunConfig config;
   config.runs = ctx.runs(spec.quick_runs, spec.full_runs);
   config.epsilon = ctx.options().epsilon;
@@ -347,7 +410,8 @@ void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx) {
   config.cache_dir = ctx.options().cache_dir;
   config.shard_index = ctx.options().shard_index;
   config.shard_count = ctx.options().shard_count;
-  const SweepResult result = SweepRunner(spec, config).run();
+  config.merge_only = merge_only;
+  SweepResult result = SweepRunner(spec, config).run();
   ctx.banner(spec.description);
   ctx.table(sweep_table(result));
   if (!config.cache_dir.empty()) {
@@ -369,6 +433,7 @@ void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx) {
     }
     std::cerr << " (" << config.cache_dir << ")\n";
   }
+  return result;
 }
 
 void register_spec_scenario(ScenarioSpec spec) {

@@ -23,6 +23,15 @@ struct SweepPointResult {
   ExperimentStats stats;
 };
 
+/// One (point, run) cell a merge-only run could not find in the cache —
+/// the raw material of the orchestrator's missing-cell manifest.
+struct MissingCell {
+  int point = 0;               ///< Point index in enumeration order.
+  int run = 0;                 ///< Run index within the point.
+  std::vector<double> coords;  ///< The point's axis values, axis order.
+  std::uint64_t key = 0;       ///< Content address (cache.h cell_key).
+};
+
 /// A finished sweep.
 struct SweepResult {
   std::vector<std::string> axis_names;
@@ -37,6 +46,9 @@ struct SweepResult {
   /// Cells left to other shards (out of this run's stripe and not in the
   /// cache); 0 for unsharded runs.
   int shard_skipped = 0;
+  /// Cells absent from the cache in a merge_only run (empty otherwise):
+  /// every one names a point whose row was dropped from `points`.
+  std::vector<MissingCell> missing;
 };
 
 /// Resolved run configuration for a sweep.
@@ -61,6 +73,14 @@ struct SweepRunConfig {
   /// byte with zero coordinator recomputation.
   int shard_index = 0;
   int shard_count = 1;
+  /// Merge-only (coordinator degraded mode): evaluate NOTHING — reduce
+  /// the points whose every cell the cache already holds, and report the
+  /// rest in SweepResult::missing instead of recomputing them. Requires
+  /// cache_dir. The orchestrator uses this after a stripe exhausts its
+  /// retries, where silently recomputing a dead worker's cells inline
+  /// could wedge the supervisor on the very cells that killed the
+  /// workers.
+  bool merge_only = false;
 };
 
 /// True when flat cell `cell_index` belongs to stripe `shard_index` of
@@ -112,8 +132,19 @@ class SweepRunner {
 /// from the context's options (runs, epsilon, seed, mode, cache dir),
 /// runs the sweep, and emits banner + sweep_table. Cache accounting goes
 /// to stderr so scenario stdout/JSON stay byte-identical warm or cold.
-/// Shared by registered sweep scenarios and `topobench --spec FILE`.
-void run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx);
+/// Shared by registered sweep scenarios, `topobench --spec FILE`, and
+/// the orchestrator's coordinator merge (which reads the returned result
+/// for missing-cell accounting). `merge_only` forwards
+/// SweepRunConfig::merge_only.
+SweepResult run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx,
+                              bool merge_only = false);
+
+/// Environment variable naming a worker's progress-heartbeat file. When
+/// set, SweepRunner::run touches (rewrites) the file after every cell it
+/// evaluates, and once at sweep start; a supervisor watching the file's
+/// mtime can tell a slow-but-alive worker from a wedged one. Unset: no
+/// heartbeat I/O at all.
+inline constexpr const char* kHeartbeatEnvVar = "TOPOBENCH_HEARTBEAT";
 
 /// Registers `spec` as a named scenario whose run function executes the
 /// sweep with the run context's options and emits sweep_table. The spec

@@ -1,0 +1,97 @@
+#include "util/cleanup.h"
+
+#include <signal.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <atomic>
+
+#include "util/exit_codes.h"
+
+namespace topo {
+namespace {
+
+// Fixed-size tables: a signal handler cannot allocate, so slots are
+// claimed/released with atomics and the path bytes live in static
+// storage. Publication protocol per slot: claim `used` -> write payload
+// -> set `ready` (release). The handler acts only on `ready` slots
+// (acquire), so it never reads a half-written path; a slot interrupted
+// mid-write is simply skipped, and its temp falls back to the cache
+// opener's stale-temp sweep.
+constexpr int kPathSlots = 128;
+constexpr int kPathMax = 1024;
+constexpr int kChildSlots = 64;
+
+std::atomic<bool> g_path_used[kPathSlots];
+std::atomic<bool> g_path_ready[kPathSlots];
+char g_paths[kPathSlots][kPathMax];
+
+std::atomic<bool> g_child_used[kChildSlots];
+std::atomic<bool> g_child_ready[kChildSlots];
+std::atomic<pid_t> g_child_pids[kChildSlots];
+
+extern "C" void cleanup_signal_handler(int sig) {
+  // Children first: each worker's own handler removes its temps.
+  for (int i = 0; i < kChildSlots; ++i) {
+    if (g_child_ready[i].load(std::memory_order_acquire)) {
+      const pid_t pid = g_child_pids[i].load(std::memory_order_relaxed);
+      if (pid > 0) ::kill(pid, SIGTERM);
+    }
+  }
+  for (int i = 0; i < kPathSlots; ++i) {
+    if (g_path_ready[i].load(std::memory_order_acquire)) {
+      ::unlink(g_paths[i]);
+    }
+  }
+  ::_exit(exit_code_for_signal(sig));
+}
+
+}  // namespace
+
+int register_cleanup_path(const std::string& path) {
+  if (path.size() >= kPathMax) return -1;
+  for (int i = 0; i < kPathSlots; ++i) {
+    bool expected = false;
+    if (g_path_used[i].compare_exchange_strong(expected, true)) {
+      ::memcpy(g_paths[i], path.c_str(), path.size() + 1);
+      g_path_ready[i].store(true, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void unregister_cleanup_path(int slot) {
+  if (slot < 0 || slot >= kPathSlots) return;
+  g_path_ready[slot].store(false, std::memory_order_release);
+  g_path_used[slot].store(false, std::memory_order_release);
+}
+
+int register_child_pid(pid_t pid) {
+  for (int i = 0; i < kChildSlots; ++i) {
+    bool expected = false;
+    if (g_child_used[i].compare_exchange_strong(expected, true)) {
+      g_child_pids[i].store(pid, std::memory_order_relaxed);
+      g_child_ready[i].store(true, std::memory_order_release);
+      return i;
+    }
+  }
+  return -1;
+}
+
+void unregister_child_pid(int slot) {
+  if (slot < 0 || slot >= kChildSlots) return;
+  g_child_ready[slot].store(false, std::memory_order_release);
+  g_child_used[slot].store(false, std::memory_order_release);
+}
+
+void install_signal_cleanup() {
+  struct sigaction action;
+  ::memset(&action, 0, sizeof(action));
+  action.sa_handler = cleanup_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+}  // namespace topo

@@ -1,0 +1,47 @@
+// Async-signal-safe cleanup for SIGINT/SIGTERM.
+//
+// Cache stores publish through write-to-temp-then-rename; a run killed
+// between the two leaks `*.json.tmp.*` files until some later cache open
+// sweeps them (cache.cc's stale-temp pass, which waits out a clock-skew
+// margin). Interactive interruption deserves better: the writer itself
+// knows exactly which temps are in flight. This module keeps that set in
+// a fixed-size lock-free table that a signal handler can walk — every
+// operation the handler performs (atomic loads, unlink, kill, _exit) is
+// async-signal-safe.
+//
+// The same handler tears down supervised child processes: the
+// orchestrator registers each live worker pid, and an interrupted
+// supervisor SIGTERMs them (each worker's own handler then cleans its
+// temps) before exiting with the shell convention 128+sig.
+#ifndef TOPODESIGN_UTIL_CLEANUP_H
+#define TOPODESIGN_UTIL_CLEANUP_H
+
+#include <sys/types.h>
+
+#include <string>
+
+namespace topo {
+
+/// Registers `path` for unlink-on-signal. Returns a slot token to pass
+/// to unregister_cleanup_path, or -1 when the table is full (the caller
+/// simply proceeds unprotected — cleanup is best-effort). Thread-safe.
+int register_cleanup_path(const std::string& path);
+
+/// Releases a slot returned by register_cleanup_path (no-op for -1).
+void unregister_cleanup_path(int slot);
+
+/// Registers a supervised child to SIGTERM on signal. Returns a slot
+/// token for unregister_child_pid, or -1 when the table is full.
+int register_child_pid(pid_t pid);
+
+/// Releases a slot returned by register_child_pid (no-op for -1).
+void unregister_child_pid(int slot);
+
+/// Installs SIGINT/SIGTERM handlers that SIGTERM registered children,
+/// unlink registered temp paths, and _exit(128+sig). Idempotent; call
+/// once from main() before any cache store can run.
+void install_signal_cleanup();
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_CLEANUP_H

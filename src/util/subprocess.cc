@@ -1,0 +1,139 @@
+#include "util/subprocess.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/cleanup.h"
+#include "util/error.h"
+
+namespace topo {
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv,
+                             const SpawnOptions& options) {
+  require(!argv.empty(), "Subprocess::spawn requires a non-empty argv");
+  std::vector<char*> child_argv;
+  child_argv.reserve(argv.size() + 1);
+  for (const std::string& arg : argv) {
+    child_argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  child_argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  require(pid >= 0, "fork failed spawning " + argv[0]);
+  if (pid == 0) {
+    // Child. Only exec-or-_exit from here: no exceptions, no streams.
+    for (const auto& [name, value] : options.env) {
+      ::setenv(name.c_str(), value.c_str(), 1);
+    }
+    if (!options.log_path.empty()) {
+      const int fd = ::open(options.log_path.c_str(),
+                            O_WRONLY | O_CREAT | O_APPEND, 0644);
+      if (fd >= 0) {
+        ::dup2(fd, STDOUT_FILENO);
+        ::dup2(fd, STDERR_FILENO);
+        if (fd > STDERR_FILENO) ::close(fd);
+      }
+    }
+    ::execvp(child_argv[0], child_argv.data());
+    ::_exit(127);  // exec failed; 127 is the shell's "command not found"
+  }
+
+  Subprocess child;
+  child.pid_ = pid;
+  child.cleanup_slot_ = register_child_pid(pid);
+  return child;
+}
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(other.pid_),
+      reaped_(other.reaped_),
+      last_(other.last_),
+      cleanup_slot_(other.cleanup_slot_) {
+  other.pid_ = -1;
+  other.cleanup_slot_ = -1;
+  other.reaped_ = true;
+}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  if (this != &other) {
+    if (cleanup_slot_ >= 0) unregister_child_pid(cleanup_slot_);
+    pid_ = other.pid_;
+    reaped_ = other.reaped_;
+    last_ = other.last_;
+    cleanup_slot_ = other.cleanup_slot_;
+    other.pid_ = -1;
+    other.cleanup_slot_ = -1;
+    other.reaped_ = true;
+  }
+  return *this;
+}
+
+Subprocess::~Subprocess() {
+  if (cleanup_slot_ >= 0) unregister_child_pid(cleanup_slot_);
+}
+
+namespace {
+
+Subprocess::Status decode_status(int raw) {
+  Subprocess::Status status;
+  if (WIFEXITED(raw)) {
+    status.state = Subprocess::Status::State::kExited;
+    status.exit_code = WEXITSTATUS(raw);
+  } else if (WIFSIGNALED(raw)) {
+    status.state = Subprocess::Status::State::kSignaled;
+    status.term_signal = WTERMSIG(raw);
+  }
+  return status;
+}
+
+}  // namespace
+
+Subprocess::Status Subprocess::poll() {
+  if (reaped_) return last_;
+  int raw = 0;
+  const pid_t result = ::waitpid(pid_, &raw, WNOHANG);
+  if (result == 0) return Status{};  // still running
+  if (result == pid_) {
+    const Status status = decode_status(raw);
+    if (!status.running()) {
+      last_ = status;
+      reaped_ = true;
+      if (cleanup_slot_ >= 0) {
+        unregister_child_pid(cleanup_slot_);
+        cleanup_slot_ = -1;
+      }
+      return last_;
+    }
+    return Status{};  // stopped/continued: not terminal, keep polling
+  }
+  // waitpid error (ECHILD after an external reap): report a synthetic
+  // clean exit rather than spinning forever on an unreapable pid.
+  last_.state = Status::State::kExited;
+  last_.exit_code = 0;
+  reaped_ = true;
+  if (cleanup_slot_ >= 0) {
+    unregister_child_pid(cleanup_slot_);
+    cleanup_slot_ = -1;
+  }
+  return last_;
+}
+
+Subprocess::Status Subprocess::wait() {
+  while (true) {
+    const Status status = poll();
+    if (!status.running()) return status;
+    // Blocking reap without WNOHANG would race poll's bookkeeping;
+    // a short sleep keeps this simple and the orchestrator only ever
+    // waits on processes it just signaled.
+    ::usleep(10 * 1000);
+  }
+}
+
+void Subprocess::send_signal(int sig) {
+  if (!reaped_ && pid_ > 0) ::kill(pid_, sig);
+}
+
+}  // namespace topo

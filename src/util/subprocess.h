@@ -1,0 +1,85 @@
+// Minimal fork/exec/poll wrapper for supervised local child processes.
+//
+// Just enough process control for the sweep orchestrator: spawn an argv
+// with extra environment variables and redirected stdio, poll its status
+// without blocking, and escalate termination. POSIX-only, like the rest
+// of the build (the cache layer already uses unistd).
+#ifndef TOPODESIGN_UTIL_SUBPROCESS_H
+#define TOPODESIGN_UTIL_SUBPROCESS_H
+
+#include <sys/types.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace topo {
+
+/// Spawn-time options for a child process.
+struct SpawnOptions {
+  /// Extra environment variables set in the child (on top of the
+  /// inherited environment).
+  std::vector<std::pair<std::string, std::string>> env;
+  /// Redirect the child's stdout/stderr to this file (append; both
+  /// streams share it so a worker's log interleaves naturally). Empty
+  /// keeps the parent's streams.
+  std::string log_path;
+};
+
+/// One spawned child process.
+class Subprocess {
+ public:
+  /// What poll()/wait() learned about the child.
+  struct Status {
+    enum class State { kRunning, kExited, kSignaled };
+    State state = State::kRunning;
+    int exit_code = 0;    ///< Valid when kExited.
+    int term_signal = 0;  ///< Valid when kSignaled.
+
+    [[nodiscard]] bool running() const { return state == State::kRunning; }
+    /// True for a clean zero exit.
+    [[nodiscard]] bool ok() const {
+      return state == State::kExited && exit_code == 0;
+    }
+  };
+
+  /// Forks and execs `argv` (argv[0] is the program; PATH is searched).
+  /// Raises InvalidArgument when argv is empty or the fork fails. An
+  /// exec failure surfaces as the child exiting 127.
+  [[nodiscard]] static Subprocess spawn(const std::vector<std::string>& argv,
+                                        const SpawnOptions& options = {});
+
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  /// A still-running child is NOT killed on destruction (the orchestrator
+  /// owns escalation policy); it is detached and eventually reaped by
+  /// init. Destroying a finished child is a no-op.
+  ~Subprocess();
+
+  /// Non-blocking status check; remembers a terminal status once seen
+  /// (waitpid reaps, so asking twice would otherwise fail).
+  Status poll();
+
+  /// Blocks until the child terminates; returns the terminal status.
+  Status wait();
+
+  /// Sends `sig` (e.g. SIGTERM, SIGKILL) to the child; no-op once the
+  /// child has been reaped.
+  void send_signal(int sig);
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
+ private:
+  Subprocess() = default;
+
+  pid_t pid_ = -1;
+  bool reaped_ = false;
+  Status last_;
+  int cleanup_slot_ = -1;  ///< cleanup.h child registration.
+};
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_UTIL_SUBPROCESS_H

@@ -210,10 +210,56 @@ TEST(Cache, CorruptedTruncatedOrForeignFilesAreRecomputed) {
   EXPECT_EQ(warm.cache_misses, 3);
   expect_points_bitwise_equal(cold, warm);
 
+  // Each rejected file was quarantined, not left in place: the bad bytes
+  // survive under `.corrupt` for diagnosis.
+  int quarantined = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(config.cache_dir)) {
+    if (entry.path().string().ends_with(".corrupt")) ++quarantined;
+  }
+  EXPECT_EQ(quarantined, 3);
+
   // The recompute healed the entries: everything hits now.
   const SweepResult healed = SweepRunner(spec, config).run();
   EXPECT_EQ(healed.cache_hits, 4);
   std::filesystem::remove_all(config.cache_dir);
+}
+
+TEST(Cache, CorruptCellIsQuarantinedAndSlotRestorable) {
+  ResultCache cache(fresh_cache_dir("quarantine"));
+  ThroughputResult result;
+  result.lambda = 0.75;
+  result.dual_bound = 0.8;
+  result.feasible = true;
+  cache.store(99, result);
+  const std::string path = cache.cell_path(99);
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  // Flip a payload digit so the checksum rejects the file on load.
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    const std::size_t pos = content.find("\"lambda\": ");
+    ASSERT_NE(pos, std::string::npos);
+    const std::size_t digit = content.find_first_of("0123456789", pos + 10);
+    ASSERT_NE(digit, std::string::npos);
+    content[digit] = content[digit] == '9' ? '8' : '9';
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  }
+
+  ThroughputResult loaded;
+  EXPECT_FALSE(cache.load(99, &loaded));
+  // The bad file moved aside; the slot is empty, not poisoned.
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+
+  // Re-storing the recomputed cell lands in the clean slot and verifies.
+  cache.store(99, result);
+  ASSERT_TRUE(cache.load(99, &loaded));
+  EXPECT_EQ(loaded.lambda, result.lambda);
+  std::filesystem::remove_all(cache.dir());
 }
 
 TEST(Cache, StoreLoadRoundTripsExactly) {
