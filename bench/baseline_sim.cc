@@ -1,0 +1,432 @@
+// Frozen seed packet simulator (see baseline_sim.h). Verbatim seed
+// behaviour; do not optimize.
+#include "baseline_sim.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+#include "sim/routing.h"
+#include "util/error.h"
+
+namespace topo::bench::seedsim {
+
+void EventQueue::schedule(SimTime when, EventHandler* handler,
+                          std::uint64_t cookie) {
+  require(handler != nullptr, "EventQueue::schedule requires a handler");
+  require(when >= now_, "cannot schedule events in the past");
+  heap_.push(Event{when, next_seq_++, handler, cookie});
+}
+
+std::uint64_t EventQueue::run_until(SimTime end) {
+  std::uint64_t processed = 0;
+  while (!heap_.empty() && heap_.top().when <= end) {
+    const Event event = heap_.top();
+    heap_.pop();
+    now_ = event.when;
+    event.handler->on_event(event.cookie);
+    ++processed;
+  }
+  now_ = end;
+  return processed;
+}
+
+SimLink::SimLink(EventQueue* queue, double rate_gbps, SimTime delay_ns,
+                 int queue_packets, PacketReceiver* receiver, Rng* rng)
+    : events_(queue),
+      rate_gbps_(rate_gbps),
+      delay_ns_(delay_ns),
+      queue_capacity_(queue_packets),
+      receiver_(receiver),
+      rng_(rng) {
+  require(queue != nullptr && receiver != nullptr,
+          "SimLink requires a queue and receiver");
+  require(rate_gbps > 0.0, "link rate must be positive");
+  require(queue_packets >= 1, "queue capacity must be >= 1");
+}
+
+bool SimLink::enqueue(Packet* packet) {
+  if (transmitting_ == nullptr) {
+    start_transmission(packet);
+    return true;
+  }
+  const int backlog = static_cast<int>(queue_.size());
+  if (backlog >= queue_capacity_) {
+    ++drops_;
+    return false;
+  }
+  if (rng_ != nullptr && !packet->is_ack) {
+    const double fill = static_cast<double>(backlog) / queue_capacity_;
+    if (fill > kRedStart) {
+      const double p =
+          kRedMaxProbability * (fill - kRedStart) / (1.0 - kRedStart);
+      if (rng_->chance(p)) {
+        ++drops_;
+        return false;
+      }
+    }
+  }
+  queue_.push_back(packet);
+  return true;
+}
+
+void SimLink::on_event(std::uint64_t cookie) {
+  if (cookie == kTxDone) {
+    in_flight_.push_back(transmitting_);
+    events_->schedule(events_->now() + delay_ns_, this, kArrival);
+    transmitting_ = nullptr;
+    if (!queue_.empty()) {
+      Packet* next = queue_.front();
+      queue_.pop_front();
+      start_transmission(next);
+    }
+  } else {
+    Packet* packet = in_flight_.front();
+    in_flight_.pop_front();
+    receiver_->packet_arrived(packet);
+  }
+}
+
+void SimLink::start_transmission(Packet* packet) {
+  transmitting_ = packet;
+  const double bits = 8.0 * packet->size_bytes;
+  const auto tx_ns = static_cast<SimTime>(bits / rate_gbps_);
+  events_->schedule(events_->now() + (tx_ns == 0 ? 1 : tx_ns), this, kTxDone);
+}
+
+TcpSubflow::TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
+                       std::vector<int> route_forward,
+                       std::vector<int> route_reverse, const TcpParams& params)
+    : env_(env),
+      flow_id_(flow_id),
+      subflow_id_(subflow_id),
+      route_forward_(std::move(route_forward)),
+      route_reverse_(std::move(route_reverse)),
+      params_(params),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      rto_ns_(params.min_rto_ns) {
+  require(env != nullptr, "TcpSubflow requires an environment");
+  require(!route_forward_.empty() && !route_reverse_.empty(),
+          "TcpSubflow requires non-empty routes");
+}
+
+void TcpSubflow::start(SimTime at) {
+  env_->events().schedule(at, this, kStartCookieBit);
+}
+
+void TcpSubflow::try_send() {
+  while (static_cast<double>(snd_next_ - snd_una_) < cwnd_) {
+    send_segment(snd_next_, /*is_retransmit=*/false);
+    ++snd_next_;
+  }
+}
+
+void TcpSubflow::send_segment(std::int64_t seq, bool is_retransmit) {
+  Packet* p = env_->alloc_packet();
+  p->route = route_forward_;
+  p->hop = 0;
+  p->flow_id = flow_id_;
+  p->subflow_id = subflow_id_;
+  p->seq = seq;
+  p->ack = -1;
+  p->is_ack = false;
+  p->size_bytes = params_.packet_bytes;
+  p->sent_at = env_->events().now();
+  if (is_retransmit) ++retransmits_;
+  env_->inject(p);
+}
+
+void TcpSubflow::send_ack(SimTime echo_sent_at) {
+  Packet* p = env_->alloc_packet();
+  p->route = route_reverse_;
+  p->hop = 0;
+  p->flow_id = flow_id_;
+  p->subflow_id = subflow_id_;
+  p->seq = 0;
+  p->ack = rcv_next_;
+  p->is_ack = true;
+  p->size_bytes = params_.ack_bytes;
+  p->sent_at = echo_sent_at;
+  env_->inject(p);
+}
+
+void TcpSubflow::handle_data(Packet* packet) {
+  const std::int64_t seq = packet->seq;
+  const SimTime echo = packet->sent_at;
+  env_->free_packet(packet);
+  if (seq == rcv_next_) {
+    ++rcv_next_;
+    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
+      out_of_order_.erase(out_of_order_.begin());
+      ++rcv_next_;
+    }
+  } else if (seq > rcv_next_) {
+    out_of_order_.insert(seq);
+  }
+  send_ack(echo);
+}
+
+void TcpSubflow::handle_ack(Packet* packet) {
+  const std::int64_t ackno = packet->ack;
+  const SimTime echo = packet->sent_at;
+  env_->free_packet(packet);
+
+  const SimTime now = env_->events().now();
+  if (now > echo) {
+    const SimTime sample = now - echo;
+    if (srtt_ns_ == 0) {
+      srtt_ns_ = sample;
+      rttvar_ns_ = sample / 2;
+    } else {
+      const auto diff = sample > srtt_ns_ ? sample - srtt_ns_ : srtt_ns_ - sample;
+      rttvar_ns_ = (3 * rttvar_ns_ + diff) / 4;
+      srtt_ns_ = (7 * srtt_ns_ + sample) / 8;
+    }
+    rto_ns_ = std::max(params_.min_rto_ns, srtt_ns_ + 4 * rttvar_ns_);
+  }
+
+  if (ackno > snd_una_) {
+    const double newly = static_cast<double>(ackno - snd_una_);
+    snd_una_ = ackno;
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (ackno >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;
+      } else {
+        send_segment(snd_una_, /*is_retransmit=*/true);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += newly;
+    } else {
+      cwnd_ += params_.increase_scale * newly / cwnd_;
+    }
+    arm_rto();
+    try_send();
+  } else if (ackno == snd_una_ && snd_una_ < snd_next_) {
+    ++dup_acks_;
+    if (dup_acks_ == 3 && !in_recovery_) {
+      in_recovery_ = true;
+      recover_ = snd_next_;
+      ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+      cwnd_ = ssthresh_;
+      send_segment(snd_una_, /*is_retransmit=*/true);
+    } else if (in_recovery_ && dup_acks_ > 3) {
+      cwnd_ += 1.0;
+      try_send();
+    }
+  }
+}
+
+void TcpSubflow::arm_rto() {
+  ++rto_generation_;
+  env_->events().schedule(env_->events().now() + rto_ns_, this,
+                          rto_generation_);
+}
+
+void TcpSubflow::on_event(std::uint64_t cookie) {
+  if (cookie & kStartCookieBit) {
+    if (!started_) {
+      started_ = true;
+      arm_rto();
+      try_send();
+    }
+    return;
+  }
+  if (cookie != rto_generation_) return;  // superseded timer
+  on_rto();
+}
+
+void TcpSubflow::on_rto() {
+  if (snd_una_ >= snd_next_) {
+    arm_rto();
+    return;
+  }
+  ssthresh_ = std::max(2.0, cwnd_ / 2.0);
+  cwnd_ = params_.initial_cwnd;
+  dup_acks_ = 0;
+  in_recovery_ = false;
+  snd_next_ = snd_una_;
+  rto_ns_ = std::min<SimTime>(rto_ns_ * 2, 500'000'000);
+  arm_rto();
+  try_send();
+}
+
+SeedSimNetwork::SeedSimNetwork(const BuiltTopology& topology,
+                               const Params& params, std::uint64_t seed)
+    : topology_(topology),
+      params_(params),
+      rng_(seed),
+      server_home_(topology.servers.server_home()) {
+  require(params.subflows >= 1, "at least one subflow required");
+  require(params.warmup_ns < params.duration_ns,
+          "warmup must precede the end of the simulation");
+  const Graph& g = topology_.graph;
+
+  links_.reserve(2 * static_cast<std::size_t>(g.num_edges()) +
+                 2 * server_home_.size());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const double rate = g.edge(e).capacity * params_.server_rate_gbps;
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
+        &rng_));
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
+        &rng_));
+  }
+  for (std::size_t s = 0; s < server_home_.size(); ++s) {
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, params_.server_rate_gbps, params_.link_delay_ns,
+        params_.queue_packets, this, &rng_));
+    links_.push_back(std::make_unique<SimLink>(
+        &events_, params_.server_rate_gbps, params_.link_delay_ns,
+        params_.queue_packets, this, &rng_));
+  }
+}
+
+SeedSimNetwork::~SeedSimNetwork() = default;
+
+int SeedSimNetwork::host_uplink(int server) const {
+  return 2 * topology_.graph.num_edges() + 2 * server;
+}
+int SeedSimNetwork::host_downlink(int server) const {
+  return 2 * topology_.graph.num_edges() + 2 * server + 1;
+}
+
+const std::vector<int>& SeedSimNetwork::dist_to(NodeId dst_switch) {
+  auto it = dist_cache_.find(dst_switch);
+  if (it == dist_cache_.end()) {
+    it = dist_cache_.emplace(dst_switch,
+                             bfs_distances(topology_.graph, dst_switch))
+             .first;
+  }
+  return it->second;
+}
+
+void SeedSimNetwork::add_flow(int src_server, int dst_server) {
+  require(src_server >= 0 &&
+              src_server < static_cast<int>(server_home_.size()) &&
+              dst_server >= 0 &&
+              dst_server < static_cast<int>(server_home_.size()),
+          "server id out of range");
+  require(src_server != dst_server, "flow endpoints must differ");
+
+  const NodeId src_switch = server_home_[static_cast<std::size_t>(src_server)];
+  const NodeId dst_switch = server_home_[static_cast<std::size_t>(dst_server)];
+
+  FlowRecord record;
+  record.src_server = src_server;
+  record.dst_server = dst_server;
+
+  TcpParams tcp;
+  tcp.packet_bytes = params_.packet_bytes;
+  tcp.increase_scale =
+      params_.ewtcp_coupling ? 1.0 / params_.subflows : 1.0;
+
+  const int flow_id = static_cast<int>(flows_.size());
+  for (int k = 0; k < params_.subflows; ++k) {
+    std::vector<int> forward{host_uplink(src_server)};
+    if (src_switch != dst_switch) {
+      const auto arcs = topo::sim::sample_shortest_arc_path(
+          topology_.graph, src_switch, dst_switch, dist_to(dst_switch), rng_);
+      forward.insert(forward.end(), arcs.begin(), arcs.end());
+    }
+    forward.push_back(host_downlink(dst_server));
+
+    std::vector<int> reverse{host_uplink(dst_server)};
+    if (src_switch != dst_switch) {
+      const auto arcs = topo::sim::sample_shortest_arc_path(
+          topology_.graph, dst_switch, src_switch, dist_to(src_switch), rng_);
+      reverse.insert(reverse.end(), arcs.begin(), arcs.end());
+    }
+    reverse.push_back(host_downlink(src_server));
+
+    record.subflows.push_back(std::make_unique<TcpSubflow>(
+        this, flow_id, k, std::move(forward), std::move(reverse), tcp));
+  }
+  flows_.push_back(std::move(record));
+
+  const SimTime jitter = params_.start_jitter_ns > 0
+                             ? static_cast<SimTime>(rng_.uniform() *
+                                                    static_cast<double>(
+                                                        params_.start_jitter_ns))
+                             : 0;
+  for (auto& sub : flows_.back().subflows) {
+    sub->start(events_.now() + 1 + jitter);
+  }
+}
+
+Packet* SeedSimNetwork::alloc_packet() {
+  if (pool_free_.empty()) {
+    pool_storage_.push_back(std::make_unique<Packet>());
+    pool_free_.push_back(pool_storage_.back().get());
+  }
+  Packet* p = pool_free_.back();
+  pool_free_.pop_back();
+  return p;
+}
+
+void SeedSimNetwork::free_packet(Packet* packet) {
+  require(packet != nullptr, "free_packet requires a packet");
+  pool_free_.push_back(packet);
+}
+
+void SeedSimNetwork::inject(Packet* packet) {
+  packet->hop = 0;
+  require(!packet->route.empty(), "packet must carry a route");
+  SimLink& first = *links_[static_cast<std::size_t>(packet->route.front())];
+  if (!first.enqueue(packet)) {
+    ++dropped_at_inject_;
+    free_packet(packet);
+  }
+}
+
+void SeedSimNetwork::packet_arrived(Packet* packet) {
+  if (packet->hop + 1 < packet->route.size()) {
+    ++packet->hop;
+    SimLink& next =
+        *links_[static_cast<std::size_t>(packet->route[packet->hop])];
+    if (!next.enqueue(packet)) free_packet(packet);
+    return;
+  }
+  FlowRecord& flow = flows_[static_cast<std::size_t>(packet->flow_id)];
+  TcpSubflow& sub = *flow.subflows[static_cast<std::size_t>(packet->subflow_id)];
+  if (packet->is_ack) {
+    sub.handle_ack(packet);
+  } else {
+    sub.handle_data(packet);
+  }
+}
+
+SeedSimResult SeedSimNetwork::run() {
+  SeedSimResult result;
+  result.events_processed += events_.run_until(params_.warmup_ns);
+  for (auto& flow : flows_) {
+    flow.delivered_at_warmup.clear();
+    for (const auto& sub : flow.subflows) {
+      flow.delivered_at_warmup.push_back(sub->delivered_packets());
+    }
+  }
+  result.events_processed += events_.run_until(params_.duration_ns);
+
+  const double window_ns =
+      static_cast<double>(params_.duration_ns - params_.warmup_ns);
+  double sum_norm = 0.0;
+  for (const auto& flow : flows_) {
+    std::int64_t delivered = 0;
+    for (std::size_t k = 0; k < flow.subflows.size(); ++k) {
+      delivered += flow.subflows[k]->delivered_packets() -
+                   flow.delivered_at_warmup[k];
+    }
+    const double bits =
+        static_cast<double>(delivered) * 8.0 * params_.packet_bytes;
+    const double goodput = bits / window_ns;
+    result.goodputs_gbps.push_back(goodput);
+    sum_norm += goodput / params_.server_rate_gbps;
+  }
+  result.mean_normalized =
+      flows_.empty() ? 0.0 : sum_norm / static_cast<double>(flows_.size());
+  return result;
+}
+
+}  // namespace topo::bench::seedsim

@@ -1,0 +1,243 @@
+// Frozen copy of the seed packet simulator, kept as the perf baseline.
+//
+// This is the pre-rewrite implementation verbatim (std::priority_queue
+// event heap, per-packet std::vector<int> route copies on every send, a
+// one-dead-event-per-ACK retransmission timer, deque link FIFOs, and
+// one heap allocation per pooled packet): sim_microbench times the
+// library simulator against it and reports events/sec for both. Driven
+// with the same topology, flow list, and seed it reproduces the same
+// transport dynamics as the rewrite, so goodputs double as an
+// equivalence check. Do not modernize this file — its whole value is
+// staying what the seed was.
+#ifndef TOPODESIGN_BENCH_BASELINE_SIM_H
+#define TOPODESIGN_BENCH_BASELINE_SIM_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace topo::bench::seedsim {
+
+using SimTime = std::uint64_t;
+
+class EventHandler {
+ public:
+  virtual ~EventHandler() = default;
+  virtual void on_event(std::uint64_t cookie) = 0;
+};
+
+class EventQueue {
+ public:
+  [[nodiscard]] SimTime now() const { return now_; }
+  void schedule(SimTime when, EventHandler* handler, std::uint64_t cookie);
+  std::uint64_t run_until(SimTime end);
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    EventHandler* handler = nullptr;
+    std::uint64_t cookie = 0;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+};
+
+struct Packet {
+  std::vector<int> route;
+  std::size_t hop = 0;
+  int flow_id = -1;
+  int subflow_id = -1;
+  std::int64_t seq = 0;
+  std::int64_t ack = -1;
+  bool is_ack = false;
+  int size_bytes = 0;
+  std::uint64_t sent_at = 0;
+};
+
+class PacketReceiver {
+ public:
+  virtual ~PacketReceiver() = default;
+  virtual void packet_arrived(Packet* packet) = 0;
+};
+
+class SimLink : public EventHandler {
+ public:
+  SimLink(EventQueue* queue, double rate_gbps, SimTime delay_ns,
+          int queue_packets, PacketReceiver* receiver, Rng* rng = nullptr);
+  SimLink(const SimLink&) = delete;
+  SimLink& operator=(const SimLink&) = delete;
+
+  [[nodiscard]] bool enqueue(Packet* packet);
+  void on_event(std::uint64_t cookie) override;
+  [[nodiscard]] std::uint64_t drops() const { return drops_; }
+
+ private:
+  static constexpr std::uint64_t kTxDone = 0;
+  static constexpr std::uint64_t kArrival = 1;
+  static constexpr double kRedStart = 0.6;
+  static constexpr double kRedMaxProbability = 0.2;
+
+  void start_transmission(Packet* packet);
+
+  EventQueue* events_;
+  double rate_gbps_;
+  SimTime delay_ns_;
+  int queue_capacity_;
+  PacketReceiver* receiver_;
+  Rng* rng_;
+
+  Packet* transmitting_ = nullptr;
+  std::deque<Packet*> queue_;
+  std::deque<Packet*> in_flight_;
+  std::uint64_t drops_ = 0;
+};
+
+class TransportEnv {
+ public:
+  virtual ~TransportEnv() = default;
+  virtual EventQueue& events() = 0;
+  virtual Packet* alloc_packet() = 0;
+  virtual void free_packet(Packet* packet) = 0;
+  virtual void inject(Packet* packet) = 0;
+};
+
+struct TcpParams {
+  int packet_bytes = 1500;
+  int ack_bytes = 64;
+  double initial_cwnd = 2.0;
+  double initial_ssthresh = 64.0;
+  SimTime min_rto_ns = 3'000'000;
+  double increase_scale = 1.0;
+};
+
+class TcpSubflow : public EventHandler {
+ public:
+  TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
+             std::vector<int> route_forward, std::vector<int> route_reverse,
+             const TcpParams& params);
+
+  void start(SimTime at);
+  void handle_data(Packet* packet);
+  void handle_ack(Packet* packet);
+  void on_event(std::uint64_t cookie) override;
+  [[nodiscard]] std::int64_t delivered_packets() const { return rcv_next_; }
+
+ private:
+  static constexpr std::uint64_t kStartCookieBit = 1ULL << 63;
+
+  void try_send();
+  void send_segment(std::int64_t seq, bool is_retransmit);
+  void send_ack(SimTime echo_sent_at);
+  void arm_rto();
+  void on_rto();
+
+  TransportEnv* env_;
+  int flow_id_;
+  int subflow_id_;
+  std::vector<int> route_forward_;
+  std::vector<int> route_reverse_;
+  TcpParams params_;
+
+  std::int64_t snd_next_ = 0;
+  std::int64_t snd_una_ = 0;
+  double cwnd_;
+  double ssthresh_;
+  int dup_acks_ = 0;
+  bool in_recovery_ = false;
+  std::int64_t recover_ = 0;
+  std::int64_t retransmits_ = 0;
+  std::uint64_t rto_generation_ = 0;
+  SimTime srtt_ns_ = 0;
+  SimTime rttvar_ns_ = 0;
+  SimTime rto_ns_;
+  bool started_ = false;
+
+  std::int64_t rcv_next_ = 0;
+  std::set<std::int64_t> out_of_order_;
+};
+
+struct SeedSimResult {
+  double mean_normalized = 0.0;
+  std::uint64_t events_processed = 0;
+  std::vector<double> goodputs_gbps;
+};
+
+/// The seed SimNetwork, minus the workload helper: the bench hands both
+/// simulators one explicit flow list so they simulate the same system.
+class SeedSimNetwork final : public PacketReceiver, public TransportEnv {
+ public:
+  struct Params {
+    double server_rate_gbps = 1.0;
+    SimTime link_delay_ns = 1'000;
+    int queue_packets = 25;
+    int packet_bytes = 1500;
+    int subflows = 8;
+    SimTime duration_ns = 20'000'000;
+    SimTime warmup_ns = 10'000'000;
+    SimTime start_jitter_ns = 2'000'000;
+    bool ewtcp_coupling = true;
+  };
+
+  SeedSimNetwork(const BuiltTopology& topology, const Params& params,
+                 std::uint64_t seed);
+  ~SeedSimNetwork() override;
+
+  SeedSimNetwork(const SeedSimNetwork&) = delete;
+  SeedSimNetwork& operator=(const SeedSimNetwork&) = delete;
+
+  void add_flow(int src_server, int dst_server);
+  [[nodiscard]] SeedSimResult run();
+
+  void packet_arrived(Packet* packet) override;
+  EventQueue& events() override { return events_; }
+  Packet* alloc_packet() override;
+  void free_packet(Packet* packet) override;
+  void inject(Packet* packet) override;
+
+ private:
+  struct FlowRecord {
+    int src_server = 0;
+    int dst_server = 0;
+    std::vector<std::unique_ptr<TcpSubflow>> subflows;
+    std::vector<std::int64_t> delivered_at_warmup;
+  };
+
+  [[nodiscard]] int host_uplink(int server) const;
+  [[nodiscard]] int host_downlink(int server) const;
+  [[nodiscard]] const std::vector<int>& dist_to(NodeId dst_switch);
+
+  const BuiltTopology& topology_;
+  Params params_;
+  Rng rng_;
+  EventQueue events_;
+  std::vector<std::unique_ptr<SimLink>> links_;
+  std::vector<NodeId> server_home_;
+  std::vector<FlowRecord> flows_;
+  std::map<NodeId, std::vector<int>> dist_cache_;
+
+  std::vector<std::unique_ptr<Packet>> pool_storage_;
+  std::vector<Packet*> pool_free_;
+  std::uint64_t dropped_at_inject_ = 0;
+};
+
+}  // namespace topo::bench::seedsim
+
+#endif  // TOPODESIGN_BENCH_BASELINE_SIM_H

@@ -1,0 +1,303 @@
+// Packet-simulator microbenchmark and perf-regression tracker.
+//
+// Times the library's packet simulator against the frozen seed
+// implementation kept in baseline_sim.cc on fig13-class rewired-VL2
+// instances, and emits a machine-readable BENCH_sim.json so the perf
+// trajectory is tracked PR over PR. Both simulators are driven with the
+// identical topology, permutation flow list, seed, and sampled-path
+// routing, so they reproduce the same transport dynamics: the bench
+// asserts the mean goodputs agree to 1e-9 on every instance (the rewrite
+// changed the data layout and timer discipline, not the arithmetic) and
+// exits non-zero on mismatch so CI catches drift. The headline metric is
+// events/sec — note the fast path also processes FEWER events for the
+// same simulated traffic (no dead timer events), so the wall-clock ratio
+// is higher than the events/sec ratio suggests; both are reported.
+//
+// Flags:
+//   --smoke       CI mode: the small instance only, single repetition
+//   --repeat N    timing repetitions per instance (default 2; min is kept)
+//   --json PATH   output path (default BENCH_sim.json)
+//   --seed N      master seed (default 1)
+//   --no-baseline skip the baseline timing/equivalence pass
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "baseline_sim.h"
+#include "bench_common.h"
+
+namespace topo::bench {
+namespace {
+
+struct Instance {
+  std::string name;
+  BuiltTopology topology;
+  std::vector<ServerFlow> flows;
+  sim::SimParams params;
+};
+
+// fig13-class instances: oversubscribed rewired VL2 exactly as the figure
+// builds them (ToR count 160% of nominal, 20 servers per ToR, 8-subflow
+// MPTCP, queue 50). Durations are trimmed so one timing run stays in
+// seconds; events/sec is duration-invariant once past warmup.
+std::vector<Instance> make_instances(bool smoke, std::uint64_t seed) {
+  std::vector<Instance> instances;
+  const auto add_vl2 = [&](int da, int di, sim::SimTime duration_ns) {
+    Instance inst;
+    inst.name = "rewired_vl2_da" + std::to_string(da) + "_di" +
+                std::to_string(di);
+    Vl2Params params;
+    params.d_a = da;
+    params.d_i = di;
+    params.servers_per_tor = 20;
+    const int tors = std::min(rewired_vl2_max_tors(params),
+                              std::max(2, vl2_nominal_tors(params) * 160 / 100));
+    inst.topology = rewired_vl2_topology(params, tors, seed + 7);
+    inst.params.subflows = 8;
+    inst.params.queue_packets = 50;
+    inst.params.duration_ns = duration_ns;
+    inst.params.warmup_ns = duration_ns / 2;
+
+    // One shared permutation drawn up front so the fast and seed
+    // simulators run the identical flow list.
+    Rng traffic_rng(Rng::derive_seed(seed, 0x51310ULL + static_cast<std::uint64_t>(da)));
+    inst.flows = random_permutation_traffic(inst.topology.servers, traffic_rng)
+                     .flows;
+    instances.push_back(std::move(inst));
+  };
+
+  // fig13 smoke's smallest point.
+  add_vl2(6, 8, smoke ? 6'000'000 : 12'000'000);
+  if (!smoke) {
+    add_vl2(10, 12, 8'000'000);
+    // fig13's full-size configuration (the figure's largest point).
+    add_vl2(18, 12, 6'000'000);
+  }
+  return instances;
+}
+
+struct SideReport {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  double events_per_sec = 0.0;
+  double mean_normalized = 0.0;
+};
+
+struct InstanceReport {
+  std::string name;
+  int switches = 0;
+  int edges = 0;
+  int servers = 0;
+  int flows = 0;
+  SideReport fast;
+  SideReport baseline;
+  double speedup_wall = 0.0;
+  double speedup_events_per_sec = 0.0;
+  bool matches_baseline = true;
+};
+
+// One timed run per call; callers interleave fast/baseline repetitions so
+// a burst of machine contention hits both sides of the ratio, not one.
+void time_fast_once(const Instance& inst, std::uint64_t seed,
+                    SideReport& report) {
+  {
+    sim::SimNetwork net(inst.topology, inst.params, seed);
+    for (const ServerFlow& f : inst.flows) net.add_flow(f.src_server, f.dst_server);
+    WallTimer timer;
+    const sim::SimulationResult r = net.run();
+    const double ms = timer.elapsed_ms();
+    if (ms < report.wall_ms) {
+      report.wall_ms = ms;
+      report.events = r.events_processed;
+      report.mean_normalized = r.mean_normalized;
+    }
+  }
+}
+
+void time_baseline_once(const Instance& inst, std::uint64_t seed,
+                        SideReport& report) {
+  seedsim::SeedSimNetwork::Params params;
+  params.server_rate_gbps = inst.params.server_rate_gbps;
+  params.link_delay_ns = inst.params.link_delay_ns;
+  params.queue_packets = inst.params.queue_packets;
+  params.packet_bytes = inst.params.packet_bytes;
+  params.subflows = inst.params.subflows;
+  params.duration_ns = inst.params.duration_ns;
+  params.warmup_ns = inst.params.warmup_ns;
+  params.start_jitter_ns = inst.params.start_jitter_ns;
+  params.ewtcp_coupling = inst.params.ewtcp_coupling;
+  {
+    seedsim::SeedSimNetwork net(inst.topology, params, seed);
+    for (const ServerFlow& f : inst.flows) net.add_flow(f.src_server, f.dst_server);
+    WallTimer timer;
+    const seedsim::SeedSimResult r = net.run();
+    const double ms = timer.elapsed_ms();
+    if (ms < report.wall_ms) {
+      report.wall_ms = ms;
+      report.events = r.events_processed;
+      report.mean_normalized = r.mean_normalized;
+    }
+  }
+}
+
+void finish_side(SideReport& report) {
+  report.events_per_sec =
+      report.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(report.events) / report.wall_ms
+          : 0.0;
+}
+
+double geomean_eps_speedup(const std::vector<InstanceReport>& reports) {
+  double log_sum = 0.0;
+  int count = 0;
+  for (const InstanceReport& r : reports) {
+    if (r.speedup_events_per_sec <= 0.0) continue;
+    log_sum += std::log(r.speedup_events_per_sec);
+    ++count;
+  }
+  return count > 0 ? std::exp(log_sum / count) : 0.0;
+}
+
+std::string side_json(const SideReport& r, const std::string& indent) {
+  std::string json = "{\n";
+  json += indent + "  \"wall_ms\": " + json_number(r.wall_ms) + ",\n";
+  json += indent + "  \"events\": " + std::to_string(r.events) + ",\n";
+  json += indent +
+          "  \"events_per_sec\": " + json_number(r.events_per_sec) + ",\n";
+  json += indent +
+          "  \"mean_normalized\": " + json_number(r.mean_normalized) + "\n";
+  json += indent + "}";
+  return json;
+}
+
+std::string to_json(const std::vector<InstanceReport>& reports, bool smoke,
+                    bool with_baseline, double geomean) {
+  std::string json = "{\n";
+  json += "  \"bench\": \"sim\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"baseline_compared\": " +
+          std::string(with_baseline ? "true" : "false") + ",\n";
+  json += "  \"geomean_events_per_sec_speedup\": " + json_number(geomean) +
+          ",\n";
+  json += "  \"instances\": [\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    const InstanceReport& r = reports[i];
+    json += "    {\n";
+    json += "      \"name\": " + json_string(r.name) + ",\n";
+    json += "      \"switches\": " + std::to_string(r.switches) + ",\n";
+    json += "      \"edges\": " + std::to_string(r.edges) + ",\n";
+    json += "      \"servers\": " + std::to_string(r.servers) + ",\n";
+    json += "      \"flows\": " + std::to_string(r.flows) + ",\n";
+    json += "      \"fast\": " + side_json(r.fast, "      ") + ",\n";
+    json += "      \"baseline\": " + side_json(r.baseline, "      ") + ",\n";
+    json += "      \"speedup_wall\": " + json_number(r.speedup_wall) + ",\n";
+    json += "      \"speedup_events_per_sec\": " +
+            json_number(r.speedup_events_per_sec) + ",\n";
+    json += "      \"matches_baseline\": " +
+            std::string(r.matches_baseline ? "true" : "false") + "\n";
+    json += "    }";
+    json += (i + 1 < reports.size()) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+  return json;
+}
+
+int run(int argc, const char* const* argv) {
+  const Flags flags(argc, argv,
+                    {"smoke", "repeat", "json", "seed", "no-baseline"});
+  const bool smoke = flags.get_bool("smoke");
+  const int repeat = flags.get_int("repeat", smoke ? 1 : 2);
+  const std::string json_path = flags.get_string("json", "BENCH_sim.json");
+  const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const bool with_baseline = !flags.get_bool("no-baseline");
+
+  std::cout << "sim_microbench: packet simulator vs seed baseline"
+            << (smoke ? " (smoke)" : "") << "\n\n";
+
+  std::vector<InstanceReport> reports;
+  bool all_match = true;
+
+  for (const Instance& inst : make_instances(smoke, seed)) {
+    InstanceReport report;
+    report.name = inst.name;
+    report.switches = inst.topology.graph.num_nodes();
+    report.edges = inst.topology.graph.num_edges();
+    report.servers = inst.topology.servers.total();
+    report.flows = static_cast<int>(inst.flows.size());
+
+    report.fast.wall_ms = std::numeric_limits<double>::infinity();
+    report.baseline.wall_ms = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < repeat; ++rep) {
+      time_fast_once(inst, seed + 11, report.fast);
+      if (with_baseline) time_baseline_once(inst, seed + 11, report.baseline);
+    }
+    finish_side(report.fast);
+
+    if (with_baseline) {
+      finish_side(report.baseline);
+      report.speedup_wall = report.fast.wall_ms > 0.0
+                                ? report.baseline.wall_ms / report.fast.wall_ms
+                                : 0.0;
+      report.speedup_events_per_sec =
+          report.fast.events_per_sec > 0.0
+              ? report.fast.events_per_sec / report.baseline.events_per_sec
+              : 0.0;
+      const double scale = std::max(
+          {1.0, report.fast.mean_normalized, report.baseline.mean_normalized});
+      report.matches_baseline =
+          std::abs(report.fast.mean_normalized -
+                   report.baseline.mean_normalized) <= 1e-9 * scale;
+      all_match = all_match && report.matches_baseline;
+    }
+
+    std::cout << report.name << " (" << report.servers << " servers, "
+              << report.flows << " flows): fast " << report.fast.wall_ms
+              << " ms / " << report.fast.events << " events ("
+              << report.fast.events_per_sec / 1e6 << " M/s)";
+    if (with_baseline) {
+      std::cout << ", baseline " << report.baseline.wall_ms << " ms / "
+                << report.baseline.events << " events ("
+                << report.baseline.events_per_sec / 1e6 << " M/s), "
+                << report.speedup_events_per_sec << "x events/sec, "
+                << report.speedup_wall << "x wall"
+                << (report.matches_baseline ? "" : "  [RESULT MISMATCH]");
+    }
+    std::cout << "\n";
+    reports.push_back(report);
+  }
+
+  const double geomean = geomean_eps_speedup(reports);
+  if (with_baseline) {
+    std::cout << "\ngeomean events/sec speedup: " << geomean << "x\n";
+  }
+
+  std::ofstream out(json_path);
+  out << to_json(reports, smoke, with_baseline, geomean);
+  out.close();
+  if (!out) {
+    std::cerr << "FAIL: could not write " << json_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << json_path << "\n";
+
+  if (!all_match) {
+    std::cerr << "FAIL: simulator results diverged from the seed baseline\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace topo::bench
+
+int main(int argc, char** argv) {
+  try {
+    return topo::bench::run(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -6,6 +6,7 @@
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/stats.h"
 
 namespace topo {
 namespace {
@@ -14,16 +15,51 @@ namespace {
 // streams (Rng::derive_seed(master, 2i) / (master, 2i+1) in experiment.cc).
 constexpr std::uint64_t kFailureSeedSalt = 0xFA17ED;
 
+// Salt separating the packet simulator's RNG streams (path sampling, RED,
+// start jitter) from the traffic draw they share a seed with.
+constexpr std::uint64_t kPacketSimSeedSalt = 0x9AC4E7;
+
+// Runs the MPTCP packet simulator over the flow list the fluid side just
+// routed and records its goodput statistics on the result. The simulator
+// is seeded from the traffic seed (salted), so a cell's packet metrics
+// are exactly as reproducible as its workload.
+void run_packet_sim(const BuiltTopology& topology,
+                    const sim::SimParams& params, const TrafficMatrix& tm,
+                    std::uint64_t traffic_seed, ThroughputResult& result) {
+  result.packet_sim_run = true;
+  if (tm.flows.empty()) return;  // degenerate instance: all-zero metrics
+  sim::SimNetwork net(topology, params,
+                      Rng::derive_seed(traffic_seed, kPacketSimSeedSalt));
+  for (const ServerFlow& f : tm.flows) net.add_flow(f.src_server, f.dst_server);
+  const sim::SimulationResult sim_result = net.run();
+  result.packet_mean_normalized = sim_result.mean_normalized;
+  result.packet_min_normalized = sim_result.min_normalized;
+  std::vector<double> goodputs;
+  goodputs.reserve(sim_result.flows.size());
+  double retransmits = 0.0;
+  for (const sim::FlowStats& f : sim_result.flows) {
+    goodputs.push_back(f.goodput_gbps / params.server_rate_gbps);
+    retransmits += static_cast<double>(f.retransmits);
+  }
+  std::sort(goodputs.begin(), goodputs.end());
+  result.packet_p05_normalized = percentile_sorted(goodputs, 0.05);
+  result.packet_retransmits = retransmits;
+  result.packet_drops = static_cast<double>(sim_result.total_drops);
+}
+
 // Evaluation of an already-degraded (or pristine) topology.
 ThroughputResult evaluate_prepared(const BuiltTopology& topology,
                                    const EvalOptions& options,
                                    std::uint64_t traffic_seed) {
   Rng rng(traffic_seed);
   std::vector<Commodity> commodities;
+  // Kept past the switch when the packet co-simulation needs the
+  // server-level flow list the commodities were aggregated from.
+  TrafficMatrix permutation_tm;
   switch (options.traffic) {
     case TrafficKind::kPermutation: {
-      const TrafficMatrix tm = random_permutation_traffic(topology.servers, rng);
-      commodities = aggregate_to_commodities(tm, topology.servers);
+      permutation_tm = random_permutation_traffic(topology.servers, rng);
+      commodities = aggregate_to_commodities(permutation_tm, topology.servers);
       break;
     }
     case TrafficKind::kAllToAll: {
@@ -43,16 +79,21 @@ ThroughputResult evaluate_prepared(const BuiltTopology& topology,
       break;
     }
   }
+  ThroughputResult result;
   if (commodities.empty()) {
     // Every flow stayed on its own switch: trivially full throughput.
-    ThroughputResult result;
     result.feasible = true;
     result.lambda = 1.0;
     result.dual_bound = 1.0;
     result.gap = 0.0;
-    return result;
+  } else {
+    result = max_concurrent_flow(topology.graph, commodities, options.flow);
   }
-  return max_concurrent_flow(topology.graph, commodities, options.flow);
+  if (options.packet_sim.enabled) {
+    run_packet_sim(topology, options.packet_sim.params, permutation_tm,
+                   traffic_seed, result);
+  }
+  return result;
 }
 
 }  // namespace
@@ -67,6 +108,14 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
   // capacity_factor above 1.0) must fail loudly even when no component
   // would have triggered the degradation pass.
   validate_failure_spec(options.failure);
+  if (options.packet_sim.enabled) {
+    require(options.traffic == TrafficKind::kPermutation,
+            "packet co-simulation requires permutation traffic (the "
+            "simulator models server-to-server bulk flows)");
+    require(options.packet_sim.params.warmup_ns <
+                options.packet_sim.params.duration_ns,
+            "packet co-simulation warmup must precede the end of the run");
+  }
   if (!options.failure.active()) {
     return evaluate_prepared(topology, options, traffic_seed);
   }

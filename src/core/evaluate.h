@@ -11,6 +11,7 @@
 
 #include "core/failure.h"
 #include "flow/concurrent_flow.h"
+#include "sim/network.h"
 #include "topo/topology.h"
 
 namespace topo {
@@ -20,6 +21,17 @@ enum class TrafficKind {
   kPermutation,  ///< Server-level random permutation (the default workload).
   kAllToAll,     ///< Every server pair (aggregated switch-level).
   kChunky,       ///< x% chunky: ToR-level permutation over a subset.
+};
+
+/// Optional packet-level co-simulation riding on the fluid evaluation.
+/// When enabled, every call also runs the MPTCP packet simulator
+/// (sim/network.h) over the SAME drawn permutation the flow solver
+/// routed — the per-run flow-vs-packet comparison of Fig. 13, available
+/// to any scenario. Permutation traffic only: the simulator models
+/// server-to-server bulk flows, not aggregated commodity matrices.
+struct PacketSimOptions {
+  bool enabled = false;
+  sim::SimParams params;
 };
 
 /// Evaluation knobs.
@@ -38,6 +50,10 @@ struct EvalOptions {
   /// server-hosting switches) yields an infeasible zero-throughput result
   /// rather than an exception.
   FailureSpec failure;
+  /// Packet-level co-simulation of the same drawn permutation (fills the
+  /// packet_* fields of ThroughputResult). Runs on the degraded topology
+  /// when a failure spec is active, like the fluid evaluation.
+  PacketSimOptions packet_sim;
 };
 
 /// Generates the requested workload over the topology's servers (seeded by

@@ -34,10 +34,16 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   std::vector<double> inv_spls;
   std::vector<double> inv_stretches;
   std::vector<double> duals;
+  std::vector<double> packet_means;
+  std::vector<double> packet_p05s;
   int infeasible = 0;
   for (const ThroughputResult& result : results) {
     lambdas.push_back(result.lambda);
     duals.push_back(result.dual_bound);
+    if (result.packet_sim_run) {
+      packet_means.push_back(result.packet_mean_normalized);
+      packet_p05s.push_back(result.packet_p05_normalized);
+    }
     if (!result.feasible) {
       ++infeasible;
       utils.push_back(0.0);
@@ -59,6 +65,9 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   stats.inverse_stretch = summarize(inv_stretches);
   stats.dual_bound = summarize(duals);
   stats.infeasible_runs = infeasible;
+  stats.packet_mean = summarize(packet_means);
+  stats.packet_p05 = summarize(packet_p05s);
+  stats.packet_sim_runs = static_cast<int>(packet_means.size());
   return stats;
 }
 

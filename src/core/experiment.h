@@ -25,6 +25,12 @@ struct ExperimentStats {
   Summary inverse_stretch;    ///< 1 / AS.
   Summary dual_bound;         ///< Certified upper bounds.
   int infeasible_runs = 0;    ///< Runs whose topology disconnected traffic.
+  // Packet co-simulation metrics (EvalOptions::packet_sim), summarized
+  // over the runs that executed a packet simulation; count == 0 and
+  // zeroed summaries when no run did.
+  Summary packet_mean;        ///< Mean normalized goodput per run.
+  Summary packet_p05;         ///< 5th-percentile normalized goodput per run.
+  int packet_sim_runs = 0;    ///< Runs that ran the packet co-simulation.
 };
 
 /// Reduces per-run results (in run order) to experiment statistics —

@@ -88,6 +88,18 @@ struct ThroughputResult {
   /// Scaled feasible flow per directed arc: arc 2e is edge e's u->v
   /// direction, arc 2e+1 the reverse.
   std::vector<double> arc_flow;
+
+  /// Packet-level co-simulation metrics (core/evaluate.h, packet_sim).
+  /// The flow solver never touches these; they ride on the result as
+  /// plain scalars so the experiment, sweep, and cache layers carry
+  /// packet metrics through the same per-cell machinery as the fluid
+  /// ones without depending on the simulator.
+  bool packet_sim_run = false;          ///< True when the co-sim executed.
+  double packet_mean_normalized = 0.0;  ///< Mean goodput / server rate.
+  double packet_p05_normalized = 0.0;   ///< 5th pct goodput / server rate.
+  double packet_min_normalized = 0.0;   ///< Worst flow goodput / rate.
+  double packet_retransmits = 0.0;      ///< Total retransmitted segments.
+  double packet_drops = 0.0;            ///< Total packets dropped.
 };
 
 /// Computes the maximum concurrent flow for the commodities on `graph`.

@@ -36,7 +36,17 @@ std::string result_json(const ThroughputResult& r) {
       << json_number(r.mean_routed_path_length)
       << ", \"demand_weighted_spl\": " << json_number(r.demand_weighted_spl)
       << ", \"stretch\": " << json_number(r.stretch)
-      << ", \"total_demand\": " << json_number(r.total_demand) << "}";
+      << ", \"total_demand\": " << json_number(r.total_demand);
+  // Packet co-simulation scalars ride along only when the cell ran one,
+  // so flow-only cells keep their historical bytes (and checksums).
+  if (r.packet_sim_run) {
+    out << ", \"packet_mean\": " << json_number(r.packet_mean_normalized)
+        << ", \"packet_p05\": " << json_number(r.packet_p05_normalized)
+        << ", \"packet_min\": " << json_number(r.packet_min_normalized)
+        << ", \"packet_retransmits\": " << json_number(r.packet_retransmits)
+        << ", \"packet_drops\": " << json_number(r.packet_drops);
+  }
+  out << "}";
   return out.str();
 }
 
@@ -49,7 +59,9 @@ ThroughputResult result_from_json(const JsonValue& object) {
       "lambda",      "dual_bound",  "gap",
       "feasible",    "phases",      "utilization",
       "mean_routed_path_length",    "demand_weighted_spl",
-      "stretch",     "total_demand"};
+      "stretch",     "total_demand",
+      "packet_mean", "packet_p05",  "packet_min",
+      "packet_retransmits",         "packet_drops"};
   for (const auto& [key, value] : object.members) {
     (void)value;
     bool ok = false;
@@ -74,6 +86,17 @@ ThroughputResult result_from_json(const JsonValue& object) {
   r.demand_weighted_spl = number("demand_weighted_spl");
   r.stretch = number("stretch");
   r.total_demand = number("total_demand");
+  // The five packet keys travel as a block: presence of the first means
+  // the cell ran a packet co-simulation, and the strict `number` lookups
+  // then require the rest (a partial block fails the load into a miss).
+  if (object.find("packet_mean") != nullptr) {
+    r.packet_sim_run = true;
+    r.packet_mean_normalized = number("packet_mean");
+    r.packet_p05_normalized = number("packet_p05");
+    r.packet_min_normalized = number("packet_min");
+    r.packet_retransmits = number("packet_retransmits");
+    r.packet_drops = number("packet_drops");
+  }
   return r;
 }
 
@@ -151,7 +174,26 @@ std::string cell_identity_json(const CellIdentity& cell) {
   if (failure.targeted.link_cuts != 0) {
     out << ", \"targeted\": " << failure.targeted.link_cuts;
   }
-  out << "}, \"topo_seed\": " << cell.topo_seed
+  out << "}";
+  // Like the newer failure components: the packet-sim section joins the
+  // identity only when enabled, so every flow-only cell (including all
+  // cells written before packet co-simulation existed) keeps its
+  // address, while any packet knob perturbs the key.
+  if (options.packet_sim.enabled) {
+    const sim::SimParams& p = options.packet_sim.params;
+    out << ", \"packet_sim\": {\"subflows\": " << p.subflows
+        << ", \"queue\": " << p.queue_packets
+        << ", \"bytes\": " << p.packet_bytes
+        << ", \"duration\": " << p.duration_ns
+        << ", \"warmup\": " << p.warmup_ns
+        << ", \"jitter\": " << p.start_jitter_ns
+        << ", \"delay\": " << p.link_delay_ns
+        << ", \"rate\": " << json_number(p.server_rate_gbps)
+        << ", \"ewtcp\": " << (p.ewtcp_coupling ? "true" : "false")
+        << ", \"route_mode\": " << json_string(route_mode_name(p.route_mode))
+        << ", \"sim\": " << json_string(kPacketSimVersionTag) << "}";
+  }
+  out << ", \"topo_seed\": " << cell.topo_seed
       << ", \"traffic_seed\": " << cell.traffic_seed
       << ", \"solver\": " << json_string(kSolverVersionTag) << "}";
   return out.str();

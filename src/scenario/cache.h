@@ -36,6 +36,11 @@ namespace topo::scenario {
 /// the golden suite catching an unintended numeric change is the cue.
 inline constexpr const char* kSolverVersionTag = "fptas-csr-v2";
 
+/// Simulator version tag, mixed into the key of packet-sim cells only —
+/// bumping it on a transport/queueing numerics change invalidates packet
+/// cells without discarding the (much larger) flow-only population.
+inline constexpr const char* kPacketSimVersionTag = "mptcp-sim-v1";
+
 /// FNV-1a 64 over a byte string (optionally chained via `basis`).
 [[nodiscard]] std::uint64_t fnv1a64(
     const std::string& bytes, std::uint64_t basis = 14695981039346656037ULL);

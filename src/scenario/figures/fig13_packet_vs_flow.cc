@@ -7,6 +7,7 @@
 
 #include "scenario/figures/figure_common.h"
 #include "scenario/figures/figures.h"
+#include "util/stats.h"
 
 namespace topo::scenario {
 namespace {
@@ -66,8 +67,7 @@ void run(ScenarioRun& ctx) {
         goodputs.push_back(f.goodput_gbps / sim_params.server_rate_gbps);
       }
       std::sort(goodputs.begin(), goodputs.end());
-      packet_p05s.push_back(
-          goodputs[static_cast<std::size_t>(0.05 * goodputs.size())]);
+      packet_p05s.push_back(percentile_sorted(goodputs, 0.05));
     }
     const double flow_mean = mean_of(flow_values);
     const double packet_mean = mean_of(packet_means);

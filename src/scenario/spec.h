@@ -56,6 +56,11 @@ struct ScenarioSpec {
   /// Base failure spec (core/failure.h); axes with reserved names override
   /// its fields per sweep point.
   FailureSpec failure;
+  /// Optional packet-level co-simulation (core/evaluate.h): when enabled,
+  /// every cell also runs the MPTCP packet simulator over the same drawn
+  /// permutation and the sweep table grows packet_mean / packet_p05 /
+  /// gap_percent columns. Permutation traffic only.
+  PacketSimOptions packet_sim;
   std::vector<SweepAxis> axes;
   int quick_runs = 3;
   int full_runs = 20;

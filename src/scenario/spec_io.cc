@@ -123,6 +123,21 @@ TrafficKind traffic_kind_from_name(const std::string& name) {
       "\" (known: permutation, all_to_all, chunky)");
 }
 
+const char* route_mode_name(sim::RouteMode mode) {
+  switch (mode) {
+    case sim::RouteMode::kSampledPaths: return "sampled";
+    case sim::RouteMode::kEcmpHash: return "ecmp_hash";
+  }
+  throw InvalidArgument("unhandled RouteMode");
+}
+
+sim::RouteMode route_mode_from_name(const std::string& name) {
+  if (name == "sampled") return sim::RouteMode::kSampledPaths;
+  if (name == "ecmp_hash") return sim::RouteMode::kEcmpHash;
+  throw InvalidArgument("spec key \"packet_sim.route_mode\": unknown route "
+                        "mode \"" + name + "\" (known: sampled, ecmp_hash)");
+}
+
 std::string spec_to_json(const ScenarioSpec& spec) {
   std::ostringstream out;
   out << "{\n";
@@ -174,6 +189,22 @@ std::string spec_to_json(const ScenarioSpec& spec) {
     out << ", \"targeted_link_cuts\": " << spec.failure.targeted.link_cuts;
   }
   out << "},\n";
+  // Emitted only when enabled: pre-packet-sim spec files round-trip
+  // byte-identically, and any packet knob perturbs the spec hash.
+  if (spec.packet_sim.enabled) {
+    const sim::SimParams& p = spec.packet_sim.params;
+    out << "  \"packet_sim\": {\"subflows\": " << p.subflows
+        << ", \"queue_packets\": " << p.queue_packets
+        << ", \"packet_bytes\": " << p.packet_bytes
+        << ", \"duration_ns\": " << p.duration_ns
+        << ", \"warmup_ns\": " << p.warmup_ns
+        << ", \"start_jitter_ns\": " << p.start_jitter_ns
+        << ", \"link_delay_ns\": " << p.link_delay_ns
+        << ", \"server_rate_gbps\": " << json_number(p.server_rate_gbps)
+        << ", \"ewtcp_coupling\": " << (p.ewtcp_coupling ? "true" : "false")
+        << ", \"route_mode\": " << json_string(route_mode_name(p.route_mode))
+        << "},\n";
+  }
   out << "  \"axes\": [";
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     const SweepAxis& axis = spec.axes[a];
@@ -199,8 +230,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
   require(root.is_object(), "spec: top level must be a JSON object");
   require_only_keys(root, "",
                     {"name", "description", "topology", "traffic",
-                     "chunky_fraction", "failure", "axes", "quick_runs",
-                     "full_runs", "reuse_topology"});
+                     "chunky_fraction", "failure", "packet_sim", "axes",
+                     "quick_runs", "full_runs", "reuse_topology"});
 
   ScenarioSpec spec;
   spec.name = get_string(root, "name");
@@ -280,6 +311,69 @@ ScenarioSpec spec_from_json(const std::string& text) {
         fail_key("failure.capacity_factor", "out of range (want (0, 1])");
       }
       spec.failure.capacity_factor = factor->number;
+    }
+  }
+
+  if (const JsonValue* packet = root.find("packet_sim"); packet != nullptr) {
+    if (!packet->is_object()) fail_key("packet_sim", "must be an object");
+    require_only_keys(*packet, "packet_sim.",
+                      {"subflows", "queue_packets", "packet_bytes",
+                       "duration_ns", "warmup_ns", "start_jitter_ns",
+                       "link_delay_ns", "server_rate_gbps", "ewtcp_coupling",
+                       "route_mode"});
+    spec.packet_sim.enabled = true;
+    sim::SimParams& p = spec.packet_sim.params;
+    // Integer knobs share one strict extractor; each is optional and
+    // falls back to the SimParams default.
+    const auto get_integer = [&](const char* key, double fallback,
+                                 double lo, double hi) {
+      const JsonValue* value = packet->find(key);
+      if (value == nullptr) return fallback;
+      const std::string where = std::string("packet_sim.") + key;
+      if (!value->is_number()) fail_key(where, "must be a number");
+      if (value->number != std::floor(value->number)) {
+        fail_key(where, "must be an integer");
+      }
+      if (value->number < lo || value->number > hi) {
+        fail_key(where, "out of range (want " + json_number(lo) + ".." +
+                            json_number(hi) + ")");
+      }
+      return value->number;
+    };
+    p.subflows = static_cast<int>(
+        get_integer("subflows", p.subflows, 1, 64));
+    p.queue_packets = static_cast<int>(
+        get_integer("queue_packets", p.queue_packets, 1, 1e6));
+    p.packet_bytes = static_cast<int>(
+        get_integer("packet_bytes", p.packet_bytes, 64, 65535));
+    p.duration_ns = static_cast<sim::SimTime>(get_integer(
+        "duration_ns", static_cast<double>(p.duration_ns), 1, 1e12));
+    p.warmup_ns = static_cast<sim::SimTime>(get_integer(
+        "warmup_ns", static_cast<double>(p.warmup_ns), 0, 1e12));
+    p.start_jitter_ns = static_cast<sim::SimTime>(get_integer(
+        "start_jitter_ns", static_cast<double>(p.start_jitter_ns), 0, 1e12));
+    p.link_delay_ns = static_cast<sim::SimTime>(get_integer(
+        "link_delay_ns", static_cast<double>(p.link_delay_ns), 1, 4e9));
+    if (const JsonValue* rate = packet->find("server_rate_gbps");
+        rate != nullptr) {
+      if (!rate->is_number()) {
+        fail_key("packet_sim.server_rate_gbps", "must be a number");
+      }
+      if (rate->number <= 0.0 || rate->number > 1e6) {
+        fail_key("packet_sim.server_rate_gbps",
+                 "out of range (want (0, 1e6])");
+      }
+      p.server_rate_gbps = rate->number;
+    }
+    if (const JsonValue* coupling = packet->find("ewtcp_coupling");
+        coupling != nullptr) {
+      if (!coupling->is_bool()) {
+        fail_key("packet_sim.ewtcp_coupling", "must be a boolean");
+      }
+      p.ewtcp_coupling = coupling->boolean;
+    }
+    if (packet->find("route_mode") != nullptr) {
+      p.route_mode = route_mode_from_name(get_string(*packet, "route_mode"));
     }
   }
 
@@ -367,6 +461,29 @@ void validate_spec(const ScenarioSpec& spec) {
   if (spec.failure.capacity_factor <= 0.0 ||
       spec.failure.capacity_factor > 1.0) {
     fail_key("failure.capacity_factor", "out of range (want (0, 1])");
+  }
+  if (spec.packet_sim.enabled) {
+    const sim::SimParams& p = spec.packet_sim.params;
+    if (spec.traffic != TrafficKind::kPermutation) {
+      fail_key("packet_sim",
+               "requires permutation traffic (the simulator models "
+               "server-to-server bulk flows)");
+    }
+    if (p.subflows < 1 || p.subflows > 64) {
+      fail_key("packet_sim.subflows", "out of range (want 1..64)");
+    }
+    if (p.queue_packets < 1) {
+      fail_key("packet_sim.queue_packets", "out of range (want >= 1)");
+    }
+    if (p.packet_bytes < 64) {
+      fail_key("packet_sim.packet_bytes", "out of range (want >= 64)");
+    }
+    if (p.warmup_ns >= p.duration_ns) {
+      fail_key("packet_sim.warmup_ns", "must be below duration_ns");
+    }
+    if (p.server_rate_gbps <= 0.0) {
+      fail_key("packet_sim.server_rate_gbps", "out of range (want > 0)");
+    }
   }
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     const SweepAxis& axis = spec.axes[a];

@@ -44,6 +44,11 @@ void validate_spec(const ScenarioSpec& spec);
 [[nodiscard]] const char* traffic_kind_name(TrafficKind kind);
 [[nodiscard]] TrafficKind traffic_kind_from_name(const std::string& name);
 
+/// Spec-file name of a packet-sim route mode ("sampled" / "ecmp_hash")
+/// and its strict inverse.
+[[nodiscard]] const char* route_mode_name(sim::RouteMode mode);
+[[nodiscard]] sim::RouteMode route_mode_from_name(const std::string& name);
+
 /// CLI entry: runs the spec in `path` with the standard scenario flags
 /// (argv[0] is skipped, as in scenario_main). Returns a shell exit code.
 int spec_file_main(const std::string& path, int argc, const char* const* argv);

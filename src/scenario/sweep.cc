@@ -199,6 +199,7 @@ SweepResult SweepRunner::run() const {
     plan.options.traffic = spec.traffic;
     plan.options.chunky_fraction = spec.chunky_fraction;
     plan.options.failure = spec.failure;
+    plan.options.packet_sim = spec.packet_sim;
     for (std::size_t a = 0; a < spec.axes.size(); ++a) {
       bind_coord(spec.axes[a].param,
                  points[static_cast<std::size_t>(point)][a], plan.params,
@@ -379,11 +380,23 @@ SweepResult SweepRunner::run() const {
 }
 
 TablePrinter sweep_table(const SweepResult& result) {
+  // Packet columns appear only when some point actually ran the packet
+  // co-simulation, so every pre-existing sweep's table (and golden file)
+  // stays byte-identical.
+  bool packet = false;
+  for (const SweepPointResult& point : result.points) {
+    packet = packet || point.stats.packet_sim_runs > 0;
+  }
   std::vector<std::string> headers = result.axis_names;
   for (const char* metric :
        {"lambda_mean", "lambda_stdev", "lambda_min", "dual_bound_mean",
         "utilization_mean", "infeasible_runs"}) {
     headers.emplace_back(metric);
+  }
+  if (packet) {
+    for (const char* metric : {"packet_mean", "packet_p05", "gap_percent"}) {
+      headers.emplace_back(metric);
+    }
   }
   TablePrinter table(std::move(headers));
   for (const SweepPointResult& point : result.points) {
@@ -395,6 +408,16 @@ TablePrinter sweep_table(const SweepResult& result) {
     row.emplace_back(point.stats.dual_bound.mean);
     row.emplace_back(point.stats.utilization.mean);
     row.emplace_back(static_cast<long long>(point.stats.infeasible_runs));
+    if (packet) {
+      // Flow-vs-packet gap in percent, against the fluid optimum clamped
+      // to line rate (lambda > 1 means spare capacity the packet side
+      // cannot use; Fig. 13 clamps the same way).
+      const double flow_level = std::min(1.0, point.stats.lambda.mean);
+      row.emplace_back(point.stats.packet_mean.mean);
+      row.emplace_back(point.stats.packet_p05.mean);
+      row.emplace_back(100.0 * (flow_level - point.stats.packet_mean.mean) /
+                       std::max(flow_level, 1e-9));
+    }
     table.add_row(std::move(row));
   }
   return table;

@@ -3,7 +3,7 @@
 #define TOPODESIGN_SIM_LINK_H
 
 #include <cstdint>
-#include <deque>
+#include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
@@ -18,33 +18,112 @@ class PacketReceiver {
   virtual void packet_arrived(Packet* packet) = 0;
 };
 
+/// Growable power-of-two ring of packet pointers: the link FIFOs are hot
+/// (two operations per packet per hop) and a deque's segmented storage and
+/// per-op branching cost real time at fig13 sizes. The first 8 slots are
+/// stored inline so an uncongested link's FIFO lives in the cache line
+/// right after the link's hot fields; capacity doubles onto the heap on
+/// overflow and is never given back — links reach steady state quickly.
+class PacketRing {
+ public:
+  PacketRing() = default;
+  ~PacketRing() {
+    if (buf_ != inline_) delete[] buf_;
+  }
+  PacketRing(const PacketRing&) = delete;
+  PacketRing& operator=(const PacketRing&) = delete;
+  PacketRing(PacketRing&& other) noexcept
+      : mask_(other.mask_), head_(other.head_), count_(other.count_) {
+    if (other.buf_ == other.inline_) {
+      for (std::uint32_t i = 0; i < kInlineCapacity; ++i) {
+        inline_[i] = other.inline_[i];
+      }
+      buf_ = inline_;
+    } else {
+      buf_ = other.buf_;
+      other.buf_ = other.inline_;
+      other.mask_ = kInlineCapacity - 1;
+      other.head_ = 0;
+      other.count_ = 0;
+    }
+  }
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] Packet* front() const { return buf_[head_]; }
+
+  void push_back(Packet* p) {
+    if (count_ > mask_) grow();
+    buf_[(head_ + count_) & mask_] = p;
+    ++count_;
+  }
+
+  Packet* pop_front() {
+    Packet* p = buf_[head_];
+    head_ = (head_ + 1) & mask_;
+    --count_;
+    return p;
+  }
+
+ private:
+  static constexpr std::uint32_t kInlineCapacity = 8;
+
+  void grow() {
+    const std::uint32_t capacity = mask_ + 1u;
+    Packet** bigger = new Packet*[2 * capacity];
+    for (std::uint32_t i = 0; i < count_; ++i) {
+      bigger[i] = buf_[(head_ + i) & mask_];
+    }
+    if (buf_ != inline_) delete[] buf_;
+    buf_ = bigger;
+    mask_ = static_cast<std::uint16_t>(2 * capacity - 1);
+    head_ = 0;
+  }
+
+  Packet** buf_ = inline_;
+  std::uint16_t mask_ = kInlineCapacity - 1;
+  std::uint16_t head_ = 0;
+  std::uint16_t count_ = 0;
+  Packet* inline_[kInlineCapacity];
+};
+
 /// One direction of a cable: a fixed-rate serializer feeding a fixed-delay
 /// pipe, with a FIFO queue in front. The queue drops at the tail when
 /// full and, when an Rng is supplied, performs RED-style probabilistic
 /// early drop above a fill threshold — without it, same-RTT Reno flows
 /// synchronize their losses and can lock each other out for long spells.
-class SimLink : public EventHandler {
+class alignas(64) SimLink : public EventHandler {
  public:
   /// rate_gbps: serialization rate in Gbit/s. delay_ns: propagation delay.
   /// queue_packets: queue capacity (excludes the packet in service).
   /// receiver: where packets land after traversal. rng: optional, enables
-  /// early drop (data packets only).
+  /// early drop (data packets only). arrival_handler: optional EventHandler
+  /// that receives arrival events directly (cookie = packet pointer | 1)
+  /// instead of routing them through this link — SimNetwork passes itself
+  /// so arrivals never touch the (cache-cold) link object; when null the
+  /// link handles its own arrivals and forwards to `receiver`.
   SimLink(EventQueue* queue, double rate_gbps, SimTime delay_ns,
-          int queue_packets, PacketReceiver* receiver, Rng* rng = nullptr)
+          int queue_packets, PacketReceiver* receiver, Rng* rng = nullptr,
+          EventHandler* arrival_handler = nullptr)
       : events_(queue),
         rate_gbps_(rate_gbps),
-        delay_ns_(delay_ns),
+        delay_ns_(static_cast<std::uint32_t>(delay_ns)),
         queue_capacity_(queue_packets),
+        arrival_handler_(arrival_handler != nullptr ? arrival_handler : this),
         receiver_(receiver),
         rng_(rng) {
     require(queue != nullptr && receiver != nullptr,
             "SimLink requires a queue and receiver");
     require(rate_gbps > 0.0, "link rate must be positive");
     require(queue_packets >= 1, "queue capacity must be >= 1");
+    require(delay_ns == delay_ns_, "link delay exceeds 32 bits of ns");
   }
 
   SimLink(const SimLink&) = delete;
   SimLink& operator=(const SimLink&) = delete;
+  // Movable so links can live contiguously in a std::vector — but only
+  // before any event references the link (SimNetwork reserves up front).
+  SimLink(SimLink&&) noexcept = default;
 
   /// Offers a packet to the link. Returns false (and leaves the caller
   /// owning the packet) when the packet is dropped — the caller frees it.
@@ -77,18 +156,22 @@ class SimLink : public EventHandler {
   void on_event(std::uint64_t cookie) override {
     if (cookie == kTxDone) {
       // Serialization finished: the packet enters the propagation pipe.
-      in_flight_.push_back(transmitting_);
-      events_->schedule(events_->now() + delay_ns_, this, kArrival);
-      transmitting_ = nullptr;
+      // The arrival event carries the packet pointer in its cookie
+      // (packets are 8-byte aligned, so bit 0 is free for the tag) —
+      // no in-flight FIFO needed.
       if (!queue_.empty()) {
-        Packet* next = queue_.front();
-        queue_.pop_front();
-        start_transmission(next);
+        // The queued packet has gone cold while waiting; overlap its
+        // fetch with the arrival-event insertion below.
+        __builtin_prefetch(queue_.front());
       }
+      events_->schedule(
+          events_->now() + delay_ns_, arrival_handler_,
+          reinterpret_cast<std::uintptr_t>(transmitting_) | kArrivalTag);
+      transmitting_ = nullptr;
+      if (!queue_.empty()) start_transmission(queue_.pop_front());
     } else {
-      Packet* packet = in_flight_.front();
-      in_flight_.pop_front();
-      receiver_->packet_arrived(packet);
+      receiver_->packet_arrived(
+          reinterpret_cast<Packet*>(cookie & ~kArrivalTag));
     }
   }
 
@@ -98,7 +181,7 @@ class SimLink : public EventHandler {
 
  private:
   static constexpr std::uint64_t kTxDone = 0;
-  static constexpr std::uint64_t kArrival = 1;
+  static constexpr std::uint64_t kArrivalTag = 1;
   static constexpr double kRedStart = 0.6;
   static constexpr double kRedMaxProbability = 0.2;
 
@@ -110,17 +193,22 @@ class SimLink : public EventHandler {
     events_->schedule(events_->now() + (tx_ns == 0 ? 1 : tx_ns), this, kTxDone);
   }
 
+  // Field order is deliberate (and the class is cache-line aligned):
+  // together with the vptr, the fields the per-event hot paths touch
+  // (TxDone: transmitting_/events_/rate/delay/arrival_handler_/ring
+  // header; enqueue: transmitting_/capacity/ring header) fill the link's
+  // first cache line exactly, and the ring's inline slots are the second
+  // line — which the adjacent-line prefetcher pulls in alongside it.
+  Packet* transmitting_ = nullptr;
   EventQueue* events_;
   double rate_gbps_;
-  SimTime delay_ns_;
+  std::uint32_t delay_ns_;
   int queue_capacity_;
+  EventHandler* arrival_handler_;
+  PacketRing queue_;
   PacketReceiver* receiver_;
   Rng* rng_;
-
-  Packet* transmitting_ = nullptr;
-  std::deque<Packet*> queue_;
-  std::deque<Packet*> in_flight_;
-  std::uint64_t drops_ = 0;
+  std::uint32_t drops_ = 0;
   std::uint64_t sent_ = 0;
 };
 

@@ -9,11 +9,19 @@
 
 namespace topo::sim {
 
+namespace {
+// Salts for the independent streams derived from the network seed.
+constexpr std::uint64_t kTrafficSalt = 0x7261666669636bULL;  // "raffick"
+constexpr std::uint64_t kEcmpSalt = 0xEC3FA5A1ULL;
+}  // namespace
+
 SimNetwork::SimNetwork(const BuiltTopology& topology, const SimParams& params,
                        std::uint64_t seed)
     : topology_(topology),
       params_(params),
+      seed_(seed),
       rng_(seed),
+      ecmp_salt_(Rng::derive_seed(seed, kEcmpSalt)),
       server_home_(topology.servers.server_home()) {
   require(params.subflows >= 1, "at least one subflow required");
   require(params.warmup_ns < params.duration_ns,
@@ -25,21 +33,19 @@ SimNetwork::SimNetwork(const BuiltTopology& topology, const SimParams& params,
                  2 * server_home_.size());
   for (EdgeId e = 0; e < g.num_edges(); ++e) {
     const double rate = g.edge(e).capacity * params_.server_rate_gbps;
-    links_.push_back(std::make_unique<SimLink>(
-        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
-        &rng_));
-    links_.push_back(std::make_unique<SimLink>(
-        &events_, rate, params_.link_delay_ns, params_.queue_packets, this,
-        &rng_));
+    links_.emplace_back(&events_, rate, params_.link_delay_ns,
+                        params_.queue_packets, this, &rng_, this);
+    links_.emplace_back(&events_, rate, params_.link_delay_ns,
+                        params_.queue_packets, this, &rng_, this);
   }
   // Server access links (up then down per server) at the base rate.
   for (std::size_t s = 0; s < server_home_.size(); ++s) {
-    links_.push_back(std::make_unique<SimLink>(
-        &events_, params_.server_rate_gbps, params_.link_delay_ns,
-        params_.queue_packets, this, &rng_));
-    links_.push_back(std::make_unique<SimLink>(
-        &events_, params_.server_rate_gbps, params_.link_delay_ns,
-        params_.queue_packets, this, &rng_));
+    links_.emplace_back(&events_, params_.server_rate_gbps,
+                        params_.link_delay_ns, params_.queue_packets, this,
+                        &rng_, this);
+    links_.emplace_back(&events_, params_.server_rate_gbps,
+                        params_.link_delay_ns, params_.queue_packets, this,
+                        &rng_, this);
   }
 }
 
@@ -62,6 +68,25 @@ const std::vector<int>& SimNetwork::dist_to(NodeId dst_switch) {
   return it->second;
 }
 
+RouteId SimNetwork::make_route(int from_server, int to_server, int subflow) {
+  const NodeId from_switch =
+      server_home_[static_cast<std::size_t>(from_server)];
+  const NodeId to_switch = server_home_[static_cast<std::size_t>(to_server)];
+  std::vector<int> arcs{host_uplink(from_server)};
+  if (from_switch != to_switch) {
+    const std::vector<int> fabric =
+        params_.route_mode == RouteMode::kEcmpHash
+            ? ecmp_shortest_arc_path(
+                  topology_.graph, from_switch, to_switch, dist_to(to_switch),
+                  ecmp_flow_key(ecmp_salt_, from_server, to_server, subflow))
+            : sample_shortest_arc_path(topology_.graph, from_switch,
+                                       to_switch, dist_to(to_switch), rng_);
+    arcs.insert(arcs.end(), fabric.begin(), fabric.end());
+  }
+  arcs.push_back(host_downlink(to_server));
+  return routes_.intern(arcs);
+}
+
 void SimNetwork::add_flow(int src_server, int dst_server) {
   require(src_server >= 0 &&
               src_server < static_cast<int>(server_home_.size()) &&
@@ -69,9 +94,6 @@ void SimNetwork::add_flow(int src_server, int dst_server) {
               dst_server < static_cast<int>(server_home_.size()),
           "server id out of range");
   require(src_server != dst_server, "flow endpoints must differ");
-
-  const NodeId src_switch = server_home_[static_cast<std::size_t>(src_server)];
-  const NodeId dst_switch = server_home_[static_cast<std::size_t>(dst_server)];
 
   FlowRecord record;
   record.src_server = src_server;
@@ -84,25 +106,11 @@ void SimNetwork::add_flow(int src_server, int dst_server) {
 
   const int flow_id = static_cast<int>(flows_.size());
   for (int k = 0; k < params_.subflows; ++k) {
-    // Independent shortest paths for data and ACKs (ECMP-style draws).
-    std::vector<int> forward{host_uplink(src_server)};
-    if (src_switch != dst_switch) {
-      const auto arcs = sample_shortest_arc_path(
-          topology_.graph, src_switch, dst_switch, dist_to(dst_switch), rng_);
-      forward.insert(forward.end(), arcs.begin(), arcs.end());
-    }
-    forward.push_back(host_downlink(dst_server));
-
-    std::vector<int> reverse{host_uplink(dst_server)};
-    if (src_switch != dst_switch) {
-      const auto arcs = sample_shortest_arc_path(
-          topology_.graph, dst_switch, src_switch, dist_to(src_switch), rng_);
-      reverse.insert(reverse.end(), arcs.begin(), arcs.end());
-    }
-    reverse.push_back(host_downlink(src_server));
-
-    record.subflows.push_back(std::make_unique<TcpSubflow>(
-        this, flow_id, k, std::move(forward), std::move(reverse), tcp));
+    // Independent paths for data and ACKs (forward and reverse 5-tuples
+    // hash independently, as with real ECMP).
+    const RouteId forward = make_route(src_server, dst_server, k);
+    const RouteId reverse = make_route(dst_server, src_server, k);
+    subflows_.emplace_back(this, flow_id, k, forward, reverse, tcp);
   }
   flows_.push_back(std::move(record));
 
@@ -112,16 +120,17 @@ void SimNetwork::add_flow(int src_server, int dst_server) {
                                                     static_cast<double>(
                                                         params_.start_jitter_ns))
                              : 0;
-  for (auto& sub : flows_.back().subflows) {
-    sub->start(events_.now() + 1 + jitter);
+  for (int k = 0; k < params_.subflows; ++k) {
+    subflow(flow_id, k).start(events_.now() + 1 + jitter);
   }
 }
 
 void SimNetwork::add_permutation_workload() {
   const int total = topology_.servers.total();
   require(total >= 2, "permutation workload requires two servers");
-  Rng traffic_rng(Rng::derive_seed(
-      0x7261666669636bULL, static_cast<std::uint64_t>(total)));
+  // Derived from the network seed so distinct runs simulate distinct
+  // permutations, matching the flow-level side's per-run re-draw.
+  Rng traffic_rng(Rng::derive_seed(seed_, kTrafficSalt));
   // Reuse the traffic module's derangement by generating a permutation TM.
   const TrafficMatrix tm =
       random_permutation_traffic(topology_.servers, traffic_rng);
@@ -130,8 +139,12 @@ void SimNetwork::add_permutation_workload() {
 
 Packet* SimNetwork::alloc_packet() {
   if (pool_free_.empty()) {
-    pool_storage_.push_back(std::make_unique<Packet>());
-    pool_free_.push_back(pool_storage_.back().get());
+    pool_chunks_.push_back(std::make_unique<Packet[]>(kPoolChunk));
+    Packet* chunk = pool_chunks_.back().get();
+    pool_free_.reserve(pool_free_.size() + kPoolChunk);
+    for (std::size_t i = kPoolChunk; i > 0; --i) {
+      pool_free_.push_back(&chunk[i - 1]);
+    }
   }
   Packet* p = pool_free_.back();
   pool_free_.pop_back();
@@ -145,8 +158,9 @@ void SimNetwork::free_packet(Packet* packet) {
 
 void SimNetwork::inject(Packet* packet) {
   packet->hop = 0;
-  require(!packet->route.empty(), "packet must carry a route");
-  SimLink& first = *links_[static_cast<std::size_t>(packet->route.front())];
+  require(packet->route >= 0, "packet must carry a route");
+  SimLink& first =
+      links_[static_cast<std::size_t>(routes_.arc(packet->route, 0))];
   if (!first.enqueue(packet)) {
     ++dropped_at_inject_;
     free_packet(packet);
@@ -154,16 +168,15 @@ void SimNetwork::inject(Packet* packet) {
 }
 
 void SimNetwork::packet_arrived(Packet* packet) {
-  if (packet->hop + 1 < packet->route.size()) {
+  if (packet->hop + 1 < routes_.length(packet->route)) {
     ++packet->hop;
-    SimLink& next =
-        *links_[static_cast<std::size_t>(packet->route[packet->hop])];
+    SimLink& next = links_[static_cast<std::size_t>(
+        routes_.arc(packet->route, packet->hop))];
     if (!next.enqueue(packet)) free_packet(packet);
     return;
   }
   // Delivered to the endpoint host.
-  FlowRecord& flow = flows_[static_cast<std::size_t>(packet->flow_id)];
-  TcpSubflow& sub = *flow.subflows[static_cast<std::size_t>(packet->subflow_id)];
+  TcpSubflow& sub = subflow(packet->flow_id, packet->subflow_id);
   if (packet->is_ack) {
     sub.handle_ack(packet);
   } else {
@@ -174,10 +187,12 @@ void SimNetwork::packet_arrived(Packet* packet) {
 SimulationResult SimNetwork::run() {
   SimulationResult result;
   result.events_processed += events_.run_until(params_.warmup_ns);
-  for (auto& flow : flows_) {
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    FlowRecord& flow = flows_[f];
     flow.delivered_at_warmup.clear();
-    for (const auto& sub : flow.subflows) {
-      flow.delivered_at_warmup.push_back(sub->delivered_packets());
+    for (int k = 0; k < params_.subflows; ++k) {
+      flow.delivered_at_warmup.push_back(
+          subflow(static_cast<int>(f), k).delivered_packets());
     }
   }
   result.events_processed += events_.run_until(params_.duration_ns);
@@ -186,15 +201,17 @@ SimulationResult SimNetwork::run() {
       static_cast<double>(params_.duration_ns - params_.warmup_ns);
   double min_norm = flows_.empty() ? 0.0 : 1e300;
   double sum_norm = 0.0;
-  for (const auto& flow : flows_) {
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    const FlowRecord& flow = flows_[f];
     FlowStats stats;
     stats.src_server = flow.src_server;
     stats.dst_server = flow.dst_server;
     std::int64_t delivered = 0;
-    for (std::size_t k = 0; k < flow.subflows.size(); ++k) {
-      delivered += flow.subflows[k]->delivered_packets() -
-                   flow.delivered_at_warmup[k];
-      stats.retransmits += flow.subflows[k]->retransmits();
+    for (int k = 0; k < params_.subflows; ++k) {
+      TcpSubflow& sub = subflow(static_cast<int>(f), k);
+      delivered += sub.delivered_packets() -
+                   flow.delivered_at_warmup[static_cast<std::size_t>(k)];
+      stats.retransmits += sub.retransmits();
     }
     const double bits =
         static_cast<double>(delivered) * 8.0 * params_.packet_bytes;
@@ -208,7 +225,7 @@ SimulationResult SimNetwork::run() {
   result.mean_normalized =
       flows_.empty() ? 0.0 : sum_norm / static_cast<double>(flows_.size());
   result.total_drops = dropped_at_inject_;
-  for (const auto& link : links_) result.total_drops += link->drops();
+  for (const SimLink& link : links_) result.total_drops += link.drops();
   return result;
 }
 

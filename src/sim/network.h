@@ -3,22 +3,31 @@
 // Maps a switch-level BuiltTopology to per-direction simulated links
 // (switch-switch links at their line-speed, one access link per server at
 // the base rate), runs an MPTCP-style workload of bulk flows striped over
-// sampled shortest paths, and reports per-flow goodput after a warmup.
+// per-subflow shortest paths (randomly sampled or ECMP hash-forwarded),
+// and reports per-flow goodput after a warmup.
 #ifndef TOPODESIGN_SIM_NETWORK_H
 #define TOPODESIGN_SIM_NETWORK_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/link.h"
+#include "sim/route_table.h"
 #include "sim/tcp.h"
 #include "topo/topology.h"
 #include "util/rng.h"
 
 namespace topo::sim {
+
+/// How each subflow's path through the fabric is chosen.
+enum class RouteMode {
+  kSampledPaths,  ///< Uniform random shortest path per subflow (seed RNG).
+  kEcmpHash,      ///< Per-hop 5-tuple hash over equal-cost next hops.
+};
 
 /// Simulation parameters; rates are in Gbit/s with the server line rate as
 /// the natural unit (mirroring capacity 1.0 in the fluid model).
@@ -37,6 +46,7 @@ struct SimParams {
   /// Scale each subflow's additive increase by 1/subflows (EWTCP-style
   /// coupling) instead of running fully independent Renos.
   bool ewtcp_coupling = true;
+  RouteMode route_mode = RouteMode::kSampledPaths;
 };
 
 /// Measured result for one flow.
@@ -60,7 +70,9 @@ struct SimulationResult {
 ///   SimNetwork net(topology, params, seed);
 ///   net.add_permutation_workload();
 ///   SimulationResult result = net.run();
-class SimNetwork final : public PacketReceiver, public TransportEnv {
+class SimNetwork final : public PacketReceiver,
+                         public TransportEnv,
+                         public EventHandler {
  public:
   SimNetwork(const BuiltTopology& topology, const SimParams& params,
              std::uint64_t seed);
@@ -72,14 +84,35 @@ class SimNetwork final : public PacketReceiver, public TransportEnv {
   /// Adds one MPTCP flow between two servers (ids as in ServerMap).
   void add_flow(int src_server, int dst_server);
 
-  /// Adds a full random-permutation workload over all servers.
+  /// Adds a full random-permutation workload over all servers, drawn from
+  /// a stream derived from the network seed.
   void add_permutation_workload();
 
   /// Runs to params.duration_ns and gathers statistics.
   [[nodiscard]] SimulationResult run();
 
+  /// Distinct routes interned so far (fixed once the workload is added).
+  [[nodiscard]] std::size_t route_count() const {
+    return routes_.route_count();
+  }
+  /// Packet-pool capacity (chunks x chunk size); stops growing once the
+  /// simulation reaches steady state (the free list recycles), so a
+  /// measurement-window allocation is a leak a test can catch.
+  [[nodiscard]] std::size_t pool_allocated() const {
+    return pool_chunks_.size() * kPoolChunk;
+  }
+  /// Events currently pending in the heap.
+  [[nodiscard]] std::size_t pending_events() const { return events_.size(); }
+
   // PacketReceiver:
   void packet_arrived(Packet* packet) override;
+
+  // EventHandler: the network receives link arrival events directly (the
+  // cookie carries the packet pointer with its tag bit set), so the hot
+  // arrival path never loads the cold link object.
+  void on_event(std::uint64_t cookie) override {
+    packet_arrived(reinterpret_cast<Packet*>(cookie & ~std::uint64_t{1}));
+  }
 
   // TransportEnv:
   EventQueue& events() override { return events_; }
@@ -91,24 +124,48 @@ class SimNetwork final : public PacketReceiver, public TransportEnv {
   struct FlowRecord {
     int src_server = 0;
     int dst_server = 0;
-    std::vector<std::unique_ptr<TcpSubflow>> subflows;
     std::vector<std::int64_t> delivered_at_warmup;
   };
+
+  /// Subflow k of flow f lives at subflows_[f * params_.subflows + k].
+  [[nodiscard]] TcpSubflow& subflow(int flow_id, int subflow_id) {
+    return subflows_[static_cast<std::size_t>(flow_id) *
+                         static_cast<std::size_t>(params_.subflows) +
+                     static_cast<std::size_t>(subflow_id)];
+  }
 
   [[nodiscard]] int host_uplink(int server) const;
   [[nodiscard]] int host_downlink(int server) const;
   [[nodiscard]] const std::vector<int>& dist_to(NodeId dst_switch);
+  /// Builds and interns one host-to-host route for subflow k.
+  [[nodiscard]] RouteId make_route(int from_server, int to_server,
+                                   int subflow);
 
   const BuiltTopology& topology_;
   SimParams params_;
+  std::uint64_t seed_;
   Rng rng_;
+  std::uint64_t ecmp_salt_;
   EventQueue events_;
-  std::vector<std::unique_ptr<SimLink>> links_;
+  // Links are stored directly (not via unique_ptr): the forwarding hot
+  // path indexes links_ once per hop, and one pointer chase fewer per
+  // event is measurable at fig13 sizes. The vector is reserved to its
+  // final size in the constructor — links never relocate after events
+  // start referencing them.
+  std::vector<SimLink> links_;
   std::vector<NodeId> server_home_;
   std::vector<FlowRecord> flows_;
+  // Deque for stable addresses (scheduled events point at subflows) with
+  // chunked, mostly-contiguous storage — flows are added incrementally so
+  // a reserved vector is not an option here.
+  std::deque<TcpSubflow> subflows_;
   std::map<NodeId, std::vector<int>> dist_cache_;
+  RouteTable routes_;
 
-  std::vector<std::unique_ptr<Packet>> pool_storage_;
+  // Free-list pool over chunked POD storage: one allocation per
+  // kPoolChunk packets during ramp-up, none afterwards.
+  static constexpr std::size_t kPoolChunk = 1024;
+  std::vector<std::unique_ptr<Packet[]>> pool_chunks_;
   std::vector<Packet*> pool_free_;
   std::uint64_t dropped_at_inject_ = 0;
 };

@@ -1,32 +1,39 @@
 // Packet representation for the simulator.
 //
-// Packets are source-routed: the sender stamps the full sequence of
-// directed-link ids from source host to destination host. ACKs carry the
-// reverse route. Packets live in a free-list pool owned by the simulation
-// to avoid allocation churn.
+// Packets are source-routed: the sender stamps an interned route id into
+// the owning network's RouteTable (the full sequence of directed-link ids
+// from source host to destination host; ACKs carry the reverse route's
+// id). Keeping the route out-of-line makes Packet a POD that free-lists
+// cleanly — no per-send vector copy, no allocation after warmup.
 #ifndef TOPODESIGN_SIM_PACKET_H
 #define TOPODESIGN_SIM_PACKET_H
 
 #include <cstdint>
-#include <vector>
 
 namespace topo::sim {
 
-/// Data or ACK packet traversing the simulated network.
+/// Data or ACK packet traversing the simulated network. Plain data; the
+/// simulation owns packets through a free-list pool. Packed to 32 bytes
+/// (two per cache line) — at fig13 sizes thousands of packets are in
+/// flight and the pool's footprint is a measurable share of the per-event
+/// cache misses. seq/ack are 32-bit: a subflow would need to deliver 2^31
+/// packets in one run (days of simulated time) to wrap.
 struct Packet {
   // Routing state.
-  std::vector<int> route;  ///< Directed link ids, in traversal order.
-  std::size_t hop = 0;     ///< Next index into `route`.
+  std::int32_t route = -1;   ///< Interned route id (RouteTable of the owner).
+  std::uint16_t hop = 0;     ///< Next index into the interned route.
+  std::uint16_t size_bytes = 0;
 
   // Transport state.
-  int flow_id = -1;
-  int subflow_id = -1;
-  std::int64_t seq = 0;  ///< Packet sequence number within the subflow.
-  std::int64_t ack = -1; ///< Cumulative ACK (for ACK packets).
+  std::int32_t flow_id = -1;
+  std::int16_t subflow_id = -1;
   bool is_ack = false;
-  int size_bytes = 0;
+  std::int32_t seq = 0;   ///< Packet sequence number within the subflow.
+  std::int32_t ack = -1;  ///< Cumulative ACK (for ACK packets).
   std::uint64_t sent_at = 0;  ///< For RTT estimation.
 };
+
+static_assert(sizeof(Packet) == 32, "keep Packet at half a cache line");
 
 }  // namespace topo::sim
 

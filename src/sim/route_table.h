@@ -1,0 +1,86 @@
+// Per-network interned route storage.
+//
+// Routes (directed-link id sequences) are deduplicated into one flat CSR
+// arena at flow-setup time; packets then carry a 4-byte route id instead
+// of an owned std::vector<int>, which keeps Packet POD and makes the
+// free-list pool genuinely allocation-free in steady state. Lookup is two
+// indexed loads — offsets_[id] + hop into arcs_.
+#ifndef TOPODESIGN_SIM_ROUTE_TABLE_H
+#define TOPODESIGN_SIM_ROUTE_TABLE_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.h"
+
+namespace topo::sim {
+
+/// Interned route id; valid for the lifetime of the owning RouteTable.
+using RouteId = std::int32_t;
+
+/// Append-only deduplicating store of directed-link-id routes.
+class RouteTable {
+ public:
+  /// Interns `arcs` (non-empty), returning the id of an existing identical
+  /// route when one was interned before.
+  RouteId intern(const std::vector<int>& arcs) {
+    require(!arcs.empty(), "RouteTable::intern requires a non-empty route");
+    const std::uint64_t h = hash_route(arcs);
+    auto [it, inserted] = dedup_.try_emplace(h);
+    if (!inserted) {
+      for (RouteId candidate : it->second) {
+        if (equals(candidate, arcs)) return candidate;
+      }
+    }
+    const auto id = static_cast<RouteId>(offsets_.size() - 1);
+    for (int arc : arcs) arcs_.push_back(arc);
+    offsets_.push_back(static_cast<std::uint32_t>(arcs_.size()));
+    it->second.push_back(id);
+    return id;
+  }
+
+  /// Number of hops in route `id`.
+  [[nodiscard]] int length(RouteId id) const {
+    return static_cast<int>(offsets_[static_cast<std::size_t>(id) + 1] -
+                            offsets_[static_cast<std::size_t>(id)]);
+  }
+
+  /// Directed-link id at position `hop` of route `id` (unchecked hot path).
+  [[nodiscard]] int arc(RouteId id, int hop) const {
+    return arcs_[offsets_[static_cast<std::size_t>(id)] +
+                 static_cast<std::size_t>(hop)];
+  }
+
+  /// Number of distinct routes interned.
+  [[nodiscard]] std::size_t route_count() const {
+    return offsets_.size() - 1;
+  }
+
+ private:
+  static std::uint64_t hash_route(const std::vector<int>& arcs) {
+    std::uint64_t h = 1469598103934665603ULL;  // FNV-1a over the arc words
+    for (int arc : arcs) {
+      h ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(arc));
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool equals(RouteId id, const std::vector<int>& arcs) const {
+    if (length(id) != static_cast<int>(arcs.size())) return false;
+    const std::uint32_t base = offsets_[static_cast<std::size_t>(id)];
+    for (std::size_t i = 0; i < arcs.size(); ++i) {
+      if (arcs_[base + i] != arcs[i]) return false;
+    }
+    return true;
+  }
+
+  std::vector<int> arcs_;
+  std::vector<std::uint32_t> offsets_{0};
+  std::unordered_map<std::uint64_t, std::vector<RouteId>> dedup_;
+};
+
+}  // namespace topo::sim
+
+#endif  // TOPODESIGN_SIM_ROUTE_TABLE_H

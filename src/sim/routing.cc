@@ -34,6 +34,50 @@ std::vector<int> sample_shortest_arc_path(const Graph& graph, NodeId src,
   return path;
 }
 
+std::uint64_t ecmp_flow_key(std::uint64_t salt, int src_server,
+                            int dst_server, int subflow) {
+  std::uint64_t key = Rng::derive_seed(
+      salt, static_cast<std::uint64_t>(static_cast<std::uint32_t>(src_server)));
+  key = Rng::derive_seed(
+      key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst_server)));
+  return Rng::derive_seed(
+      key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(subflow)));
+}
+
+std::vector<int> ecmp_shortest_arc_path(const Graph& graph, NodeId src,
+                                        NodeId dst,
+                                        const std::vector<int>& dist_to_dst,
+                                        std::uint64_t flow_key) {
+  require(static_cast<int>(dist_to_dst.size()) == graph.num_nodes(),
+          "dist_to_dst must cover all nodes");
+  std::vector<int> path;
+  if (src == dst) return path;
+  require(dist_to_dst[static_cast<std::size_t>(src)] >= 0,
+          "ecmp_shortest_arc_path: destination unreachable");
+
+  NodeId node = src;
+  std::vector<const Adjacency*> candidates;
+  while (node != dst) {
+    candidates.clear();
+    const int here = dist_to_dst[static_cast<std::size_t>(node)];
+    for (const Adjacency& a : graph.neighbors(node)) {
+      if (dist_to_dst[static_cast<std::size_t>(a.to)] == here - 1) {
+        candidates.push_back(&a);
+      }
+    }
+    require(!candidates.empty(), "inconsistent BFS distances");
+    // Per-hop hash over (flow key, switch id): packets of one subflow
+    // always agree, distinct subflows decorrelate.
+    const std::uint64_t h = Rng::derive_seed(
+        flow_key, static_cast<std::uint64_t>(static_cast<std::uint32_t>(node)));
+    const Adjacency* step = candidates[h % candidates.size()];
+    const Edge& e = graph.edge(step->edge);
+    path.push_back(e.u == node ? 2 * step->edge : 2 * step->edge + 1);
+    node = step->to;
+  }
+  return path;
+}
+
 std::vector<std::vector<int>> sample_shortest_arc_paths(
     const Graph& graph, NodeId src, NodeId dst,
     const std::vector<int>& dist_to_dst, int count, Rng& rng) {

@@ -9,6 +9,7 @@
 #ifndef TOPODESIGN_SIM_ROUTING_H
 #define TOPODESIGN_SIM_ROUTING_H
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -29,6 +30,23 @@ namespace topo::sim {
 [[nodiscard]] std::vector<std::vector<int>> sample_shortest_arc_paths(
     const Graph& graph, NodeId src, NodeId dst,
     const std::vector<int>& dist_to_dst, int count, Rng& rng);
+
+/// The per-subflow key a hardware ECMP hasher would derive from the
+/// 5-tuple: a mix of the network salt, both host ids, and the subflow
+/// index (the port pair of a real hash).
+[[nodiscard]] std::uint64_t ecmp_flow_key(std::uint64_t salt, int src_server,
+                                          int dst_server, int subflow);
+
+/// Deterministic ECMP hash-forwarded shortest path: at each switch the
+/// next hop is picked among the equal-cost neighbors (adjacency order) by
+/// hashing (flow_key, switch id), the way real DCN switches hash the
+/// 5-tuple per hop. No RNG is consumed, so the path depends only on
+/// (graph, src, dst, flow_key) — stable across draw order, repetition,
+/// and thread count. Same contract as sample_shortest_arc_path otherwise:
+/// empty for src == dst, InvalidArgument when unreachable.
+[[nodiscard]] std::vector<int> ecmp_shortest_arc_path(
+    const Graph& graph, NodeId src, NodeId dst,
+    const std::vector<int>& dist_to_dst, std::uint64_t flow_key);
 
 }  // namespace topo::sim
 

@@ -1,26 +1,27 @@
 #include "sim/tcp.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "util/error.h"
 
 namespace topo::sim {
 
 TcpSubflow::TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
-                       std::vector<int> route_forward,
-                       std::vector<int> route_reverse, const TcpParams& params)
+                       RouteId route_forward, RouteId route_reverse,
+                       const TcpParams& params)
     : env_(env),
       flow_id_(flow_id),
       subflow_id_(subflow_id),
-      route_forward_(std::move(route_forward)),
-      route_reverse_(std::move(route_reverse)),
+      route_forward_(route_forward),
+      route_reverse_(route_reverse),
       params_(params),
       cwnd_(params.initial_cwnd),
       ssthresh_(params.initial_ssthresh),
       rto_ns_(params.min_rto_ns) {
   require(env != nullptr, "TcpSubflow requires an environment");
-  require(!route_forward_.empty() && !route_reverse_.empty(),
-          "TcpSubflow requires non-empty routes");
+  require(route_forward_ >= 0 && route_reverse_ >= 0,
+          "TcpSubflow requires interned routes");
 }
 
 void TcpSubflow::start(SimTime at) {
@@ -29,23 +30,30 @@ void TcpSubflow::start(SimTime at) {
 
 void TcpSubflow::try_send() {
   while (static_cast<double>(snd_next_ - snd_una_) < cwnd_) {
-    send_segment(snd_next_, /*is_retransmit=*/false);
+    send_segment(snd_next_);
     ++snd_next_;
   }
 }
 
-void TcpSubflow::send_segment(std::int64_t seq, bool is_retransmit) {
+void TcpSubflow::send_segment(std::int64_t seq) {
+  // Any send below the high-water mark re-covers old ground — whether a
+  // fast retransmit, a NewReno partial-ACK resend, or go-back-N after an
+  // RTO — so count it here instead of trusting callers to flag it.
+  if (seq < snd_max_) {
+    ++retransmits_;
+  } else {
+    snd_max_ = seq + 1;
+  }
   Packet* p = env_->alloc_packet();
   p->route = route_forward_;
   p->hop = 0;
   p->flow_id = flow_id_;
-  p->subflow_id = subflow_id_;
-  p->seq = seq;
+  p->subflow_id = static_cast<std::int16_t>(subflow_id_);
+  p->seq = static_cast<std::int32_t>(seq);
   p->ack = -1;
   p->is_ack = false;
-  p->size_bytes = params_.packet_bytes;
+  p->size_bytes = static_cast<std::uint16_t>(params_.packet_bytes);
   p->sent_at = env_->events().now();
-  if (is_retransmit) ++retransmits_;
   env_->inject(p);
 }
 
@@ -54,11 +62,11 @@ void TcpSubflow::send_ack(SimTime echo_sent_at) {
   p->route = route_reverse_;
   p->hop = 0;
   p->flow_id = flow_id_;
-  p->subflow_id = subflow_id_;
+  p->subflow_id = static_cast<std::int16_t>(subflow_id_);
   p->seq = 0;
-  p->ack = rcv_next_;
+  p->ack = static_cast<std::int32_t>(rcv_next_);
   p->is_ack = true;
-  p->size_bytes = params_.ack_bytes;
+  p->size_bytes = static_cast<std::uint16_t>(params_.ack_bytes);
   p->sent_at = echo_sent_at;  // echoed for the sender's RTT estimate
   env_->inject(p);
 }
@@ -69,12 +77,16 @@ void TcpSubflow::handle_data(Packet* packet) {
   env_->free_packet(packet);
   if (seq == rcv_next_) {
     ++rcv_next_;
-    while (!out_of_order_.empty() && *out_of_order_.begin() == rcv_next_) {
-      out_of_order_.erase(out_of_order_.begin());
-      ++rcv_next_;
+    while (!out_of_order_.empty() && out_of_order_.front() <= rcv_next_) {
+      if (out_of_order_.front() == rcv_next_) ++rcv_next_;
+      std::pop_heap(out_of_order_.begin(), out_of_order_.end(),
+                    std::greater<>{});
+      out_of_order_.pop_back();
     }
   } else if (seq > rcv_next_) {
-    out_of_order_.insert(seq);
+    out_of_order_.push_back(seq);
+    std::push_heap(out_of_order_.begin(), out_of_order_.end(),
+                   std::greater<>{});
   }
   // Cumulative (and duplicate, when out of order) ACK per data packet.
   send_ack(echo);
@@ -111,7 +123,7 @@ void TcpSubflow::handle_ack(Packet* packet) {
       } else {
         // NewReno partial ACK: retransmit the next hole, stay in recovery
         // and keep cwnd (no further halving for this loss window).
-        send_segment(snd_una_, /*is_retransmit=*/true);
+        send_segment(snd_una_);
       }
     } else if (cwnd_ < ssthresh_) {
       cwnd_ += newly;  // slow start
@@ -128,7 +140,7 @@ void TcpSubflow::handle_ack(Packet* packet) {
       recover_ = snd_next_;
       ssthresh_ = std::max(2.0, cwnd_ / 2.0);
       cwnd_ = ssthresh_;
-      send_segment(snd_una_, /*is_retransmit=*/true);
+      send_segment(snd_una_);
     } else if (in_recovery_ && dup_acks_ > 3) {
       // Window inflation so new data keeps flowing during recovery.
       cwnd_ += 1.0;
@@ -138,9 +150,26 @@ void TcpSubflow::handle_ack(Packet* packet) {
 }
 
 void TcpSubflow::arm_rto() {
-  ++rto_generation_;
-  env_->events().schedule(env_->events().now() + rto_ns_, this,
-                          rto_generation_);
+  rto_deadline_ = env_->events().now() + rto_ns_;
+  // Reserve a tie-break seq on every arm even when the pending event is
+  // reused: the timer then fires with the seq of the last arm, so
+  // same-nanosecond ordering is identical to a schedule-per-arm timer
+  // while only one live event sits in the queue.
+  rto_tie_seq_ = env_->events().reserve_seq();
+  if (!rto_event_pending_) {
+    rto_event_pending_ = true;
+    rto_event_when_ = rto_deadline_;
+    env_->events().schedule_at_seq(rto_deadline_, rto_tie_seq_, this,
+                                   kRtoCookie);
+  } else if (rto_deadline_ < rto_event_when_) {
+    // The deadline moved EARLIER than the pending event (the RTO estimate
+    // shrank, e.g. after backoff once ACKs resumed): that event can no
+    // longer fire on time, so supersede it. The old event becomes a dead
+    // no-op — but this happens once per shrink, not once per ACK.
+    rto_event_when_ = rto_deadline_;
+    env_->events().schedule_at_seq(rto_deadline_, rto_tie_seq_, this,
+                                   kRtoCookie);
+  }
 }
 
 void TcpSubflow::on_event(std::uint64_t cookie) {
@@ -152,7 +181,18 @@ void TcpSubflow::on_event(std::uint64_t cookie) {
     }
     return;
   }
-  if (cookie != rto_generation_) return;  // superseded timer
+  if (env_->events().now() != rto_event_when_) {
+    return;  // superseded by an earlier re-arm: dead no-op
+  }
+  if (env_->events().now() < rto_deadline_) {
+    // The timer was pushed forward since this event was scheduled:
+    // re-arm at the current deadline rather than timing out.
+    rto_event_when_ = rto_deadline_;
+    env_->events().schedule_at_seq(rto_deadline_, rto_tie_seq_, this,
+                                   kRtoCookie);
+    return;
+  }
+  rto_event_pending_ = false;
   on_rto();
 }
 

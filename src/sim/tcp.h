@@ -1,20 +1,21 @@
 // TCP Reno-style transport and MPTCP-like multipath striping.
 //
 // Each subflow is an independent Reno-style sender/receiver pair pinned to
-// one sampled shortest path: slow start, AIMD congestion avoidance,
-// triple-duplicate-ACK fast retransmit, go-back-N RTO recovery, and an
-// EWTCP-style coupling option that scales the additive increase by 1/k so
-// a k-subflow flow is roughly as aggressive in aggregate as one TCP (the
-// behaviour MPTCP's linked increases approximate in the symmetric case).
+// one shortest path (sampled or ECMP-hashed, interned in the network's
+// RouteTable): slow start, AIMD congestion avoidance, triple-duplicate-ACK
+// fast retransmit, go-back-N RTO recovery, and an EWTCP-style coupling
+// option that scales the additive increase by 1/k so a k-subflow flow is
+// roughly as aggressive in aggregate as one TCP (the behaviour MPTCP's
+// linked increases approximate in the symmetric case).
 #ifndef TOPODESIGN_SIM_TCP_H
 #define TOPODESIGN_SIM_TCP_H
 
 #include <cstdint>
-#include <set>
 #include <vector>
 
 #include "sim/event_queue.h"
 #include "sim/packet.h"
+#include "sim/route_table.h"
 
 namespace topo::sim {
 
@@ -46,8 +47,9 @@ struct TcpParams {
 /// data packets to the receiver half and ACKs to the sender half).
 class TcpSubflow : public EventHandler {
  public:
+  /// Routes are interned ids into the environment's RouteTable.
   TcpSubflow(TransportEnv* env, int flow_id, int subflow_id,
-             std::vector<int> route_forward, std::vector<int> route_reverse,
+             RouteId route_forward, RouteId route_reverse,
              const TcpParams& params);
 
   /// Begins the bulk transfer at the given absolute time.
@@ -58,7 +60,7 @@ class TcpSubflow : public EventHandler {
   /// Sender half: an ACK arrived (takes ownership).
   void handle_ack(Packet* packet);
 
-  /// RTO timer callback.
+  /// Timer callback (start or lazily re-armed RTO).
   void on_event(std::uint64_t cookie) override;
 
   /// Cumulative in-order packets delivered at the receiver.
@@ -70,9 +72,10 @@ class TcpSubflow : public EventHandler {
 
  private:
   static constexpr std::uint64_t kStartCookieBit = 1ULL << 63;
+  static constexpr std::uint64_t kRtoCookie = 0;
 
   void try_send();
-  void send_segment(std::int64_t seq, bool is_retransmit);
+  void send_segment(std::int64_t seq);
   void send_ack(SimTime echo_sent_at);
   void arm_rto();
   void on_rto();
@@ -80,28 +83,42 @@ class TcpSubflow : public EventHandler {
   TransportEnv* env_;
   int flow_id_;
   int subflow_id_;
-  std::vector<int> route_forward_;
-  std::vector<int> route_reverse_;
+  RouteId route_forward_;
+  RouteId route_reverse_;
   TcpParams params_;
 
   // Sender state.
   std::int64_t snd_next_ = 0;
   std::int64_t snd_una_ = 0;
+  std::int64_t snd_max_ = 0;  ///< Highest seq ever sent + 1.
   double cwnd_;
   double ssthresh_;
   int dup_acks_ = 0;
   bool in_recovery_ = false;
   std::int64_t recover_ = 0;  ///< NewReno: highest seq sent at loss time.
   std::int64_t retransmits_ = 0;
-  std::uint64_t rto_generation_ = 0;
+  // Lazily re-armed retransmission timer: at most ONE event in the heap
+  // per subflow. arm_rto() only pushes the deadline forward; when the
+  // (possibly stale) event fires early it re-schedules itself at the
+  // current deadline instead of timing out.
+  SimTime rto_deadline_ = 0;
+  SimTime rto_event_when_ = 0;     ///< When the live timer event fires.
+  std::uint64_t rto_tie_seq_ = 0;  ///< Reserved at the last arm_rto().
+  bool rto_event_pending_ = false;
   SimTime srtt_ns_ = 0;
   SimTime rttvar_ns_ = 0;
   SimTime rto_ns_;
   bool started_ = false;
 
-  // Receiver state.
+  // Receiver state. The out-of-order buffer is a min-heap over a reused
+  // vector, not a std::set: go-back-N loss episodes buffer a whole
+  // window per drop, and a tree pays a node allocation plus rebalance
+  // per insert on exactly the hot path. The heap may hold duplicates
+  // (retransmits can re-arrive out of order); the drain discards
+  // anything at or below rcv_next_, which reproduces set semantics for
+  // the delivered-packet sequence exactly.
   std::int64_t rcv_next_ = 0;
-  std::set<std::int64_t> out_of_order_;
+  std::vector<std::int64_t> out_of_order_;
 };
 
 }  // namespace topo::sim

@@ -50,6 +50,14 @@ inline void require(bool condition, const std::string& msg) {
   if (!condition) detail::raise_invalid(msg);
 }
 
+/// Literal overload: defers std::string construction to the failure
+/// path. Without it every satisfied check materializes (and frees) a
+/// heap string from the literal — measurable in per-event hot loops
+/// like the packet simulator's scheduler.
+inline void require(bool condition, const char* msg) {
+  if (!condition) detail::raise_invalid(msg);
+}
+
 }  // namespace topo
 
 #endif  // TOPODESIGN_UTIL_ERROR_H

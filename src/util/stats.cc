@@ -33,6 +33,15 @@ double mean_of(const std::vector<double>& values) {
   return summarize(values).mean;
 }
 
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double n = static_cast<double>(sorted.size());
+  const double raw = std::floor(q * n + 0.5);
+  const std::size_t idx = static_cast<std::size_t>(
+      std::clamp(raw, 0.0, n - 1.0));
+  return sorted[idx];
+}
+
 double relative_gap(double a, double b, double eps) {
   const double denom = std::max({std::fabs(a), std::fabs(b), eps});
   return std::fabs(a - b) / denom;

@@ -23,6 +23,13 @@ struct Summary {
 /// Arithmetic mean; 0 for empty input.
 [[nodiscard]] double mean_of(const std::vector<double>& values);
 
+/// q-quantile of an ascending-sorted sample by half-up index:
+/// sorted[clamp(floor(q * n + 0.5), 0, n - 1)]. Returns 0 for an empty
+/// sample, the single element for n == 1 — safe for the small-flow-count
+/// cases a raw `sorted[q * n]` index mishandles. Requires q in [0, 1].
+[[nodiscard]] double percentile_sorted(const std::vector<double>& sorted,
+                                       double q);
+
 /// Relative deviation |a-b| / max(|a|,|b|, eps); symmetric and safe at 0.
 [[nodiscard]] double relative_gap(double a, double b, double eps = 1e-12);
 

@@ -418,6 +418,75 @@ TEST(CellIdentity, KeyCoversSeedsOptionsAndSolverTag) {
             std::string::npos);
 }
 
+TEST(CellIdentity, PacketSimJoinsTheKeyOnlyWhenEnabled) {
+  CellIdentity cell;
+  cell.family = "rewired_vl2";
+  cell.params = {{"d_a", 6}, {"d_i", 8}};
+  cell.topo_seed = 7;
+  cell.traffic_seed = 8;
+  // Disabled co-simulation stays out of the identity string entirely:
+  // every flow-only cell keeps its pre-packet-sim address.
+  const std::uint64_t base = cell_key(cell);
+  EXPECT_EQ(cell_identity_json(cell).find("packet_sim"), std::string::npos);
+
+  CellIdentity packet = cell;
+  packet.options.packet_sim.enabled = true;
+  const std::uint64_t enabled_key = cell_key(packet);
+  EXPECT_NE(base, enabled_key);
+  // The packet section pins its own version tag and every sim knob.
+  EXPECT_NE(cell_identity_json(packet).find(kPacketSimVersionTag),
+            std::string::npos);
+  CellIdentity other = packet;
+  other.options.packet_sim.params.subflows = 4;
+  EXPECT_NE(enabled_key, cell_key(other));
+  other = packet;
+  other.options.packet_sim.params.queue_packets = 99;
+  EXPECT_NE(enabled_key, cell_key(other));
+  other = packet;
+  other.options.packet_sim.params.duration_ns += 1;
+  EXPECT_NE(enabled_key, cell_key(other));
+  other = packet;
+  other.options.packet_sim.params.route_mode = sim::RouteMode::kEcmpHash;
+  EXPECT_NE(enabled_key, cell_key(other));
+}
+
+TEST(Cache, PacketResultFieldsRoundTripExactly) {
+  ResultCache cache(fresh_cache_dir("packet_roundtrip"));
+  ThroughputResult result;
+  result.lambda = 0.8843354003774603;
+  result.feasible = true;
+  result.packet_sim_run = true;
+  result.packet_mean_normalized = 0.8052859374999991;
+  result.packet_p05_normalized = 0.490125;
+  result.packet_min_normalized = 0.283875;
+  result.packet_retransmits = 362165.0;
+  result.packet_drops = 351375.0;
+  cache.store(41, result);
+
+  ThroughputResult loaded;
+  ASSERT_TRUE(cache.load(41, &loaded));
+  EXPECT_TRUE(loaded.packet_sim_run);
+  EXPECT_EQ(loaded.packet_mean_normalized, result.packet_mean_normalized);
+  EXPECT_EQ(loaded.packet_p05_normalized, result.packet_p05_normalized);
+  EXPECT_EQ(loaded.packet_min_normalized, result.packet_min_normalized);
+  EXPECT_EQ(loaded.packet_retransmits, result.packet_retransmits);
+  EXPECT_EQ(loaded.packet_drops, result.packet_drops);
+
+  // Flow-only cells round-trip without growing packet keys — their bytes
+  // (and checksums) are identical to what pre-packet-sim builds wrote.
+  ThroughputResult flow_only;
+  flow_only.lambda = 0.5;
+  flow_only.feasible = true;
+  cache.store(42, flow_only);
+  std::ifstream in(cache.cell_path(42));
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes.find("packet_"), std::string::npos);
+  ASSERT_TRUE(cache.load(42, &loaded));
+  EXPECT_FALSE(loaded.packet_sim_run);
+  std::filesystem::remove_all(cache.dir());
+}
+
 TEST(Cache, NewFailureFamiliesCacheColdWarmIdentically) {
   // One correlated + one targeted sweep through the cache: warm runs must
   // be bit-identical with zero recomputation (the CI failure-families

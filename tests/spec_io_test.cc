@@ -206,6 +206,62 @@ TEST(SpecRoundTrip, FailureComponentsRoundTripByteStably) {
   EXPECT_EQ(legacy_json.find("targeted"), std::string::npos);
 }
 
+TEST(SpecRoundTrip, PacketSimRoundTripsByteStably) {
+  const char* doc = R"({
+    "name": "packet",
+    "topology": {"family": "rewired_vl2",
+                 "params": {"d_a": 6, "d_i": 8, "servers_per_tor": 4}},
+    "packet_sim": {"subflows": 4, "queue_packets": 30,
+                   "duration_ns": 8000000, "warmup_ns": 4000000,
+                   "route_mode": "ecmp_hash"},
+    "axes": [{"param": "tors", "values": [14]}]
+  })";
+  const ScenarioSpec spec = spec_from_json(doc);
+  EXPECT_TRUE(spec.packet_sim.enabled);
+  EXPECT_EQ(spec.packet_sim.params.subflows, 4);
+  EXPECT_EQ(spec.packet_sim.params.queue_packets, 30);
+  EXPECT_EQ(spec.packet_sim.params.duration_ns, 8'000'000u);
+  EXPECT_EQ(spec.packet_sim.params.warmup_ns, 4'000'000u);
+  EXPECT_EQ(spec.packet_sim.params.route_mode, sim::RouteMode::kEcmpHash);
+  // Unset knobs keep the SimParams defaults.
+  EXPECT_EQ(spec.packet_sim.params.packet_bytes, 1500);
+  EXPECT_TRUE(spec.packet_sim.params.ewtcp_coupling);
+  const std::string once = spec_to_json(spec);
+  EXPECT_EQ(spec_to_json(spec_from_json(once)), once);
+  // A spec without packet_sim serializes without the key, so every
+  // pre-packet-sim spec file stays byte-identical.
+  ScenarioSpec plain = spec;
+  plain.packet_sim = PacketSimOptions{};
+  EXPECT_EQ(spec_to_json(plain).find("packet_sim"), std::string::npos);
+}
+
+TEST(SpecErrors, PacketSimKeysAreValidated) {
+  const auto packet_spec = [](const std::string& body) {
+    return std::string(R"({"name": "x",
+      "topology": {"family": "rewired_vl2"},
+      "packet_sim": )") + body + "}";
+  };
+  expect_spec_error(packet_spec(R"({"subflows": 0})"), "packet_sim.subflows");
+  expect_spec_error(packet_spec(R"({"subflows": 2.5})"),
+                    "packet_sim.subflows");
+  expect_spec_error(packet_spec(R"({"queue_packets": 0})"),
+                    "packet_sim.queue_packets");
+  expect_spec_error(packet_spec(R"({"route_mode": "spray"})"),
+                    "route_mode");
+  expect_spec_error(packet_spec(R"({"qeue_packets": 10})"), "qeue_packets");
+  expect_spec_error(
+      packet_spec(R"({"duration_ns": 1000, "warmup_ns": 1000})"),
+      "warmup_ns");
+  expect_spec_error(packet_spec(R"({"server_rate_gbps": 0})"),
+                    "server_rate_gbps");
+  // Non-permutation traffic cannot drive the packet simulator.
+  expect_spec_error(R"({"name": "x",
+      "topology": {"family": "rewired_vl2"},
+      "traffic": "all_to_all",
+      "packet_sim": {"subflows": 2}})",
+                    "permutation");
+}
+
 TEST(SpecErrors, FailureComponentKeysAreValidated) {
   expect_spec_error(R"({"name": "x",
                         "topology": {"family": "random_regular"},
