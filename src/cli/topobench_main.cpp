@@ -80,6 +80,15 @@ void print_usage() {
       "(targeted_link_cuts), and capacity derating — each usable as a\n"
       "fixed field or a sweep axis. See the sweep_* scenarios in --list.\n"
       "\n"
+      "Traffic workloads (README \"Traffic workloads\"): besides the\n"
+      "static matrices (permutation, all_to_all, chunky, hotspot,\n"
+      "stride), a packet_sim.workload spec block runs finite flows drawn\n"
+      "from a named empirical size CDF (websearch, fb_hadoop) with\n"
+      "Poisson arrivals at a target load fraction of server line rate,\n"
+      "reporting p50/p95/p99 flow-completion times and goodput. The\n"
+      "load and cdf knobs sweep like any axis; see sweep_fct_load and\n"
+      "examples/specs/fct_load_sweep.json.\n"
+      "\n"
       "Fault tolerance (README \"Fault tolerance\"): `orchestrate`\n"
       "supervises the --shard workers itself: crashed or heartbeat-stalled\n"
       "workers are killed and their stripes retried with exponential\n"

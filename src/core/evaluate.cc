@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "traffic/traffic.h"
+#include "traffic/workload.h"
 #include "util/error.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -19,6 +20,10 @@ constexpr std::uint64_t kFailureSeedSalt = 0xFA17ED;
 // start jitter) from the traffic draw they share a seed with.
 constexpr std::uint64_t kPacketSimSeedSalt = 0x9AC4E7;
 
+// Salt for the finite-flow workload's arrival process, independent of the
+// simulator stream so the same arrivals replay across routing modes.
+constexpr std::uint64_t kFctArrivalSeedSalt = 0xFC7A11;
+
 // Runs the MPTCP packet simulator over the flow list the fluid side just
 // routed and records its goodput statistics on the result. The simulator
 // is seeded from the traffic seed (salted), so a cell's packet metrics
@@ -30,7 +35,16 @@ void run_packet_sim(const BuiltTopology& topology,
   if (tm.flows.empty()) return;  // degenerate instance: all-zero metrics
   sim::SimNetwork net(topology, params,
                       Rng::derive_seed(traffic_seed, kPacketSimSeedSalt));
-  for (const ServerFlow& f : tm.flows) net.add_flow(f.src_server, f.dst_server);
+  for (const ServerFlow& f : tm.flows) {
+    // add_flow has no demand parameter: every simulated flow is a
+    // unit-demand bulk transfer. A weighted matrix (e.g. hotspot
+    // elephants) would silently co-simulate as unit flows, so reject it.
+    require(f.demand == 1.0,
+            "packet co-simulation requires unit flow demands (got a "
+            "weighted matrix); use the fluid solver or an FCT workload "
+            "for weighted traffic");
+    net.add_flow(f.src_server, f.dst_server);
+  }
   const sim::SimulationResult sim_result = net.run();
   result.packet_mean_normalized = sim_result.mean_normalized;
   result.packet_min_normalized = sim_result.min_normalized;
@@ -47,6 +61,57 @@ void run_packet_sim(const BuiltTopology& topology,
   result.packet_drops = static_cast<double>(sim_result.total_drops);
 }
 
+// Runs the finite-flow FCT workload: Poisson arrivals of CDF-sized flows
+// over the whole simulated horizon, measured from time zero (no warmup —
+// the arrival process itself provides steady state, and every flow's
+// completion time is a first-class sample). Arrivals draw from their own
+// salted stream so the same workload replays across routing modes.
+void run_fct_workload(const BuiltTopology& topology,
+                      const PacketSimOptions& options,
+                      std::uint64_t traffic_seed, ThroughputResult& result) {
+  result.fct_run = true;
+  const FlowSizeCdf* cdf = find_flow_size_cdf(options.fct.cdf);
+  require(cdf != nullptr, "unknown flow-size CDF \"" + options.fct.cdf +
+                              "\" (known: " + flow_size_cdf_names() + ")");
+  sim::SimParams params = options.params;
+  params.subflows = 1;       // finite flows are single-subflow
+  params.warmup_ns = 0;      // measure every completion
+  params.start_jitter_ns = 0;
+  Rng arrivals_rng(Rng::derive_seed(traffic_seed, kFctArrivalSeedSalt));
+  std::vector<FiniteFlow> arrivals = poisson_flow_arrivals(
+      topology.servers, *cdf, options.fct.load, params.server_rate_gbps,
+      static_cast<std::uint64_t>(params.duration_ns), arrivals_rng);
+  result.fct_flows = static_cast<double>(arrivals.size());
+  if (arrivals.empty()) return;
+
+  sim::SimNetwork net(topology, params,
+                      Rng::derive_seed(traffic_seed, kPacketSimSeedSalt));
+  net.queue_finite_workload(std::move(arrivals));
+  const sim::SimulationResult sim_result = net.run();
+
+  std::vector<double> fcts;
+  double delivered_bits = 0.0;
+  for (const sim::FlowStats& f : sim_result.flows) {
+    if (f.completed) fcts.push_back(static_cast<double>(f.fct_ns));
+    delivered_bits += static_cast<double>(f.delivered_packets) * 8.0 *
+                      static_cast<double>(params.packet_bytes);
+  }
+  result.fct_completed = static_cast<double>(fcts.size());
+  if (!fcts.empty()) {
+    std::sort(fcts.begin(), fcts.end());
+    result.fct_p50_ns = percentile_sorted(fcts, 0.50);
+    result.fct_p95_ns = percentile_sorted(fcts, 0.95);
+    result.fct_p99_ns = percentile_sorted(fcts, 0.99);
+    result.fct_mean_ns = mean_of(fcts);
+  }
+  // Aggregate goodput as a fraction of the fabric's total line rate over
+  // the simulated horizon (at load L with all flows finishing, ~L).
+  const double total_capacity_bits =
+      static_cast<double>(topology.servers.total()) *
+      params.server_rate_gbps * static_cast<double>(params.duration_ns);
+  result.fct_goodput = delivered_bits / total_capacity_bits;
+}
+
 // Evaluation of an already-degraded (or pristine) topology.
 ThroughputResult evaluate_prepared(const BuiltTopology& topology,
                                    const EvalOptions& options,
@@ -55,11 +120,11 @@ ThroughputResult evaluate_prepared(const BuiltTopology& topology,
   std::vector<Commodity> commodities;
   // Kept past the switch when the packet co-simulation needs the
   // server-level flow list the commodities were aggregated from.
-  TrafficMatrix permutation_tm;
+  TrafficMatrix sim_tm;
   switch (options.traffic) {
     case TrafficKind::kPermutation: {
-      permutation_tm = random_permutation_traffic(topology.servers, rng);
-      commodities = aggregate_to_commodities(permutation_tm, topology.servers);
+      sim_tm = random_permutation_traffic(topology.servers, rng);
+      commodities = aggregate_to_commodities(sim_tm, topology.servers);
       break;
     }
     case TrafficKind::kAllToAll: {
@@ -78,6 +143,18 @@ ThroughputResult evaluate_prepared(const BuiltTopology& topology,
       commodities = aggregate_to_commodities(tm, topology.servers);
       break;
     }
+    case TrafficKind::kHotspot: {
+      const TrafficMatrix tm =
+          hotspot_traffic(topology.servers, options.hot_fraction,
+                          options.hot_multiplier, rng);
+      commodities = aggregate_to_commodities(tm, topology.servers);
+      break;
+    }
+    case TrafficKind::kStride: {
+      sim_tm = stride_traffic(topology.servers, options.stride);
+      commodities = aggregate_to_commodities(sim_tm, topology.servers);
+      break;
+    }
   }
   ThroughputResult result;
   if (commodities.empty()) {
@@ -90,8 +167,12 @@ ThroughputResult evaluate_prepared(const BuiltTopology& topology,
     result = max_concurrent_flow(topology.graph, commodities, options.flow);
   }
   if (options.packet_sim.enabled) {
-    run_packet_sim(topology, options.packet_sim.params, permutation_tm,
-                   traffic_seed, result);
+    if (options.packet_sim.fct.enabled) {
+      run_fct_workload(topology, options.packet_sim, traffic_seed, result);
+    } else {
+      run_packet_sim(topology, options.packet_sim.params, sim_tm,
+                     traffic_seed, result);
+    }
   }
   return result;
 }
@@ -109,9 +190,20 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
   // would have triggered the degradation pass.
   validate_failure_spec(options.failure);
   if (options.packet_sim.enabled) {
-    require(options.traffic == TrafficKind::kPermutation,
-            "packet co-simulation requires permutation traffic (the "
-            "simulator models server-to-server bulk flows)");
+    if (options.packet_sim.fct.enabled) {
+      require(find_flow_size_cdf(options.packet_sim.fct.cdf) != nullptr,
+              "unknown flow-size CDF \"" + options.packet_sim.fct.cdf +
+                  "\" (known: " + flow_size_cdf_names() + ")");
+      require(options.packet_sim.fct.load > 0.0 &&
+                  options.packet_sim.fct.load <= 1.0,
+              "workload load must be in (0, 1]");
+    } else {
+      require(options.traffic == TrafficKind::kPermutation ||
+                  options.traffic == TrafficKind::kStride,
+              "packet co-simulation requires permutation or stride traffic "
+              "(the simulator models server-to-server unit-demand bulk "
+              "flows)");
+    }
     require(options.packet_sim.params.warmup_ns <
                 options.packet_sim.params.duration_ns,
             "packet co-simulation warmup must precede the end of the run");
@@ -131,6 +223,11 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
     int hosts = 0;
     for (int count : degraded.servers.per_switch) hosts += count > 0 ? 1 : 0;
     workload_possible = hosts >= 2;
+  }
+  if (workload_possible && options.traffic == TrafficKind::kStride) {
+    // A stride that is a multiple of the surviving server count pairs
+    // every server with itself: no workload.
+    workload_possible = options.stride % degraded.servers.total() != 0;
   }
   if (!workload_possible) return ThroughputResult{};
   return evaluate_prepared(degraded, options, traffic_seed);

@@ -8,6 +8,7 @@
 #define TOPODESIGN_CORE_EVALUATE_H
 
 #include <cstdint>
+#include <string>
 
 #include "core/failure.h"
 #include "flow/concurrent_flow.h"
@@ -21,17 +22,33 @@ enum class TrafficKind {
   kPermutation,  ///< Server-level random permutation (the default workload).
   kAllToAll,     ///< Every server pair (aggregated switch-level).
   kChunky,       ///< x% chunky: ToR-level permutation over a subset.
+  kHotspot,      ///< Permutation with a hot subset at elevated demand.
+  kStride,       ///< Deterministic stride-k pairing.
+};
+
+/// Finite-flow workload riding on the packet simulator: Poisson arrivals
+/// of flows sized by a named empirical CDF (traffic/workload.h), run as
+/// single-subflow finite transfers, reported as flow-completion-time
+/// percentiles and aggregate goodput (the fct_* ThroughputResult fields).
+/// When enabled it REPLACES the bulk permutation co-sim: the workload is
+/// drawn from the arrival process, independent of the fluid matrix.
+struct FctWorkloadOptions {
+  bool enabled = false;
+  std::string cdf = "websearch";  ///< A name from flow_size_cdfs().
+  double load = 0.5;              ///< Offered fraction of line rate, (0, 1].
 };
 
 /// Optional packet-level co-simulation riding on the fluid evaluation.
-/// When enabled, every call also runs the MPTCP packet simulator
-/// (sim/network.h) over the SAME drawn permutation the flow solver
+/// When enabled (and fct is not), every call also runs the MPTCP packet
+/// simulator (sim/network.h) over the SAME drawn matrix the flow solver
 /// routed — the per-run flow-vs-packet comparison of Fig. 13, available
-/// to any scenario. Permutation traffic only: the simulator models
-/// server-to-server bulk flows, not aggregated commodity matrices.
+/// to any scenario. Permutation or stride traffic only: the simulator
+/// models server-to-server unit-demand bulk flows, not aggregated
+/// commodity matrices.
 struct PacketSimOptions {
   bool enabled = false;
   sim::SimParams params;
+  FctWorkloadOptions fct;
 };
 
 /// Evaluation knobs.
@@ -40,6 +57,13 @@ struct EvalOptions {
   TrafficKind traffic = TrafficKind::kPermutation;
   /// Fraction of ToRs engaged in the chunky pattern (TrafficKind::kChunky).
   double chunky_fraction = 1.0;
+  /// Fraction of servers in the hot subset (TrafficKind::kHotspot).
+  double hot_fraction = 0.1;
+  /// Demand multiplier for hot-to-hot flows (TrafficKind::kHotspot).
+  double hot_multiplier = 4.0;
+  /// Pairing stride: server i sends to (i + stride) mod S
+  /// (TrafficKind::kStride). Must not be a multiple of the server count.
+  int stride = 1;
   /// Seeded degradation applied to the topology before traffic generation
   /// (any composition of the failure components in core/failure.h). The
   /// default (inactive) spec is an exact no-op. When active, the failure

@@ -36,6 +36,10 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   std::vector<double> duals;
   std::vector<double> packet_means;
   std::vector<double> packet_p05s;
+  std::vector<double> fct_p50s;
+  std::vector<double> fct_p95s;
+  std::vector<double> fct_p99s;
+  std::vector<double> fct_goodputs;
   int infeasible = 0;
   for (const ThroughputResult& result : results) {
     lambdas.push_back(result.lambda);
@@ -43,6 +47,12 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
     if (result.packet_sim_run) {
       packet_means.push_back(result.packet_mean_normalized);
       packet_p05s.push_back(result.packet_p05_normalized);
+    }
+    if (result.fct_run) {
+      fct_p50s.push_back(result.fct_p50_ns);
+      fct_p95s.push_back(result.fct_p95_ns);
+      fct_p99s.push_back(result.fct_p99_ns);
+      fct_goodputs.push_back(result.fct_goodput);
     }
     if (!result.feasible) {
       ++infeasible;
@@ -68,6 +78,11 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   stats.packet_mean = summarize(packet_means);
   stats.packet_p05 = summarize(packet_p05s);
   stats.packet_sim_runs = static_cast<int>(packet_means.size());
+  stats.fct_p50 = summarize(fct_p50s);
+  stats.fct_p95 = summarize(fct_p95s);
+  stats.fct_p99 = summarize(fct_p99s);
+  stats.fct_goodput = summarize(fct_goodputs);
+  stats.fct_runs = static_cast<int>(fct_p50s.size());
   return stats;
 }
 

@@ -31,6 +31,14 @@ struct ExperimentStats {
   Summary packet_mean;        ///< Mean normalized goodput per run.
   Summary packet_p05;         ///< 5th-percentile normalized goodput per run.
   int packet_sim_runs = 0;    ///< Runs that ran the packet co-simulation.
+  // Finite-flow workload metrics (EvalOptions::packet_sim.fct), summarized
+  // over the runs that executed the FCT workload; count == 0 and zeroed
+  // summaries when no run did.
+  Summary fct_p50;            ///< Median flow-completion time per run (ns).
+  Summary fct_p95;            ///< 95th-percentile FCT per run (ns).
+  Summary fct_p99;            ///< 99th-percentile FCT per run (ns).
+  Summary fct_goodput;        ///< Aggregate goodput fraction per run.
+  int fct_runs = 0;           ///< Runs that ran the FCT workload.
 };
 
 /// Reduces per-run results (in run order) to experiment statistics —

@@ -100,6 +100,19 @@ struct ThroughputResult {
   double packet_min_normalized = 0.0;   ///< Worst flow goodput / rate.
   double packet_retransmits = 0.0;      ///< Total retransmitted segments.
   double packet_drops = 0.0;            ///< Total packets dropped.
+
+  /// Finite-flow workload metrics (core/evaluate.h, packet_sim.fct):
+  /// flow-completion-time percentiles and goodput from a Poisson arrival
+  /// process of empirically sized flows. Same plain-scalar ride-along
+  /// pattern as the packet_* block above.
+  bool fct_run = false;        ///< True when the FCT workload executed.
+  double fct_p50_ns = 0.0;     ///< Median flow-completion time (ns).
+  double fct_p95_ns = 0.0;     ///< 95th-percentile FCT (ns).
+  double fct_p99_ns = 0.0;     ///< 99th-percentile FCT (ns).
+  double fct_mean_ns = 0.0;    ///< Mean FCT over completed flows (ns).
+  double fct_goodput = 0.0;    ///< Aggregate goodput / total line rate.
+  double fct_flows = 0.0;      ///< Flows that arrived in the horizon.
+  double fct_completed = 0.0;  ///< Flows fully ACKed before the end.
 };
 
 /// Computes the maximum concurrent flow for the commodities on `graph`.

@@ -198,6 +198,32 @@ void register_sweep_scenarios() {
     register_spec_scenario(std::move(spec));
   }
   {
+    // Production-style traffic: Poisson arrivals of FB-Hadoop-sized
+    // finite flows on a small RRG, swept over offered load. Every cell
+    // runs the finite-flow packet workload and reports flow-completion
+    // percentiles; the golden pins p50/p99 FCT and goodput at each load.
+    ScenarioSpec spec;
+    spec.name = "sweep_fct_load";
+    spec.description =
+        "FCT workload sweep: Poisson arrivals, fb_hadoop flow sizes, "
+        "single-subflow ECMP on a random regular graph (16 switches, "
+        "64 servers), swept over offered load";
+    spec.topology = {"random_regular",
+                     {{"n", 16}, {"ports", 9}, {"degree", 5}}};
+    spec.packet_sim.enabled = true;
+    spec.packet_sim.fct.enabled = true;
+    spec.packet_sim.fct.cdf = "fb_hadoop";
+    spec.packet_sim.params.subflows = 1;
+    spec.packet_sim.params.queue_packets = 50;
+    spec.packet_sim.params.duration_ns = 20'000'000;
+    spec.packet_sim.params.warmup_ns = 0;
+    spec.packet_sim.params.route_mode = sim::RouteMode::kEcmpHash;
+    spec.axes = {{"load", {0.3, 0.5, 0.7}, {0.1, 0.3, 0.5, 0.7, 0.9}}};
+    spec.quick_runs = 1;
+    spec.full_runs = 3;
+    register_spec_scenario(std::move(spec));
+  }
+  {
     ScenarioSpec spec;
     spec.name = "sweep_small_world_shortcuts";
     spec.description =

@@ -46,6 +46,16 @@ std::string result_json(const ThroughputResult& r) {
         << ", \"packet_retransmits\": " << json_number(r.packet_retransmits)
         << ", \"packet_drops\": " << json_number(r.packet_drops);
   }
+  // Same pattern for the finite-flow workload block.
+  if (r.fct_run) {
+    out << ", \"fct_p50\": " << json_number(r.fct_p50_ns)
+        << ", \"fct_p95\": " << json_number(r.fct_p95_ns)
+        << ", \"fct_p99\": " << json_number(r.fct_p99_ns)
+        << ", \"fct_mean\": " << json_number(r.fct_mean_ns)
+        << ", \"fct_goodput\": " << json_number(r.fct_goodput)
+        << ", \"fct_flows\": " << json_number(r.fct_flows)
+        << ", \"fct_completed\": " << json_number(r.fct_completed);
+  }
   out << "}";
   return out.str();
 }
@@ -61,7 +71,10 @@ ThroughputResult result_from_json(const JsonValue& object) {
       "mean_routed_path_length",    "demand_weighted_spl",
       "stretch",     "total_demand",
       "packet_mean", "packet_p05",  "packet_min",
-      "packet_retransmits",         "packet_drops"};
+      "packet_retransmits",         "packet_drops",
+      "fct_p50",     "fct_p95",     "fct_p99",
+      "fct_mean",    "fct_goodput", "fct_flows",
+      "fct_completed"};
   for (const auto& [key, value] : object.members) {
     (void)value;
     bool ok = false;
@@ -96,6 +109,17 @@ ThroughputResult result_from_json(const JsonValue& object) {
     r.packet_min_normalized = number("packet_min");
     r.packet_retransmits = number("packet_retransmits");
     r.packet_drops = number("packet_drops");
+  }
+  // The FCT keys travel as a block keyed on fct_p50 the same way.
+  if (object.find("fct_p50") != nullptr) {
+    r.fct_run = true;
+    r.fct_p50_ns = number("fct_p50");
+    r.fct_p95_ns = number("fct_p95");
+    r.fct_p99_ns = number("fct_p99");
+    r.fct_mean_ns = number("fct_mean");
+    r.fct_goodput = number("fct_goodput");
+    r.fct_flows = number("fct_flows");
+    r.fct_completed = number("fct_completed");
   }
   return r;
 }
@@ -146,8 +170,18 @@ std::string cell_identity_json(const CellIdentity& cell) {
       << ", \"shortest_paths\": "
       << (options.flow.restrict_to_shortest_paths ? "true" : "false")
       << ", \"traffic\": " << json_string(traffic_kind_name(options.traffic))
-      << ", \"chunky_fraction\": " << json_number(options.chunky_fraction)
-      << ", \"failure\": {\"link\": "
+      << ", \"chunky_fraction\": " << json_number(options.chunky_fraction);
+  // Kind-specific traffic knobs join the identity only for their kind, so
+  // every pre-existing (permutation/all_to_all/chunky) cell keeps its
+  // address while any hotspot/stride knob perturbs the key.
+  if (options.traffic == TrafficKind::kHotspot) {
+    out << ", \"hot_fraction\": " << json_number(options.hot_fraction)
+        << ", \"hot_multiplier\": " << json_number(options.hot_multiplier);
+  }
+  if (options.traffic == TrafficKind::kStride) {
+    out << ", \"stride\": " << options.stride;
+  }
+  out << ", \"failure\": {\"link\": "
       << json_number(options.failure.uniform.link_fraction)
       << ", \"switch\": "
       << json_number(options.failure.uniform.switch_fraction)
@@ -191,7 +225,17 @@ std::string cell_identity_json(const CellIdentity& cell) {
         << ", \"rate\": " << json_number(p.server_rate_gbps)
         << ", \"ewtcp\": " << (p.ewtcp_coupling ? "true" : "false")
         << ", \"route_mode\": " << json_string(route_mode_name(p.route_mode))
-        << ", \"sim\": " << json_string(kPacketSimVersionTag) << "}";
+        << ", \"sim\": " << json_string(kPacketSimVersionTag);
+    // The workload sub-block joins only for FCT cells, so every bulk
+    // packet-sim cell written before finite-flow workloads existed keeps
+    // its address.
+    if (options.packet_sim.fct.enabled) {
+      out << ", \"workload\": {\"cdf\": "
+          << json_string(options.packet_sim.fct.cdf)
+          << ", \"load\": " << json_number(options.packet_sim.fct.load)
+          << ", \"fct\": " << json_string(kFctWorkloadVersionTag) << "}";
+    }
+    out << "}";
   }
   out << ", \"topo_seed\": " << cell.topo_seed
       << ", \"traffic_seed\": " << cell.traffic_seed

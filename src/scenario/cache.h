@@ -41,6 +41,11 @@ inline constexpr const char* kSolverVersionTag = "fptas-csr-v2";
 /// cells without discarding the (much larger) flow-only population.
 inline constexpr const char* kPacketSimVersionTag = "mptcp-sim-v1";
 
+/// Finite-flow workload version tag, mixed into the key of FCT cells
+/// only — bumping it on an arrival/CDF/FCT numerics change invalidates
+/// workload cells without touching bulk packet or flow-only cells.
+inline constexpr const char* kFctWorkloadVersionTag = "fct-v1";
+
 /// FNV-1a 64 over a byte string (optionally chained via `basis`).
 [[nodiscard]] std::uint64_t fnv1a64(
     const std::string& bytes, std::uint64_t basis = 14695981039346656037ULL);

@@ -37,6 +37,11 @@ struct TopologySpec {
 ///   "targeted_link_cuts" -> the adversarial top-k link cuts (integers),
 ///   "capacity_factor"    -> the surviving-link capacity derating,
 ///   "chunky_fraction"    -> the chunky traffic knob,
+///   "hot_fraction", "hot_multiplier" -> the hotspot traffic knobs,
+///   "stride"             -> the stride traffic step (integers),
+///   "load"               -> the FCT workload's offered load fraction,
+///   "cdf"                -> the FCT workload's flow-size CDF, as an
+///                           integer index into flow_size_cdfs(),
 ///   "epsilon"            -> the FPTAS accuracy.
 struct SweepAxis {
   std::string param;
@@ -53,13 +58,21 @@ struct ScenarioSpec {
   TopologySpec topology;
   TrafficKind traffic = TrafficKind::kPermutation;
   double chunky_fraction = 1.0;
+  /// Hotspot traffic knobs (TrafficKind::kHotspot only).
+  double hot_fraction = 0.1;
+  double hot_multiplier = 4.0;
+  /// Stride traffic step (TrafficKind::kStride only).
+  int stride = 1;
   /// Base failure spec (core/failure.h); axes with reserved names override
   /// its fields per sweep point.
   FailureSpec failure;
   /// Optional packet-level co-simulation (core/evaluate.h): when enabled,
   /// every cell also runs the MPTCP packet simulator over the same drawn
   /// permutation and the sweep table grows packet_mean / packet_p05 /
-  /// gap_percent columns. Permutation traffic only.
+  /// gap_percent columns. Permutation or stride traffic only — unless the
+  /// nested fct workload is enabled, in which case every cell instead runs
+  /// the finite-flow Poisson workload and the table grows
+  /// fct_p50_ms / fct_p99_ms / fct_goodput columns.
   PacketSimOptions packet_sim;
   std::vector<SweepAxis> axes;
   int quick_runs = 3;

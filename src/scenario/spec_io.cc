@@ -9,6 +9,7 @@
 #include "scenario/scenario.h"
 #include "scenario/sweep.h"
 #include "scenario/topo_registry.h"
+#include "traffic/workload.h"
 #include "util/error.h"
 #include "util/exit_codes.h"
 #include "util/json.h"
@@ -110,6 +111,8 @@ const char* traffic_kind_name(TrafficKind kind) {
     case TrafficKind::kPermutation: return "permutation";
     case TrafficKind::kAllToAll: return "all_to_all";
     case TrafficKind::kChunky: return "chunky";
+    case TrafficKind::kHotspot: return "hotspot";
+    case TrafficKind::kStride: return "stride";
   }
   throw InvalidArgument("unhandled TrafficKind");
 }
@@ -118,9 +121,11 @@ TrafficKind traffic_kind_from_name(const std::string& name) {
   if (name == "permutation") return TrafficKind::kPermutation;
   if (name == "all_to_all") return TrafficKind::kAllToAll;
   if (name == "chunky") return TrafficKind::kChunky;
+  if (name == "hotspot") return TrafficKind::kHotspot;
+  if (name == "stride") return TrafficKind::kStride;
   throw InvalidArgument(
       "spec key \"traffic\": unknown traffic kind \"" + name +
-      "\" (known: permutation, all_to_all, chunky)");
+      "\" (known: permutation, all_to_all, chunky, hotspot, stride)");
 }
 
 const char* route_mode_name(sim::RouteMode mode) {
@@ -157,6 +162,17 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       << ",\n";
   out << "  \"chunky_fraction\": " << json_number(spec.chunky_fraction)
       << ",\n";
+  // Traffic-kind-specific knobs are emitted only for their kind (and
+  // rejected by the parser otherwise), keeping legacy spec files
+  // byte-identical and dump -> parse -> dump byte-stable.
+  if (spec.traffic == TrafficKind::kHotspot) {
+    out << "  \"hot_fraction\": " << json_number(spec.hot_fraction) << ",\n";
+    out << "  \"hot_multiplier\": " << json_number(spec.hot_multiplier)
+        << ",\n";
+  }
+  if (spec.traffic == TrafficKind::kStride) {
+    out << "  \"stride\": " << spec.stride << ",\n";
+  }
   // The three legacy keys are always emitted (pre-component spec files
   // stay byte-identical); the newer component keys appear only when they
   // differ from their inactive defaults, so dump -> parse -> dump is
@@ -202,8 +218,15 @@ std::string spec_to_json(const ScenarioSpec& spec) {
         << ", \"link_delay_ns\": " << p.link_delay_ns
         << ", \"server_rate_gbps\": " << json_number(p.server_rate_gbps)
         << ", \"ewtcp_coupling\": " << (p.ewtcp_coupling ? "true" : "false")
-        << ", \"route_mode\": " << json_string(route_mode_name(p.route_mode))
-        << "},\n";
+        << ", \"route_mode\": " << json_string(route_mode_name(p.route_mode));
+    // The finite-flow workload block appears only when enabled, so
+    // pre-FCT packet specs stay byte-identical.
+    if (spec.packet_sim.fct.enabled) {
+      out << ", \"workload\": {\"cdf\": "
+          << json_string(spec.packet_sim.fct.cdf)
+          << ", \"load\": " << json_number(spec.packet_sim.fct.load) << "}";
+    }
+    out << "},\n";
   }
   out << "  \"axes\": [";
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
@@ -230,7 +253,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
   require(root.is_object(), "spec: top level must be a JSON object");
   require_only_keys(root, "",
                     {"name", "description", "topology", "traffic",
-                     "chunky_fraction", "failure", "packet_sim", "axes",
+                     "chunky_fraction", "hot_fraction", "hot_multiplier",
+                     "stride", "failure", "packet_sim", "axes",
                      "quick_runs", "full_runs", "reuse_topology"});
 
   ScenarioSpec spec;
@@ -258,6 +282,39 @@ ScenarioSpec spec_from_json(const std::string& text) {
     spec.traffic = traffic_kind_from_name(get_string(root, "traffic"));
   }
   spec.chunky_fraction = get_fraction(root, "chunky_fraction", 1.0);
+
+  // Kind-specific traffic knobs: strictly rejected when present for a
+  // different kind, so a dump -> parse -> dump round trip is byte-stable
+  // and a stray knob can't silently do nothing.
+  if (root.find("hot_fraction") != nullptr ||
+      root.find("hot_multiplier") != nullptr) {
+    if (spec.traffic != TrafficKind::kHotspot) {
+      fail_key(root.find("hot_fraction") != nullptr ? "hot_fraction"
+                                                    : "hot_multiplier",
+               "only valid with hotspot traffic");
+    }
+    spec.hot_fraction = get_fraction(root, "hot_fraction", spec.hot_fraction);
+    if (const JsonValue* mult = root.find("hot_multiplier"); mult != nullptr) {
+      if (!mult->is_number()) fail_key("hot_multiplier", "must be a number");
+      if (mult->number < 1.0 || mult->number > 1e6) {
+        fail_key("hot_multiplier", "out of range (want [1, 1e6])");
+      }
+      spec.hot_multiplier = mult->number;
+    }
+  }
+  if (const JsonValue* stride = root.find("stride"); stride != nullptr) {
+    if (spec.traffic != TrafficKind::kStride) {
+      fail_key("stride", "only valid with stride traffic");
+    }
+    if (!stride->is_number()) fail_key("stride", "must be a number");
+    if (stride->number != std::floor(stride->number)) {
+      fail_key("stride", "must be an integer");
+    }
+    if (stride->number == 0 || std::abs(stride->number) > 1e9) {
+      fail_key("stride", "out of range (want non-zero integers in -1e9..1e9)");
+    }
+    spec.stride = static_cast<int>(stride->number);
+  }
 
   if (const JsonValue* failure = root.find("failure"); failure != nullptr) {
     if (!failure->is_object()) fail_key("failure", "must be an object");
@@ -320,7 +377,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
                       {"subflows", "queue_packets", "packet_bytes",
                        "duration_ns", "warmup_ns", "start_jitter_ns",
                        "link_delay_ns", "server_rate_gbps", "ewtcp_coupling",
-                       "route_mode"});
+                       "route_mode", "workload"});
     spec.packet_sim.enabled = true;
     sim::SimParams& p = spec.packet_sim.params;
     // Integer knobs share one strict extractor; each is optional and
@@ -374,6 +431,26 @@ ScenarioSpec spec_from_json(const std::string& text) {
     }
     if (packet->find("route_mode") != nullptr) {
       p.route_mode = route_mode_from_name(get_string(*packet, "route_mode"));
+    }
+    if (const JsonValue* workload = packet->find("workload");
+        workload != nullptr) {
+      if (!workload->is_object()) {
+        fail_key("packet_sim.workload", "must be an object");
+      }
+      require_only_keys(*workload, "packet_sim.workload.", {"cdf", "load"});
+      spec.packet_sim.fct.enabled = true;
+      if (workload->find("cdf") != nullptr) {
+        spec.packet_sim.fct.cdf = get_string(*workload, "cdf");
+      }
+      if (const JsonValue* load = workload->find("load"); load != nullptr) {
+        if (!load->is_number()) {
+          fail_key("packet_sim.workload.load", "must be a number");
+        }
+        if (load->number <= 0.0 || load->number > 1.0) {
+          fail_key("packet_sim.workload.load", "out of range (want (0, 1])");
+        }
+        spec.packet_sim.fct.load = load->number;
+      }
     }
   }
 
@@ -464,10 +541,21 @@ void validate_spec(const ScenarioSpec& spec) {
   }
   if (spec.packet_sim.enabled) {
     const sim::SimParams& p = spec.packet_sim.params;
-    if (spec.traffic != TrafficKind::kPermutation) {
+    if (spec.packet_sim.fct.enabled) {
+      if (find_flow_size_cdf(spec.packet_sim.fct.cdf) == nullptr) {
+        fail_key("packet_sim.workload.cdf",
+                 "unknown flow-size CDF \"" + spec.packet_sim.fct.cdf +
+                     "\" (known: " + flow_size_cdf_names() + ")");
+      }
+      if (spec.packet_sim.fct.load <= 0.0 || spec.packet_sim.fct.load > 1.0) {
+        fail_key("packet_sim.workload.load", "out of range (want (0, 1])");
+      }
+    } else if (spec.traffic != TrafficKind::kPermutation &&
+               spec.traffic != TrafficKind::kStride) {
       fail_key("packet_sim",
-               "requires permutation traffic (the simulator models "
-               "server-to-server bulk flows)");
+               "requires permutation or stride traffic (the simulator models "
+               "server-to-server unit-demand bulk flows) unless a workload "
+               "block selects the finite-flow FCT mode");
     }
     if (p.subflows < 1 || p.subflows > 64) {
       fail_key("packet_sim.subflows", "out of range (want 1..64)");
@@ -498,6 +586,21 @@ void validate_spec(const ScenarioSpec& spec) {
       fail_key(where + "param", "unknown sweep axis \"" + axis.param +
                                     "\" for family " + family->name);
     }
+    // Axes that tune an inactive subsystem would sweep a no-op.
+    if ((axis.param == "load" || axis.param == "cdf") &&
+        !spec.packet_sim.fct.enabled) {
+      fail_key(where + "param",
+               "axis \"" + axis.param +
+                   "\" requires a packet_sim.workload block");
+    }
+    if ((axis.param == "hot_fraction" || axis.param == "hot_multiplier") &&
+        spec.traffic != TrafficKind::kHotspot) {
+      fail_key(where + "param",
+               "axis \"" + axis.param + "\" requires hotspot traffic");
+    }
+    if (axis.param == "stride" && spec.traffic != TrafficKind::kStride) {
+      fail_key(where + "param", "axis \"stride\" requires stride traffic");
+    }
     // A repeated axis would silently run a different experiment: axes
     // bind in order, so the later one overwrites the earlier while the
     // output table still prints the earlier's values as a column.
@@ -520,7 +623,8 @@ void validate_spec(const ScenarioSpec& spec) {
           axis.param == "blast_switch_fraction" ||
           axis.param == "blast_probability" ||
           axis.param.rfind(kClassAxisPrefix, 0) == 0 ||
-          axis.param == "chunky_fraction";
+          axis.param == "chunky_fraction" ||
+          axis.param == "hot_fraction";
       for (const double v : values) {
         if (unit_fraction && (v < 0.0 || v > 1.0)) {
           fail_key(where + list_key, "value " + json_number(v) +
@@ -543,6 +647,31 @@ void validate_spec(const ScenarioSpec& spec) {
                                          " out of range for epsilon "
                                          "(want (0, 1))");
         }
+        if (axis.param == "load" && (v <= 0.0 || v > 1.0)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " out of range for load "
+                                         "(want (0, 1])");
+        }
+        if (axis.param == "cdf" &&
+            (v != std::floor(v) || v < 0.0 ||
+             v >= static_cast<double>(flow_size_cdfs().size()))) {
+          fail_key(where + list_key,
+                   "value " + json_number(v) +
+                       " invalid for cdf (want integer indexes into the "
+                       "registered CDFs: " + flow_size_cdf_names() + ")");
+        }
+        if (axis.param == "hot_multiplier" && (v < 1.0 || v > 1e6)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " out of range for hot_multiplier "
+                                         "(want [1, 1e6])");
+        }
+        if (axis.param == "stride" &&
+            (v != std::floor(v) || v == 0.0 || std::abs(v) > 1e9)) {
+          fail_key(where + list_key,
+                   "value " + json_number(v) +
+                       " invalid for stride (want non-zero integers in "
+                       "-1e9..1e9)");
+        }
       }
     };
     check_values(axis.values, "values");
@@ -554,6 +683,12 @@ void validate_spec(const ScenarioSpec& spec) {
           "spec key \"full_runs\": out of range (want >= 1)");
   require(spec.chunky_fraction >= 0.0 && spec.chunky_fraction <= 1.0,
           "spec key \"chunky_fraction\": out of range (want [0, 1])");
+  require(spec.hot_fraction >= 0.0 && spec.hot_fraction <= 1.0,
+          "spec key \"hot_fraction\": out of range (want [0, 1])");
+  require(spec.hot_multiplier >= 1.0 && spec.hot_multiplier <= 1e6,
+          "spec key \"hot_multiplier\": out of range (want [1, 1e6])");
+  require(spec.stride != 0,
+          "spec key \"stride\": out of range (want non-zero)");
 }
 
 ScenarioSpec load_spec_file(const std::string& path) {

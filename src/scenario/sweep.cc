@@ -13,6 +13,7 @@
 #include "scenario/cache.h"
 #include "scenario/spec_io.h"
 #include "scenario/topo_registry.h"
+#include "traffic/workload.h"
 #include "util/error.h"
 #include "util/fault.h"
 #include "util/parallel.h"
@@ -45,6 +46,19 @@ void bind_coord(const std::string& name, double value, ParamMap& params,
     options.failure.capacity_factor = value;
   } else if (name == "chunky_fraction") {
     options.chunky_fraction = value;
+  } else if (name == "hot_fraction") {
+    options.hot_fraction = value;
+  } else if (name == "hot_multiplier") {
+    options.hot_multiplier = value;
+  } else if (name == "stride") {
+    options.stride = static_cast<int>(std::llround(value));
+  } else if (name == "load") {
+    options.packet_sim.fct.load = value;
+  } else if (name == "cdf") {
+    // The axis value is an integer index into flow_size_cdfs(); binding
+    // resolves it to the registered name (validate_spec range-checks it).
+    options.packet_sim.fct.cdf =
+        flow_size_cdfs()[static_cast<std::size_t>(std::llround(value))].name;
   } else if (name == "epsilon") {
     options.flow.epsilon = value;
   } else {
@@ -111,6 +125,8 @@ bool is_eval_axis(const std::string& param) {
          param == "targeted_link_cuts" ||
          param.rfind(kClassAxisPrefix, 0) == 0 ||
          param == "capacity_factor" || param == "chunky_fraction" ||
+         param == "hot_fraction" || param == "hot_multiplier" ||
+         param == "stride" || param == "load" || param == "cdf" ||
          param == "epsilon";
 }
 
@@ -198,6 +214,9 @@ SweepResult SweepRunner::run() const {
     plan.options.flow.epsilon = config_.epsilon;
     plan.options.traffic = spec.traffic;
     plan.options.chunky_fraction = spec.chunky_fraction;
+    plan.options.hot_fraction = spec.hot_fraction;
+    plan.options.hot_multiplier = spec.hot_multiplier;
+    plan.options.stride = spec.stride;
     plan.options.failure = spec.failure;
     plan.options.packet_sim = spec.packet_sim;
     for (std::size_t a = 0; a < spec.axes.size(); ++a) {
@@ -384,8 +403,10 @@ TablePrinter sweep_table(const SweepResult& result) {
   // co-simulation, so every pre-existing sweep's table (and golden file)
   // stays byte-identical.
   bool packet = false;
+  bool fct = false;
   for (const SweepPointResult& point : result.points) {
     packet = packet || point.stats.packet_sim_runs > 0;
+    fct = fct || point.stats.fct_runs > 0;
   }
   std::vector<std::string> headers = result.axis_names;
   for (const char* metric :
@@ -395,6 +416,11 @@ TablePrinter sweep_table(const SweepResult& result) {
   }
   if (packet) {
     for (const char* metric : {"packet_mean", "packet_p05", "gap_percent"}) {
+      headers.emplace_back(metric);
+    }
+  }
+  if (fct) {
+    for (const char* metric : {"fct_p50_ms", "fct_p99_ms", "fct_goodput"}) {
       headers.emplace_back(metric);
     }
   }
@@ -417,6 +443,11 @@ TablePrinter sweep_table(const SweepResult& result) {
       row.emplace_back(point.stats.packet_p05.mean);
       row.emplace_back(100.0 * (flow_level - point.stats.packet_mean.mean) /
                        std::max(flow_level, 1e-9));
+    }
+    if (fct) {
+      row.emplace_back(point.stats.fct_p50.mean / 1e6);  // ns -> ms
+      row.emplace_back(point.stats.fct_p99.mean / 1e6);
+      row.emplace_back(point.stats.fct_goodput.mean);
     }
     table.add_row(std::move(row));
   }

@@ -1,6 +1,7 @@
 #include "sim/network.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "graph/algorithms.h"
 #include "sim/routing.h"
@@ -125,6 +126,73 @@ void SimNetwork::add_flow(int src_server, int dst_server) {
   }
 }
 
+void SimNetwork::add_finite_flow(int src_server, int dst_server,
+                                 double size_bytes, SimTime start_at) {
+  require(params_.subflows == 1,
+          "finite workload flows are single-subflow (set subflows = 1)");
+  require(src_server >= 0 &&
+              src_server < static_cast<int>(server_home_.size()) &&
+              dst_server >= 0 &&
+              dst_server < static_cast<int>(server_home_.size()),
+          "server id out of range");
+  require(src_server != dst_server, "flow endpoints must differ");
+  require(size_bytes > 0.0, "finite flow needs a positive size");
+
+  FlowRecord record;
+  record.src_server = src_server;
+  record.dst_server = dst_server;
+  record.finite = true;
+  record.size_bytes = size_bytes;
+  record.start_ns = start_at;
+
+  TcpParams tcp;
+  tcp.packet_bytes = params_.packet_bytes;
+  tcp.increase_scale = 1.0;
+  tcp.flow_packets = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(size_bytes / static_cast<double>(params_.packet_bytes))));
+
+  const int flow_id = static_cast<int>(flows_.size());
+  const RouteId forward = make_route(src_server, dst_server, 0);
+  const RouteId reverse = make_route(dst_server, src_server, 0);
+  subflows_.emplace_back(this, flow_id, 0, forward, reverse, tcp);
+  flows_.push_back(std::move(record));
+  subflow(flow_id, 0).start(start_at);
+}
+
+void SimNetwork::queue_finite_workload(std::vector<FiniteFlow> arrivals) {
+  require(params_.subflows == 1,
+          "finite workload flows are single-subflow (set subflows = 1)");
+  require(arrivals_.empty(), "a workload is already queued");
+  arrivals_ = std::move(arrivals);
+  std::stable_sort(arrivals_.begin(), arrivals_.end(),
+                   [](const FiniteFlow& a, const FiniteFlow& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  injector_.net = this;
+  next_arrival_ = 0;
+  schedule_next_arrival();
+}
+
+void SimNetwork::schedule_next_arrival() {
+  if (next_arrival_ >= arrivals_.size()) {
+    return;
+  }
+  const SimTime due =
+      static_cast<SimTime>(arrivals_[next_arrival_].start_ns);
+  events_.schedule(std::max(events_.now(), due), &injector_, 0);
+}
+
+void SimNetwork::inject_due_arrivals() {
+  const SimTime now = events_.now();
+  while (next_arrival_ < arrivals_.size() &&
+         static_cast<SimTime>(arrivals_[next_arrival_].start_ns) <= now) {
+    const FiniteFlow& a = arrivals_[next_arrival_++];
+    add_finite_flow(a.src_server, a.dst_server, a.size_bytes, now);
+  }
+  schedule_next_arrival();
+}
+
 void SimNetwork::add_permutation_workload() {
   const int total = topology_.servers.total();
   require(total >= 2, "permutation workload requires two servers");
@@ -209,9 +277,25 @@ SimulationResult SimNetwork::run() {
     std::int64_t delivered = 0;
     for (int k = 0; k < params_.subflows; ++k) {
       TcpSubflow& sub = subflow(static_cast<int>(f), k);
-      delivered += sub.delivered_packets() -
-                   flow.delivered_at_warmup[static_cast<std::size_t>(k)];
+      // Flows injected after the warmup snapshot have no baseline entry;
+      // they started inside the window, so their baseline is zero.
+      const std::int64_t at_warmup =
+          static_cast<std::size_t>(k) < flow.delivered_at_warmup.size()
+              ? flow.delivered_at_warmup[static_cast<std::size_t>(k)]
+              : 0;
+      delivered += sub.delivered_packets() - at_warmup;
       stats.retransmits += sub.retransmits();
+    }
+    stats.delivered_packets = delivered;
+    if (flow.finite) {
+      stats.finite = true;
+      stats.size_bytes = flow.size_bytes;
+      stats.start_ns = flow.start_ns;
+      const TcpSubflow& first = subflow(static_cast<int>(f), 0);
+      if (first.completed()) {
+        stats.completed = true;
+        stats.fct_ns = first.completed_at() - flow.start_ns;
+      }
     }
     const double bits =
         static_cast<double>(delivered) * 8.0 * params_.packet_bytes;

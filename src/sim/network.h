@@ -19,6 +19,7 @@
 #include "sim/route_table.h"
 #include "sim/tcp.h"
 #include "topo/topology.h"
+#include "traffic/workload.h"
 #include "util/rng.h"
 
 namespace topo::sim {
@@ -55,6 +56,13 @@ struct FlowStats {
   int dst_server = 0;
   double goodput_gbps = 0.0;
   std::int64_t retransmits = 0;
+  // Finite (workload) flows only:
+  bool finite = false;
+  bool completed = false;        ///< All bytes ACKed before the sim ended.
+  double size_bytes = 0.0;
+  SimTime start_ns = 0;
+  SimTime fct_ns = 0;            ///< Completion time minus start (if completed).
+  std::int64_t delivered_packets = 0;
 };
 
 /// Aggregate simulation outcome.
@@ -87,6 +95,18 @@ class SimNetwork final : public PacketReceiver,
   /// Adds a full random-permutation workload over all servers, drawn from
   /// a stream derived from the network seed.
   void add_permutation_workload();
+
+  /// Adds one finite single-path flow of `size_bytes` whose transfer
+  /// starts at absolute time `start_at`. Requires params.subflows == 1
+  /// (finite workload flows are single-subflow) and draws nothing from
+  /// the network RNG, so bulk-flow behaviour is untouched.
+  void add_finite_flow(int src_server, int dst_server, double size_bytes,
+                       SimTime start_at);
+
+  /// Queues a finite-flow workload (see traffic/workload.h): each arrival
+  /// is injected lazily at its start time by an internal timer, so a run
+  /// can carry far more arrivals than concurrently active flows.
+  void queue_finite_workload(std::vector<FiniteFlow> arrivals);
 
   /// Runs to params.duration_ns and gathers statistics.
   [[nodiscard]] SimulationResult run();
@@ -125,7 +145,26 @@ class SimNetwork final : public PacketReceiver,
     int src_server = 0;
     int dst_server = 0;
     std::vector<std::int64_t> delivered_at_warmup;
+    // Finite (workload) flows only:
+    bool finite = false;
+    double size_bytes = 0.0;
+    SimTime start_ns = 0;
   };
+
+  /// Separate handler for workload-arrival timer events: SimNetwork's own
+  /// on_event() interprets cookies as tagged packet pointers, so arrivals
+  /// must not share it.
+  struct ArrivalInjector final : public EventHandler {
+    SimNetwork* net = nullptr;
+    void on_event(std::uint64_t /*cookie*/) override {
+      net->inject_due_arrivals();
+    }
+  };
+
+  /// Adds every queued arrival whose start time is due, then re-arms the
+  /// timer for the next one.
+  void inject_due_arrivals();
+  void schedule_next_arrival();
 
   /// Subflow k of flow f lives at subflows_[f * params_.subflows + k].
   [[nodiscard]] TcpSubflow& subflow(int flow_id, int subflow_id) {
@@ -161,6 +200,11 @@ class SimNetwork final : public PacketReceiver,
   std::deque<TcpSubflow> subflows_;
   std::map<NodeId, std::vector<int>> dist_cache_;
   RouteTable routes_;
+
+  // Pending finite-flow arrivals, ascending by start time.
+  std::vector<FiniteFlow> arrivals_;
+  std::size_t next_arrival_ = 0;
+  ArrivalInjector injector_;
 
   // Free-list pool over chunked POD storage: one allocation per
   // kPoolChunk packets during ramp-up, none afterwards.

@@ -30,6 +30,9 @@ void TcpSubflow::start(SimTime at) {
 
 void TcpSubflow::try_send() {
   while (static_cast<double>(snd_next_ - snd_una_) < cwnd_) {
+    if (params_.flow_packets > 0 && snd_next_ >= params_.flow_packets) {
+      return;  // finite flow: nothing beyond the last packet
+    }
     send_segment(snd_next_);
     ++snd_next_;
   }
@@ -130,6 +133,15 @@ void TcpSubflow::handle_ack(Packet* packet) {
     } else {
       cwnd_ += params_.increase_scale * newly / cwnd_;  // AIMD increase
     }
+    if (params_.flow_packets > 0 && snd_una_ >= params_.flow_packets) {
+      // Finite flow fully ACKed: record the completion time and let the
+      // pending RTO event die unarmed so the flow goes quiet.
+      if (!completed_) {
+        completed_ = true;
+        completed_at_ = now;
+      }
+      return;
+    }
     arm_rto();
     try_send();
   } else if (ackno == snd_una_ && snd_una_ < snd_next_) {
@@ -197,6 +209,9 @@ void TcpSubflow::on_event(std::uint64_t cookie) {
 }
 
 void TcpSubflow::on_rto() {
+  if (completed_) {
+    return;  // finished finite flow: no more timers
+  }
   if (snd_una_ >= snd_next_) {
     arm_rto();  // idle; keep the timer alive
     return;

@@ -41,6 +41,10 @@ struct TcpParams {
   /// Additive-increase scale; 1.0 = plain Reno, 1/k = EWTCP-style coupling
   /// for a k-subflow MPTCP flow.
   double increase_scale = 1.0;
+  /// Total data packets to send; 0 = unbounded bulk transfer. A finite
+  /// subflow completes when all `flow_packets` are cumulatively ACKed,
+  /// after which it schedules no further events.
+  std::int64_t flow_packets = 0;
 };
 
 /// One subflow: sender and receiver logic bundled (the simulator dispatches
@@ -69,6 +73,10 @@ class TcpSubflow : public EventHandler {
   [[nodiscard]] int subflow_id() const { return subflow_id_; }
   [[nodiscard]] double cwnd() const { return cwnd_; }
   [[nodiscard]] std::int64_t retransmits() const { return retransmits_; }
+  /// Finite subflows only: all flow_packets ACKed at the sender.
+  [[nodiscard]] bool completed() const { return completed_; }
+  /// Time the final cumulative ACK arrived (valid when completed()).
+  [[nodiscard]] SimTime completed_at() const { return completed_at_; }
 
  private:
   static constexpr std::uint64_t kStartCookieBit = 1ULL << 63;
@@ -109,6 +117,8 @@ class TcpSubflow : public EventHandler {
   SimTime rttvar_ns_ = 0;
   SimTime rto_ns_;
   bool started_ = false;
+  bool completed_ = false;
+  SimTime completed_at_ = 0;
 
   // Receiver state. The out-of-order buffer is a min-heap over a reused
   // vector, not a std::set: go-back-N loss episodes buffer a whole

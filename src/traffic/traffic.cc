@@ -133,6 +133,21 @@ TrafficMatrix chunky_traffic(const ServerMap& servers, double fraction,
           rest_servers[i], rest_servers[static_cast<std::size_t>(
                                target[i])], 1.0});
     }
+  } else if (rest_servers.size() == 1) {
+    // A lone non-chunky server has no permutation partner; folding it
+    // toward the first chunky ToR (which exists: rest == 1 implies
+    // num_chunky >= 2, and the orphan's ToR is not chunky) keeps every
+    // server sending one unit instead of silently shrinking
+    // total_demand(). Deterministic fold: no extra RNG draws, so all
+    // other chunky draws are unchanged.
+    const NodeId dst_tor = shuffled[0];
+    const int dst_count = servers.per_switch[static_cast<std::size_t>(dst_tor)];
+    const double per_pair = 1.0 / static_cast<double>(dst_count);
+    for (int b = 0; b < dst_count; ++b) {
+      tm.flows.push_back(ServerFlow{
+          rest_servers[0],
+          first_server[static_cast<std::size_t>(dst_tor)] + b, per_pair});
+    }
   }
   return tm;
 }

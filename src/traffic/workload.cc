@@ -1,0 +1,136 @@
+#include "traffic/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace topo {
+namespace {
+
+// Web-search style distribution (the DCTCP measurement's query/background
+// mix): mostly short flows with a heavy multi-megabyte tail.
+FlowSizeCdf make_websearch() {
+  FlowSizeCdf cdf;
+  cdf.name = "websearch";
+  cdf.points = {
+      {0.0, 0.0},       {10'000.0, 0.15},    {20'000.0, 0.20},
+      {30'000.0, 0.30}, {50'000.0, 0.40},    {80'000.0, 0.53},
+      {200'000.0, 0.60}, {1'000'000.0, 0.70}, {2'000'000.0, 0.80},
+      {5'000'000.0, 0.90}, {10'000'000.0, 0.97}, {30'000'000.0, 1.0},
+  };
+  return cdf;
+}
+
+// Facebook Hadoop-cluster style distribution: dominated by sub-kilobyte
+// RPCs, with a sparse tail out to tens of megabytes.
+FlowSizeCdf make_fb_hadoop() {
+  FlowSizeCdf cdf;
+  cdf.name = "fb_hadoop";
+  cdf.points = {
+      {0.0, 0.0},      {300.0, 0.30},     {500.0, 0.50},
+      {1'000.0, 0.60}, {2'000.0, 0.70},   {10'000.0, 0.80},
+      {100'000.0, 0.90}, {1'000'000.0, 0.95}, {10'000'000.0, 1.0},
+  };
+  return cdf;
+}
+
+}  // namespace
+
+double FlowSizeCdf::mean_bytes() const {
+  // Piecewise-linear CDF => uniform within each segment, so the mean is
+  // the probability-weighted sum of segment midpoints.
+  double mean = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dp = points[i].cum_prob - points[i - 1].cum_prob;
+    mean += dp * 0.5 * (points[i].bytes + points[i - 1].bytes);
+  }
+  return mean;
+}
+
+double FlowSizeCdf::sample_bytes(double u) const {
+  require(!points.empty(), "flow-size CDF has no points");
+  if (u <= points.front().cum_prob) {
+    return std::max(1.0, points.front().bytes);
+  }
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (u <= points[i].cum_prob) {
+      const CdfPoint& lo = points[i - 1];
+      const CdfPoint& hi = points[i];
+      const double dp = hi.cum_prob - lo.cum_prob;
+      const double frac = dp > 0.0 ? (u - lo.cum_prob) / dp : 1.0;
+      return std::max(1.0, lo.bytes + frac * (hi.bytes - lo.bytes));
+    }
+  }
+  return std::max(1.0, points.back().bytes);
+}
+
+const std::vector<FlowSizeCdf>& flow_size_cdfs() {
+  static const std::vector<FlowSizeCdf> kCdfs = {make_websearch(),
+                                                 make_fb_hadoop()};
+  return kCdfs;
+}
+
+const FlowSizeCdf* find_flow_size_cdf(const std::string& name) {
+  for (const FlowSizeCdf& cdf : flow_size_cdfs()) {
+    if (cdf.name == name) {
+      return &cdf;
+    }
+  }
+  return nullptr;
+}
+
+std::string flow_size_cdf_names() {
+  std::string names;
+  for (const FlowSizeCdf& cdf : flow_size_cdfs()) {
+    if (!names.empty()) {
+      names += ", ";
+    }
+    names += cdf.name;
+  }
+  return names;
+}
+
+std::vector<FiniteFlow> poisson_flow_arrivals(const ServerMap& servers,
+                                              const FlowSizeCdf& cdf,
+                                              double load,
+                                              double server_rate_gbps,
+                                              std::uint64_t horizon_ns,
+                                              Rng& rng) {
+  const int total = servers.total();
+  require(total >= 2, "a Poisson workload needs at least two servers");
+  require(load > 0.0 && load <= 1.0, "workload load must be in (0, 1]");
+  require(server_rate_gbps > 0.0, "server rate must be positive");
+  const double mean = cdf.mean_bytes();
+  require(mean > 0.0, "flow-size CDF \"" + cdf.name + "\" has zero mean");
+  // Gbit/s == bits/ns, so the aggregate arrival rate in flows/ns that
+  // offers `load` of every server's line rate is:
+  const double rate = static_cast<double>(total) * load * server_rate_gbps /
+                      (8.0 * mean);
+  const double expected = rate * static_cast<double>(horizon_ns);
+  require(expected <= 2e7,
+          "workload would generate ~" + std::to_string(expected) +
+              " flows; shorten the horizon or lower the load");
+  std::vector<FiniteFlow> flows;
+  flows.reserve(static_cast<std::size_t>(expected * 1.1) + 16);
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.uniform()) / rate;
+    if (t >= static_cast<double>(horizon_ns)) {
+      break;
+    }
+    FiniteFlow flow;
+    flow.start_ns = static_cast<std::uint64_t>(t);
+    flow.src_server = static_cast<int>(rng.index(static_cast<std::size_t>(total)));
+    flow.dst_server =
+        static_cast<int>(rng.index(static_cast<std::size_t>(total - 1)));
+    if (flow.dst_server >= flow.src_server) {
+      ++flow.dst_server;  // uniform over destinations != src
+    }
+    flow.size_bytes = cdf.sample_bytes(rng.uniform());
+    flows.push_back(flow);
+  }
+  return flows;
+}
+
+}  // namespace topo

@@ -1,0 +1,78 @@
+// Trace/distribution-driven traffic workloads: empirical flow-size CDFs
+// and Poisson flow arrivals at a target load.
+//
+// The static matrices in traffic.h describe WHO talks to whom; this
+// module adds WHEN and HOW MUCH: flow sizes drawn from named empirical
+// CDF tables (the WebSearch / FB-Hadoop style distributions the DCTCP /
+// HPCC evaluations standardized on) via inverse-transform sampling, and
+// open-loop Poisson arrivals whose aggregate rate offers a chosen
+// fraction of every server's line rate. The packet simulator
+// (sim/network.h) runs these as finite flows and reports
+// flow-completion times; §9 of the paper invites exactly this kind of
+// pluggable workload.
+#ifndef TOPODESIGN_TRAFFIC_WORKLOAD_H
+#define TOPODESIGN_TRAFFIC_WORKLOAD_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace topo {
+
+/// One point of an empirical flow-size CDF: P(size <= bytes) = cum_prob.
+struct CdfPoint {
+  double bytes = 0.0;
+  double cum_prob = 0.0;
+};
+
+/// A named empirical flow-size distribution, piecewise-linear between its
+/// table points (the standard trace-CDF interpolation).
+struct FlowSizeCdf {
+  std::string name;
+  /// Ascending in both bytes and cum_prob; first cum_prob is 0, last is 1.
+  std::vector<CdfPoint> points;
+
+  /// Analytic mean of the piecewise-linear distribution, in bytes.
+  [[nodiscard]] double mean_bytes() const;
+
+  /// Inverse-transform sample: maps u in [0, 1) to a flow size in bytes
+  /// (linear interpolation within the matching CDF segment, never below
+  /// one byte). Monotone non-decreasing in u.
+  [[nodiscard]] double sample_bytes(double u) const;
+};
+
+/// The registered distributions, in a fixed order (a "cdf" sweep axis
+/// value is an integer index into this list).
+[[nodiscard]] const std::vector<FlowSizeCdf>& flow_size_cdfs();
+
+/// Looks a distribution up by name; nullptr when unknown.
+[[nodiscard]] const FlowSizeCdf* find_flow_size_cdf(const std::string& name);
+
+/// Comma-separated registered names, for error messages.
+[[nodiscard]] std::string flow_size_cdf_names();
+
+/// One finite flow of a dynamic workload.
+struct FiniteFlow {
+  int src_server = 0;
+  int dst_server = 0;
+  double size_bytes = 0.0;
+  std::uint64_t start_ns = 0;
+};
+
+/// Open-loop Poisson workload: exponential inter-arrivals at the
+/// aggregate rate S * load * rate_gbps / (8 * E[bytes]) flows per ns —
+/// i.e. the expected offered traffic is `load` of every server's line
+/// rate — with uniformly random distinct endpoints and sizes sampled
+/// from `cdf`, until `horizon_ns`. Arrivals are returned in start-time
+/// order. Draw order per flow is fixed (inter-arrival, src, dst, size),
+/// so a seeded Rng makes the workload exactly reproducible.
+[[nodiscard]] std::vector<FiniteFlow> poisson_flow_arrivals(
+    const ServerMap& servers, const FlowSizeCdf& cdf, double load,
+    double server_rate_gbps, std::uint64_t horizon_ns, Rng& rng);
+
+}  // namespace topo
+
+#endif  // TOPODESIGN_TRAFFIC_WORKLOAD_H

@@ -450,6 +450,53 @@ TEST(CellIdentity, PacketSimJoinsTheKeyOnlyWhenEnabled) {
   EXPECT_NE(enabled_key, cell_key(other));
 }
 
+TEST(CellIdentity, FctWorkloadJoinsTheKeyOnlyWhenEnabled) {
+  CellIdentity cell;
+  cell.family = "random_regular";
+  cell.params = {{"n", 12}, {"ports", 6}, {"degree", 4}};
+  cell.topo_seed = 7;
+  cell.traffic_seed = 8;
+  cell.options.packet_sim.enabled = true;
+  // Bulk packet cells carry no workload section: their addresses are
+  // exactly what pre-FCT builds computed, so old cache dirs stay warm.
+  const std::uint64_t bulk_key = cell_key(cell);
+  EXPECT_EQ(cell_identity_json(cell).find("workload"), std::string::npos);
+  EXPECT_EQ(cell_identity_json(cell).find(kFctWorkloadVersionTag),
+            std::string::npos);
+
+  CellIdentity fct = cell;
+  fct.options.packet_sim.fct.enabled = true;
+  const std::uint64_t fct_key = cell_key(fct);
+  EXPECT_NE(bulk_key, fct_key);
+  // The workload section pins its own version tag plus both knobs.
+  EXPECT_NE(cell_identity_json(fct).find(kFctWorkloadVersionTag),
+            std::string::npos);
+  CellIdentity other = fct;
+  other.options.packet_sim.fct.cdf = "fb_hadoop";
+  EXPECT_NE(fct_key, cell_key(other));
+  other = fct;
+  other.options.packet_sim.fct.load = 0.9;
+  EXPECT_NE(fct_key, cell_key(other));
+
+  // Hotspot / stride knobs likewise join the identity only under their
+  // traffic kind — a permutation cell ignores them entirely.
+  CellIdentity hotspot = cell;
+  hotspot.options.hot_fraction = 0.3;
+  EXPECT_EQ(cell_key(cell), cell_key(hotspot));
+  hotspot.options.traffic = TrafficKind::kHotspot;
+  const std::uint64_t hotspot_key = cell_key(hotspot);
+  EXPECT_NE(cell_key(cell), hotspot_key);
+  hotspot.options.hot_multiplier = 9.0;
+  EXPECT_NE(hotspot_key, cell_key(hotspot));
+  CellIdentity stride = cell;
+  stride.options.traffic = TrafficKind::kStride;
+  stride.options.stride = 3;
+  const std::uint64_t stride_key = cell_key(stride);
+  EXPECT_NE(cell_key(cell), stride_key);
+  stride.options.stride = 5;
+  EXPECT_NE(stride_key, cell_key(stride));
+}
+
 TEST(Cache, PacketResultFieldsRoundTripExactly) {
   ResultCache cache(fresh_cache_dir("packet_roundtrip"));
   ThroughputResult result;
@@ -485,6 +532,86 @@ TEST(Cache, PacketResultFieldsRoundTripExactly) {
   ASSERT_TRUE(cache.load(42, &loaded));
   EXPECT_FALSE(loaded.packet_sim_run);
   std::filesystem::remove_all(cache.dir());
+}
+
+TEST(Cache, FctResultFieldsRoundTripExactly) {
+  ResultCache cache(fresh_cache_dir("fct_roundtrip"));
+  ThroughputResult result;
+  result.lambda = 0.7151898734177216;
+  result.feasible = true;
+  result.packet_sim_run = true;
+  result.fct_run = true;
+  result.fct_p50_ns = 141311.0;
+  result.fct_p95_ns = 4079012.0;
+  result.fct_p99_ns = 10067080.0;
+  result.fct_mean_ns = 791553.4028436019;
+  result.fct_goodput = 0.115659375;
+  result.fct_flows = 211.0;
+  result.fct_completed = 204.0;
+  cache.store(77, result);
+
+  ThroughputResult loaded;
+  ASSERT_TRUE(cache.load(77, &loaded));
+  EXPECT_TRUE(loaded.fct_run);
+  EXPECT_EQ(loaded.fct_p50_ns, result.fct_p50_ns);
+  EXPECT_EQ(loaded.fct_p95_ns, result.fct_p95_ns);
+  EXPECT_EQ(loaded.fct_p99_ns, result.fct_p99_ns);
+  EXPECT_EQ(loaded.fct_mean_ns, result.fct_mean_ns);
+  EXPECT_EQ(loaded.fct_goodput, result.fct_goodput);
+  EXPECT_EQ(loaded.fct_flows, result.fct_flows);
+  EXPECT_EQ(loaded.fct_completed, result.fct_completed);
+
+  // Non-FCT cells round-trip without growing fct keys: their bytes (and
+  // checksums) stay identical to what pre-FCT builds wrote.
+  ThroughputResult bulk;
+  bulk.lambda = 0.5;
+  bulk.feasible = true;
+  bulk.packet_sim_run = true;
+  cache.store(78, bulk);
+  std::ifstream in(cache.cell_path(78));
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  EXPECT_EQ(bytes.find("fct_"), std::string::npos);
+  ASSERT_TRUE(cache.load(78, &loaded));
+  EXPECT_FALSE(loaded.fct_run);
+  std::filesystem::remove_all(cache.dir());
+}
+
+TEST(Cache, FctWorkloadSweepCachesColdWarmIdentically) {
+  // An FCT sweep through the cache: the warm run must replay percentiles
+  // and goodput bit for bit with zero recomputation.
+  ScenarioSpec spec;
+  spec.name = "cache_test_fct";
+  spec.description = "tiny FCT sweep";
+  spec.topology = {"random_regular", {{"n", 12}, {"ports", 6}, {"degree", 4}}};
+  spec.packet_sim.enabled = true;
+  spec.packet_sim.fct.enabled = true;
+  spec.packet_sim.fct.cdf = "fb_hadoop";
+  spec.packet_sim.params.subflows = 1;
+  spec.packet_sim.params.duration_ns = 5'000'000;
+  spec.packet_sim.params.warmup_ns = 0;
+  spec.axes = {{"load", {0.3, 0.7}, {}}};
+  SweepRunConfig config = tiny_config();
+  const SweepResult uncached = SweepRunner(spec, config).run();
+  config.cache_dir = fresh_cache_dir("fct_cold_warm");
+  const SweepResult cold = SweepRunner(spec, config).run();
+  const SweepResult warm = SweepRunner(spec, config).run();
+  EXPECT_EQ(cold.cache_misses, 4);
+  EXPECT_EQ(warm.cache_hits, 4);
+  EXPECT_EQ(warm.cache_misses, 0);
+  expect_points_bitwise_equal(uncached, cold);
+  expect_points_bitwise_equal(cold, warm);
+  ASSERT_EQ(warm.points.size(), 2u);
+  for (std::size_t i = 0; i < warm.points.size(); ++i) {
+    EXPECT_EQ(warm.points[i].stats.fct_runs, 2);
+    EXPECT_EQ(warm.points[i].stats.fct_p50.mean,
+              cold.points[i].stats.fct_p50.mean);
+    EXPECT_EQ(warm.points[i].stats.fct_p99.mean,
+              cold.points[i].stats.fct_p99.mean);
+    EXPECT_EQ(warm.points[i].stats.fct_goodput.mean,
+              cold.points[i].stats.fct_goodput.mean);
+  }
+  std::filesystem::remove_all(config.cache_dir);
 }
 
 TEST(Cache, NewFailureFamiliesCacheColdWarmIdentically) {

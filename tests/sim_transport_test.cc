@@ -1,8 +1,12 @@
 // End-to-end transport tests on small simulated networks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "sim/network.h"
 #include "topo/random_regular.h"
+#include "traffic/workload.h"
 
 namespace topo::sim {
 namespace {
@@ -170,6 +174,96 @@ TEST(Transport, HigherCapacityFabricRaisesGoodput) {
   const double provisioned = run_with_capacity(4.0);      // full bisection
   EXPECT_LT(oversubscribed, 0.5);
   EXPECT_GT(provisioned, 2.0 * oversubscribed);
+}
+
+TEST(FiniteFlows, SingleFlowCompletesWithSaneFct) {
+  const BuiltTopology t = dumbbell(1.0);
+  SimParams p = fast_params();
+  p.subflows = 1;
+  p.warmup_ns = 0;
+  p.start_jitter_ns = 0;
+  SimNetwork net(t, p, 42);
+  net.add_finite_flow(0, 1, 150'000.0, 0);  // 100 full packets
+  const SimulationResult r = net.run();
+  ASSERT_EQ(r.flows.size(), 1u);
+  EXPECT_TRUE(r.flows[0].finite);
+  EXPECT_TRUE(r.flows[0].completed);
+  EXPECT_DOUBLE_EQ(r.flows[0].size_bytes, 150'000.0);
+  EXPECT_GE(r.flows[0].delivered_packets, 100);
+  // 100 x 1500 B over a 1 Gbit/s link: >= 1.2 ms of serialization alone,
+  // and a clean link finishes far inside the 30 ms horizon.
+  EXPECT_GT(r.flows[0].fct_ns, 1'000'000);
+  EXPECT_LT(r.flows[0].fct_ns, p.duration_ns);
+}
+
+TEST(FiniteFlows, RejectsMultipleSubflows) {
+  const BuiltTopology t = dumbbell(1.0);
+  SimParams p = fast_params();
+  p.subflows = 8;
+  SimNetwork net(t, p, 1);
+  EXPECT_THROW(net.add_finite_flow(0, 1, 1000.0, 0), InvalidArgument);
+}
+
+TEST(FiniteFlows, PoissonWorkloadIsDeterministic) {
+  const BuiltTopology t = random_regular_topology(10, 6, 4, 21);
+  SimParams p;
+  p.subflows = 1;
+  p.duration_ns = 10'000'000;
+  p.warmup_ns = 0;
+  p.start_jitter_ns = 0;
+  const FlowSizeCdf* cdf = find_flow_size_cdf("fb_hadoop");
+  ASSERT_NE(cdf, nullptr);
+  auto run_once = [&] {
+    Rng arrivals_rng(0xabc);
+    std::vector<FiniteFlow> arrivals = poisson_flow_arrivals(
+        t.servers, *cdf, 0.4, p.server_rate_gbps, p.duration_ns,
+        arrivals_rng);
+    SimNetwork net(t, p, 7);
+    net.queue_finite_workload(std::move(arrivals));
+    return net.run();
+  };
+  const SimulationResult a = run_once();
+  const SimulationResult b = run_once();
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  ASSERT_GT(a.flows.size(), 0u);
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_TRUE(a.flows[i].finite);
+    EXPECT_EQ(a.flows[i].completed, b.flows[i].completed);
+    EXPECT_EQ(a.flows[i].fct_ns, b.flows[i].fct_ns);
+    EXPECT_EQ(a.flows[i].delivered_packets, b.flows[i].delivered_packets);
+  }
+}
+
+TEST(FiniteFlows, MedianFctGrowsWithLoad) {
+  // Open-loop Poisson workload on a small RRG: heavier offered load means
+  // more queueing and sharing, so the median completion time rises.
+  const BuiltTopology t = random_regular_topology(10, 6, 4, 21);
+  SimParams p;
+  p.subflows = 1;
+  p.duration_ns = 40'000'000;
+  p.warmup_ns = 0;
+  p.start_jitter_ns = 0;
+  const FlowSizeCdf* cdf = find_flow_size_cdf("fb_hadoop");
+  ASSERT_NE(cdf, nullptr);
+  auto median_fct = [&](double load) {
+    Rng arrivals_rng(0xfc7);  // same arrival seed: only load differs
+    std::vector<FiniteFlow> arrivals = poisson_flow_arrivals(
+        t.servers, *cdf, load, p.server_rate_gbps, p.duration_ns,
+        arrivals_rng);
+    SimNetwork net(t, p, 7);
+    net.queue_finite_workload(std::move(arrivals));
+    const SimulationResult r = net.run();
+    std::vector<SimTime> fcts;
+    for (const FlowStats& f : r.flows) {
+      if (f.completed) fcts.push_back(f.fct_ns);
+    }
+    EXPECT_GT(fcts.size(), 20u) << "load " << load;
+    std::sort(fcts.begin(), fcts.end());
+    return fcts[fcts.size() / 2];
+  };
+  const SimTime p50_light = median_fct(0.2);
+  const SimTime p50_heavy = median_fct(0.9);
+  EXPECT_GT(p50_heavy, p50_light);
 }
 
 }  // namespace

@@ -161,7 +161,7 @@ TEST(SpecRoundTrip, CheckedInExampleSpecsStayValid) {
   for (const char* name :
        {"rrg_link_failures.json", "fat_tree_failure_grid.json",
         "rrg_correlated_failures.json", "fat_tree_targeted_cuts.json",
-        "vl2_class_failures.json"}) {
+        "vl2_class_failures.json", "fct_load_sweep.json"}) {
     SCOPED_TRACE(name);
     const ScenarioSpec spec = load_spec_file(
         std::string(TOPOBENCH_EXAMPLE_SPEC_DIR) + "/" + name);
@@ -233,6 +233,143 @@ TEST(SpecRoundTrip, PacketSimRoundTripsByteStably) {
   ScenarioSpec plain = spec;
   plain.packet_sim = PacketSimOptions{};
   EXPECT_EQ(spec_to_json(plain).find("packet_sim"), std::string::npos);
+}
+
+TEST(SpecRoundTrip, HotspotAndStrideRoundTripByteStably) {
+  const char* hotspot_doc = R"({
+    "name": "hot",
+    "topology": {"family": "random_regular",
+                 "params": {"n": 12, "ports": 6, "degree": 4}},
+    "traffic": "hotspot",
+    "hot_fraction": 0.2,
+    "hot_multiplier": 8,
+    "axes": [{"param": "hot_fraction", "values": [0.1, 0.2]}]
+  })";
+  const ScenarioSpec hotspot = spec_from_json(hotspot_doc);
+  EXPECT_EQ(hotspot.traffic, TrafficKind::kHotspot);
+  EXPECT_EQ(hotspot.hot_fraction, 0.2);
+  EXPECT_EQ(hotspot.hot_multiplier, 8.0);
+  const std::string hotspot_once = spec_to_json(hotspot);
+  EXPECT_EQ(spec_to_json(spec_from_json(hotspot_once)), hotspot_once);
+
+  const char* stride_doc = R"({
+    "name": "strided",
+    "topology": {"family": "random_regular",
+                 "params": {"n": 12, "ports": 6, "degree": 4}},
+    "traffic": "stride",
+    "stride": 7,
+    "axes": [{"param": "stride", "values": [1, 7]}]
+  })";
+  const ScenarioSpec stride = spec_from_json(stride_doc);
+  EXPECT_EQ(stride.traffic, TrafficKind::kStride);
+  EXPECT_EQ(stride.stride, 7);
+  const std::string stride_once = spec_to_json(stride);
+  EXPECT_EQ(spec_to_json(spec_from_json(stride_once)), stride_once);
+
+  // The knobs stay out of other kinds' serializations, so legacy specs
+  // keep their exact bytes.
+  ScenarioSpec plain = stride;
+  plain.traffic = TrafficKind::kPermutation;
+  plain.axes = {{"epsilon", {0.1}, {}}};
+  const std::string plain_json = spec_to_json(plain);
+  EXPECT_EQ(plain_json.find("\"stride\":"), std::string::npos);
+  EXPECT_EQ(plain_json.find("hot_"), std::string::npos);
+}
+
+TEST(SpecRoundTrip, FctWorkloadRoundTripsByteStably) {
+  const char* doc = R"({
+    "name": "fct",
+    "topology": {"family": "random_regular",
+                 "params": {"n": 12, "ports": 6, "degree": 4}},
+    "packet_sim": {"subflows": 1, "duration_ns": 8000000,
+                   "warmup_ns": 0,
+                   "workload": {"cdf": "websearch", "load": 0.4}},
+    "axes": [{"param": "load", "values": [0.2, 0.4]}]
+  })";
+  const ScenarioSpec spec = spec_from_json(doc);
+  EXPECT_TRUE(spec.packet_sim.enabled);
+  EXPECT_TRUE(spec.packet_sim.fct.enabled);
+  EXPECT_EQ(spec.packet_sim.fct.cdf, "websearch");
+  EXPECT_EQ(spec.packet_sim.fct.load, 0.4);
+  const std::string once = spec_to_json(spec);
+  EXPECT_EQ(spec_to_json(spec_from_json(once)), once);
+  // No workload block -> no "workload" key: bulk packet-sim specs keep
+  // their exact serialization.
+  ScenarioSpec bulk = spec;
+  bulk.packet_sim.fct = FctWorkloadOptions{};
+  bulk.axes = {{"epsilon", {0.1}, {}}};
+  EXPECT_EQ(spec_to_json(bulk).find("workload"), std::string::npos);
+}
+
+TEST(SpecErrors, TrafficKnobsRequireTheirKind) {
+  // hot_* / stride keys are rejected unless the matching traffic kind is
+  // selected (silently carrying them would break round-trip stability).
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "hot_fraction": 0.2})",
+                    "hotspot");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "traffic": "stride",
+                        "hot_multiplier": 4})",
+                    "hotspot");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "stride": 2})",
+                    "stride");
+  // Range checks on the knobs themselves.
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "traffic": "hotspot", "hot_multiplier": 0.5})",
+                    "hot_multiplier");
+  expect_spec_error(R"({"name": "x",
+                        "topology": {"family": "random_regular"},
+                        "traffic": "stride", "stride": 0})",
+                    "stride");
+  // Axis gating mirrors the scalar gating.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "hot_fraction", "values": [0.1]}]})",
+      "hotspot");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "stride", "values": [1, 2]}]})",
+      "stride");
+}
+
+TEST(SpecErrors, FctWorkloadKeysAreValidated) {
+  const auto fct_spec = [](const std::string& workload) {
+    return std::string(R"({"name": "x",
+      "topology": {"family": "random_regular"},
+      "packet_sim": {"subflows": 1, "workload": )") +
+           workload + "}}";
+  };
+  expect_spec_error(fct_spec(R"({"cdf": "no_such_cdf", "load": 0.5})"),
+                    "packet_sim.workload.cdf");
+  expect_spec_error(fct_spec(R"({"cdf": "websearch", "load": 0})"),
+                    "load");
+  expect_spec_error(fct_spec(R"({"cdf": "websearch", "load": 1.5})"),
+                    "load");
+  expect_spec_error(fct_spec(R"({"cdf": "websearch", "load": 0.5,
+                                 "extra": 1})"),
+                    "extra");
+  // load / cdf axes only mean something with a workload block present.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "packet_sim": {"subflows": 1},
+          "axes": [{"param": "load", "values": [0.5]}]})",
+      "workload");
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "axes": [{"param": "cdf", "values": [0]}]})",
+      "workload");
+  // The cdf axis is an integer index into the registered distributions.
+  expect_spec_error(
+      R"({"name": "x", "topology": {"family": "random_regular"},
+          "packet_sim": {"subflows": 1,
+                         "workload": {"cdf": "websearch", "load": 0.5}},
+          "axes": [{"param": "cdf", "values": [99]}]})",
+      "axes[0].values");
 }
 
 TEST(SpecErrors, PacketSimKeysAreValidated) {

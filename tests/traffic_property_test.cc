@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "traffic/traffic.h"
+#include "traffic/workload.h"
 #include "util/rng.h"
 
 namespace topo {
@@ -182,6 +183,26 @@ TEST(ChunkyProperty, TorCountBoundsAndDemandConservation) {
   }
 }
 
+TEST(ChunkyProperty, SingleLeftoverServerStillSends) {
+  // Three 1-server ToRs at fraction 2/3: two ToRs go chunky and the
+  // remainder is a single server — too few for a permutation. It used to
+  // be silently dropped (zero egress); it now folds into the chunky
+  // destination set, so every server offers exactly one unit.
+  for (std::uint64_t seed : {1ULL, 5ULL, 23ULL}) {
+    Rng rng(seed);
+    const TrafficMatrix tm =
+        chunky_traffic(map_of({1, 1, 1}), 2.0 / 3.0, rng);
+    std::vector<double> egress(3, 0.0);
+    for (const ServerFlow& f : tm.flows) {
+      EXPECT_NE(f.src_server, f.dst_server);
+      egress[static_cast<std::size_t>(f.src_server)] += f.demand;
+    }
+    for (double total : egress) {
+      EXPECT_NEAR(total, 1.0, 1e-12) << "seed " << seed;
+    }
+  }
+}
+
 TEST(ChunkyProperty, TinyNetworks) {
   // Two 1-server ToRs: both fractions degenerate to the same pairing.
   {
@@ -196,6 +217,123 @@ TEST(ChunkyProperty, TinyNetworks) {
     EXPECT_THROW(chunky_traffic(map_of({5, 0, 0}), 0.5, rng),
                  InvalidArgument);
   }
+}
+
+TEST(WorkloadCdf, RegistryShapeAndLookup) {
+  const std::vector<FlowSizeCdf>& cdfs = flow_size_cdfs();
+  ASSERT_GE(cdfs.size(), 2u);
+  EXPECT_NE(find_flow_size_cdf("websearch"), nullptr);
+  EXPECT_NE(find_flow_size_cdf("fb_hadoop"), nullptr);
+  EXPECT_EQ(find_flow_size_cdf("no_such_cdf"), nullptr);
+  for (const FlowSizeCdf& cdf : cdfs) {
+    ASSERT_GE(cdf.points.size(), 2u) << cdf.name;
+    EXPECT_DOUBLE_EQ(cdf.points.front().cum_prob, 0.0) << cdf.name;
+    EXPECT_DOUBLE_EQ(cdf.points.back().cum_prob, 1.0) << cdf.name;
+    for (std::size_t i = 1; i < cdf.points.size(); ++i) {
+      EXPECT_GE(cdf.points[i].bytes, cdf.points[i - 1].bytes) << cdf.name;
+      EXPECT_GT(cdf.points[i].cum_prob, cdf.points[i - 1].cum_prob)
+          << cdf.name;
+    }
+    EXPECT_GT(cdf.mean_bytes(), 0.0) << cdf.name;
+  }
+}
+
+TEST(WorkloadCdf, SampledMeanMatchesAnalyticMean) {
+  // Inverse-transform samples over a seeded uniform stream must average
+  // to the table's analytic piecewise-linear mean.
+  for (const FlowSizeCdf& cdf : flow_size_cdfs()) {
+    Rng rng(0x5eed);
+    const int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double bytes = cdf.sample_bytes(rng.uniform());
+      ASSERT_GE(bytes, 1.0) << cdf.name;
+      sum += bytes;
+    }
+    const double mean = cdf.mean_bytes();
+    EXPECT_NEAR(sum / n, mean, 0.03 * mean) << cdf.name;
+  }
+}
+
+TEST(WorkloadCdf, SampleIsMonotoneInU) {
+  for (const FlowSizeCdf& cdf : flow_size_cdfs()) {
+    double prev = 0.0;
+    for (double u = 0.0; u < 1.0; u += 0.01) {
+      const double bytes = cdf.sample_bytes(u);
+      EXPECT_GE(bytes, prev) << cdf.name << " at u=" << u;
+      prev = bytes;
+    }
+  }
+}
+
+TEST(PoissonArrivals, RateMatchesTargetLoadAndInvariantsHold) {
+  const ServerMap servers = map_of({8, 8, 8, 8, 8, 8, 8, 8});  // 64
+  const FlowSizeCdf* cdf = find_flow_size_cdf("fb_hadoop");
+  ASSERT_NE(cdf, nullptr);
+  const double load = 0.5;
+  const double rate_gbps = 1.0;
+  const std::uint64_t horizon_ns = 50'000'000;
+  Rng rng(0x90155);
+  const std::vector<FiniteFlow> arrivals =
+      poisson_flow_arrivals(servers, *cdf, load, rate_gbps, horizon_ns, rng);
+  // Expected count = S * load * rate / (8 * E[bytes]) * horizon; the
+  // Poisson count concentrates well within 15% at this volume.
+  const double expected = 64.0 * load * rate_gbps /
+                          (8.0 * cdf->mean_bytes()) *
+                          static_cast<double>(horizon_ns);
+  ASSERT_GT(expected, 300.0);  // keep the tolerance meaningful
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), expected,
+              0.15 * expected);
+  std::uint64_t prev = 0;
+  for (const FiniteFlow& f : arrivals) {
+    EXPECT_GE(f.start_ns, prev);  // returned in arrival order
+    prev = f.start_ns;
+    EXPECT_LT(f.start_ns, horizon_ns);
+    ASSERT_GE(f.src_server, 0);
+    ASSERT_LT(f.src_server, servers.total());
+    ASSERT_GE(f.dst_server, 0);
+    ASSERT_LT(f.dst_server, servers.total());
+    EXPECT_NE(f.src_server, f.dst_server);
+    EXPECT_GE(f.size_bytes, 1.0);
+  }
+}
+
+TEST(PoissonArrivals, DeterministicForSeed) {
+  const ServerMap servers = map_of({4, 4, 4, 4});
+  const FlowSizeCdf* cdf = find_flow_size_cdf("websearch");
+  ASSERT_NE(cdf, nullptr);
+  auto draw = [&] {
+    Rng rng(1234);
+    return poisson_flow_arrivals(servers, *cdf, 0.3, 1.0, 10'000'000, rng);
+  };
+  const std::vector<FiniteFlow> a = draw();
+  const std::vector<FiniteFlow> b = draw();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].src_server, b[i].src_server);
+    EXPECT_EQ(a[i].dst_server, b[i].dst_server);
+    EXPECT_DOUBLE_EQ(a[i].size_bytes, b[i].size_bytes);
+    EXPECT_EQ(a[i].start_ns, b[i].start_ns);
+  }
+}
+
+TEST(PoissonArrivals, RejectsBadArguments) {
+  const ServerMap servers = map_of({4, 4});
+  const FlowSizeCdf* cdf = find_flow_size_cdf("websearch");
+  ASSERT_NE(cdf, nullptr);
+  Rng rng(1);
+  EXPECT_THROW(
+      poisson_flow_arrivals(servers, *cdf, 0.0, 1.0, 1'000'000, rng),
+      InvalidArgument);
+  EXPECT_THROW(
+      poisson_flow_arrivals(servers, *cdf, 1.5, 1.0, 1'000'000, rng),
+      InvalidArgument);
+  EXPECT_THROW(
+      poisson_flow_arrivals(servers, *cdf, 0.5, 0.0, 1'000'000, rng),
+      InvalidArgument);
+  EXPECT_THROW(
+      poisson_flow_arrivals(map_of({1}), *cdf, 0.5, 1.0, 1'000'000, rng),
+      InvalidArgument);
 }
 
 }  // namespace
