@@ -70,9 +70,17 @@ void run_fct_workload(const BuiltTopology& topology,
                       const PacketSimOptions& options,
                       std::uint64_t traffic_seed, ThroughputResult& result) {
   result.fct_run = true;
-  const FlowSizeCdf* cdf = find_flow_size_cdf(options.fct.cdf);
-  require(cdf != nullptr, "unknown flow-size CDF \"" + options.fct.cdf +
-                              "\" (known: " + flow_size_cdf_names() + ")");
+  FlowSizeCdf custom;
+  const FlowSizeCdf* cdf;
+  if (!options.fct.custom_cdf.empty()) {
+    custom.name = options.fct.cdf;
+    custom.points = options.fct.custom_cdf;
+    cdf = &custom;
+  } else {
+    cdf = find_flow_size_cdf(options.fct.cdf);
+    require(cdf != nullptr, "unknown flow-size CDF \"" + options.fct.cdf +
+                                "\" (known: " + flow_size_cdf_names() + ")");
+  }
   sim::SimParams params = options.params;
   params.subflows = 1;       // finite flows are single-subflow
   params.warmup_ns = 0;      // measure every completion
@@ -90,9 +98,18 @@ void run_fct_workload(const BuiltTopology& topology,
   const sim::SimulationResult sim_result = net.run();
 
   std::vector<double> fcts;
+  std::vector<double> slowdowns;
   double delivered_bits = 0.0;
   for (const sim::FlowStats& f : sim_result.flows) {
-    if (f.completed) fcts.push_back(static_cast<double>(f.fct_ns));
+    if (f.completed) {
+      fcts.push_back(static_cast<double>(f.fct_ns));
+      // Ideal FCT = serialized transmission time at server line rate
+      // (Gbit/s == bits/ns); floored at 1 ns so sub-nanosecond ideals of
+      // tiny flows cannot blow the ratio up.
+      const double ideal_ns =
+          std::max(1.0, f.size_bytes * 8.0 / params.server_rate_gbps);
+      slowdowns.push_back(static_cast<double>(f.fct_ns) / ideal_ns);
+    }
     delivered_bits += static_cast<double>(f.delivered_packets) * 8.0 *
                       static_cast<double>(params.packet_bytes);
   }
@@ -103,6 +120,9 @@ void run_fct_workload(const BuiltTopology& topology,
     result.fct_p95_ns = percentile_sorted(fcts, 0.95);
     result.fct_p99_ns = percentile_sorted(fcts, 0.99);
     result.fct_mean_ns = mean_of(fcts);
+    std::sort(slowdowns.begin(), slowdowns.end());
+    result.fct_slowdown_p50 = percentile_sorted(slowdowns, 0.50);
+    result.fct_slowdown_p99 = percentile_sorted(slowdowns, 0.99);
   }
   // Aggregate goodput as a fraction of the fabric's total line rate over
   // the simulated horizon (at load L with all flows finishing, ~L).
@@ -191,9 +211,14 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
   validate_failure_spec(options.failure);
   if (options.packet_sim.enabled) {
     if (options.packet_sim.fct.enabled) {
-      require(find_flow_size_cdf(options.packet_sim.fct.cdf) != nullptr,
-              "unknown flow-size CDF \"" + options.packet_sim.fct.cdf +
-                  "\" (known: " + flow_size_cdf_names() + ")");
+      if (!options.packet_sim.fct.custom_cdf.empty()) {
+        validate_flow_size_cdf(options.packet_sim.fct.custom_cdf,
+                               "custom flow-size CDF");
+      } else {
+        require(find_flow_size_cdf(options.packet_sim.fct.cdf) != nullptr,
+                "unknown flow-size CDF \"" + options.packet_sim.fct.cdf +
+                    "\" (known: " + flow_size_cdf_names() + ")");
+      }
       require(options.packet_sim.fct.load > 0.0 &&
                   options.packet_sim.fct.load <= 1.0,
               "workload load must be in (0, 1]");

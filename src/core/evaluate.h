@@ -14,6 +14,7 @@
 #include "flow/concurrent_flow.h"
 #include "sim/network.h"
 #include "topo/topology.h"
+#include "traffic/workload.h"
 
 namespace topo {
 
@@ -35,6 +36,12 @@ enum class TrafficKind {
 struct FctWorkloadOptions {
   bool enabled = false;
   std::string cdf = "websearch";  ///< A name from flow_size_cdfs().
+  /// When non-empty, a user-supplied CDF table (spec "cdf_file" /
+  /// "cdf_table") used instead of the named registry entry; `cdf` is then
+  /// just a display name ("custom"). Cache identity serializes the parsed
+  /// table, never the file path, so two paths with identical contents
+  /// share cells.
+  std::vector<CdfPoint> custom_cdf;
   double load = 0.5;              ///< Offered fraction of line rate, (0, 1].
 };
 

@@ -40,6 +40,8 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   std::vector<double> fct_p95s;
   std::vector<double> fct_p99s;
   std::vector<double> fct_goodputs;
+  std::vector<double> fct_sd_p50s;
+  std::vector<double> fct_sd_p99s;
   int infeasible = 0;
   for (const ThroughputResult& result : results) {
     lambdas.push_back(result.lambda);
@@ -53,6 +55,8 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
       fct_p95s.push_back(result.fct_p95_ns);
       fct_p99s.push_back(result.fct_p99_ns);
       fct_goodputs.push_back(result.fct_goodput);
+      fct_sd_p50s.push_back(result.fct_slowdown_p50);
+      fct_sd_p99s.push_back(result.fct_slowdown_p99);
     }
     if (!result.feasible) {
       ++infeasible;
@@ -82,6 +86,8 @@ ExperimentStats summarize_runs(const std::vector<ThroughputResult>& results) {
   stats.fct_p95 = summarize(fct_p95s);
   stats.fct_p99 = summarize(fct_p99s);
   stats.fct_goodput = summarize(fct_goodputs);
+  stats.fct_slowdown_p50 = summarize(fct_sd_p50s);
+  stats.fct_slowdown_p99 = summarize(fct_sd_p99s);
   stats.fct_runs = static_cast<int>(fct_p50s.size());
   return stats;
 }

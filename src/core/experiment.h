@@ -38,6 +38,8 @@ struct ExperimentStats {
   Summary fct_p95;            ///< 95th-percentile FCT per run (ns).
   Summary fct_p99;            ///< 99th-percentile FCT per run (ns).
   Summary fct_goodput;        ///< Aggregate goodput fraction per run.
+  Summary fct_slowdown_p50;   ///< Median FCT slowdown (FCT / ideal FCT).
+  Summary fct_slowdown_p99;   ///< 99th-percentile FCT slowdown per run.
   int fct_runs = 0;           ///< Runs that ran the FCT workload.
 };
 

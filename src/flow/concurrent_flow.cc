@@ -1,9 +1,11 @@
 #include "flow/concurrent_flow.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "graph/algorithms.h"
 #include "graph/shortest_path.h"
@@ -179,74 +181,254 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
   int phases_since_improvement = 0;
   std::vector<int> path;
 
+  // ---- Approx-mode state (SolverMode::kApprox only; empty otherwise) ----
+  //
+  // Phases route source groups in fixed-size rounds. Within a round every
+  // group sees the same snapshot of the length function (the global
+  // `length`/`slot_length` arrays, which are not mutated during a round)
+  // plus its own pushes, staged in a per-slot overlay and recorded as
+  // (arc, pushed) entries. After the round the overlays are reverted and
+  // the entries applied serially in group order — so the merged lengths,
+  // flows, and overflow rescales are identical for any thread count, the
+  // same discipline as the dual pass below. Each group additionally keeps
+  // its shortest-path tree across phases (warm start) and only re-runs
+  // Dijkstra when the cached tree goes stale or misses a destination.
+  const bool approx = options.mode == SolverMode::kApprox;
+  const double approx_stale = options.approx_stale_factor > 0.0
+                                  ? options.approx_stale_factor
+                                  : 1.0 + options.epsilon / 2.0;
+  if (approx) {
+    require(approx_stale >= 1.0, "approx_stale_factor must be >= 1");
+    require(options.approx_round_size >= 1, "approx_round_size must be >= 1");
+  }
+  const int num_slots = parallel_slots();
+  // Warm per-group trees cost O(nodes) each; past this many total label
+  // entries fall back to per-slot workspaces rebuilt on first use.
+  const bool warm_trees =
+      approx && static_cast<double>(num_groups) *
+                        static_cast<double>(arcs.num_nodes) <=
+                    5e7;
+  std::vector<DijkstraWorkspace> group_ws(
+      warm_trees ? static_cast<std::size_t>(num_groups) : 0);
+  std::vector<DijkstraWorkspace> slot_routing_ws(
+      approx && !warm_trees ? static_cast<std::size_t>(num_slots) : 0);
+  std::vector<char> group_has_tree(
+      warm_trees ? static_cast<std::size_t>(num_groups) : 0, 0);
+  std::vector<int> group_epoch(
+      warm_trees ? static_cast<std::size_t>(num_groups) : 0, 0);
+  int rescale_epoch = 0;  // bumped by the overflow guard; trees sync lazily
+  std::vector<std::vector<std::pair<int, double>>> group_entries(
+      approx ? static_cast<std::size_t>(num_groups) : 0);
+  std::vector<std::vector<double>> slot_local_len(
+      approx ? static_cast<std::size_t>(num_slots) : 0);
+  std::vector<std::vector<double>> slot_local_slot_len(
+      approx ? static_cast<std::size_t>(num_slots) : 0);
+  std::vector<std::vector<int>> slot_path(
+      approx ? static_cast<std::size_t>(num_slots) : 0);
+  std::vector<long> slot_round_stamp(
+      approx ? static_cast<std::size_t>(num_slots) : 0, -1);
+  long round_counter = 0;
+  std::atomic<bool> routing_failed{false};
+
+  const auto route_group_approx = [&](int slot, int gi) {
+    const auto ss = static_cast<std::size_t>(slot);
+    const auto gs = static_cast<std::size_t>(gi);
+    const auto& group = grouped.groups[gs];
+    std::vector<double>& local_len = slot_local_len[ss];
+    std::vector<double>& local_slot_len = slot_local_slot_len[ss];
+    auto& entries = group_entries[gs];
+    std::vector<int>& gpath = slot_path[ss];
+    DijkstraWorkspace& ws = warm_trees ? group_ws[gs] : slot_routing_ws[ss];
+    bool has_tree = warm_trees && group_has_tree[gs] != 0;
+    // A cached tree's distances are sums of pre-rescale lengths; bring
+    // them into the current scale before comparing against fresh sums.
+    if (has_tree && group_epoch[gs] != rescale_epoch) {
+      double factor = 1.0;
+      for (int e = group_epoch[gs]; e < rescale_epoch; ++e) factor *= 1e-150;
+      ws.scale_distances(factor);
+    }
+    if (warm_trees) group_epoch[gs] = rescale_epoch;
+    const auto refresh = [&](int from) {
+      ws.run_slots(arcs, local_slot_len.data(), group.src, dag_for(gi),
+                   grouped.dsts.data() + from, group.end - from);
+      has_tree = true;
+      if (warm_trees) group_has_tree[gs] = 1;
+    };
+    for (int i = group.begin; i < group.end; ++i) {
+      const NodeId dst = grouped.dsts[static_cast<std::size_t>(i)];
+      const double demand = grouped.demands[static_cast<std::size_t>(i)];
+      double remaining = demand;
+      const double tol = 1e-12 * demand;
+      bool path_valid = false;
+      double bottleneck = kInf;
+      while (remaining > tol) {
+        // A warm tree from an earlier bounded run may simply not have
+        // finalized this destination; that means refresh, not infeasible.
+        if (!has_tree || ws.dist(dst) == kInf) {
+          refresh(i);
+          path_valid = false;
+        }
+        if (!path_valid) {
+          if (!ws.extract_path(arcs, group.src, dst, gpath)) {
+            refresh(i);
+            if (!ws.extract_path(arcs, group.src, dst, gpath)) {
+              routing_failed.store(true, std::memory_order_relaxed);
+              return;  // should not happen after the pre-check
+            }
+          }
+          bottleneck = kInf;
+          for (int a : gpath) {
+            bottleneck =
+                std::min(bottleneck, arcs.capacity[static_cast<std::size_t>(a)]);
+          }
+          path_valid = true;
+        }
+        // Staleness: the tree distance lower-bounds the current shortest
+        // distance (lengths only grow), so this keeps routing
+        // near-shortest even against a tree from an earlier phase.
+        double current_len = 0.0;
+        for (int a : gpath) {
+          current_len += local_len[static_cast<std::size_t>(a)];
+        }
+        if (current_len > approx_stale * ws.dist(dst)) {
+          refresh(i);
+          path_valid = false;
+          continue;
+        }
+        const double pushed = std::min(remaining, bottleneck);
+        for (int a : gpath) {
+          entries.emplace_back(a, pushed);
+          double& len = local_len[static_cast<std::size_t>(a)];
+          len *=
+              1.0 + step * pushed / arcs.capacity[static_cast<std::size_t>(a)];
+          local_slot_len[static_cast<std::size_t>(
+              arcs.slot_of_arc[static_cast<std::size_t>(a)])] = len;
+        }
+        remaining -= pushed;
+      }
+    }
+    // Revert the overlay to the round snapshot (the globals are immutable
+    // during a round), leaving it clean for the slot's next group.
+    for (const auto& entry : entries) {
+      const auto a = static_cast<std::size_t>(entry.first);
+      local_len[a] = length[a];
+      local_slot_len[static_cast<std::size_t>(arcs.slot_of_arc[a])] =
+          slot_length[static_cast<std::size_t>(arcs.slot_of_arc[a])];
+    }
+  };
+
+  // Approx mode halves the dual-bound cadence: the bound is valid for any
+  // lengths, so this trades only certificate tightness for time.
+  const int dual_cadence =
+      approx ? std::max(options.dual_every, 2) : options.dual_every;
+
   int phase = 0;
   for (; phase < options.max_phases; ++phase) {
-    for (int gi = 0; gi < num_groups; ++gi) {
-      const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
-      // Each Dijkstra is bounded by the destinations it still has to
-      // serve: the initial tree by the whole group, a mid-group refresh
-      // only by the remaining slice.
-      routing_ws.run_slots(arcs, slot_length.data(), group.src, dag_for(gi),
-                           grouped.dsts.data() + group.begin,
-                           group.end - group.begin);
-      for (int i = group.begin; i < group.end; ++i) {
-        const NodeId dst = grouped.dsts[static_cast<std::size_t>(i)];
-        const double demand = grouped.demands[static_cast<std::size_t>(i)];
-        double remaining = demand;
-        const double tol = 1e-12 * demand;
-        // The tree only changes on refresh, so the path and its (static)
-        // bottleneck capacity are cached across saturation steps; only
-        // the path's current length must be re-summed after each push.
-        bool path_valid = false;
-        double bottleneck = kInf;
-        while (remaining > tol) {
-          if (!path_valid) {
-            if (!routing_ws.extract_path(arcs, group.src, dst, path)) {
-              return result;  // should not happen after the pre-check
-            }
-            bottleneck = kInf;
-            for (int a : path) {
-              bottleneck = std::min(
-                  bottleneck, arcs.capacity[static_cast<std::size_t>(a)]);
-            }
-            path_valid = true;
+    if (approx) {
+      for (int round_begin = 0; round_begin < num_groups;
+           round_begin += options.approx_round_size) {
+        const int round_end =
+            std::min(num_groups, round_begin + options.approx_round_size);
+        const long round_id = round_counter++;
+        parallel_for_slots(round_end - round_begin, [&](int slot, int idx) {
+          const auto ss = static_cast<std::size_t>(slot);
+          if (slot_round_stamp[ss] != round_id) {
+            slot_local_len[ss] = length;  // this round's snapshot
+            slot_local_slot_len[ss] = slot_length;
+            slot_round_stamp[ss] = round_id;
           }
-          // Refresh the tree when this path's current length has drifted
-          // well above the tree's distance (lengths rose since computing
-          // it), so routing stays near-shortest.
-          double current_len = 0.0;
-          for (int a : path) {
-            current_len += length[static_cast<std::size_t>(a)];
-          }
-          if (current_len > stale_factor * routing_ws.dist(dst)) {
-            routing_ws.run_slots(arcs, slot_length.data(), group.src,
-                                 dag_for(gi), grouped.dsts.data() + i,
-                                 group.end - i);
-            path_valid = false;
-            continue;
-          }
-          const double pushed = std::min(remaining, bottleneck);
-          for (int a : path) {
-            result.arc_flow[static_cast<std::size_t>(a)] += pushed;
-            double& len = length[static_cast<std::size_t>(a)];
-            len *= 1.0 +
-                   step * pushed / arcs.capacity[static_cast<std::size_t>(a)];
-            slot_length[static_cast<std::size_t>(
-                arcs.slot_of_arc[static_cast<std::size_t>(a)])] = len;
+          route_group_approx(slot, round_begin + idx);
+        });
+        if (routing_failed.load(std::memory_order_relaxed)) return result;
+        // Serial merge in group order: flows, multiplicative length
+        // updates, and the overflow guard all replay deterministically.
+        for (int gi = round_begin; gi < round_end; ++gi) {
+          auto& entries = group_entries[static_cast<std::size_t>(gi)];
+          for (const auto& [a, pushed] : entries) {
+            const auto as = static_cast<std::size_t>(a);
+            result.arc_flow[as] += pushed;
+            double& len = length[as];
+            len *= 1.0 + step * pushed / arcs.capacity[as];
+            slot_length[static_cast<std::size_t>(arcs.slot_of_arc[as])] = len;
             max_length = std::max(max_length, len);
+            if (max_length > 1e200) {
+              for (double& l : length) l *= 1e-150;
+              for (double& l : slot_length) l *= 1e-150;
+              ++rescale_epoch;
+              max_length *= 1e-150;
+            }
           }
-          // Overflow guard, applied inside the routing loop so a long
-          // source group cannot drive lengths to infinity mid-group. The
-          // cached tree distances are sums of the same lengths, so they
-          // rescale by the same factor and the staleness ratio above stays
-          // meaningful.
-          if (max_length > 1e200) {
-            for (double& l : length) l *= 1e-150;
-            for (double& l : slot_length) l *= 1e-150;
-            routing_ws.scale_distances(1e-150);
-            max_length *= 1e-150;
+          entries.clear();
+        }
+      }
+    } else {
+      for (int gi = 0; gi < num_groups; ++gi) {
+        const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
+        // Each Dijkstra is bounded by the destinations it still has to
+        // serve: the initial tree by the whole group, a mid-group refresh
+        // only by the remaining slice.
+        routing_ws.run_slots(arcs, slot_length.data(), group.src, dag_for(gi),
+                             grouped.dsts.data() + group.begin,
+                             group.end - group.begin);
+        for (int i = group.begin; i < group.end; ++i) {
+          const NodeId dst = grouped.dsts[static_cast<std::size_t>(i)];
+          const double demand = grouped.demands[static_cast<std::size_t>(i)];
+          double remaining = demand;
+          const double tol = 1e-12 * demand;
+          // The tree only changes on refresh, so the path and its (static)
+          // bottleneck capacity are cached across saturation steps; only
+          // the path's current length must be re-summed after each push.
+          bool path_valid = false;
+          double bottleneck = kInf;
+          while (remaining > tol) {
+            if (!path_valid) {
+              if (!routing_ws.extract_path(arcs, group.src, dst, path)) {
+                return result;  // should not happen after the pre-check
+              }
+              bottleneck = kInf;
+              for (int a : path) {
+                bottleneck = std::min(
+                    bottleneck, arcs.capacity[static_cast<std::size_t>(a)]);
+              }
+              path_valid = true;
+            }
+            // Refresh the tree when this path's current length has drifted
+            // well above the tree's distance (lengths rose since computing
+            // it), so routing stays near-shortest.
+            double current_len = 0.0;
+            for (int a : path) {
+              current_len += length[static_cast<std::size_t>(a)];
+            }
+            if (current_len > stale_factor * routing_ws.dist(dst)) {
+              routing_ws.run_slots(arcs, slot_length.data(), group.src,
+                                   dag_for(gi), grouped.dsts.data() + i,
+                                   group.end - i);
+              path_valid = false;
+              continue;
+            }
+            const double pushed = std::min(remaining, bottleneck);
+            for (int a : path) {
+              result.arc_flow[static_cast<std::size_t>(a)] += pushed;
+              double& len = length[static_cast<std::size_t>(a)];
+              len *= 1.0 +
+                     step * pushed / arcs.capacity[static_cast<std::size_t>(a)];
+              slot_length[static_cast<std::size_t>(
+                  arcs.slot_of_arc[static_cast<std::size_t>(a)])] = len;
+              max_length = std::max(max_length, len);
+            }
+            // Overflow guard, applied inside the routing loop so a long
+            // source group cannot drive lengths to infinity mid-group. The
+            // cached tree distances are sums of the same lengths, so they
+            // rescale by the same factor and the staleness ratio above stays
+            // meaningful.
+            if (max_length > 1e200) {
+              for (double& l : length) l *= 1e-150;
+              for (double& l : slot_length) l *= 1e-150;
+              routing_ws.scale_distances(1e-150);
+              max_length *= 1e-150;
+            }
+            remaining -= pushed;
           }
-          remaining -= pushed;
         }
       }
     }
@@ -262,19 +444,37 @@ ThroughputResult max_concurrent_flow(const Graph& graph,
     // Dual bound D(l)/alpha(l), valid for any lengths. The per-group
     // Dijkstras are independent, so they run on the pool; each commodity's
     // term lands in dual_terms and the sum is taken serially in group
-    // order, keeping the result identical for any thread count.
-    if (phase % options.dual_every == 0 || phase + 1 == options.max_phases) {
+    // order, keeping the result identical for any thread count. Approx
+    // mode relaxes through Dial buckets while the length spread is still
+    // narrow (run_distances_bucketed falls back to the heap itself once
+    // the spread is too wide to bucket).
+    if (phase % dual_cadence == 0 || phase + 1 == options.max_phases) {
       double d_l = 0.0;
       for (int a = 0; a < arcs.num_arcs; ++a) {
         d_l += length[static_cast<std::size_t>(a)] *
                arcs.capacity[static_cast<std::size_t>(a)];
       }
+      double min_len = kInf;
+      double max_len = 0.0;
+      if (approx) {
+        for (double l : slot_length) {
+          min_len = std::min(min_len, l);
+          max_len = std::max(max_len, l);
+        }
+      }
       parallel_for_slots(num_groups, [&](int slot, int gi) {
         const auto& group = grouped.groups[static_cast<std::size_t>(gi)];
         DijkstraWorkspace& ws = dual_ws[static_cast<std::size_t>(slot)];
-        ws.run_distances(arcs, slot_length.data(), group.src, dag_for(gi),
-                         grouped.dsts.data() + group.begin,
-                         group.end - group.begin);
+        if (approx) {
+          ws.run_distances_bucketed(arcs, slot_length.data(), group.src,
+                                    min_len, max_len, dag_for(gi),
+                                    grouped.dsts.data() + group.begin,
+                                    group.end - group.begin);
+        } else {
+          ws.run_distances(arcs, slot_length.data(), group.src, dag_for(gi),
+                           grouped.dsts.data() + group.begin,
+                           group.end - group.begin);
+        }
         for (int i = group.begin; i < group.end; ++i) {
           dual_terms[static_cast<std::size_t>(i)] =
               grouped.demands[static_cast<std::size_t>(i)] *

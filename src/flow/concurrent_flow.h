@@ -41,6 +41,23 @@
 
 namespace topo {
 
+/// How the solver runs its phases.
+enum class SolverMode {
+  /// The bit-exact reference path: serial phases, results frozen by the
+  /// perf_microbench baseline guard and the golden tables. Default.
+  kExact,
+  /// The approximate fast path: warm-started per-group shortest-path
+  /// trees carried across phases, source groups routed in deterministic
+  /// batched rounds against a snapshot of the length function (parallel
+  /// across the thread pool, applied in group order), and Dial-bucketed
+  /// dual-bound Dijkstras while the length spread is narrow. Still a
+  /// certified (1-epsilon)-approximation — the primal is feasible by
+  /// construction and the dual bound holds for any lengths — but the
+  /// phase trajectory differs from exact mode, so lambda may differ
+  /// within the epsilon tolerance. Deterministic for any thread count.
+  kApprox,
+};
+
 /// Options for the concurrent-flow solver.
 struct FlowOptions {
   /// Target certified relative gap between primal and dual.
@@ -57,6 +74,22 @@ struct FlowOptions {
   /// hop(s,v) == hop(s,u) + 1. The result (and its certificate) then refer
   /// to the optimum over shortest-path routing, not unrestricted routing.
   bool restrict_to_shortest_paths = false;
+  /// Solver mode; kApprox is opt-in and changes cache cell identity (see
+  /// scenario/cache.h, kSolverApproxVersionTag).
+  SolverMode mode = SolverMode::kExact;
+  /// Approx mode only: a group's cached tree path is re-routed when its
+  /// current length exceeds this multiple of the cached tree distance.
+  /// 0 (the default) means auto: 1 + epsilon/2. Because the cached
+  /// distance lower-bounds the current shortest distance, the factor is a
+  /// hard path-quality bound — keeping it near 1+epsilon makes the
+  /// certificate converge in far fewer phases than exact mode's looser
+  /// in-phase reuse (1.5), which is where most of the approx speedup
+  /// comes from; factors much above 1+epsilon stall the certified gap.
+  double approx_stale_factor = 0.0;
+  /// Approx mode only: source groups routed concurrently per snapshot
+  /// round. The round partition is fixed by this value alone, so results
+  /// are identical for any thread count.
+  int approx_round_size = 32;
 };
 
 /// Result of a throughput computation. All capacity-consumption metrics
@@ -113,6 +146,10 @@ struct ThroughputResult {
   double fct_goodput = 0.0;    ///< Aggregate goodput / total line rate.
   double fct_flows = 0.0;      ///< Flows that arrived in the horizon.
   double fct_completed = 0.0;  ///< Flows fully ACKed before the end.
+  /// Per-flow slowdown percentiles: FCT / ideal FCT, where the ideal is
+  /// the flow's serialized transmission time at server line rate.
+  double fct_slowdown_p50 = 0.0;  ///< Median slowdown.
+  double fct_slowdown_p99 = 0.0;  ///< 99th-percentile slowdown.
 };
 
 /// Computes the maximum concurrent flow for the commodities on `graph`.

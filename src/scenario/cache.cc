@@ -54,7 +54,9 @@ std::string result_json(const ThroughputResult& r) {
         << ", \"fct_mean\": " << json_number(r.fct_mean_ns)
         << ", \"fct_goodput\": " << json_number(r.fct_goodput)
         << ", \"fct_flows\": " << json_number(r.fct_flows)
-        << ", \"fct_completed\": " << json_number(r.fct_completed);
+        << ", \"fct_completed\": " << json_number(r.fct_completed)
+        << ", \"fct_slowdown_p50\": " << json_number(r.fct_slowdown_p50)
+        << ", \"fct_slowdown_p99\": " << json_number(r.fct_slowdown_p99);
   }
   out << "}";
   return out.str();
@@ -74,7 +76,8 @@ ThroughputResult result_from_json(const JsonValue& object) {
       "packet_retransmits",         "packet_drops",
       "fct_p50",     "fct_p95",     "fct_p99",
       "fct_mean",    "fct_goodput", "fct_flows",
-      "fct_completed"};
+      "fct_completed",              "fct_slowdown_p50",
+      "fct_slowdown_p99"};
   for (const auto& [key, value] : object.members) {
     (void)value;
     bool ok = false;
@@ -120,6 +123,8 @@ ThroughputResult result_from_json(const JsonValue& object) {
     r.fct_goodput = number("fct_goodput");
     r.fct_flows = number("fct_flows");
     r.fct_completed = number("fct_completed");
+    r.fct_slowdown_p50 = number("fct_slowdown_p50");
+    r.fct_slowdown_p99 = number("fct_slowdown_p99");
   }
   return r;
 }
@@ -150,6 +155,17 @@ std::uint64_t spec_hash(const ScenarioSpec& spec,
   material += "|runs=" + std::to_string(config.runs);
   material += std::string("|mode=") + (config.full ? "full" : "smoke");
   material += std::string("|solver=") + kSolverVersionTag;
+  // Solver-mode material joins only when something selects approx (the
+  // override, or the spec's own solver field — already in the spec JSON
+  // but the approx tag is not), so every historical exact-mode hash is
+  // unchanged.
+  if (!config.solver_override.empty()) {
+    material += "|solver_mode=" + config.solver_override;
+  }
+  if (spec.solver == SolverMode::kApprox ||
+      config.solver_override == "approx") {
+    material += std::string("|approx=") + kSolverApproxVersionTag;
+  }
   return fnv1a64(material);
 }
 
@@ -168,8 +184,19 @@ std::string cell_identity_json(const CellIdentity& cell) {
       << ", \"stagnation_phases\": " << options.flow.stagnation_phases
       << ", \"dual_every\": " << options.flow.dual_every
       << ", \"shortest_paths\": "
-      << (options.flow.restrict_to_shortest_paths ? "true" : "false")
-      << ", \"traffic\": " << json_string(traffic_kind_name(options.traffic))
+      << (options.flow.restrict_to_shortest_paths ? "true" : "false");
+  // The approximate-solver block joins the identity only in approx mode,
+  // so every exact-mode cell — including every cell written before the
+  // mode existed — keeps its address, while flipping to approx (or
+  // turning any approx knob, or bumping the approx tag) perturbs the key.
+  if (options.flow.mode == SolverMode::kApprox) {
+    out << ", \"solver_mode\": \"approx\""
+        << ", \"approx_stale\": "
+        << json_number(options.flow.approx_stale_factor)
+        << ", \"approx_round\": " << options.flow.approx_round_size
+        << ", \"approx\": " << json_string(kSolverApproxVersionTag);
+  }
+  out << ", \"traffic\": " << json_string(traffic_kind_name(options.traffic))
       << ", \"chunky_fraction\": " << json_number(options.chunky_fraction);
   // Kind-specific traffic knobs join the identity only for their kind, so
   // every pre-existing (permutation/all_to_all/chunky) cell keeps its
@@ -232,8 +259,22 @@ std::string cell_identity_json(const CellIdentity& cell) {
     if (options.packet_sim.fct.enabled) {
       out << ", \"workload\": {\"cdf\": "
           << json_string(options.packet_sim.fct.cdf)
-          << ", \"load\": " << json_number(options.packet_sim.fct.load)
-          << ", \"fct\": " << json_string(kFctWorkloadVersionTag) << "}";
+          << ", \"load\": " << json_number(options.packet_sim.fct.load);
+      // User-supplied tables join the identity as the PARSED points —
+      // never the file path — so two paths with identical contents share
+      // cells and editing the file's contents invalidates them.
+      if (!options.packet_sim.fct.custom_cdf.empty()) {
+        out << ", \"cdf_table\": [";
+        bool first_point = true;
+        for (const CdfPoint& p : options.packet_sim.fct.custom_cdf) {
+          if (!first_point) out << ", ";
+          first_point = false;
+          out << "[" << json_number(p.bytes) << ", "
+              << json_number(p.cum_prob) << "]";
+        }
+        out << "]";
+      }
+      out << ", \"fct\": " << json_string(kFctWorkloadVersionTag) << "}";
     }
     out << "}";
   }

@@ -36,6 +36,13 @@ namespace topo::scenario {
 /// the golden suite catching an unintended numeric change is the cue.
 inline constexpr const char* kSolverVersionTag = "fptas-csr-v2";
 
+/// Approximate-solver version tag, mixed into the key of approx-mode
+/// cells only (SolverMode::kApprox) — the exact-mode population is never
+/// perturbed by approx numerics changes, and bumping this tag on a
+/// warm-tree/batching/bucketing change invalidates exactly the approx
+/// cells.
+inline constexpr const char* kSolverApproxVersionTag = "fptas-approx-v1";
+
 /// Simulator version tag, mixed into the key of packet-sim cells only —
 /// bumping it on a transport/queueing numerics change invalidates packet
 /// cells without discarding the (much larger) flow-only population.
@@ -44,7 +51,7 @@ inline constexpr const char* kPacketSimVersionTag = "mptcp-sim-v1";
 /// Finite-flow workload version tag, mixed into the key of FCT cells
 /// only — bumping it on an arrival/CDF/FCT numerics change invalidates
 /// workload cells without touching bulk packet or flow-only cells.
-inline constexpr const char* kFctWorkloadVersionTag = "fct-v1";
+inline constexpr const char* kFctWorkloadVersionTag = "fct-v2";
 
 /// FNV-1a 64 over a byte string (optionally chained via `basis`).
 [[nodiscard]] std::uint64_t fnv1a64(

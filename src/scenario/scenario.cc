@@ -146,7 +146,8 @@ void parse_shard_value(const std::string& value, ScenarioOptions* options) {
 
 ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   const Flags flags(argc, argv, {"runs", "eps", "seed", "csv", "full", "smoke",
-                                 "out", "threads", "cache-dir", "shard"});
+                                 "out", "threads", "cache-dir", "shard",
+                                 "solver"});
   require(!(flags.get_bool("full") && flags.get_bool("smoke")),
           "--full and --smoke are mutually exclusive");
   ScenarioOptions options;
@@ -157,6 +158,10 @@ ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   options.full = flags.get_bool("full");
   options.out_path = flags.get_string("out", "");
   options.cache_dir = flags.get_string("cache-dir", "");
+  options.solver = flags.get_string("solver", "");
+  require(options.solver.empty() || options.solver == "exact" ||
+              options.solver == "approx",
+          "--solver expects exact or approx, got: " + options.solver);
   if (const std::string shard = flags.get_string("shard", ""); !shard.empty()) {
     parse_shard_value(shard, &options);
     require(options.shard_count == 1 || !options.cache_dir.empty(),

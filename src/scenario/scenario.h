@@ -49,6 +49,10 @@ struct ScenarioOptions {
   /// Figure scenarios ignore it.
   int shard_index = 0;
   int shard_count = 1;
+  /// Solver-mode override for sweep scenarios (--solver): "" keeps each
+  /// spec's own solver field, "exact" / "approx" force that mode for
+  /// every cell. Figure scenarios ignore it.
+  std::string solver;
 };
 
 /// One table a scenario emitted, with its banner title.
@@ -127,7 +131,7 @@ void write_scenario_json(std::ostream& os, const std::string& name,
                          const std::vector<RecordedTable>& tables);
 
 /// Parses the shared scenario flag set (--runs --eps --seed --csv --full
-/// --smoke --out --threads --cache-dir --shard) from argv (argv[0] is
+/// --smoke --out --threads --cache-dir --shard --solver) from argv (argv[0] is
 /// skipped). --threads N sizes the shared thread pool (and exports
 /// TOPOBENCH_THREADS=N for child processes); the pool is sized once, so
 /// if a parallel region already ran, the flag cannot take effect and

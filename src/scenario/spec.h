@@ -42,7 +42,8 @@ struct TopologySpec {
 ///   "load"               -> the FCT workload's offered load fraction,
 ///   "cdf"                -> the FCT workload's flow-size CDF, as an
 ///                           integer index into flow_size_cdfs(),
-///   "epsilon"            -> the FPTAS accuracy.
+///   "epsilon"            -> the FPTAS accuracy,
+///   "solver_mode"        -> the solver mode (0 = exact, 1 = approx).
 struct SweepAxis {
   std::string param;
   std::vector<double> values;       ///< Smoke-mode sweep points.
@@ -74,6 +75,12 @@ struct ScenarioSpec {
   /// the finite-flow Poisson workload and the table grows
   /// fct_p50_ms / fct_p99_ms / fct_goodput columns.
   PacketSimOptions packet_sim;
+  /// Solver mode (flow/concurrent_flow.h): kExact (default) reproduces
+  /// the historical numbers bit for bit; kApprox opts the spec into the
+  /// warm-started batched-parallel solver (same epsilon guarantee,
+  /// different — still certified — numbers). A "solver_mode" axis or the
+  /// --solver CLI flag overrides this per point / per run.
+  SolverMode solver = SolverMode::kExact;
   std::vector<SweepAxis> axes;
   int quick_runs = 3;
   int full_runs = 20;

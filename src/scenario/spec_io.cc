@@ -143,6 +143,21 @@ sim::RouteMode route_mode_from_name(const std::string& name) {
                         "mode \"" + name + "\" (known: sampled, ecmp_hash)");
 }
 
+const char* solver_mode_name(SolverMode mode) {
+  switch (mode) {
+    case SolverMode::kExact: return "exact";
+    case SolverMode::kApprox: return "approx";
+  }
+  throw InvalidArgument("unhandled SolverMode");
+}
+
+SolverMode solver_mode_from_name(const std::string& name) {
+  if (name == "exact") return SolverMode::kExact;
+  if (name == "approx") return SolverMode::kApprox;
+  throw InvalidArgument("spec key \"solver\": unknown solver mode \"" + name +
+                        "\" (known: exact, approx)");
+}
+
 std::string spec_to_json(const ScenarioSpec& spec) {
   std::ostringstream out;
   out << "{\n";
@@ -172,6 +187,13 @@ std::string spec_to_json(const ScenarioSpec& spec) {
   }
   if (spec.traffic == TrafficKind::kStride) {
     out << "  \"stride\": " << spec.stride << ",\n";
+  }
+  // Emitted only in approx mode, so every exact-mode spec file — i.e.
+  // every file written before solver modes existed — round-trips
+  // byte-identically (and keeps its spec hash).
+  if (spec.solver == SolverMode::kApprox) {
+    out << "  \"solver\": " << json_string(solver_mode_name(spec.solver))
+        << ",\n";
   }
   // The three legacy keys are always emitted (pre-component spec files
   // stay byte-identical); the newer component keys appear only when they
@@ -222,9 +244,26 @@ std::string spec_to_json(const ScenarioSpec& spec) {
     // The finite-flow workload block appears only when enabled, so
     // pre-FCT packet specs stay byte-identical.
     if (spec.packet_sim.fct.enabled) {
-      out << ", \"workload\": {\"cdf\": "
-          << json_string(spec.packet_sim.fct.cdf)
-          << ", \"load\": " << json_number(spec.packet_sim.fct.load) << "}";
+      out << ", \"workload\": {";
+      // A custom table serializes as the PARSED points ("cdf_table") and
+      // drops both the registry name and any originating file path, so
+      // dump -> parse -> dump is byte-stable and the canonical form —
+      // which doubles as spec-hash material — depends on the table's
+      // contents, never on where it came from.
+      if (!spec.packet_sim.fct.custom_cdf.empty()) {
+        out << "\"cdf_table\": [";
+        bool first_point = true;
+        for (const CdfPoint& p : spec.packet_sim.fct.custom_cdf) {
+          if (!first_point) out << ", ";
+          first_point = false;
+          out << "[" << json_number(p.bytes) << ", "
+              << json_number(p.cum_prob) << "]";
+        }
+        out << "]";
+      } else {
+        out << "\"cdf\": " << json_string(spec.packet_sim.fct.cdf);
+      }
+      out << ", \"load\": " << json_number(spec.packet_sim.fct.load) << "}";
     }
     out << "},\n";
   }
@@ -254,7 +293,7 @@ ScenarioSpec spec_from_json(const std::string& text) {
   require_only_keys(root, "",
                     {"name", "description", "topology", "traffic",
                      "chunky_fraction", "hot_fraction", "hot_multiplier",
-                     "stride", "failure", "packet_sim", "axes",
+                     "stride", "solver", "failure", "packet_sim", "axes",
                      "quick_runs", "full_runs", "reuse_topology"});
 
   ScenarioSpec spec;
@@ -280,6 +319,9 @@ ScenarioSpec spec_from_json(const std::string& text) {
 
   if (root.find("traffic") != nullptr) {
     spec.traffic = traffic_kind_from_name(get_string(root, "traffic"));
+  }
+  if (root.find("solver") != nullptr) {
+    spec.solver = solver_mode_from_name(get_string(root, "solver"));
   }
   spec.chunky_fraction = get_fraction(root, "chunky_fraction", 1.0);
 
@@ -437,10 +479,51 @@ ScenarioSpec spec_from_json(const std::string& text) {
       if (!workload->is_object()) {
         fail_key("packet_sim.workload", "must be an object");
       }
-      require_only_keys(*workload, "packet_sim.workload.", {"cdf", "load"});
+      require_only_keys(*workload, "packet_sim.workload.",
+                        {"cdf", "cdf_file", "cdf_table", "load"});
       spec.packet_sim.fct.enabled = true;
+      // Three ways to pick the flow-size distribution, mutually
+      // exclusive: a registry name ("cdf"), a table file ("cdf_file"),
+      // or an inline table ("cdf_table"). The file is read HERE, at
+      // parse time — downstream (validation, hashing, evaluation) only
+      // ever sees the parsed points, never the path.
+      const JsonValue* cdf_file = workload->find("cdf_file");
+      const JsonValue* cdf_table = workload->find("cdf_table");
+      if (cdf_file != nullptr && cdf_table != nullptr) {
+        fail_key("packet_sim.workload.cdf_file",
+                 "mutually exclusive with cdf_table");
+      }
+      if ((cdf_file != nullptr || cdf_table != nullptr) &&
+          workload->find("cdf") != nullptr) {
+        fail_key("packet_sim.workload.cdf",
+                 "mutually exclusive with cdf_file / cdf_table");
+      }
       if (workload->find("cdf") != nullptr) {
         spec.packet_sim.fct.cdf = get_string(*workload, "cdf");
+      }
+      if (cdf_file != nullptr) {
+        if (!cdf_file->is_string()) {
+          fail_key("packet_sim.workload.cdf_file", "must be a string");
+        }
+        const FlowSizeCdf table = load_flow_size_cdf_file(cdf_file->text);
+        spec.packet_sim.fct.cdf = table.name;  // "custom"
+        spec.packet_sim.fct.custom_cdf = table.points;
+      }
+      if (cdf_table != nullptr) {
+        if (!cdf_table->is_array()) {
+          fail_key("packet_sim.workload.cdf_table",
+                   "must be an array of [bytes, cum_prob] pairs");
+        }
+        for (const JsonValue& item : cdf_table->items) {
+          if (!item.is_array() || item.items.size() != 2 ||
+              !item.items[0].is_number() || !item.items[1].is_number()) {
+            fail_key("packet_sim.workload.cdf_table",
+                     "must be an array of [bytes, cum_prob] pairs");
+          }
+          spec.packet_sim.fct.custom_cdf.push_back(
+              CdfPoint{item.items[0].number, item.items[1].number});
+        }
+        spec.packet_sim.fct.cdf = "custom";
       }
       if (const JsonValue* load = workload->find("load"); load != nullptr) {
         if (!load->is_number()) {
@@ -542,7 +625,10 @@ void validate_spec(const ScenarioSpec& spec) {
   if (spec.packet_sim.enabled) {
     const sim::SimParams& p = spec.packet_sim.params;
     if (spec.packet_sim.fct.enabled) {
-      if (find_flow_size_cdf(spec.packet_sim.fct.cdf) == nullptr) {
+      if (!spec.packet_sim.fct.custom_cdf.empty()) {
+        validate_flow_size_cdf(spec.packet_sim.fct.custom_cdf,
+                               "packet_sim.workload.cdf_table");
+      } else if (find_flow_size_cdf(spec.packet_sim.fct.cdf) == nullptr) {
         fail_key("packet_sim.workload.cdf",
                  "unknown flow-size CDF \"" + spec.packet_sim.fct.cdf +
                      "\" (known: " + flow_size_cdf_names() + ")");
@@ -592,6 +678,13 @@ void validate_spec(const ScenarioSpec& spec) {
       fail_key(where + "param",
                "axis \"" + axis.param +
                    "\" requires a packet_sim.workload block");
+    }
+    // A "cdf" axis indexes the registry; a custom table has no index
+    // there, so the combination would silently sweep something else.
+    if (axis.param == "cdf" && !spec.packet_sim.fct.custom_cdf.empty()) {
+      fail_key(where + "param",
+               "axis \"cdf\" cannot be combined with a custom "
+               "cdf_file / cdf_table workload");
     }
     if ((axis.param == "hot_fraction" || axis.param == "hot_multiplier") &&
         spec.traffic != TrafficKind::kHotspot) {
@@ -659,6 +752,12 @@ void validate_spec(const ScenarioSpec& spec) {
                    "value " + json_number(v) +
                        " invalid for cdf (want integer indexes into the "
                        "registered CDFs: " + flow_size_cdf_names() + ")");
+        }
+        if (axis.param == "solver_mode" &&
+            (v != std::floor(v) || (v != 0.0 && v != 1.0))) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " invalid for solver_mode "
+                                         "(want 0 = exact or 1 = approx)");
         }
         if (axis.param == "hot_multiplier" && (v < 1.0 || v > 1e6)) {
           fail_key(where + list_key, "value " + json_number(v) +

@@ -49,6 +49,11 @@ void validate_spec(const ScenarioSpec& spec);
 [[nodiscard]] const char* route_mode_name(sim::RouteMode mode);
 [[nodiscard]] sim::RouteMode route_mode_from_name(const std::string& name);
 
+/// Spec-file name of a solver mode ("exact" / "approx") and its strict
+/// inverse.
+[[nodiscard]] const char* solver_mode_name(SolverMode mode);
+[[nodiscard]] SolverMode solver_mode_from_name(const std::string& name);
+
 /// CLI entry: runs the spec in `path` with the standard scenario flags
 /// (argv[0] is skipped, as in scenario_main). Returns a shell exit code.
 int spec_file_main(const std::string& path, int argc, const char* const* argv);

@@ -61,6 +61,10 @@ void bind_coord(const std::string& name, double value, ParamMap& params,
         flow_size_cdfs()[static_cast<std::size_t>(std::llround(value))].name;
   } else if (name == "epsilon") {
     options.flow.epsilon = value;
+  } else if (name == "solver_mode") {
+    // 0 = exact, 1 = approx (validate_spec range-checks the values).
+    options.flow.mode = std::llround(value) == 1 ? SolverMode::kApprox
+                                                 : SolverMode::kExact;
   } else {
     params[name] = value;
   }
@@ -127,7 +131,7 @@ bool is_eval_axis(const std::string& param) {
          param == "capacity_factor" || param == "chunky_fraction" ||
          param == "hot_fraction" || param == "hot_multiplier" ||
          param == "stride" || param == "load" || param == "cdf" ||
-         param == "epsilon";
+         param == "epsilon" || param == "solver_mode";
 }
 
 std::vector<std::vector<double>> SweepRunner::enumerate_points() const {
@@ -212,6 +216,14 @@ SweepResult SweepRunner::run() const {
     CellPlan plan;
     plan.params = spec.topology.params;
     plan.options.flow.epsilon = config_.epsilon;
+    // Spec-level solver mode, then the CLI override, then (below) any
+    // "solver_mode" axis — later binders win.
+    plan.options.flow.mode = spec.solver;
+    if (!config_.solver_override.empty()) {
+      plan.options.flow.mode = config_.solver_override == "approx"
+                                   ? SolverMode::kApprox
+                                   : SolverMode::kExact;
+    }
     plan.options.traffic = spec.traffic;
     plan.options.chunky_fraction = spec.chunky_fraction;
     plan.options.hot_fraction = spec.hot_fraction;
@@ -420,7 +432,8 @@ TablePrinter sweep_table(const SweepResult& result) {
     }
   }
   if (fct) {
-    for (const char* metric : {"fct_p50_ms", "fct_p99_ms", "fct_goodput"}) {
+    for (const char* metric : {"fct_p50_ms", "fct_p99_ms", "fct_goodput",
+                               "fct_slowdown_p50", "fct_slowdown_p99"}) {
       headers.emplace_back(metric);
     }
   }
@@ -448,6 +461,8 @@ TablePrinter sweep_table(const SweepResult& result) {
       row.emplace_back(point.stats.fct_p50.mean / 1e6);  // ns -> ms
       row.emplace_back(point.stats.fct_p99.mean / 1e6);
       row.emplace_back(point.stats.fct_goodput.mean);
+      row.emplace_back(point.stats.fct_slowdown_p50.mean);
+      row.emplace_back(point.stats.fct_slowdown_p99.mean);
     }
     table.add_row(std::move(row));
   }
@@ -464,6 +479,7 @@ SweepResult run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx,
   config.cache_dir = ctx.options().cache_dir;
   config.shard_index = ctx.options().shard_index;
   config.shard_count = ctx.options().shard_count;
+  config.solver_override = ctx.options().solver;
   config.merge_only = merge_only;
   SweepResult result = SweepRunner(spec, config).run();
   ctx.banner(spec.description);

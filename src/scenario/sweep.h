@@ -73,6 +73,11 @@ struct SweepRunConfig {
   /// byte with zero coordinator recomputation.
   int shard_index = 0;
   int shard_count = 1;
+  /// Solver-mode override: "" keeps the spec's solver field, "exact" /
+  /// "approx" force that mode for every cell (before axis binding, so a
+  /// "solver_mode" axis still wins per point). Enters the spec hash and
+  /// each cell's identity exactly like a spec-level solver change.
+  std::string solver_override;
   /// Merge-only (coordinator degraded mode): evaluate NOTHING — reduce
   /// the points whose every cell the cache already holds, and report the
   /// rest in SweepResult::missing instead of recomputing them. Requires

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <sstream>
 
 #include "util/error.h"
 
@@ -89,6 +91,57 @@ std::string flow_size_cdf_names() {
     names += cdf.name;
   }
   return names;
+}
+
+void validate_flow_size_cdf(const std::vector<CdfPoint>& points,
+                            const std::string& what) {
+  require(points.size() >= 2, what + ": a CDF table needs >= 2 points");
+  require(points.front().cum_prob == 0.0,
+          what + ": the first cum_prob must be exactly 0");
+  require(points.back().cum_prob == 1.0,
+          what + ": the last cum_prob must be exactly 1");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const CdfPoint& p = points[i];
+    require(std::isfinite(p.bytes) && p.bytes >= 0.0,
+            what + ": bytes must be finite and non-negative");
+    require(std::isfinite(p.cum_prob) && p.cum_prob >= 0.0 &&
+                p.cum_prob <= 1.0,
+            what + ": cum_prob must lie in [0, 1]");
+    if (i > 0) {
+      require(p.bytes >= points[i - 1].bytes,
+              what + ": bytes must be non-decreasing");
+      require(p.cum_prob >= points[i - 1].cum_prob,
+              what + ": cum_prob must be non-decreasing");
+    }
+  }
+  require(points.back().bytes > 0.0,
+          what + ": the table describes only zero-byte flows");
+}
+
+FlowSizeCdf load_flow_size_cdf_file(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "cannot open CDF file: " + path);
+  FlowSizeCdf cdf;
+  cdf.name = "custom";
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    CdfPoint p;
+    if (!(fields >> p.bytes)) continue;  // blank / comment-only line
+    require(static_cast<bool>(fields >> p.cum_prob),
+            path + ":" + std::to_string(line_no) +
+                ": expected \"bytes cum_prob\"");
+    std::string extra;
+    require(!(fields >> extra), path + ":" + std::to_string(line_no) +
+                                    ": trailing fields after cum_prob");
+    cdf.points.push_back(p);
+  }
+  validate_flow_size_cdf(cdf.points, path);
+  return cdf;
 }
 
 std::vector<FiniteFlow> poisson_flow_arrivals(const ServerMap& servers,

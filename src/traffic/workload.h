@@ -54,6 +54,20 @@ struct FlowSizeCdf {
 /// Comma-separated registered names, for error messages.
 [[nodiscard]] std::string flow_size_cdf_names();
 
+/// Validates a user-supplied CDF table: at least two points, bytes
+/// non-negative and non-decreasing, cum_prob non-decreasing, first
+/// cum_prob exactly 0, last exactly 1, and a positive mean. Raises
+/// InvalidArgument naming `what` (e.g. the spec key) on any violation.
+void validate_flow_size_cdf(const std::vector<CdfPoint>& points,
+                            const std::string& what);
+
+/// Loads a flow-size CDF table from a text file: one "bytes cum_prob"
+/// pair per line (the ns-2 / HPCC trace-CDF convention), blank lines and
+/// '#' comments ignored. The table is validated via
+/// validate_flow_size_cdf; the returned distribution is named "custom".
+/// Raises InvalidArgument on I/O or format errors.
+[[nodiscard]] FlowSizeCdf load_flow_size_cdf_file(const std::string& path);
+
 /// One finite flow of a dynamic workload.
 struct FiniteFlow {
   int src_server = 0;
