@@ -3,103 +3,13 @@
 //   $ ./heterogeneous_design [--large N] [--small N] [--large-ports K]
 //                            [--small-ports K] [--servers S]
 //
-// Given a pool of two switch types and a server count, this example
-// evaluates the design space the paper explores — server placement splits
-// and cross-type wiring volumes — and prints the measured throughput
-// surface plus the paper's recommendation (proportional placement,
-// vanilla random wiring, cross-cut kept above the drop threshold).
+// Thin launcher: the advisor itself lives in src/search/case_studies.h so
+// the search layer and the tests share it. Output is byte-identical to
+// the historical standalone implementation.
 #include <iostream>
 
-#include "core/topobench.h"
+#include "search/case_studies.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const Flags flags(
-      argc, argv, {"large", "small", "large-ports", "small-ports", "servers"});
-  TwoTypeSpec base;
-  base.num_large = flags.get_int("large", 10);
-  base.num_small = flags.get_int("small", 20);
-  base.large_ports = flags.get_int("large-ports", 24);
-  base.small_ports = flags.get_int("small-ports", 12);
-  const int servers = flags.get_int("servers", 220);
-
-  std::cout << "== Heterogeneous design advisor ==\n\n";
-  std::cout << "Pool: " << base.num_large << " large switches ("
-            << base.large_ports << " ports) + " << base.num_small
-            << " small switches (" << base.small_ports << " ports); "
-            << servers << " servers to attach.\n\n";
-
-  EvalOptions options;
-  options.flow.epsilon = 0.08;
-  const int runs = 3;
-
-  // 1. Server placement sweep at vanilla random wiring.
-  std::cout << "Server placement (x = servers on large switches relative to "
-               "the port-proportional split):\n";
-  TablePrinter placement({"x", "servers_per_large", "servers_per_small",
-                          "throughput"});
-  double best_lambda = 0.0;
-  double best_ratio = 1.0;
-  for (double x : {0.5, 0.75, 1.0, 1.25, 1.5, 2.0}) {
-    const TwoTypeSpec spec = with_server_split(base, servers, x);
-    if (spec.servers_per_large >= spec.large_ports) continue;
-    const TopologyBuilder builder = [spec](std::uint64_t seed) {
-      return build_two_type(spec, seed);
-    };
-    const ExperimentStats stats = run_experiment(builder, options, runs, 7);
-    placement.add_row({x, static_cast<long long>(spec.servers_per_large),
-                       static_cast<long long>(spec.servers_per_small),
-                       stats.lambda.mean});
-    if (stats.lambda.mean > best_lambda) {
-      best_lambda = stats.lambda.mean;
-      best_ratio = x;
-    }
-  }
-  placement.print(std::cout);
-  std::cout << "Best split found at x = " << best_ratio
-            << " (paper: x = 1, proportional, is always among the best).\n\n";
-
-  // 2. Cross-type wiring sweep at the proportional split.
-  std::cout << "Cross-type wiring (x = cross links relative to vanilla "
-               "randomness), proportional servers:\n";
-  const TwoTypeSpec proportional = with_server_split(base, servers, 1.0);
-  TablePrinter wiring({"x", "throughput", "eqn1_bound"});
-  for (double x : {0.15, 0.3, 0.5, 0.75, 1.0, 1.5}) {
-    TwoTypeSpec spec = proportional;
-    spec.cross_fraction = x;
-    const BuiltTopology t = build_two_type(spec, 11);
-    const ThroughputResult r = evaluate_throughput(t, options, 13);
-    std::vector<char> in_large(static_cast<std::size_t>(t.graph.num_nodes()),
-                               0);
-    for (int i = 0; i < spec.num_large; ++i) {
-      in_large[static_cast<std::size_t>(i)] = 1;
-    }
-    const double n1 =
-        static_cast<double>(spec.num_large) * spec.servers_per_large;
-    const double n2 =
-        static_cast<double>(spec.num_small) * spec.servers_per_small;
-    const TwoClusterBound bound =
-        two_cluster_throughput_bound(t.graph, in_large, n1, n2);
-    wiring.add_row({x, r.lambda, bound.combined});
-  }
-  wiring.print(std::cout);
-
-  // 3. The drop threshold: how much clustering is safe (useful for cable
-  // optimization, per §6.2).
-  const double n1 = static_cast<double>(proportional.num_large) *
-                    proportional.servers_per_large;
-  const double n2 = static_cast<double>(proportional.num_small) *
-                    proportional.servers_per_small;
-  const double cbar_star = cross_capacity_threshold(best_lambda, n1, n2);
-  const double x_star =
-      cbar_star / (2.0 * two_type_expected_cross(proportional));
-  std::cout << "\nRecommendation: proportional servers ("
-            << proportional.servers_per_large << " per large, "
-            << proportional.servers_per_small
-            << " per small), random wiring. Cross-type links can be reduced "
-               "to ~"
-            << 100.0 * x_star
-            << "% of vanilla randomness (e.g. to shorten cables) before "
-               "throughput must drop.\n";
-  return 0;
+  return topo::search::heterogeneous_design_case_study(argc, argv, std::cout);
 }

@@ -2,62 +2,13 @@
 //
 //   $ ./vl2_rewiring [--da N] [--di N] [--runs N]
 //
-// Builds Microsoft's VL2 topology for the given aggregation/core port
-// counts, verifies it delivers full throughput at its nominal size, then
-// rewires the *identical* switch pool — ToR uplinks spread over
-// aggregation AND core switches in proportion to port counts, all other
-// ports wired uniformly at random — and binary-searches the largest ToR
-// count that still gets full throughput.
+// Thin launcher: the study itself lives in src/search/case_studies.h so
+// the search layer and the tests share it. Output is byte-identical to
+// the historical standalone implementation.
 #include <iostream>
 
-#include "core/topobench.h"
+#include "search/case_studies.h"
 
 int main(int argc, char** argv) {
-  using namespace topo;
-  const Flags flags(argc, argv, {"da", "di", "runs"});
-  Vl2Params params;
-  params.d_a = flags.get_int("da", 12);
-  params.d_i = flags.get_int("di", 12);
-  const int runs = flags.get_int("runs", 3);
-
-  std::cout << "== VL2 rewiring case study ==\n\n";
-  std::cout << "Equipment: " << params.d_i << " aggregation switches ("
-            << params.d_a << " x 10G ports), " << params.d_a / 2
-            << " core switches (" << params.d_i
-            << " x 10G ports), ToRs with 20 x 1G servers + 2 x 10G uplinks.\n";
-
-  const int nominal = vl2_nominal_tors(params);
-  std::cout << "VL2 supports " << nominal << " ToRs (" << 20 * nominal
-            << " servers) at full throughput by construction.\n";
-
-  EvalOptions options;
-  options.flow.epsilon = 0.05;
-
-  // Sanity check VL2 itself through the same solver.
-  const BuiltTopology vl2 = vl2_topology(params);
-  const ThroughputResult vl2_result = evaluate_throughput(vl2, options, 3);
-  std::cout << "Solver check on VL2 at nominal size: lambda = "
-            << vl2_result.lambda << " (expected ~1.0)\n\n";
-
-  // Binary search the rewired design.
-  FullThroughputSearch search;
-  search.builder = [&](int tors, std::uint64_t seed) {
-    return rewired_vl2_topology(params, tors, seed);
-  };
-  search.min_tors = nominal / 2;
-  search.max_tors = rewired_vl2_max_tors(params);
-  search.threshold = 0.95;
-  search.runs = runs;
-  search.options = options;
-  const int rewired = max_tors_at_full_throughput(search, /*master_seed=*/17);
-
-  std::cout << "Rewired pool supports " << rewired << " ToRs ("
-            << 20 * rewired << " servers) at full throughput across " << runs
-            << " runs.\n";
-  std::cout << "Improvement over VL2: "
-            << 100.0 * (static_cast<double>(rewired) / nominal - 1.0)
-            << "% more servers from the same equipment.\n";
-  std::cout << "(The paper reports up to 43% at DA=20, DI=28, growing with "
-               "scale.)\n";
-  return 0;
+  return topo::search::vl2_rewiring_case_study(argc, argv, std::cout);
 }

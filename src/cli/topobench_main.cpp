@@ -43,6 +43,7 @@
 #include "scenario/orchestrator.h"
 #include "scenario/scenario.h"
 #include "scenario/spec_io.h"
+#include "search/driver.h"
 #include "util/cleanup.h"
 #include "util/exit_codes.h"
 
@@ -53,13 +54,18 @@ void print_usage() {
       "usage: topobench --list | --list-names\n"
       "       topobench <scenario> [--smoke|--full] [--runs N] [--eps X]\n"
       "                 [--seed N] [--csv] [--out FILE] [--threads N]\n"
-      "                 [--cache-dir DIR] [--shard I/N] [--solver MODE]\n"
+      "                 [--cache-dir DIR] [--shard I/N] [--stripe MODE]\n"
+      "                 [--solver MODE]\n"
       "       topobench --spec FILE [same flags]\n"
       "       topobench --dump-spec NAME [FILE]\n"
       "       topobench orchestrate --spec FILE --cache-dir DIR\n"
       "                 [--workers N] [--max-retries K] [--worker-timeout S]\n"
       "                 [--backoff MS] [--runs N] [--eps X] [--seed N]\n"
       "                 [--smoke|--full] [--csv] [--out FILE] [--threads N]\n"
+      "                 [--stripe MODE]\n"
+      "       topobench search --spec FILE [--trace FILE] [--runs N]\n"
+      "                 [--eps X] [--seed N] [--threads N] [--cache-dir DIR]\n"
+      "                 [--shard I/N] [--stripe MODE]\n"
       "\n"
       "Runs a registered scenario (all 13 paper figures plus the\n"
       "declarative sweeps), or a ScenarioSpec JSON file. Unique name\n"
@@ -101,6 +107,17 @@ void print_usage() {
       "reporting p50/p95/p99 flow-completion times and goodput. The\n"
       "load and cdf knobs sweep like any axis; see sweep_fct_load and\n"
       "examples/specs/fct_load_sweep.json.\n"
+      "\n"
+      "Topology search (README \"Topology search\"): `search` runs the\n"
+      "deterministic design-space search a spec's \"search\" block\n"
+      "describes — seeded random-restart hill climbing (or simulated\n"
+      "annealing) over degree-preserving rewirings and server shifts,\n"
+      "maximizing throughput or throughput-per-cost under the equipment\n"
+      "and cable cost model. Candidate evaluations go through the result\n"
+      "cache, so warm re-runs recompute nothing; --shard I/N stripes each\n"
+      "evaluation batch across workers (--stripe round-robin|range) with\n"
+      "byte-identical trajectories everywhere. --trace FILE writes the\n"
+      "per-step JSON trace. See examples/specs/search_rrg_cost.json.\n"
       "\n"
       "Fault tolerance (README \"Fault tolerance\"): `orchestrate`\n"
       "supervises the --shard workers itself: crashed or heartbeat-stalled\n"
@@ -165,6 +182,10 @@ int main(int argc, char** argv) {
   if (first == "orchestrate") {
     // Shift argv so "orchestrate" plays argv[0] for flag parsing.
     return orchestrate_main(self_executable(argv[0]), argc - 1, argv + 1);
+  }
+  if (first == "search") {
+    // Shift argv so "search" plays argv[0] for flag parsing.
+    return topo::search::search_main(argc - 1, argv + 1);
   }
   if (first == "--list" || first == "--list-names") {
     std::size_t width = 0;

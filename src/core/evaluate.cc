@@ -86,9 +86,16 @@ void run_fct_workload(const BuiltTopology& topology,
   params.warmup_ns = 0;      // measure every completion
   params.start_jitter_ns = 0;
   Rng arrivals_rng(Rng::derive_seed(traffic_seed, kFctArrivalSeedSalt));
-  std::vector<FiniteFlow> arrivals = poisson_flow_arrivals(
-      topology.servers, *cdf, options.fct.load, params.server_rate_gbps,
-      static_cast<std::uint64_t>(params.duration_ns), arrivals_rng);
+  std::vector<FiniteFlow> arrivals =
+      options.fct.pattern == "incast"
+          ? incast_flow_arrivals(
+                topology.servers, *cdf, options.fct.load,
+                params.server_rate_gbps, options.fct.fan_in,
+                static_cast<std::uint64_t>(params.duration_ns), arrivals_rng)
+          : poisson_flow_arrivals(
+                topology.servers, *cdf, options.fct.load,
+                params.server_rate_gbps,
+                static_cast<std::uint64_t>(params.duration_ns), arrivals_rng);
   result.fct_flows = static_cast<double>(arrivals.size());
   if (arrivals.empty()) return;
 
@@ -222,6 +229,14 @@ ThroughputResult evaluate_throughput(const BuiltTopology& topology,
       require(options.packet_sim.fct.load > 0.0 &&
                   options.packet_sim.fct.load <= 1.0,
               "workload load must be in (0, 1]");
+      require(options.packet_sim.fct.pattern == "uniform" ||
+                  options.packet_sim.fct.pattern == "incast",
+              "unknown workload pattern \"" + options.packet_sim.fct.pattern +
+                  "\" (expected uniform or incast)");
+      if (options.packet_sim.fct.pattern == "incast") {
+        require(options.packet_sim.fct.fan_in >= 2,
+                "incast fan_in must be >= 2");
+      }
     } else {
       require(options.traffic == TrafficKind::kPermutation ||
                   options.traffic == TrafficKind::kStride,

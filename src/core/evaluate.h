@@ -43,6 +43,13 @@ struct FctWorkloadOptions {
   /// share cells.
   std::vector<CdfPoint> custom_cdf;
   double load = 0.5;              ///< Offered fraction of line rate, (0, 1].
+  /// Arrival pattern: "uniform" (the default open-loop Poisson process
+  /// with uniform endpoints — byte-identical to the historical stream) or
+  /// "incast", where each arrival event is a many-to-one burst of fan_in
+  /// flows from distinct random sources to one random victim server.
+  std::string pattern = "uniform";
+  /// Flows per incast burst ("incast" pattern only); >= 2.
+  int fan_in = 8;
 };
 
 /// Optional packet-level co-simulation riding on the fluid evaluation.

@@ -1,5 +1,6 @@
 #include "core/experiment.h"
 
+#include <map>
 #include <vector>
 
 #include "util/error.h"
@@ -157,16 +158,36 @@ int max_tors_at_full_throughput(const FullThroughputSearch& search,
           "invalid search range");
   require(search.runs >= 1, "search requires runs >= 1");
 
-  if (!supports_full_throughput(search, search.min_tors, master_seed)) {
+  // Memoize per ToR count: the probing order below can revisit a count
+  // (min_tors == max_tors probes it as both the floor and the ceiling),
+  // and the optional hooks let callers persist verdicts across
+  // invocations through the result cache.
+  std::map<int, bool> memo;
+  const auto probe = [&](int tors) {
+    const auto it = memo.find(tors);
+    if (it != memo.end()) return it->second;
+    if (search.probe_load) {
+      if (const std::optional<bool> cached = search.probe_load(tors)) {
+        memo[tors] = *cached;
+        return *cached;
+      }
+    }
+    const bool ok = supports_full_throughput(search, tors, master_seed);
+    memo[tors] = ok;
+    if (search.probe_store) search.probe_store(tors, ok);
+    return ok;
+  };
+
+  if (!probe(search.min_tors)) {
     return search.min_tors - 1;
   }
   int lo = search.min_tors;  // known good
   int hi = search.max_tors;  // candidate upper end
-  if (supports_full_throughput(search, hi, master_seed)) return hi;
+  if (probe(hi)) return hi;
   // Invariant: lo good, hi bad.
   while (hi - lo > 1) {
     const int mid = lo + (hi - lo) / 2;
-    if (supports_full_throughput(search, mid, master_seed)) {
+    if (probe(mid)) {
       lo = mid;
     } else {
       hi = mid;

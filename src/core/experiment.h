@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "core/evaluate.h"
 #include "util/stats.h"
@@ -77,6 +78,15 @@ struct FullThroughputSearch {
   double threshold = 0.95;
   int runs = 3;
   EvalOptions options;
+  /// Optional probe memo (search/search_space.h wires these to the result
+  /// cache): before evaluating a ToR count, probe_load may return its
+  /// remembered verdict; after evaluating one, probe_store records it.
+  /// Unset hooks change nothing. Within one invocation each distinct ToR
+  /// count is evaluated at most once regardless (the bounds-probing order
+  /// can revisit a count, e.g. min_tors == max_tors probes it as both
+  /// ends), so hooks only add cross-invocation persistence.
+  std::function<std::optional<bool>(int tors)> probe_load;
+  std::function<void(int tors, bool ok)> probe_store;
 };
 
 /// Binary-searches the largest ToR count in [min_tors, max_tors] whose

@@ -166,6 +166,12 @@ std::uint64_t spec_hash(const ScenarioSpec& spec,
       config.solver_override == "approx") {
     material += std::string("|approx=") + kSolverApproxVersionTag;
   }
+  // Search material joins only when the spec carries a search block (the
+  // block itself is already in the spec JSON; the version tag is not), so
+  // every legacy spec hash is unchanged.
+  if (spec.search.enabled) {
+    material += std::string("|search=") + kSearchVersionTag;
+  }
   return fnv1a64(material);
 }
 
@@ -260,6 +266,13 @@ std::string cell_identity_json(const CellIdentity& cell) {
       out << ", \"workload\": {\"cdf\": "
           << json_string(options.packet_sim.fct.cdf)
           << ", \"load\": " << json_number(options.packet_sim.fct.load);
+      // The incast knobs join only for the incast pattern, so every
+      // uniform-pattern workload cell written before incast existed
+      // keeps its address.
+      if (options.packet_sim.fct.pattern == "incast") {
+        out << ", \"pattern\": \"incast\", \"fan_in\": "
+            << options.packet_sim.fct.fan_in;
+      }
       // User-supplied tables join the identity as the PARSED points —
       // never the file path — so two paths with identical contents share
       // cells and editing the file's contents invalidates them.
@@ -277,6 +290,15 @@ std::string cell_identity_json(const CellIdentity& cell) {
       out << ", \"fct\": " << json_string(kFctWorkloadVersionTag) << "}";
     }
     out << "}";
+  }
+  // Search-candidate material joins only when a candidate hash is set, so
+  // every sweep cell — including all cells written before topology search
+  // existed — keeps its address, while candidate cells key on the
+  // canonical built topology (and the search version tag) instead of a
+  // construction seed.
+  if (!cell.candidate.empty()) {
+    out << ", \"candidate\": " << json_string(cell.candidate)
+        << ", \"search\": " << json_string(kSearchVersionTag);
   }
   out << ", \"topo_seed\": " << cell.topo_seed
       << ", \"traffic_seed\": " << cell.traffic_seed

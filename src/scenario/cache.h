@@ -53,6 +53,13 @@ inline constexpr const char* kPacketSimVersionTag = "mptcp-sim-v1";
 /// workload cells without touching bulk packet or flow-only cells.
 inline constexpr const char* kFctWorkloadVersionTag = "fct-v2";
 
+/// Topology-search version tag, mixed into the key of search-candidate
+/// cells only (CellIdentity::candidate non-empty) and into the spec hash
+/// of specs carrying a search block — bumping it on a search-semantics
+/// change invalidates exactly the candidate cells, never the sweep
+/// population.
+inline constexpr const char* kSearchVersionTag = "search-v1";
+
 /// FNV-1a 64 over a byte string (optionally chained via `basis`).
 [[nodiscard]] std::uint64_t fnv1a64(
     const std::string& bytes, std::uint64_t basis = 14695981039346656037ULL);
@@ -73,6 +80,13 @@ struct CellIdentity {
   EvalOptions options; ///< Evaluation options after axis binding.
   std::uint64_t topo_seed = 0;
   std::uint64_t traffic_seed = 0;
+  /// Search-candidate identity (search/search_space.h): the 16-hex
+  /// canonical-topology hash of a CONCRETE candidate design. Empty for
+  /// sweep cells (the default — their identity is family + params +
+  /// seeds); when set it joins the hashed material (together with
+  /// kSearchVersionTag), so rediscovering the same wiring through a
+  /// different mutation path lands on the same cell.
+  std::string candidate;
 };
 
 /// Canonical serialization of a cell identity (the hashing material).

@@ -284,7 +284,7 @@ int orchestrate_main(const std::string& self_exe, int argc,
     const Flags flags(argc, argv,
                       {"spec", "cache-dir", "workers", "max-retries",
                        "worker-timeout", "backoff", "runs", "eps", "seed",
-                       "csv", "full", "smoke", "out", "threads"});
+                       "stripe", "csv", "full", "smoke", "out", "threads"});
     OrchestratorConfig config;
     config.worker_exe = self_exe;
     config.spec_path = flags.get_string("spec", "");
@@ -320,7 +320,9 @@ int orchestrate_main(const std::string& self_exe, int argc,
     // Grid-shape flags forward to workers verbatim; output-shape flags
     // (--csv/--out) stay with the in-process merge. Both views resolve
     // from ONE parse so workers and coordinator cannot disagree.
-    for (const char* name : {"runs", "eps", "seed"}) {
+    // --stripe rides along too: it only changes which shard computes
+    // which cells, so the unsharded merge is unaffected either way.
+    for (const char* name : {"runs", "eps", "seed", "stripe"}) {
       if (flags.has(name)) {
         config.worker_flags.push_back(std::string("--") + name + "=" +
                                       flags.get_string(name, ""));

@@ -147,7 +147,7 @@ void parse_shard_value(const std::string& value, ScenarioOptions* options) {
 ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   const Flags flags(argc, argv, {"runs", "eps", "seed", "csv", "full", "smoke",
                                  "out", "threads", "cache-dir", "shard",
-                                 "solver"});
+                                 "solver", "stripe"});
   require(!(flags.get_bool("full") && flags.get_bool("smoke")),
           "--full and --smoke are mutually exclusive");
   ScenarioOptions options;
@@ -162,6 +162,10 @@ ScenarioOptions parse_scenario_options(int argc, const char* const* argv) {
   require(options.solver.empty() || options.solver == "exact" ||
               options.solver == "approx",
           "--solver expects exact or approx, got: " + options.solver);
+  options.stripe = flags.get_string("stripe", "");
+  require(options.stripe.empty() || options.stripe == "round-robin" ||
+              options.stripe == "range",
+          "--stripe expects round-robin or range, got: " + options.stripe);
   if (const std::string shard = flags.get_string("shard", ""); !shard.empty()) {
     parse_shard_value(shard, &options);
     require(options.shard_count == 1 || !options.cache_dir.empty(),

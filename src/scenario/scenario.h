@@ -49,6 +49,11 @@ struct ScenarioOptions {
   /// Figure scenarios ignore it.
   int shard_index = 0;
   int shard_count = 1;
+  /// Stripe shape for sharded sweeps (--stripe): "" / "round-robin" is
+  /// the historical per-cell interleave; "range" gives each shard a
+  /// contiguous run-major block so reuse-mode topology builds stay
+  /// shard-local (sweep.h StripeMode). Never enters cell identity.
+  std::string stripe;
   /// Solver-mode override for sweep scenarios (--solver): "" keeps each
   /// spec's own solver field, "exact" / "approx" force that mode for
   /// every cell. Figure scenarios ignore it.
@@ -131,8 +136,8 @@ void write_scenario_json(std::ostream& os, const std::string& name,
                          const std::vector<RecordedTable>& tables);
 
 /// Parses the shared scenario flag set (--runs --eps --seed --csv --full
-/// --smoke --out --threads --cache-dir --shard --solver) from argv (argv[0] is
-/// skipped). --threads N sizes the shared thread pool (and exports
+/// --smoke --out --threads --cache-dir --shard --solver --stripe) from argv
+/// (argv[0] is skipped). --threads N sizes the shared thread pool (and exports
 /// TOPOBENCH_THREADS=N for child processes); the pool is sized once, so
 /// if a parallel region already ran, the flag cannot take effect and
 /// parsing fails loudly instead of silently running at the old width.

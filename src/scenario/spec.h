@@ -40,6 +40,8 @@ struct TopologySpec {
 ///   "hot_fraction", "hot_multiplier" -> the hotspot traffic knobs,
 ///   "stride"             -> the stride traffic step (integers),
 ///   "load"               -> the FCT workload's offered load fraction,
+///   "fan_in"             -> the incast fan-in (integers; requires the
+///                           workload's "pattern": "incast"),
 ///   "cdf"                -> the FCT workload's flow-size CDF, as an
 ///                           integer index into flow_size_cdfs(),
 ///   "epsilon"            -> the FPTAS accuracy,
@@ -48,6 +50,32 @@ struct SweepAxis {
   std::string param;
   std::vector<double> values;       ///< Smoke-mode sweep points.
   std::vector<double> full_values;  ///< Paper-fidelity points (empty: reuse values).
+};
+
+/// Optional topology-search block (src/search/driver.h): when enabled the
+/// spec describes a design-space search over its topology family instead
+/// of a sweep — a seeded random-restart hill climb (temperature 0) or
+/// simulated anneal (temperature > 0) maximizing `objective` under the
+/// cost weights below. Legacy specs leave it disabled and serialize
+/// byte-identically to before the block existed.
+struct SearchSpec {
+  bool enabled = false;
+  /// "throughput_per_cost" (mean lambda / total cost) or "throughput".
+  std::string objective = "throughput_per_cost";
+  int budget = 20;     ///< Mutation steps per restart.
+  int restarts = 2;    ///< Independent seeded restarts.
+  int population = 4;  ///< Neighbors evaluated per step.
+  /// 0 = strict hill climbing; > 0 = simulated annealing with this
+  /// initial temperature, cooled by 0.95 per step.
+  double temperature = 0.0;
+  /// Move names (search/search_space.h): "rewire", "server_shift".
+  std::vector<std::string> moves = {"rewire"};
+  /// Cost-model weights (search/cost_model.h).
+  double port_cost = 1.0;
+  double cable_cost = 0.1;
+  double switch_cost = 0.0;
+  std::map<std::string, double> class_cost;
+  int floor_columns = 8;
 };
 
 /// A declarative scenario: topology family × sweep axes × traffic kind ×
@@ -81,6 +109,8 @@ struct ScenarioSpec {
   /// different — still certified — numbers). A "solver_mode" axis or the
   /// --solver CLI flag overrides this per point / per run.
   SolverMode solver = SolverMode::kExact;
+  /// Optional topology-search block; incompatible with sweep axes.
+  SearchSpec search;
   std::vector<SweepAxis> axes;
   int quick_runs = 3;
   int full_runs = 20;

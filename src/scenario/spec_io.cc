@@ -263,9 +263,45 @@ std::string spec_to_json(const ScenarioSpec& spec) {
       } else {
         out << "\"cdf\": " << json_string(spec.packet_sim.fct.cdf);
       }
-      out << ", \"load\": " << json_number(spec.packet_sim.fct.load) << "}";
+      out << ", \"load\": " << json_number(spec.packet_sim.fct.load);
+      // The arrival pattern is emitted only when it differs from the
+      // uniform default, so pre-incast workload specs stay byte-identical.
+      if (spec.packet_sim.fct.pattern == "incast") {
+        out << ", \"pattern\": " << json_string(spec.packet_sim.fct.pattern)
+            << ", \"fan_in\": " << spec.packet_sim.fct.fan_in;
+      }
+      out << "}";
     }
     out << "},\n";
+  }
+  // Emitted only when enabled: pre-search spec files round-trip
+  // byte-identically and keep their spec hash.
+  if (spec.search.enabled) {
+    out << "  \"search\": {\"objective\": "
+        << json_string(spec.search.objective)
+        << ", \"budget\": " << spec.search.budget
+        << ", \"restarts\": " << spec.search.restarts
+        << ", \"population\": " << spec.search.population
+        << ", \"temperature\": " << json_number(spec.search.temperature)
+        << ", \"moves\": [";
+    for (std::size_t m = 0; m < spec.search.moves.size(); ++m) {
+      if (m > 0) out << ", ";
+      out << json_string(spec.search.moves[m]);
+    }
+    out << "], \"cost\": {\"port\": " << json_number(spec.search.port_cost)
+        << ", \"cable\": " << json_number(spec.search.cable_cost)
+        << ", \"switch\": " << json_number(spec.search.switch_cost);
+    if (!spec.search.class_cost.empty()) {
+      out << ", \"class\": {";
+      bool first_class = true;
+      for (const auto& [klass, value] : spec.search.class_cost) {  // map: sorted
+        if (!first_class) out << ", ";
+        first_class = false;
+        out << json_string(klass) << ": " << json_number(value);
+      }
+      out << "}";
+    }
+    out << ", \"floor_columns\": " << spec.search.floor_columns << "}},\n";
   }
   out << "  \"axes\": [";
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
@@ -293,8 +329,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
   require_only_keys(root, "",
                     {"name", "description", "topology", "traffic",
                      "chunky_fraction", "hot_fraction", "hot_multiplier",
-                     "stride", "solver", "failure", "packet_sim", "axes",
-                     "quick_runs", "full_runs", "reuse_topology"});
+                     "stride", "solver", "failure", "packet_sim", "search",
+                     "axes", "quick_runs", "full_runs", "reuse_topology"});
 
   ScenarioSpec spec;
   spec.name = get_string(root, "name");
@@ -480,7 +516,8 @@ ScenarioSpec spec_from_json(const std::string& text) {
         fail_key("packet_sim.workload", "must be an object");
       }
       require_only_keys(*workload, "packet_sim.workload.",
-                        {"cdf", "cdf_file", "cdf_table", "load"});
+                        {"cdf", "cdf_file", "cdf_table", "load", "pattern",
+                         "fan_in"});
       spec.packet_sim.fct.enabled = true;
       // Three ways to pick the flow-size distribution, mutually
       // exclusive: a registry name ("cdf"), a table file ("cdf_file"),
@@ -533,6 +570,121 @@ ScenarioSpec spec_from_json(const std::string& text) {
           fail_key("packet_sim.workload.load", "out of range (want (0, 1])");
         }
         spec.packet_sim.fct.load = load->number;
+      }
+      // Pattern before fan_in: the fan-in knob is only meaningful for
+      // incast arrivals, so its gating reads the parsed pattern.
+      if (const JsonValue* pattern = workload->find("pattern");
+          pattern != nullptr) {
+        if (pattern->kind != JsonValue::Kind::kString) {
+          fail_key("packet_sim.workload.pattern", "must be a string");
+        }
+        spec.packet_sim.fct.pattern = pattern->text;
+      }
+      if (const JsonValue* fan = workload->find("fan_in"); fan != nullptr) {
+        if (spec.packet_sim.fct.pattern != "incast") {
+          fail_key("packet_sim.workload.fan_in",
+                   "only valid with \"pattern\": \"incast\"");
+        }
+        if (!fan->is_number() || fan->number != std::floor(fan->number)) {
+          fail_key("packet_sim.workload.fan_in", "must be an integer");
+        }
+        if (fan->number < 2 || fan->number > 1e6) {
+          fail_key("packet_sim.workload.fan_in", "out of range (want 2..1e6)");
+        }
+        spec.packet_sim.fct.fan_in = static_cast<int>(fan->number);
+      }
+    }
+  }
+
+  if (const JsonValue* search = root.find("search"); search != nullptr) {
+    if (!search->is_object()) fail_key("search", "must be an object");
+    require_only_keys(*search, "search.",
+                      {"objective", "budget", "restarts", "population",
+                       "temperature", "moves", "cost"});
+    spec.search.enabled = true;
+    if (search->find("objective") != nullptr) {
+      spec.search.objective = get_string(*search, "objective");
+    }
+    const auto get_count = [&](const char* key, int fallback, double lo,
+                               double hi) {
+      const JsonValue* value = search->find(key);
+      if (value == nullptr) return fallback;
+      const std::string where = std::string("search.") + key;
+      if (!value->is_number()) fail_key(where, "must be a number");
+      if (value->number != std::floor(value->number)) {
+        fail_key(where, "must be an integer");
+      }
+      if (value->number < lo || value->number > hi) {
+        fail_key(where, "out of range (want " + json_number(lo) + ".." +
+                            json_number(hi) + ")");
+      }
+      return static_cast<int>(value->number);
+    };
+    spec.search.budget = get_count("budget", spec.search.budget, 0, 1e6);
+    spec.search.restarts = get_count("restarts", spec.search.restarts, 1, 1e4);
+    spec.search.population =
+        get_count("population", spec.search.population, 1, 1e4);
+    if (const JsonValue* temp = search->find("temperature"); temp != nullptr) {
+      if (!temp->is_number()) {
+        fail_key("search.temperature", "must be a number");
+      }
+      if (temp->number < 0.0 || temp->number > 1e6) {
+        fail_key("search.temperature", "out of range (want [0, 1e6])");
+      }
+      spec.search.temperature = temp->number;
+    }
+    if (const JsonValue* moves = search->find("moves"); moves != nullptr) {
+      if (!moves->is_array()) {
+        fail_key("search.moves", "must be an array of move names");
+      }
+      spec.search.moves.clear();
+      for (const JsonValue& item : moves->items) {
+        if (item.kind != JsonValue::Kind::kString) {
+          fail_key("search.moves", "must be an array of move names");
+        }
+        spec.search.moves.push_back(item.text);
+      }
+    }
+    if (const JsonValue* cost = search->find("cost"); cost != nullptr) {
+      if (!cost->is_object()) fail_key("search.cost", "must be an object");
+      require_only_keys(*cost, "search.cost.",
+                        {"port", "cable", "switch", "class", "floor_columns"});
+      const auto get_weight = [&](const char* key, double fallback) {
+        const JsonValue* value = cost->find(key);
+        if (value == nullptr) return fallback;
+        const std::string where = std::string("search.cost.") + key;
+        if (!value->is_number()) fail_key(where, "must be a number");
+        if (value->number < 0.0 || value->number > 1e9) {
+          fail_key(where, "out of range (want [0, 1e9])");
+        }
+        return value->number;
+      };
+      spec.search.port_cost = get_weight("port", spec.search.port_cost);
+      spec.search.cable_cost = get_weight("cable", spec.search.cable_cost);
+      spec.search.switch_cost = get_weight("switch", spec.search.switch_cost);
+      if (const JsonValue* classes = cost->find("class"); classes != nullptr) {
+        if (!classes->is_object()) {
+          fail_key("search.cost.class", "must be an object");
+        }
+        for (const auto& [klass, value] : classes->members) {
+          const std::string where = "search.cost.class." + klass;
+          if (klass.empty()) fail_key(where, "class name must be non-empty");
+          if (!value.is_number()) fail_key(where, "must be a number");
+          if (value.number < 0.0 || value.number > 1e9) {
+            fail_key(where, "out of range (want [0, 1e9])");
+          }
+          spec.search.class_cost[klass] = value.number;
+        }
+      }
+      if (const JsonValue* cols = cost->find("floor_columns");
+          cols != nullptr) {
+        if (!cols->is_number() || cols->number != std::floor(cols->number)) {
+          fail_key("search.cost.floor_columns", "must be an integer");
+        }
+        if (cols->number < 1 || cols->number > 1e6) {
+          fail_key("search.cost.floor_columns", "out of range (want 1..1e6)");
+        }
+        spec.search.floor_columns = static_cast<int>(cols->number);
       }
     }
   }
@@ -636,6 +788,16 @@ void validate_spec(const ScenarioSpec& spec) {
       if (spec.packet_sim.fct.load <= 0.0 || spec.packet_sim.fct.load > 1.0) {
         fail_key("packet_sim.workload.load", "out of range (want (0, 1])");
       }
+      if (spec.packet_sim.fct.pattern != "uniform" &&
+          spec.packet_sim.fct.pattern != "incast") {
+        fail_key("packet_sim.workload.pattern",
+                 "unknown workload pattern \"" + spec.packet_sim.fct.pattern +
+                     "\" (known: uniform, incast)");
+      }
+      if (spec.packet_sim.fct.pattern == "incast" &&
+          spec.packet_sim.fct.fan_in < 2) {
+        fail_key("packet_sim.workload.fan_in", "out of range (want >= 2)");
+      }
     } else if (spec.traffic != TrafficKind::kPermutation &&
                spec.traffic != TrafficKind::kStride) {
       fail_key("packet_sim",
@@ -659,6 +821,62 @@ void validate_spec(const ScenarioSpec& spec) {
       fail_key("packet_sim.server_rate_gbps", "out of range (want > 0)");
     }
   }
+  if (spec.search.enabled) {
+    // A spec either sweeps or searches: axes bind sweep points, while the
+    // search block explores a design space at fixed parameters — letting
+    // both through would silently ignore one of them.
+    if (!spec.axes.empty()) {
+      fail_key("search", "incompatible with sweep axes (a spec either "
+                         "sweeps or searches)");
+    }
+    if (spec.search.objective != "throughput_per_cost" &&
+        spec.search.objective != "throughput") {
+      fail_key("search.objective",
+               "unknown objective \"" + spec.search.objective +
+                   "\" (known: throughput_per_cost, throughput)");
+    }
+    if (spec.search.budget < 0) {
+      fail_key("search.budget", "out of range (want >= 0)");
+    }
+    if (spec.search.restarts < 1) {
+      fail_key("search.restarts", "out of range (want >= 1)");
+    }
+    if (spec.search.population < 1) {
+      fail_key("search.population", "out of range (want >= 1)");
+    }
+    if (spec.search.temperature < 0.0) {
+      fail_key("search.temperature", "out of range (want >= 0)");
+    }
+    if (spec.search.moves.empty()) {
+      fail_key("search.moves", "must be non-empty");
+    }
+    for (const std::string& move : spec.search.moves) {
+      if (move != "rewire" && move != "server_shift") {
+        fail_key("search.moves", "unknown move \"" + move +
+                                     "\" (known: rewire, server_shift)");
+      }
+    }
+    const auto check_weight = [](const char* key, double value) {
+      if (value < 0.0) {
+        fail_key(std::string("search.cost.") + key,
+                 "out of range (want >= 0)");
+      }
+    };
+    check_weight("port", spec.search.port_cost);
+    check_weight("cable", spec.search.cable_cost);
+    check_weight("switch", spec.search.switch_cost);
+    for (const auto& [klass, value] : spec.search.class_cost) {
+      if (klass.empty()) {
+        fail_key("search.cost.class", "class name must be non-empty");
+      }
+      if (value < 0.0) {
+        fail_key("search.cost.class." + klass, "out of range (want >= 0)");
+      }
+    }
+    if (spec.search.floor_columns < 1) {
+      fail_key("search.cost.floor_columns", "out of range (want >= 1)");
+    }
+  }
   for (std::size_t a = 0; a < spec.axes.size(); ++a) {
     const SweepAxis& axis = spec.axes[a];
     const std::string where = "axes[" + std::to_string(a) + "].";
@@ -678,6 +896,15 @@ void validate_spec(const ScenarioSpec& spec) {
       fail_key(where + "param",
                "axis \"" + axis.param +
                    "\" requires a packet_sim.workload block");
+    }
+    // A "fan_in" axis tunes the incast burst width; without incast
+    // arrivals it would sweep a no-op.
+    if (axis.param == "fan_in" &&
+        (!spec.packet_sim.fct.enabled ||
+         spec.packet_sim.fct.pattern != "incast")) {
+      fail_key(where + "param",
+               "axis \"fan_in\" requires a packet_sim.workload block with "
+               "\"pattern\": \"incast\"");
     }
     // A "cdf" axis indexes the registry; a custom table has no index
     // there, so the combination would silently sweep something else.
@@ -744,6 +971,12 @@ void validate_spec(const ScenarioSpec& spec) {
           fail_key(where + list_key, "value " + json_number(v) +
                                          " out of range for load "
                                          "(want (0, 1])");
+        }
+        if (axis.param == "fan_in" &&
+            (v != std::floor(v) || v < 2.0 || v > 1e6)) {
+          fail_key(where + list_key, "value " + json_number(v) +
+                                         " invalid for fan_in "
+                                         "(want integers in 2..1e6)");
         }
         if (axis.param == "cdf" &&
             (v != std::floor(v) || v < 0.0 ||

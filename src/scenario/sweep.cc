@@ -54,6 +54,8 @@ void bind_coord(const std::string& name, double value, ParamMap& params,
     options.stride = static_cast<int>(std::llround(value));
   } else if (name == "load") {
     options.packet_sim.fct.load = value;
+  } else if (name == "fan_in") {
+    options.packet_sim.fct.fan_in = static_cast<int>(std::llround(value));
   } else if (name == "cdf") {
     // The axis value is an integer index into flow_size_cdfs(); binding
     // resolves it to the registered name (validate_spec range-checks it).
@@ -122,6 +124,24 @@ bool cell_in_shard(int cell_index, int shard_index, int shard_count) {
   return cell_index % shard_count == shard_index;
 }
 
+bool range_in_shard(int rank, int num_cells, int shard_index,
+                    int shard_count) {
+  // Balanced contiguous blocks over whatever ranking the caller chose:
+  // shard i owns [floor(i*C/N), floor((i+1)*C/N)). Exact partition for
+  // any (C, N), block sizes differing by at most one.
+  const long long c = num_cells;
+  const long long lo = c * shard_index / shard_count;
+  const long long hi = c * (shard_index + 1) / shard_count;
+  return rank >= lo && rank < hi;
+}
+
+StripeMode stripe_mode_from_name(const std::string& name) {
+  if (name == "round-robin") return StripeMode::kRoundRobin;
+  if (name == "range") return StripeMode::kRange;
+  throw InvalidArgument("unknown stripe mode: " + name +
+                        " (expected round-robin or range)");
+}
+
 bool is_eval_axis(const std::string& param) {
   return param == "link_failure_fraction" ||
          param == "switch_failure_fraction" ||
@@ -130,8 +150,8 @@ bool is_eval_axis(const std::string& param) {
          param.rfind(kClassAxisPrefix, 0) == 0 ||
          param == "capacity_factor" || param == "chunky_fraction" ||
          param == "hot_fraction" || param == "hot_multiplier" ||
-         param == "stride" || param == "load" || param == "cdf" ||
-         param == "epsilon" || param == "solver_mode";
+         param == "stride" || param == "load" || param == "fan_in" ||
+         param == "cdf" || param == "epsilon" || param == "solver_mode";
 }
 
 std::vector<std::vector<double>> SweepRunner::enumerate_points() const {
@@ -191,9 +211,19 @@ SweepResult SweepRunner::run() const {
   // shard and the coordinator address identical cells. A merge_only run
   // owns no stripe at all: it reduces what the cache holds and reports
   // the rest as missing.
-  const auto in_shard = [this](int index) {
-    return !config_.merge_only &&
-           cell_in_shard(index, config_.shard_index, config_.shard_count);
+  // Range striping ranks cells RUN-MAJOR — all points of run 0, then run
+  // 1, ... — so each contiguous block spans as few distinct runs as
+  // possible. Reuse-mode sweeps build ONE shared topology per run; under
+  // this ranking each shard builds only the (at most two boundary-run)
+  // topologies its block touches, instead of all of them.
+  const auto in_shard = [&, this](int index) {
+    if (config_.merge_only) return false;
+    if (config_.stripe == StripeMode::kRange) {
+      const int rank = (index % runs) * num_points + index / runs;
+      return range_in_shard(rank, num_cells, config_.shard_index,
+                            config_.shard_count);
+    }
+    return cell_in_shard(index, config_.shard_index, config_.shard_count);
   };
 
   bool reuse = spec.reuse_topology;
@@ -269,7 +299,7 @@ SweepResult SweepRunner::run() const {
       plans[i] = make_plan(index);
       keys[i] = cell_key(CellIdentity{spec.topology.family, plans[i].params,
                                       plans[i].options, plans[i].topo_seed,
-                                      plans[i].traffic_seed});
+                                      plans[i].traffic_seed, {}});
       if (cache->load(keys[i], &cells[i])) cached[i] = 1;
     });
     for (const char hit : cached) hits += hit;
@@ -479,6 +509,9 @@ SweepResult run_spec_scenario(const ScenarioSpec& spec, ScenarioRun& ctx,
   config.cache_dir = ctx.options().cache_dir;
   config.shard_index = ctx.options().shard_index;
   config.shard_count = ctx.options().shard_count;
+  if (!ctx.options().stripe.empty()) {
+    config.stripe = stripe_mode_from_name(ctx.options().stripe);
+  }
   config.solver_override = ctx.options().solver;
   config.merge_only = merge_only;
   SweepResult result = SweepRunner(spec, config).run();

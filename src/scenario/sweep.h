@@ -51,6 +51,22 @@ struct SweepResult {
   std::vector<MissingCell> missing;
 };
 
+/// How the flat cell grid is partitioned across shards.
+enum class StripeMode {
+  /// Cell i belongs to shard i % shard_count — the historical default;
+  /// balances heterogeneous cell costs across shards.
+  kRoundRobin,
+  /// Contiguous balanced blocks of the RUN-MAJOR cell ranking (all points
+  /// of run 0, then run 1, ...): each shard owns whole runs (up to the
+  /// two boundary runs), so reuse-mode sweeps — which build ONE shared
+  /// topology per run — build each topology on as few shards as possible
+  /// instead of every shard building every run's.
+  kRange,
+};
+
+/// Parses "round-robin" / "range"; raises InvalidArgument otherwise.
+[[nodiscard]] StripeMode stripe_mode_from_name(const std::string& name);
+
 /// Resolved run configuration for a sweep.
 struct SweepRunConfig {
   int runs = 3;
@@ -73,6 +89,12 @@ struct SweepRunConfig {
   /// byte with zero coordinator recomputation.
   int shard_index = 0;
   int shard_count = 1;
+  /// Stripe shape for sharded runs (ignored when shard_count == 1).
+  /// Striping NEVER enters cell identity, seed fan-out, or the spec
+  /// hash: any stripe mode publishes identical cells to the shared
+  /// cache, so mixing modes across shards of one sweep merely changes
+  /// who computes what.
+  StripeMode stripe = StripeMode::kRoundRobin;
   /// Solver-mode override: "" keeps the spec's solver field, "exact" /
   /// "approx" force that mode for every cell (before axis binding, so a
   /// "solver_mode" axis still wins per point). Enters the spec hash and
@@ -94,6 +116,13 @@ struct SweepRunConfig {
 /// exactly one shard.
 [[nodiscard]] bool cell_in_shard(int cell_index, int shard_index,
                                  int shard_count);
+
+/// True when rank `rank` of `num_cells` belongs to shard `shard_index`'s
+/// contiguous balanced block [floor(i*C/N), floor((i+1)*C/N)) — the
+/// StripeMode::kRange partition over some deterministic cell ranking.
+/// For any rank order the blocks partition the grid exactly.
+[[nodiscard]] bool range_in_shard(int rank, int num_cells, int shard_index,
+                                  int shard_count);
 
 /// Runs a declarative scenario spec.
 class SweepRunner {

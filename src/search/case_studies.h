@@ -1,0 +1,34 @@
+// The paper's two design case studies as library entry points.
+//
+// Historically these lived whole inside examples/vl2_rewiring.cpp and
+// examples/heterogeneous_design.cpp; the bodies moved here so the search
+// layer, tests, and the thin example launchers share one implementation
+// each. Printed output is byte-identical to the historical binaries on
+// the same flags.
+#ifndef TOPODESIGN_SEARCH_CASE_STUDIES_H
+#define TOPODESIGN_SEARCH_CASE_STUDIES_H
+
+#include <ostream>
+
+namespace topo::search {
+
+/// The §7 VL2 rewiring case study: builds VL2 for the given port counts,
+/// sanity-checks it at nominal size, then binary-searches the largest ToR
+/// count the rewired pool serves at full throughput.
+///   flags: [--da N] [--di N] [--runs N]
+/// Returns a shell exit code (argv[0] is skipped).
+int vl2_rewiring_case_study(int argc, const char* const* argv,
+                            std::ostream& os);
+
+/// The §5 heterogeneous design advisor: server-placement and cross-type
+/// wiring sweeps over a two-type switch pool, plus the paper's
+/// recommendation.
+///   flags: [--large N] [--small N] [--large-ports K] [--small-ports K]
+///          [--servers S]
+/// Returns a shell exit code (argv[0] is skipped).
+int heterogeneous_design_case_study(int argc, const char* const* argv,
+                                    std::ostream& os);
+
+}  // namespace topo::search
+
+#endif  // TOPODESIGN_SEARCH_CASE_STUDIES_H

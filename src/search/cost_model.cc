@@ -1,0 +1,56 @@
+#include "search/cost_model.h"
+
+#include <utility>
+
+#include "topo/layout.h"
+#include "util/error.h"
+
+namespace topo::search {
+
+CostModel::CostModel(CostWeights weights) : weights_(std::move(weights)) {
+  require(weights_.port_cost >= 0.0 && weights_.cable_cost >= 0.0 &&
+              weights_.switch_cost >= 0.0,
+          "cost weights must be non-negative");
+  for (const auto& [name, price] : weights_.class_cost) {
+    require(price >= 0.0, "class cost for \"" + name + "\" must be non-negative");
+  }
+  require(weights_.floor_columns >= 1, "floor_columns must be >= 1");
+}
+
+CostBreakdown CostModel::breakdown(const BuiltTopology& topology) const {
+  CostBreakdown out;
+  out.network_ports = 2 * topology.graph.num_edges();
+  out.server_ports = topology.servers.total();
+
+  for (NodeId n = 0; n < topology.graph.num_nodes(); ++n) {
+    const int cls = topology.class_of(n);
+    const std::string name =
+        topology.class_names.empty()
+            ? std::string("switch")
+            : topology.class_names[static_cast<std::size_t>(cls)];
+    ++out.switches_by_class[name];
+  }
+
+  const FloorLayout layout =
+      grid_layout(topology.graph.num_nodes(), weights_.floor_columns);
+  out.cable_length = cable_stats(topology.graph, layout).total_length;
+
+  out.port_total =
+      weights_.port_cost * (out.network_ports + out.server_ports);
+  out.cable_total = weights_.cable_cost * out.cable_length;
+  out.switch_total = 0.0;
+  for (const auto& [name, count] : out.switches_by_class) {
+    double per_switch = weights_.switch_cost;
+    const auto it = weights_.class_cost.find(name);
+    if (it != weights_.class_cost.end()) per_switch += it->second;
+    out.switch_total += per_switch * count;
+  }
+  out.total = out.port_total + out.cable_total + out.switch_total;
+  return out;
+}
+
+double CostModel::cost(const BuiltTopology& topology) const {
+  return breakdown(topology).total;
+}
+
+}  // namespace topo::search

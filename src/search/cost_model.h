@@ -1,0 +1,71 @@
+// Equipment and cabling cost model for topology search.
+//
+// The paper's claim is not "random graphs have high throughput" but "random
+// graphs have high throughput *at equal cost*" — so a search over designs
+// needs a cost to normalize by. This model prices a built topology from
+// its physical bill of materials: switch ports (network-facing ports count
+// one per edge endpoint, plus one port per attached server), switches
+// themselves (a base price plus an optional per-class premium, so a core
+// router can cost more than a ToR), and cable length under a machine-room
+// grid layout (src/topo/layout — Manhattan distance at rack pitch 1, the
+// §6.2 accounting). Every term is deterministic in the topology alone, so
+// equal candidates always price equally and cached evaluations can be
+// normalized after the fact.
+#ifndef TOPODESIGN_SEARCH_COST_MODEL_H
+#define TOPODESIGN_SEARCH_COST_MODEL_H
+
+#include <map>
+#include <string>
+
+#include "topo/topology.h"
+
+namespace topo::search {
+
+/// Unit prices. The defaults make cost roughly "ports plus a cable tax",
+/// which is the paper's equal-equipment comparison; set switch_cost /
+/// class_cost to price the chassis themselves.
+struct CostWeights {
+  double port_cost = 1.0;    ///< Per switch port (network and server alike).
+  double cable_cost = 0.1;   ///< Per unit Manhattan cable length.
+  double switch_cost = 0.0;  ///< Base price per switch chassis.
+  /// Additional per-switch price by class name (BuiltTopology::class_names
+  /// entry); classes not listed cost only switch_cost.
+  std::map<std::string, double> class_cost;
+  /// Rack-grid width used to lay switches out for cable measurement.
+  int floor_columns = 8;
+};
+
+/// Itemized cost of one candidate.
+struct CostBreakdown {
+  int network_ports = 0;   ///< 2 * edges: one port per edge endpoint.
+  int server_ports = 0;    ///< One port per attached server.
+  double cable_length = 0.0;  ///< Total Manhattan length on the grid.
+  /// Switch count per class name ("switch" when the topology is classless).
+  std::map<std::string, int> switches_by_class;
+  double port_total = 0.0;
+  double cable_total = 0.0;
+  double switch_total = 0.0;
+  double total = 0.0;  ///< Sum of the three component totals.
+};
+
+/// Prices built topologies under fixed weights.
+class CostModel {
+ public:
+  explicit CostModel(CostWeights weights);
+
+  /// Itemized cost; total > 0 for any topology with at least one switch
+  /// port (required by objectives that divide by cost).
+  [[nodiscard]] CostBreakdown breakdown(const BuiltTopology& topology) const;
+
+  /// Shorthand for breakdown(topology).total.
+  [[nodiscard]] double cost(const BuiltTopology& topology) const;
+
+  [[nodiscard]] const CostWeights& weights() const { return weights_; }
+
+ private:
+  CostWeights weights_;
+};
+
+}  // namespace topo::search
+
+#endif  // TOPODESIGN_SEARCH_COST_MODEL_H

@@ -186,4 +186,63 @@ std::vector<FiniteFlow> poisson_flow_arrivals(const ServerMap& servers,
   return flows;
 }
 
+std::vector<FiniteFlow> incast_flow_arrivals(const ServerMap& servers,
+                                             const FlowSizeCdf& cdf,
+                                             double load,
+                                             double server_rate_gbps,
+                                             int fan_in,
+                                             std::uint64_t horizon_ns,
+                                             Rng& rng) {
+  const int total = servers.total();
+  require(total >= 2, "an incast workload needs at least two servers");
+  require(load > 0.0 && load <= 1.0, "workload load must be in (0, 1]");
+  require(server_rate_gbps > 0.0, "server rate must be positive");
+  require(fan_in >= 2, "incast fan_in must be >= 2");
+  require(fan_in < total,
+          "incast fan_in must be smaller than the server count");
+  const double mean = cdf.mean_bytes();
+  require(mean > 0.0, "flow-size CDF \"" + cdf.name + "\" has zero mean");
+  // Same aggregate flow rate as the uniform pattern; each burst event
+  // launches fan_in flows, so events arrive fan_in times less often.
+  const double flow_rate = static_cast<double>(total) * load *
+                           server_rate_gbps / (8.0 * mean);
+  const double event_rate = flow_rate / static_cast<double>(fan_in);
+  const double expected = flow_rate * static_cast<double>(horizon_ns);
+  require(expected <= 2e7,
+          "workload would generate ~" + std::to_string(expected) +
+              " flows; shorten the horizon or lower the load");
+  std::vector<FiniteFlow> flows;
+  flows.reserve(static_cast<std::size_t>(expected * 1.1) + 16);
+  std::vector<int> sources;
+  sources.reserve(static_cast<std::size_t>(fan_in));
+  double t = 0.0;
+  for (;;) {
+    t += -std::log(1.0 - rng.uniform()) / event_rate;
+    if (t >= static_cast<double>(horizon_ns)) {
+      break;
+    }
+    const int victim =
+        static_cast<int>(rng.index(static_cast<std::size_t>(total)));
+    sources.clear();
+    for (int k = 0; k < fan_in; ++k) {
+      // Rejection-sample a source distinct from the victim and from the
+      // burst's earlier sources (fan_in < total guarantees termination).
+      int src;
+      do {
+        src = static_cast<int>(rng.index(static_cast<std::size_t>(total)));
+      } while (src == victim ||
+               std::find(sources.begin(), sources.end(), src) !=
+                   sources.end());
+      sources.push_back(src);
+      FiniteFlow flow;
+      flow.start_ns = static_cast<std::uint64_t>(t);
+      flow.src_server = src;
+      flow.dst_server = victim;
+      flow.size_bytes = cdf.sample_bytes(rng.uniform());
+      flows.push_back(flow);
+    }
+  }
+  return flows;
+}
+
 }  // namespace topo

@@ -87,6 +87,21 @@ struct FiniteFlow {
     const ServerMap& servers, const FlowSizeCdf& cdf, double load,
     double server_rate_gbps, std::uint64_t horizon_ns, Rng& rng);
 
+/// Incast (many-to-one) variant of poisson_flow_arrivals: burst events
+/// arrive as a Poisson process and each event launches `fan_in` flows at
+/// the same instant from distinct uniformly random sources to one
+/// uniformly random victim server (sources != victim, distinct from each
+/// other; requires fan_in >= 2 and fan_in < server count). The event rate
+/// is the uniform pattern's flow rate divided by fan_in, so the aggregate
+/// offered traffic is the same `load` fraction of line rate. Draw order
+/// per event is fixed (inter-arrival, victim, then per flow: source,
+/// size), so a seeded Rng makes the workload exactly reproducible. A
+/// separate function — the uniform pattern's draw stream stays
+/// byte-identical to the historical one.
+[[nodiscard]] std::vector<FiniteFlow> incast_flow_arrivals(
+    const ServerMap& servers, const FlowSizeCdf& cdf, double load,
+    double server_rate_gbps, int fan_in, std::uint64_t horizon_ns, Rng& rng);
+
 }  // namespace topo
 
 #endif  // TOPODESIGN_TRAFFIC_WORKLOAD_H
